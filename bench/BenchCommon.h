@@ -1,0 +1,117 @@
+//===- bench/BenchCommon.h - Shared setup for the paper benchmarks --------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every bench binary reproduces one table or figure from the paper and
+/// needs the same expensive artifacts: the benchmarked synthetic
+/// collection (memoized on disk by core/BenchmarkCache; the first binary
+/// of a session pays the sweep, the rest load CSVs), an 80/20 train/test
+/// split at the *matrix* level (so no matrix contributes samples to both
+/// sides), and the trained model triple. The six named paper replicas are
+/// always held out of training: the per-matrix figures evaluate them as
+/// unseen inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_BENCH_BENCHCOMMON_H
+#define SEER_BENCH_BENCHCOMMON_H
+
+#include "core/Seer.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace seer::bench {
+
+/// Directory used to memoize the collection sweep across binaries.
+inline std::string cacheDirectory() {
+  if (const char *Env = std::getenv("SEER_CACHE_DIR"))
+    return Env;
+  return "/tmp/seer_cache";
+}
+
+/// Everything a paper benchmark needs, built once per process.
+struct Environment {
+  KernelRegistry Registry;
+  GpuSimulator Sim{DeviceModel::mi100()};
+  /// Full sweep including the replicas.
+  std::vector<MatrixBenchmark> All;
+  /// Held-out named replicas (Figs. 5a-c, 7).
+  std::vector<MatrixBenchmark> Replicas;
+  /// 80/20 split of the remaining collection.
+  std::vector<MatrixBenchmark> Train;
+  std::vector<MatrixBenchmark> Test;
+  /// Models trained on Train only.
+  SeerModels Models;
+
+  /// The replica with the given paper name; aborts if missing.
+  const MatrixBenchmark &replica(const std::string &Name) const {
+    for (const MatrixBenchmark &Bench : Replicas)
+      if (Bench.Name == Name)
+        return Bench;
+    std::fprintf(stderr, "error: replica '%s' not benchmarked\n",
+                 Name.c_str());
+    std::abort();
+  }
+};
+
+/// Builds (or loads) the shared environment.
+inline const Environment &environment() {
+  static const Environment Env = [] {
+    Environment E;
+    E.All = benchmarkCollectionCached(CollectionConfig(), BenchmarkConfig(),
+                                      DeviceModel::mi100(), cacheDirectory(),
+                                      /*Verbose=*/true);
+
+    // Names of the held-out replicas.
+    std::vector<std::string> ReplicaNames;
+    for (const MatrixSpec &Spec : paperReplicaSpecs(CollectionConfig().Seed))
+      ReplicaNames.push_back(Spec.Name);
+    const auto IsReplica = [&](const MatrixBenchmark &Bench) {
+      return std::find(ReplicaNames.begin(), ReplicaNames.end(),
+                       Bench.Name) != ReplicaNames.end();
+    };
+
+    std::vector<MatrixBenchmark> Rest;
+    for (const MatrixBenchmark &Bench : E.All)
+      (IsReplica(Bench) ? E.Replicas : Rest).push_back(Bench);
+
+    // Deterministic 80/20 shuffle-split at the matrix level.
+    std::vector<size_t> Order(Rest.size());
+    std::iota(Order.begin(), Order.end(), 0);
+    Rng Shuffle(0x5ee25911ull);
+    for (size_t I = Order.size(); I > 1; --I)
+      std::swap(Order[I - 1], Order[Shuffle.bounded(I)]);
+    const size_t TestCount = Order.size() / 5;
+    for (size_t I = 0; I < Order.size(); ++I)
+      (I < TestCount ? E.Test : E.Train).push_back(Rest[Order[I]]);
+
+    E.Models = trainSeerModels(E.Train, E.Registry.names());
+    std::fprintf(stderr,
+                 "seer: %zu train / %zu test matrices, %zu replicas held "
+                 "out\n",
+                 E.Train.size(), E.Test.size(), E.Replicas.size());
+    return E;
+  }();
+  return Env;
+}
+
+/// Prints a horizontal rule + title, the house style of these binaries.
+inline void printHeader(const char *Title) {
+  std::printf("\n================================================================\n"
+              "%s\n"
+              "================================================================\n",
+              Title);
+}
+
+} // namespace seer::bench
+
+#endif // SEER_BENCH_BENCHCOMMON_H

@@ -1,0 +1,87 @@
+//===- bench/fig5_single_iteration.cpp - Reproduces Fig. 5 ----------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// Fig. 5 compares, at a single iteration, the Oracle / classifier-selector
+// / gathered / known predictors against every individual kernel:
+//
+//   5a  nlpkkt200     — big and regular; the selector prefers the free
+//                       known model;
+//   5b  matrix-new_3  — skewed; feature collection pays off;
+//   5c  Ga41As41H72   — skewed; gathered picks right, known cannot;
+//   5d  aggregate over the dataset, with the headline claims: ~2x over the
+//       best single kernel and 6.5x geomean speedup over all kernels.
+//
+// Lighter stacked segments in the paper are selection overhead; here they
+// print as a separate "overhead" column.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace seer;
+using namespace seer::bench;
+
+namespace {
+
+void printCase(const Environment &Env, const MatrixBenchmark &Bench,
+               const char *Panel) {
+  const CaseEvaluation Eval = evaluateCase(Env.Models, Bench, 1);
+  printHeader((std::string(Panel) + " — " + Bench.Name +
+               " (single iteration)")
+                  .c_str());
+  std::printf("%-12s %12s %12s  %s\n", "approach", "total_ms", "overhead_ms",
+              "picked");
+  std::printf("%-12s %12.4f %12.4f  %s\n", "Oracle", Eval.OracleMs, 0.0,
+              Env.Registry.kernel(Eval.OracleKernel).name().c_str());
+  const auto PrintPredictor = [&](const char *Name,
+                                  const PredictorOutcome &Outcome) {
+    std::printf("%-12s %12.4f %12.4f  %s%s\n", Name, Outcome.TotalMs,
+                Outcome.OverheadMs,
+                Env.Registry.kernel(Outcome.KernelIndex).name().c_str(),
+                Outcome.Correct ? "" : "  (mispredicted)");
+  };
+  PrintPredictor("Selector", Eval.Selector);
+  PrintPredictor("Gathered", Eval.Gathered);
+  PrintPredictor("Known", Eval.Known);
+  for (size_t K = 0; K < Eval.PerKernelMs.size(); ++K)
+    std::printf("%-12s %12.4f %12s\n",
+                Env.Registry.kernel(K).name().c_str(), Eval.PerKernelMs[K],
+                "-");
+  std::printf("selector routed to the %s model\n",
+              Eval.Selector.UsedGatheredModel ? "GATHERED" : "KNOWN");
+}
+
+} // namespace
+
+int main() {
+  const Environment &Env = environment();
+
+  printCase(Env, Env.replica("nlpkkt200"), "Fig. 5a");
+  printCase(Env, Env.replica("matrix-new_3"), "Fig. 5b");
+  printCase(Env, Env.replica("Ga41As41H72"), "Fig. 5c");
+
+  // ---- 5d: aggregate over the held-out test split.
+  const AggregateEvaluation Agg =
+      evaluateAggregate(Env.Models, Env.Test, /*Iterations=*/1);
+  printHeader("Fig. 5d — aggregate single-iteration totals (test split)");
+  std::printf("%-12s %12s\n", "approach", "total_ms");
+  std::printf("%-12s %12.2f\n", "Oracle", Agg.OracleMs);
+  std::printf("%-12s %12.2f\n", "Selector", Agg.SelectorMs);
+  std::printf("%-12s %12.2f\n", "Gathered", Agg.GatheredMs);
+  std::printf("%-12s %12.2f\n", "Known", Agg.KnownMs);
+  for (size_t K = 0; K < Agg.PerKernelMs.size(); ++K)
+    std::printf("%-12s %12.2f\n", Env.Registry.kernel(K).name().c_str(),
+                Agg.PerKernelMs[K]);
+
+  printHeader("headline claims (paper Sec. IV-D)");
+  std::printf("  selector vs best single kernel: %.2fx   (paper: 2x)\n",
+              Agg.SpeedupVsBestKernel);
+  std::printf("  geomean speedup over all kernels: %.2fx (paper: 6.5x)\n",
+              Agg.GeomeanSpeedupOverKernels);
+  std::printf("  selector vs oracle: %.2fx of optimal\n",
+              Agg.OracleMs / Agg.SelectorMs);
+  return 0;
+}

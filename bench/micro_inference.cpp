@@ -1,0 +1,96 @@
+//===- bench/micro_inference.cpp - Micro-benchmarks (google-benchmark) ----===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's "the cost of inference is negligible" claim, measured: real
+// wall-clock latency of decision-tree inference (host), the simulator's
+// throughput, synthetic-matrix generation, and feature statistics. These
+// run under google-benchmark and validate that the InferenceOverheadUs
+// constant in SeerRuntime (0.5 us) is conservative.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace seer;
+using namespace seer::bench;
+
+namespace {
+
+const SeerModels &models() { return environment().Models; }
+
+void BM_KnownTreeInference(benchmark::State &State) {
+  const DecisionTree &Tree = models().Known;
+  const std::vector<double> Features = {65536.0, 65536.0, 1048576.0, 19.0};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tree.predict(Features));
+}
+BENCHMARK(BM_KnownTreeInference);
+
+void BM_GatheredTreeInference(benchmark::State &State) {
+  const DecisionTree &Tree = models().Gathered;
+  const std::vector<double> Features = {65536.0, 65536.0, 1048576.0, 19.0,
+                                        0.01,    1e-5,    2.4e-4,    1e-6};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tree.predict(Features));
+}
+BENCHMARK(BM_GatheredTreeInference);
+
+void BM_SelectorInference(benchmark::State &State) {
+  const DecisionTree &Tree = models().Selector;
+  const std::vector<double> Features = {65536.0, 65536.0, 1048576.0, 1.0};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tree.predict(Features));
+}
+BENCHMARK(BM_SelectorInference);
+
+void BM_SimulateThreadMapped(benchmark::State &State) {
+  const uint32_t Rows = static_cast<uint32_t>(State.range(0));
+  const CsrMatrix M = genUniformRandom(Rows, Rows, 8.0, 0.2, 42);
+  const MatrixStats Stats = computeMatrixStats(M);
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const KernelRegistry Registry;
+  const SpmvKernel &Kernel =
+      Registry.kernel(Registry.indexOf("CSR,TM"));
+  std::vector<double> X(M.numCols(), 1.0);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Kernel.run(M, Stats, nullptr, X, Sim).Timing.TotalMs);
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(M.nnz()));
+}
+BENCHMARK(BM_SimulateThreadMapped)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_MatrixGeneration(benchmark::State &State) {
+  const uint32_t Rows = static_cast<uint32_t>(State.range(0));
+  uint64_t Seed = 1;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(genPowerLaw(Rows, Rows, 1.5, 1, 256, Seed++));
+}
+BENCHMARK(BM_MatrixGeneration)->Arg(1024)->Arg(16384);
+
+void BM_MatrixStats(benchmark::State &State) {
+  const CsrMatrix M = genUniformRandom(65536, 65536, 12.0, 0.2, 7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(computeMatrixStats(M));
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(M.nnz()));
+}
+BENCHMARK(BM_MatrixStats);
+
+void BM_TreeCodegen(benchmark::State &State) {
+  const DecisionTree &Tree = models().Gathered;
+  CodegenOptions Options;
+  Options.FunctionName = "bench";
+  for (auto _ : State)
+    benchmark::DoNotOptimize(generateTreeHeader(Tree, Options));
+}
+BENCHMARK(BM_TreeCodegen);
+
+} // namespace
+
+BENCHMARK_MAIN();

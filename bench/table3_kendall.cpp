@@ -1,0 +1,84 @@
+//===- bench/table3_kendall.cpp - Reproduces Table III --------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// Table III reports the Kendall rank correlation between each kernel's
+// single-iteration runtime and the matrix features (rows, nnz, most/least/
+// avg/var row density) across the collection. The paper reads it as: row-
+// parallel kernels correlate most with the row count, the work-oriented
+// kernel with the nonzero count — evidence the features carry the signal a
+// predictor can exploit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Statistics.h"
+
+#include <cmath>
+
+using namespace seer;
+using namespace seer::bench;
+
+int main() {
+  const Environment &Env = environment();
+
+  // Feature columns in the paper's order.
+  struct FeatureColumn {
+    const char *Name;
+    std::vector<double> Values;
+  };
+  std::vector<FeatureColumn> Features = {
+      {"rows", {}}, {"nnz", {}},   {"Most", {}},
+      {"Least", {}}, {"Avg", {}},  {"Var", {}},
+  };
+  for (const MatrixBenchmark &Bench : Env.All) {
+    Features[0].Values.push_back(Bench.Known.NumRows);
+    Features[1].Values.push_back(static_cast<double>(Bench.Known.Nnz));
+    Features[2].Values.push_back(Bench.Gathered.MaxRowDensity);
+    Features[3].Values.push_back(Bench.Gathered.MinRowDensity);
+    Features[4].Values.push_back(Bench.Gathered.MeanRowDensity);
+    Features[5].Values.push_back(Bench.Gathered.VarRowDensity);
+  }
+
+  printHeader("Table III — Kendall tau: kernel runtime vs. features");
+  std::printf("%-12s", "kernel");
+  for (const FeatureColumn &Column : Features)
+    std::printf("%8s", Column.Name);
+  std::printf("\n");
+
+  double RowsTauRowMapped = 0.0;
+  double NnzTauWorkOriented = 0.0;
+  for (size_t K = 0; K < Env.Registry.size(); ++K) {
+    std::vector<double> Runtimes;
+    Runtimes.reserve(Env.All.size());
+    for (const MatrixBenchmark &Bench : Env.All)
+      Runtimes.push_back(Bench.PerKernel[K].IterationMs);
+    const std::string &Name = Env.Registry.kernel(K).name();
+    std::printf("%-12s", Name.c_str());
+    for (size_t F = 0; F < Features.size(); ++F) {
+      // The paper reports correlation magnitudes; the density features
+      // correlate negatively with runtime (denser rows -> fewer wavefronts
+      // per nonzero), so print |tau| like Table III does.
+      const double Tau =
+          std::abs(kendallTau(Features[F].Values, Runtimes));
+      std::printf("%8.2f", Tau);
+      if (Name == "CSR,WM" && F == 0)
+        RowsTauRowMapped = Tau;
+      if (Name == "CSR,WO" && F == 1)
+        NnzTauWorkOriented = Tau;
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nclaim checks (paper Sec. IV-A):\n");
+  std::printf("  CSR,WO correlates strongly with nnz:    tau = %.2f "
+              "(paper: 0.80)\n",
+              NnzTauWorkOriented);
+  std::printf("  row-mapped CSR,WM correlates with rows: tau = %.2f "
+              "(paper: 0.40 vs. features)\n",
+              RowsTauRowMapped);
+  return 0;
+}

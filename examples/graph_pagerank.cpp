@@ -1,0 +1,115 @@
+//===- examples/graph_pagerank.cpp - Seer on graph-analytics SpMV ---------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's introduction motivates Seer with graph analytics: power-law
+// adjacency matrices are the canonical irregular input, and the kernel that
+// wins on a road-network-like graph loses badly on a social-network-like
+// one. This example runs PageRank (SpMV is its inner loop) over two graphs
+// with opposite degree distributions and shows Seer selecting different
+// kernels for each.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Seer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+using namespace seer;
+
+namespace {
+
+/// Column-stochastic transition matrix of a graph: entry (u, v) = 1/deg(v)
+/// for each edge v -> u, so PageRank is x' = damping * P x + teleport.
+CsrMatrix transitionMatrix(const CsrMatrix &Adjacency) {
+  // Out-degree of each vertex (row of the adjacency).
+  std::vector<uint32_t> OutDegree(Adjacency.numRows());
+  for (uint32_t V = 0; V < Adjacency.numRows(); ++V)
+    OutDegree[V] = Adjacency.rowLength(V);
+  std::vector<Triplet> Entries;
+  Entries.reserve(Adjacency.nnz());
+  for (uint32_t V = 0; V < Adjacency.numRows(); ++V)
+    for (uint64_t K = Adjacency.rowOffsets()[V];
+         K < Adjacency.rowOffsets()[V + 1]; ++K)
+      Entries.push_back({Adjacency.columnIndices()[K], V,
+                         1.0 / static_cast<double>(OutDegree[V])});
+  return CsrMatrix::fromTriplets(Adjacency.numRows(), Adjacency.numCols(),
+                                 std::move(Entries));
+}
+
+void runPageRank(const char *Label, const CsrMatrix &P,
+                 const SeerRuntime &Runtime, const KernelRegistry &Registry,
+                 const GpuSimulator &Sim) {
+  const uint32_t Iterations = 25;
+  const SelectionResult Pick = Runtime.select(P, Iterations);
+  std::printf("\n%s: %u vertices, %lu edges\n", Label, P.numRows(),
+              static_cast<unsigned long>(P.nnz()));
+  std::printf("  Seer picked %s via the %s model\n",
+              Registry.kernel(Pick.KernelIndex).name().c_str(),
+              Pick.UsedGatheredModel ? "gathered" : "known");
+
+  const MatrixStats Stats = computeMatrixStats(P);
+  const SpmvKernel &Kernel = Registry.kernel(Pick.KernelIndex);
+  const PreprocessResult Prep = Kernel.preprocess(P, Stats, Sim);
+
+  const uint32_t N = P.numRows();
+  const double Damping = 0.85;
+  std::vector<double> Rank(N, 1.0 / N);
+  double SimulatedMs = Pick.overheadMs() + Prep.TimeMs;
+  for (uint32_t Iter = 0; Iter < Iterations; ++Iter) {
+    const SpmvRun Step = Kernel.run(P, Stats, Prep.State.get(), Rank, Sim);
+    SimulatedMs += Step.Timing.TotalMs;
+    double Sum = 0.0;
+    for (uint32_t I = 0; I < N; ++I) {
+      Rank[I] = Damping * Step.Y[I] + (1.0 - Damping) / N;
+      Sum += Rank[I];
+    }
+    // Renormalize mass lost to dangling vertices.
+    for (double &V : Rank)
+      V /= Sum;
+  }
+
+  // Report the top-3 ranked vertices and the simulated cost.
+  uint32_t Top[3] = {0, 0, 0};
+  for (uint32_t I = 0; I < N; ++I) {
+    if (Rank[I] > Rank[Top[0]]) {
+      Top[2] = Top[1];
+      Top[1] = Top[0];
+      Top[0] = I;
+    } else if (I != Top[0] && Rank[I] > Rank[Top[1]]) {
+      Top[2] = Top[1];
+      Top[1] = I;
+    } else if (I != Top[0] && I != Top[1] && Rank[I] > Rank[Top[2]]) {
+      Top[2] = I;
+    }
+  }
+  std::printf("  top vertices: %u (%.2e), %u (%.2e), %u (%.2e)\n", Top[0],
+              Rank[Top[0]], Top[1], Rank[Top[1]], Top[2], Rank[Top[2]]);
+  std::printf("  simulated GPU time for %u iterations: %.3f ms\n",
+              Iterations, SimulatedMs);
+}
+
+} // namespace
+
+int main() {
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const std::vector<MatrixBenchmark> Measurements = benchmarkCollectionCached(
+      CollectionConfig(), BenchmarkConfig(), DeviceModel::mi100(),
+      "/tmp/seer_cache", /*Verbose=*/true);
+  const SeerModels Models = trainSeerModels(Measurements, Registry.names());
+  const SeerRuntime Runtime(Models, Registry, Sim);
+
+  // A social-network-like graph: R-MAT, heavy-tailed degrees.
+  const CsrMatrix Social = transitionMatrix(genRmat(17, 12, 99));
+  // A road-network-like graph: banded, near-constant small degree.
+  const CsrMatrix Road = transitionMatrix(genBanded(131072, 2, 0.9, 98));
+
+  runPageRank("social network (R-MAT)", Social, Runtime, Registry, Sim);
+  runPageRank("road network (banded)", Road, Runtime, Registry, Sim);
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- examples/quickstart.cpp - Smallest end-to-end Seer walkthrough -----===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// The full Seer pipeline in one file:
+//
+//   1. build a representative dataset (a small synthetic collection);
+//   2. GPU-benchmark every Table II kernel variant on it (Fig. 4's
+//      benchmarking stage, on the simulated MI100);
+//   3. train the known / gathered / classifier-selector models (Fig. 2);
+//   4. use the runtime (Fig. 3) to pick and execute a kernel for a matrix
+//      the models never saw.
+//
+// To run on real Matrix Market files instead of synthetic data, load them
+// with readMatrixMarketFile() and benchmark those.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Seer.h"
+
+#include <cstdio>
+
+using namespace seer;
+
+int main() {
+  // -- 1. Representative dataset.
+  CollectionConfig Collection;
+  Collection.MaxRows = 65536; // keep the quickstart quick
+  Collection.VariantsPerCell = 3;
+  const std::vector<MatrixSpec> Specs = buildCollection(Collection);
+  std::printf("dataset: %zu synthetic matrices\n", Specs.size());
+
+  // -- 2. GPU benchmarking on the simulated MI100.
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const Benchmarker Runner(Registry, Sim);
+  const std::vector<MatrixBenchmark> Measurements =
+      Runner.benchmarkCollection(Specs);
+  std::printf("benchmarked %zu matrices x %zu kernels\n",
+              Measurements.size(), Registry.size());
+
+  // -- 3. Train the three decision trees.
+  const SeerModels Models = trainSeerModels(Measurements, Registry.names());
+  std::printf("trained: known tree depth %u, gathered depth %u, "
+              "selector depth %u\n",
+              Models.Known.depth(), Models.Gathered.depth(),
+              Models.Selector.depth());
+
+  // -- 4. Runtime selection on an unseen matrix.
+  const SeerRuntime Runtime(Models, Registry, Sim);
+  const CsrMatrix M = genPowerLaw(40000, 40000, 1.5, 2, 600, /*Seed=*/2024);
+  std::vector<double> X(M.numCols(), 1.0);
+
+  for (uint32_t Iterations : {1u, 19u}) {
+    const ExecutionReport Report = Runtime.execute(M, X, Iterations);
+    std::printf("\n%u iteration%s:\n", Iterations,
+                Iterations == 1 ? "" : "s");
+    std::printf("  selector routed to the %s-feature model\n",
+                Report.Selection.UsedGatheredModel ? "gathered" : "known");
+    std::printf("  chose kernel %s\n",
+                Registry.kernel(Report.Selection.KernelIndex).name().c_str());
+    std::printf("  selection overhead %.4f ms, preprocess %.4f ms, "
+                "%.4f ms/iteration\n",
+                Report.Selection.overheadMs(), Report.PreprocessMs,
+                Report.IterationMs);
+    std::printf("  end-to-end %.4f ms\n", Report.totalMs());
+  }
+  return 0;
+}

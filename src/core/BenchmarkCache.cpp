@@ -1,0 +1,153 @@
+//===- core/BenchmarkCache.cpp ---------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BenchmarkCache.h"
+
+#include "kernels/KernelRegistry.h"
+#include "sim/GpuSimulator.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+using namespace seer;
+
+namespace {
+
+/// FNV-1a over the bytes of a value sequence.
+class Fingerprint {
+public:
+  void add(uint64_t Value) {
+    for (int Byte = 0; Byte < 8; ++Byte) {
+      Hash ^= (Value >> (8 * Byte)) & 0xff;
+      Hash *= 1099511628211ull;
+    }
+  }
+  void add(double Value) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(Value));
+    __builtin_memcpy(&Bits, &Value, sizeof(Bits));
+    add(Bits);
+  }
+  uint64_t value() const { return Hash; }
+
+private:
+  uint64_t Hash = 1469598103934665603ull;
+};
+
+std::string cachePath(const std::string &Directory, uint64_t Key,
+                      const char *Which) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "/seer_%016" PRIx64 "_%s.csv", Key,
+                Which);
+  return Directory + Buffer;
+}
+
+} // namespace
+
+uint64_t seer::benchmarkCacheKey(const CollectionConfig &Collection,
+                                 const BenchmarkConfig &Benchmark,
+                                 const DeviceModel &Device) {
+  Fingerprint F;
+  // Schema version: bump when MatrixBenchmark/CSV layout changes.
+  F.add(uint64_t(3));
+  F.add(Collection.Seed);
+  F.add(uint64_t(Collection.VariantsPerCell));
+  F.add(uint64_t(Collection.MaxRows));
+  F.add(Collection.MaxNnzPerMatrix);
+  F.add(uint64_t(Collection.IncludeReplicas));
+  F.add(uint64_t(Benchmark.TimedRuns));
+  F.add(Benchmark.NoiseSigma);
+  F.add(Benchmark.NoiseSeed);
+  F.add(uint64_t(Device.NumComputeUnits));
+  F.add(uint64_t(Device.SimdsPerCu));
+  F.add(uint64_t(Device.WavefrontSize));
+  F.add(Device.ClockGhz);
+  F.add(Device.CyclesPerOp);
+  F.add(Device.CyclesPerAtomic);
+  F.add(Device.WavefrontOverheadCycles);
+  F.add(Device.MemoryBandwidthGBs);
+  F.add(Device.StreamEfficiency);
+  F.add(Device.CacheLineBytes);
+  F.add(Device.L2CapacityBytes);
+  F.add(Device.LaunchOverheadUs);
+  F.add(Device.ReadbackOverheadUs);
+  F.add(Device.HostClockGhz);
+  F.add(Device.PcieBandwidthGBs);
+  return F.value();
+}
+
+std::optional<std::vector<MatrixBenchmark>>
+seer::loadBenchmarkCache(const std::string &Directory, uint64_t Key) {
+  std::string Error;
+  const auto Runtime =
+      CsvTable::readFile(cachePath(Directory, Key, "runtime"), &Error);
+  if (!Runtime)
+    return std::nullopt;
+  const auto Preprocessing =
+      CsvTable::readFile(cachePath(Directory, Key, "preprocessing"), &Error);
+  if (!Preprocessing)
+    return std::nullopt;
+  const auto Features =
+      CsvTable::readFile(cachePath(Directory, Key, "features"), &Error);
+  if (!Features)
+    return std::nullopt;
+  return Benchmarker::fromCsv(*Runtime, *Preprocessing, *Features, &Error);
+}
+
+bool seer::storeBenchmarkCache(const std::string &Directory, uint64_t Key,
+                               const std::vector<MatrixBenchmark> &Benchmarks,
+                               const std::vector<std::string> &KernelNames,
+                               std::string *ErrorMessage) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Directory, Ec);
+  if (Ec) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot create cache directory: " + Ec.message();
+    return false;
+  }
+  return Benchmarker::runtimeCsv(Benchmarks, KernelNames)
+             .writeFile(cachePath(Directory, Key, "runtime"), ErrorMessage) &&
+         Benchmarker::preprocessingCsv(Benchmarks, KernelNames)
+             .writeFile(cachePath(Directory, Key, "preprocessing"),
+                        ErrorMessage) &&
+         Benchmarker::featuresCsv(Benchmarks)
+             .writeFile(cachePath(Directory, Key, "features"), ErrorMessage);
+}
+
+std::vector<MatrixBenchmark>
+seer::benchmarkCollectionCached(const CollectionConfig &Collection,
+                                const BenchmarkConfig &Benchmark,
+                                const DeviceModel &Device,
+                                const std::string &Directory, bool Verbose) {
+  const uint64_t Key = benchmarkCacheKey(Collection, Benchmark, Device);
+  if (auto Cached = loadBenchmarkCache(Directory, Key)) {
+    if (Verbose)
+      std::fprintf(stderr, "seer: loaded %zu cached benchmarks (key %016" PRIx64 ")\n",
+                   Cached->size(), Key);
+    return std::move(*Cached);
+  }
+
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(Device);
+  const Benchmarker Runner(Registry, Sim, Benchmark);
+  const auto Specs = buildCollection(Collection);
+  if (Verbose)
+    std::fprintf(stderr, "seer: benchmarking %zu matrices (no cache)...\n",
+                 Specs.size());
+  const auto Benchmarks = Runner.benchmarkCollection(
+      Specs, [&](size_t Index, size_t Total, const std::string &Name) {
+        if (Verbose && Index % 64 == 0)
+          std::fprintf(stderr, "seer:   %zu/%zu %s\n", Index, Total,
+                       Name.c_str());
+      });
+  std::string Error;
+  if (!storeBenchmarkCache(Directory, Key, Benchmarks, Registry.names(),
+                           &Error) &&
+      Verbose)
+    std::fprintf(stderr, "seer: cache store failed: %s\n", Error.c_str());
+  return Benchmarks;
+}

@@ -1,0 +1,119 @@
+//===- core/Evaluation.cpp -------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Evaluation.h"
+
+#include "core/SeerRuntime.h"
+#include "support/Statistics.h"
+
+#include <cassert>
+
+using namespace seer;
+
+CaseEvaluation seer::evaluateCase(const SeerModels &Models,
+                                  const MatrixBenchmark &Bench,
+                                  uint32_t Iterations) {
+  CaseEvaluation Eval;
+  Eval.Name = Bench.Name;
+  Eval.Iterations = Iterations;
+
+  const double Iters = static_cast<double>(Iterations);
+  Eval.PerKernelMs.reserve(Bench.PerKernel.size());
+  for (const KernelMeasurement &M : Bench.PerKernel)
+    Eval.PerKernelMs.push_back(M.totalMs(Iters));
+
+  Eval.OracleKernel = Bench.fastestKernel(Iters);
+  Eval.OracleMs = Eval.PerKernelMs[Eval.OracleKernel];
+
+  const double InferenceMs = SeerRuntime::InferenceOverheadUs * 1e-3;
+  const std::vector<double> KnownVec =
+      features::knownVector(Bench.Known, Iters);
+  const std::vector<double> GatheredVec =
+      features::gatheredVector(Bench.Known, Bench.Gathered, Iters);
+
+  // Known-feature predictor: free features, one inference.
+  Eval.Known.KernelIndex = Models.Known.predict(KnownVec);
+  Eval.Known.OverheadMs = InferenceMs;
+  Eval.Known.TotalMs =
+      Eval.Known.OverheadMs + Eval.PerKernelMs[Eval.Known.KernelIndex];
+  Eval.Known.Correct = Eval.Known.KernelIndex == Eval.OracleKernel;
+
+  // Gathered-feature predictor: always pays collection.
+  Eval.Gathered.KernelIndex = Models.Gathered.predict(GatheredVec);
+  Eval.Gathered.OverheadMs = Bench.FeatureCollectionMs + InferenceMs;
+  Eval.Gathered.TotalMs =
+      Eval.Gathered.OverheadMs + Eval.PerKernelMs[Eval.Gathered.KernelIndex];
+  Eval.Gathered.Correct = Eval.Gathered.KernelIndex == Eval.OracleKernel;
+
+  // Classifier selection: route first, then the chosen path's cost.
+  const uint32_t Route = Models.Selector.predict(KnownVec);
+  if (Route == SeerModels::SelectGathered) {
+    Eval.Selector.UsedGatheredModel = true;
+    Eval.Selector.KernelIndex = Eval.Gathered.KernelIndex;
+    Eval.Selector.OverheadMs =
+        Bench.FeatureCollectionMs + 2.0 * InferenceMs;
+  } else {
+    Eval.Selector.KernelIndex = Eval.Known.KernelIndex;
+    Eval.Selector.OverheadMs = 2.0 * InferenceMs;
+  }
+  Eval.Selector.TotalMs =
+      Eval.Selector.OverheadMs + Eval.PerKernelMs[Eval.Selector.KernelIndex];
+  Eval.Selector.Correct = Eval.Selector.KernelIndex == Eval.OracleKernel;
+  return Eval;
+}
+
+AggregateEvaluation
+seer::evaluateAggregate(const SeerModels &Models,
+                        const std::vector<MatrixBenchmark> &Benchmarks,
+                        uint32_t Iterations) {
+  AggregateEvaluation Agg;
+  Agg.Iterations = Iterations;
+  Agg.NumCases = Benchmarks.size();
+  if (Benchmarks.empty())
+    return Agg;
+  Agg.PerKernelMs.assign(Benchmarks.front().PerKernel.size(), 0.0);
+
+  size_t KnownHits = 0, GatheredHits = 0, SelectorHits = 0, RouteHits = 0;
+  for (const MatrixBenchmark &Bench : Benchmarks) {
+    const CaseEvaluation Eval = evaluateCase(Models, Bench, Iterations);
+    Agg.OracleMs += Eval.OracleMs;
+    Agg.KnownMs += Eval.Known.TotalMs;
+    Agg.GatheredMs += Eval.Gathered.TotalMs;
+    Agg.SelectorMs += Eval.Selector.TotalMs;
+    for (size_t K = 0; K < Eval.PerKernelMs.size(); ++K)
+      Agg.PerKernelMs[K] += Eval.PerKernelMs[K];
+    KnownHits += Eval.Known.Correct;
+    GatheredHits += Eval.Gathered.Correct;
+    SelectorHits += Eval.Selector.Correct;
+
+    // Route correctness: did the selector pick the cheaper path?
+    const double KnownPathCost = Eval.Known.TotalMs;
+    const double GatheredPathCost = Eval.Gathered.TotalMs;
+    const bool GatheredIsBetter = GatheredPathCost < KnownPathCost;
+    if (Eval.Selector.UsedGatheredModel == GatheredIsBetter)
+      ++RouteHits;
+  }
+
+  const double N = static_cast<double>(Benchmarks.size());
+  Agg.KnownAccuracy = KnownHits / N;
+  Agg.GatheredAccuracy = GatheredHits / N;
+  Agg.SelectorAccuracy = SelectorHits / N;
+  Agg.SelectorRouteAccuracy = RouteHits / N;
+
+  assert(Agg.SelectorMs > 0.0 && "selector total must be positive");
+  std::vector<double> Speedups;
+  Speedups.reserve(Agg.PerKernelMs.size());
+  double Best = 0.0;
+  for (double KernelMs : Agg.PerKernelMs) {
+    const double Speedup = KernelMs / Agg.SelectorMs;
+    Speedups.push_back(Speedup);
+    if (Best == 0.0 || Speedup < Best)
+      Best = Speedup;
+  }
+  Agg.SpeedupVsBestKernel = Best;
+  Agg.GeomeanSpeedupOverKernels = geomean(Speedups);
+  return Agg;
+}

@@ -1,0 +1,103 @@
+//===- core/Evaluation.h - Oracle comparison and paper metrics ------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluation machinery for Figs. 5 and 7 and the Section IV-C accuracy
+/// numbers. Everything here works from stored MatrixBenchmark measurements
+/// (the paper's offline analysis does the same): the Oracle picks the
+/// fastest kernel with hindsight; the Known / Gathered / Selector
+/// predictors pick via their trees, paying their respective overheads:
+///
+///   Known:    inference only (negligible);
+///   Gathered: feature collection + inference;
+///   Selector: inference (+ feature collection only when it routes to the
+///             gathered model).
+///
+/// The paper distinguishes *accuracy* (exact fastest-kernel hits) from
+/// *error* (runtime lost vs. the Oracle); both are computed here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_CORE_EVALUATION_H
+#define SEER_CORE_EVALUATION_H
+
+#include "core/Benchmarker.h"
+#include "core/SeerTrainer.h"
+
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// One predictor's outcome on one (matrix, iterations) case.
+struct PredictorOutcome {
+  /// The kernel the predictor chose.
+  size_t KernelIndex = 0;
+  /// Selection overhead (feature collection + inference), ms.
+  double OverheadMs = 0.0;
+  /// End-to-end cost: overhead + preprocess + iterations * runtime, ms.
+  double TotalMs = 0.0;
+  /// True when KernelIndex is the hindsight-fastest kernel.
+  bool Correct = false;
+  /// For the selector: true when it routed to the gathered model.
+  bool UsedGatheredModel = false;
+};
+
+/// Full per-case evaluation (one bar group of Fig. 5 / Fig. 7).
+struct CaseEvaluation {
+  std::string Name;
+  uint32_t Iterations = 1;
+  /// Hindsight-optimal kernel and its total cost.
+  size_t OracleKernel = 0;
+  double OracleMs = 0.0;
+  PredictorOutcome Known;
+  PredictorOutcome Gathered;
+  PredictorOutcome Selector;
+  /// Total cost of running each single kernel alone (no selection).
+  std::vector<double> PerKernelMs;
+};
+
+/// Evaluates every predictor on one benchmarked matrix at a fixed
+/// iteration count.
+CaseEvaluation evaluateCase(const SeerModels &Models,
+                            const MatrixBenchmark &Bench,
+                            uint32_t Iterations);
+
+/// Aggregate over a set of benchmarks (Fig. 5d).
+struct AggregateEvaluation {
+  uint32_t Iterations = 1;
+  size_t NumCases = 0;
+  /// Summed end-to-end times across the set, ms.
+  double OracleMs = 0.0;
+  double KnownMs = 0.0;
+  double GatheredMs = 0.0;
+  double SelectorMs = 0.0;
+  std::vector<double> PerKernelMs;
+  /// Exact fastest-kernel accuracies (Section IV-C).
+  double KnownAccuracy = 0.0;
+  double GatheredAccuracy = 0.0;
+  double SelectorAccuracy = 0.0;
+  /// Selector's accuracy on its own binary task (known-vs-gathered route
+  /// against the cost-optimal route).
+  double SelectorRouteAccuracy = 0.0;
+  /// Speedup of the selector over the best single kernel:
+  /// min over kernels of (kernel total / selector total). The paper's
+  /// headline "2x over the best single iteration kernel".
+  double SpeedupVsBestKernel = 0.0;
+  /// Geomean over kernels of (kernel total / selector total): the paper's
+  /// "6.5x geomean speedup across the test set".
+  double GeomeanSpeedupOverKernels = 0.0;
+};
+
+/// Evaluates the whole set at one iteration count.
+AggregateEvaluation
+evaluateAggregate(const SeerModels &Models,
+                  const std::vector<MatrixBenchmark> &Benchmarks,
+                  uint32_t Iterations);
+
+} // namespace seer
+
+#endif // SEER_CORE_EVALUATION_H

@@ -1,0 +1,39 @@
+//===- core/Seer.h - Umbrella header for the Seer public API --------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella: pulls in the full public API. Applications
+/// typically need exactly the pipeline this header exposes:
+///
+/// \code
+///   seer::KernelRegistry Registry;
+///   seer::GpuSimulator Sim(seer::DeviceModel::mi100());
+///   seer::Benchmarker Bench(Registry, Sim);
+///   auto Specs = seer::buildCollection({});
+///   auto Measurements = Bench.benchmarkCollection(Specs);
+///   auto Models = seer::trainSeerModels(Measurements, Registry.names());
+///   seer::SeerRuntime Runtime(Models, Registry, Sim);
+///   auto Report = Runtime.execute(MyMatrix, MyVector, /*Iterations=*/19);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_CORE_SEER_H
+#define SEER_CORE_SEER_H
+
+#include "core/BenchmarkCache.h"
+#include "core/Benchmarker.h"
+#include "core/Evaluation.h"
+#include "core/SeerRuntime.h"
+#include "core/SeerTrainer.h"
+#include "kernels/FeatureKernels.h"
+#include "kernels/KernelRegistry.h"
+#include "ml/TreeCodegen.h"
+#include "sparse/Collection.h"
+#include "sparse/Generators.h"
+#include "sparse/MatrixMarket.h"
+
+#endif // SEER_CORE_SEER_H

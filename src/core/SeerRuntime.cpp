@@ -1,0 +1,72 @@
+//===- core/SeerRuntime.cpp ------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SeerRuntime.h"
+
+#include "kernels/FeatureKernels.h"
+
+#include <cassert>
+
+using namespace seer;
+
+SeerRuntime::SeerRuntime(const SeerModels &Models,
+                         const KernelRegistry &Registry,
+                         const GpuSimulator &Sim)
+    : Models(Models), Registry(Registry), Sim(Sim) {
+  assert(Models.KernelNames.size() == Registry.size() &&
+         "models were trained for a different kernel registry");
+}
+
+SelectionResult SeerRuntime::select(const CsrMatrix &M,
+                                    uint32_t Iterations) const {
+  SelectionResult Result;
+  // Trivially known features are free: they ship with the input.
+  KnownFeatures Known;
+  Known.NumRows = M.numRows();
+  Known.NumCols = M.numCols();
+  Known.Nnz = M.nnz();
+  const std::vector<double> KnownVec =
+      features::knownVector(Known, Iterations);
+
+  const uint32_t Choice = Models.Selector.predict(KnownVec);
+  Result.InferenceMs = InferenceOverheadUs * 1e-3;
+
+  if (Choice == SeerModels::SelectGathered) {
+    // Pay for the collection kernels, then ask the gathered model.
+    const FeatureCollectionResult Collection =
+        collectGatheredFeatures(M, Sim);
+    Result.UsedGatheredModel = true;
+    Result.FeatureCollectionMs = Collection.CollectionMs;
+    Result.InferenceMs += InferenceOverheadUs * 1e-3;
+    Result.KernelIndex = Models.Gathered.predict(features::gatheredVector(
+        Known, Collection.Features, Iterations));
+  } else {
+    Result.InferenceMs += InferenceOverheadUs * 1e-3;
+    Result.KernelIndex = Models.Known.predict(KnownVec);
+  }
+  assert(Result.KernelIndex < Registry.size() &&
+         "model predicted an out-of-range kernel");
+  return Result;
+}
+
+ExecutionReport SeerRuntime::execute(const CsrMatrix &M,
+                                     const std::vector<double> &X,
+                                     uint32_t Iterations) const {
+  assert(Iterations > 0 && "execute needs at least one iteration");
+  ExecutionReport Report;
+  Report.Selection = select(M, Iterations);
+  Report.Iterations = Iterations;
+
+  const SpmvKernel &Kernel = Registry.kernel(Report.Selection.KernelIndex);
+  const MatrixStats Stats = computeMatrixStats(M);
+  const PreprocessResult Prep = Kernel.preprocess(M, Stats, Sim);
+  Report.PreprocessMs = Prep.TimeMs;
+
+  const SpmvRun Run = Kernel.run(M, Stats, Prep.State.get(), X, Sim);
+  Report.IterationMs = Run.Timing.TotalMs;
+  Report.Y = Run.Y;
+  return Report;
+}

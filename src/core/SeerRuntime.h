@@ -1,0 +1,98 @@
+//===- core/SeerRuntime.h - Runtime inference flow of Fig. 3 --------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime inference path of Fig. 3. Given an input matrix and an
+/// iteration count:
+///
+///   1. consult the classifier-selector on the trivially known features;
+///   2. if it says "known": predict the kernel from the known-feature
+///      model at zero overhead;
+///   3. if it says "gathered": run the feature-collection kernels (paying
+///      their simulated cost), then predict from the gathered-feature
+///      model;
+///   4. run the chosen kernel: preprocessing once, then the iterations.
+///
+/// Decision-tree inference is a handful of compares; its cost is modeled
+/// as InferenceOverheadUs (the paper: "the cost of inference is negligible
+/// but accounted for in our predictor").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_CORE_SEERRUNTIME_H
+#define SEER_CORE_SEERRUNTIME_H
+
+#include "core/SeerTrainer.h"
+#include "kernels/KernelRegistry.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// Outcome of the selection stage alone.
+struct SelectionResult {
+  /// Registry index of the chosen kernel.
+  size_t KernelIndex = 0;
+  /// True when the selector routed to the gathered-feature model.
+  bool UsedGatheredModel = false;
+  /// Cost paid for feature collection (0 on the known path).
+  double FeatureCollectionMs = 0.0;
+  /// Modeled decision-tree inference cost.
+  double InferenceMs = 0.0;
+
+  /// Total selection overhead.
+  double overheadMs() const { return FeatureCollectionMs + InferenceMs; }
+};
+
+/// Full end-to-end execution report.
+struct ExecutionReport {
+  SelectionResult Selection;
+  /// One-time preprocessing of the chosen kernel.
+  double PreprocessMs = 0.0;
+  /// Per-iteration runtime of the chosen kernel.
+  double IterationMs = 0.0;
+  /// Iterations executed.
+  uint32_t Iterations = 1;
+  /// The final product vector.
+  std::vector<double> Y;
+
+  /// End-to-end cost: selection overhead + preprocessing + iterations.
+  double totalMs() const {
+    return Selection.overheadMs() + PreprocessMs + Iterations * IterationMs;
+  }
+};
+
+/// Drives trained models against new inputs.
+class SeerRuntime {
+public:
+  /// Per-inference decision-tree cost in microseconds (a few dozen
+  /// compares on the host).
+  static constexpr double InferenceOverheadUs = 0.5;
+
+  SeerRuntime(const SeerModels &Models, const KernelRegistry &Registry,
+              const GpuSimulator &Sim);
+
+  /// Runs the Fig. 3 selection flow for \p M at \p Iterations.
+  SelectionResult select(const CsrMatrix &M, uint32_t Iterations) const;
+
+  /// Selection + execution: preprocesses the chosen kernel once and runs
+  /// \p Iterations SpMVs with the given operand.
+  ExecutionReport execute(const CsrMatrix &M, const std::vector<double> &X,
+                          uint32_t Iterations) const;
+
+  const SeerModels &models() const { return Models; }
+
+private:
+  const SeerModels &Models;
+  const KernelRegistry &Registry;
+  const GpuSimulator &Sim;
+};
+
+} // namespace seer
+
+#endif // SEER_CORE_SEERRUNTIME_H

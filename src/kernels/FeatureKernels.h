@@ -1,0 +1,59 @@
+//===- kernels/FeatureKernels.h - GPU feature-collection kernels ----------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's *dynamically computed* features (Section IV-A) are row-order
+/// density statistics — max, min, mean and variance of per-row density —
+/// collected by "parallel GPU kernels [looping] over the offsets of a CSR
+/// representation". Because the kernels parallelize across row offsets,
+/// their cost grows with the number of rows (Fig. 6), and that cost is the
+/// central quantity the classifier-selector model weighs against the value
+/// of better predictions.
+///
+/// This module reproduces those kernels: it computes the exact statistics
+/// on the host while describing to the simulator the wavefronts a
+/// reduction over the offsets array would launch, followed by a
+/// device-to-host readback of the four scalars.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_KERNELS_FEATUREKERNELS_H
+#define SEER_KERNELS_FEATUREKERNELS_H
+
+#include "sim/GpuSimulator.h"
+#include "sparse/CsrMatrix.h"
+#include "sparse/MatrixStats.h"
+
+namespace seer {
+
+/// Result of running the feature-collection kernels on a matrix.
+struct FeatureCollectionResult {
+  /// The gathered row-density statistics (bit-identical to
+  /// computeMatrixStats — the GPU path computes the same numbers).
+  GatheredFeatures Features;
+  /// Simulated time of the collection: reduction kernel + readback.
+  double CollectionMs = 0.0;
+  /// Timing breakdown of the reduction launch.
+  LaunchTiming Timing;
+};
+
+/// Runs the parallel row-density statistics collection for \p M.
+FeatureCollectionResult collectGatheredFeatures(const CsrMatrix &M,
+                                                const GpuSimulator &Sim);
+
+/// The cheap single-pass subset: only max and mean row density (no
+/// variance, so no second pass; no min, saving one reduction tree). Costs
+/// roughly half of collectGatheredFeatures — the paper's future-work idea
+/// of selector classes that "collect a different subset of the statistics"
+/// (Sec. III-C) needs a cheaper tier to select.
+///
+/// The unset fields of the result (MinRowDensity, VarRowDensity) are 0.
+FeatureCollectionResult collectCheapFeatures(const CsrMatrix &M,
+                                             const GpuSimulator &Sim);
+
+} // namespace seer
+
+#endif // SEER_KERNELS_FEATUREKERNELS_H

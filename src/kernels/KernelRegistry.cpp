@@ -1,0 +1,40 @@
+//===- kernels/KernelRegistry.cpp ------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/KernelRegistry.h"
+
+#include "kernels/AdaptiveKernels.h"
+#include "kernels/CsrKernels.h"
+#include "kernels/FormatKernels.h"
+
+using namespace seer;
+
+KernelRegistry::KernelRegistry() {
+  Kernels.push_back(std::make_unique<CsrAdaptive>());
+  Kernels.push_back(std::make_unique<CsrBlockMapped>());
+  Kernels.push_back(std::make_unique<CsrMergePath>());
+  Kernels.push_back(std::make_unique<CsrWarpMapped>());
+  Kernels.push_back(std::make_unique<CsrWorkOriented>());
+  Kernels.push_back(std::make_unique<CsrThreadMapped>());
+  Kernels.push_back(std::make_unique<CooWarpMapped>());
+  Kernels.push_back(std::make_unique<EllThreadMapped>());
+  Kernels.push_back(std::make_unique<RocSparseAdaptive>());
+}
+
+std::vector<std::string> KernelRegistry::names() const {
+  std::vector<std::string> Names;
+  Names.reserve(Kernels.size());
+  for (const auto &Kernel : Kernels)
+    Names.push_back(Kernel->name());
+  return Names;
+}
+
+size_t KernelRegistry::indexOf(const std::string &Name) const {
+  for (size_t I = 0; I < Kernels.size(); ++I)
+    if (Kernels[I]->name() == Name)
+      return I;
+  return npos;
+}

@@ -1,0 +1,56 @@
+//===- kernels/KernelRegistry.h - The kernel zoo of Table II --------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns one instance of every SpMV variant and exposes them in a stable
+/// order. The order matches the bar groups of Fig. 5: CSR,A; CSR,BM;
+/// CSR,MP; CSR,WM; CSR,WO; CSR,TM; COO,WM; ELL,TM; plus rocSPARSE (shown
+/// in Fig. 1). Classifier label indices are indices into this order, so
+/// stability is load-bearing: the generated C++ decision-tree headers bake
+/// these indices in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_KERNELS_KERNELREGISTRY_H
+#define SEER_KERNELS_KERNELREGISTRY_H
+
+#include "kernels/SpmvKernel.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// Immutable container of all kernel variants.
+class KernelRegistry {
+public:
+  /// Builds the full Table II zoo.
+  KernelRegistry();
+
+  /// Number of registered kernels.
+  size_t size() const { return Kernels.size(); }
+
+  /// Kernel at \p Index (stable across runs and processes).
+  const SpmvKernel &kernel(size_t Index) const {
+    assert(Index < Kernels.size() && "kernel index out of range");
+    return *Kernels[Index];
+  }
+
+  /// All kernel names in index order.
+  std::vector<std::string> names() const;
+
+  /// Index of the kernel named \p Name, or npos if absent.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t indexOf(const std::string &Name) const;
+
+private:
+  std::vector<std::unique_ptr<SpmvKernel>> Kernels;
+};
+
+} // namespace seer
+
+#endif // SEER_KERNELS_KERNELREGISTRY_H

@@ -1,0 +1,19 @@
+//===- kernels/SpmvKernel.cpp ----------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernels/SpmvKernel.h"
+
+using namespace seer;
+
+// Out-of-line virtual anchors keep the vtables in this translation unit.
+KernelState::~KernelState() = default;
+SpmvKernel::~SpmvKernel() = default;
+
+PreprocessResult SpmvKernel::preprocess(const CsrMatrix &,
+                                        const MatrixStats &,
+                                        const GpuSimulator &) const {
+  return PreprocessResult();
+}

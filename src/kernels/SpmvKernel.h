@@ -1,0 +1,103 @@
+//===- kernels/SpmvKernel.h - Interface for SpMV kernel variants ----------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common interface of every SpMV kernel variant in Table II of the
+/// paper. A variant is a (compressed format, load-balancing schedule) pair.
+/// Each implementation does two things at once:
+///
+///  1. computes the true y = A * x on the host, following the same work
+///     decomposition its GPU schedule would use (so scheduling bugs surface
+///     as wrong numerics, not just odd timings); and
+///  2. describes that schedule's wavefronts to the GPU simulator, which
+///     returns the modeled execution time.
+///
+/// Kernels with a one-time preprocessing step (Adaptive-CSR's row binning,
+/// rocSPARSE's analysis pass) report its cost separately so the Seer
+/// pipeline can reason about amortization over iterations (Section IV-E).
+/// Format conversion (CSR -> ELL/COO) is *not* charged as preprocessing,
+/// matching the paper's setup where each kernel is benchmarked with its
+/// input already in its native format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_KERNELS_SPMVKERNEL_H
+#define SEER_KERNELS_SPMVKERNEL_H
+
+#include "sim/GpuSimulator.h"
+#include "sparse/CsrMatrix.h"
+#include "sparse/MatrixStats.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// Opaque per-matrix state produced by preprocessing (bin layouts,
+/// converted formats). Kernels downcast to their own state type.
+struct KernelState {
+  virtual ~KernelState();
+};
+
+/// Result of preprocessing: the state plus its simulated one-time cost.
+struct PreprocessResult {
+  std::unique_ptr<KernelState> State;
+  double TimeMs = 0.0;
+};
+
+/// Result of one SpMV launch.
+struct SpmvRun {
+  /// The computed product; length = numRows().
+  std::vector<double> Y;
+  /// Simulated timing of the launch.
+  LaunchTiming Timing;
+};
+
+/// Abstract SpMV kernel variant.
+class SpmvKernel {
+public:
+  virtual ~SpmvKernel();
+
+  /// Display name matching the paper's labels, e.g. "CSR,TM".
+  virtual std::string name() const = 0;
+
+  /// Compressed format consumed: "CSR", "ELL" or "COO".
+  virtual std::string format() const = 0;
+
+  /// One-time preparation for \p M. The default implementation returns an
+  /// empty state at zero cost (most schedules need none).
+  virtual PreprocessResult preprocess(const CsrMatrix &M,
+                                      const MatrixStats &Stats,
+                                      const GpuSimulator &Sim) const;
+
+  /// Runs one y = A * x. \p State must be the PreprocessResult::State
+  /// produced by this kernel for this matrix (nullptr if the kernel needs
+  /// none). \p X must have numCols() elements.
+  virtual SpmvRun run(const CsrMatrix &M, const MatrixStats &Stats,
+                      const KernelState *State, const std::vector<double> &X,
+                      const GpuSimulator &Sim) const = 0;
+};
+
+/// Cost constants shared by the kernel implementations. One SpMV inner
+/// step is: load column index, load value, gather x[col], FMA — roughly
+/// four issue slots; the byte counts follow the CSR element layout.
+namespace spmvcost {
+/// Issue slots per processed nonzero.
+inline constexpr double OpsPerNnz = 4.0;
+/// Streamed bytes per nonzero: 4 (column index) + 8 (value).
+inline constexpr double StreamBytesPerNnz = 12.0;
+/// Gathered bytes per nonzero: 8 (x element).
+inline constexpr double GatherBytesPerNnz = 8.0;
+/// Streamed bytes per row: offsets read (8) + y write (8).
+inline constexpr double StreamBytesPerRow = 16.0;
+/// Issue slots for a full-wavefront parallel reduction (log2(64) steps).
+inline constexpr double WaveReductionOps = 6.0;
+} // namespace spmvcost
+
+} // namespace seer
+
+#endif // SEER_KERNELS_SPMVKERNEL_H

@@ -1,0 +1,62 @@
+//===- ml/Dataset.cpp ------------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Dataset.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace seer;
+
+uint32_t Dataset::numClasses() const {
+  uint32_t Max = 0;
+  for (uint32_t Label : Labels)
+    Max = std::max(Max, Label + 1);
+  return Max;
+}
+
+Dataset Dataset::subset(const std::vector<size_t> &Indices) const {
+  Dataset Out;
+  Out.FeatureNames = FeatureNames;
+  Out.Rows.reserve(Indices.size());
+  Out.Labels.reserve(Indices.size());
+  Out.SampleNames.reserve(Indices.size());
+  for (size_t Index : Indices) {
+    assert(Index < numSamples() && "subset index out of range");
+    Out.Rows.push_back(Rows[Index]);
+    Out.Labels.push_back(Labels[Index]);
+    Out.SampleNames.push_back(SampleNames[Index]);
+    if (!Weights.empty())
+      Out.Weights.push_back(Weights[Index]);
+    if (!Costs.empty())
+      Out.Costs.push_back(Costs[Index]);
+  }
+  return Out;
+}
+
+TrainTestSplit seer::splitDataset(const Dataset &Data, double TestFraction,
+                                  uint64_t Seed) {
+  assert(TestFraction >= 0.0 && TestFraction <= 1.0 &&
+         "test fraction is a probability");
+  std::vector<size_t> Order(Data.numSamples());
+  std::iota(Order.begin(), Order.end(), 0);
+  Rng R(Seed);
+  // Fisher-Yates with our own RNG so the split is implementation-pinned.
+  for (size_t I = Order.size(); I > 1; --I) {
+    const size_t J = static_cast<size_t>(R.bounded(I));
+    std::swap(Order[I - 1], Order[J]);
+  }
+  const size_t TestCount = static_cast<size_t>(
+      TestFraction * static_cast<double>(Order.size()));
+  const std::vector<size_t> TestIdx(Order.begin(), Order.begin() + TestCount);
+  const std::vector<size_t> TrainIdx(Order.begin() + TestCount, Order.end());
+  TrainTestSplit Split;
+  Split.Train = Data.subset(TrainIdx);
+  Split.Test = Data.subset(TestIdx);
+  return Split;
+}

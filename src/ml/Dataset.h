@@ -1,0 +1,100 @@
+//===- ml/Dataset.h - Labeled feature-vector datasets ---------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tabular dataset consumed by the decision-tree trainer: one row of
+/// named numeric features per collection member, an integer class label
+/// (the index of the fastest kernel, or of the chosen sub-classifier for
+/// the selector model), and the member's name for traceability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_ML_DATASET_H
+#define SEER_ML_DATASET_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// A labeled dataset; rows are dense feature vectors.
+struct Dataset {
+  /// Names of the feature columns (shared by every row).
+  std::vector<std::string> FeatureNames;
+  /// Feature vectors; each has FeatureNames.size() entries.
+  std::vector<std::vector<double>> Rows;
+  /// Class labels, parallel to Rows.
+  std::vector<uint32_t> Labels;
+  /// Sample names (dataset-member identifiers), parallel to Rows.
+  std::vector<std::string> SampleNames;
+  /// Optional per-sample training weights, parallel to Rows (empty means
+  /// all samples weigh 1). The classifier-selector model is trained with
+  /// the runtime *stake* of each routing decision as its weight, so a
+  /// misroute that costs seconds outweighs a hundred that cost nothing.
+  std::vector<double> Weights;
+  /// Optional per-sample, per-class costs (Costs[i][c] = runtime of
+  /// choosing class c for sample i), parallel to Rows. When present, tree
+  /// leaves predict the class with the smallest *total cost* over the leaf
+  /// instead of the most frequent label — so an ambiguous leaf mixing
+  /// "ELL is 2% faster here" with "ELL is 100x slower there" resolves to
+  /// the safe kernel. Splitting still uses Gini on the labels.
+  std::vector<std::vector<double>> Costs;
+
+  size_t numSamples() const { return Rows.size(); }
+  size_t numFeatures() const { return FeatureNames.size(); }
+
+  /// Appends one sample.
+  void addSample(std::string Name, std::vector<double> Features,
+                 uint32_t Label) {
+    assert(Features.size() == FeatureNames.size() && "feature arity mismatch");
+    assert(Weights.empty() && "mixing weighted and unweighted samples");
+    SampleNames.push_back(std::move(Name));
+    Rows.push_back(std::move(Features));
+    Labels.push_back(Label);
+  }
+
+  /// Appends one weighted sample; all samples must then carry weights.
+  void addWeightedSample(std::string Name, std::vector<double> Features,
+                         uint32_t Label, double Weight) {
+    assert(Features.size() == FeatureNames.size() && "feature arity mismatch");
+    assert(Weights.size() == Rows.size() &&
+           "mixing weighted and unweighted samples");
+    assert(Weight >= 0.0 && "negative sample weight");
+    SampleNames.push_back(std::move(Name));
+    Rows.push_back(std::move(Features));
+    Labels.push_back(Label);
+    Weights.push_back(Weight);
+  }
+
+  /// Weight of sample \p Index (1 when the dataset is unweighted).
+  double weightOf(size_t Index) const {
+    assert(Index < Rows.size() && "sample index out of range");
+    return Weights.empty() ? 1.0 : Weights[Index];
+  }
+
+  /// Largest label value + 1 (0 if empty).
+  uint32_t numClasses() const;
+
+  /// Returns the subset of samples at \p Indices (order preserved).
+  Dataset subset(const std::vector<size_t> &Indices) const;
+};
+
+/// An 80/20-style split (the paper uses 80/20, Section IV-C).
+struct TrainTestSplit {
+  Dataset Train;
+  Dataset Test;
+};
+
+/// Deterministically shuffles and splits: floor(TestFraction * n) samples
+/// go to Test. The shuffle is a pure function of \p Seed.
+TrainTestSplit splitDataset(const Dataset &Data, double TestFraction,
+                            uint64_t Seed);
+
+} // namespace seer
+
+#endif // SEER_ML_DATASET_H

@@ -1,0 +1,380 @@
+//===- ml/DecisionTree.cpp -------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+using namespace seer;
+
+namespace {
+
+/// Gini impurity of a (possibly weighted) class histogram.
+double giniOf(const std::vector<double> &Counts, double Total) {
+  if (Total <= 0.0)
+    return 0.0;
+  double SumSquares = 0.0;
+  for (double Count : Counts) {
+    const double P = Count / Total;
+    SumSquares += P * P;
+  }
+  return 1.0 - SumSquares;
+}
+
+/// Majority class; ties keep the smallest label (deterministic).
+uint32_t majorityOf(const std::vector<double> &Counts) {
+  uint32_t Best = 0;
+  for (uint32_t C = 1; C < Counts.size(); ++C)
+    if (Counts[C] > Counts[Best])
+      Best = C;
+  return Best;
+}
+
+} // namespace
+
+namespace seer {
+
+/// Recursive CART builder over index subsets.
+class TreeBuilder {
+public:
+  TreeBuilder(const Dataset &Data, const TreeConfig &Config)
+      : Data(Data), Config(Config),
+        // Cost rows may name classes that never appear as a label (a
+        // kernel that is never fastest can still be the safe leaf pick).
+        NumClasses(std::max<uint32_t>(
+            Data.numClasses(),
+            Data.Costs.empty()
+                ? 0
+                : static_cast<uint32_t>(Data.Costs.front().size()))) {}
+
+  DecisionTree build() {
+    DecisionTree Tree;
+    Tree.FeatureNames = Data.FeatureNames;
+    Tree.NumClasses = NumClasses;
+    std::vector<size_t> All(Data.numSamples());
+    std::iota(All.begin(), All.end(), 0);
+    buildNode(Tree, All, 0);
+    return Tree;
+  }
+
+private:
+  struct SplitChoice {
+    bool Found = false;
+    uint32_t Feature = 0;
+    double Threshold = 0.0;
+    double Gain = 0.0;
+  };
+
+  std::vector<double> histogramOf(const std::vector<size_t> &Indices) const {
+    std::vector<double> Counts(NumClasses, 0.0);
+    for (size_t Index : Indices)
+      Counts[Data.Labels[Index]] += Data.weightOf(Index);
+    return Counts;
+  }
+
+  double weightOf(const std::vector<size_t> &Indices) const {
+    double Total = 0.0;
+    for (size_t Index : Indices)
+      Total += Data.weightOf(Index);
+    return Total;
+  }
+
+  /// Class with the smallest summed cost over \p Indices; ties keep the
+  /// smallest label.
+  uint32_t costArgmin(const std::vector<size_t> &Indices) const {
+    std::vector<double> Totals(NumClasses, 0.0);
+    for (size_t Index : Indices) {
+      const auto &Row = Data.Costs[Index];
+      assert(Row.size() == NumClasses && "cost row arity mismatch");
+      for (uint32_t C = 0; C < NumClasses; ++C)
+        Totals[C] += Row[C];
+    }
+    uint32_t Best = 0;
+    for (uint32_t C = 1; C < NumClasses; ++C)
+      if (Totals[C] < Totals[Best])
+        Best = C;
+    return Best;
+  }
+
+  /// Finds the best (feature, threshold) by exhaustive scan. Thresholds
+  /// are midpoints of consecutive distinct sorted values. Impurities are
+  /// weighted; the MinSamplesLeaf constraint counts raw samples.
+  SplitChoice findBestSplit(const std::vector<size_t> &Indices,
+                            double ParentImpurity) const {
+    SplitChoice Best;
+    std::vector<size_t> Sorted(Indices);
+    std::vector<double> LeftCounts(NumClasses), RightCounts(NumClasses);
+
+    for (uint32_t Feature = 0; Feature < Data.numFeatures(); ++Feature) {
+      std::sort(Sorted.begin(), Sorted.end(), [&](size_t A, size_t B) {
+        const double VA = Data.Rows[A][Feature];
+        const double VB = Data.Rows[B][Feature];
+        if (VA != VB)
+          return VA < VB;
+        return A < B; // stable order for determinism
+      });
+      std::fill(LeftCounts.begin(), LeftCounts.end(), 0.0);
+      RightCounts = histogramOf(Sorted);
+      double LeftWeight = 0.0;
+      double RightWeight = 0.0;
+      for (double C : RightCounts)
+        RightWeight += C;
+      const double TotalWeight = RightWeight;
+      if (TotalWeight <= 0.0)
+        return Best; // all weights zero: nothing to optimize
+      uint32_t LeftSamples = 0;
+      uint32_t RightSamples = static_cast<uint32_t>(Sorted.size());
+
+      for (size_t I = 0; I + 1 < Sorted.size(); ++I) {
+        const uint32_t Label = Data.Labels[Sorted[I]];
+        const double W = Data.weightOf(Sorted[I]);
+        LeftCounts[Label] += W;
+        RightCounts[Label] -= W;
+        LeftWeight += W;
+        RightWeight -= W;
+        ++LeftSamples;
+        --RightSamples;
+        const double Value = Data.Rows[Sorted[I]][Feature];
+        const double NextValue = Data.Rows[Sorted[I + 1]][Feature];
+        if (Value == NextValue)
+          continue; // can't split between equal values
+        if (LeftSamples < Config.MinSamplesLeaf ||
+            RightSamples < Config.MinSamplesLeaf)
+          continue;
+        const double Weighted =
+            (LeftWeight * giniOf(LeftCounts, LeftWeight) +
+             RightWeight * giniOf(RightCounts, RightWeight)) /
+            TotalWeight;
+        const double Gain = ParentImpurity - Weighted;
+        if (Gain > Best.Gain + 1e-12) {
+          Best.Found = true;
+          Best.Feature = Feature;
+          Best.Threshold = Value + 0.5 * (NextValue - Value);
+          Best.Gain = Gain;
+        }
+      }
+    }
+    return Best;
+  }
+
+  /// Builds the subtree for \p Indices; returns its node index.
+  int32_t buildNode(DecisionTree &Tree, const std::vector<size_t> &Indices,
+                    uint32_t Depth) {
+    assert(!Indices.empty() && "empty node");
+    const std::vector<double> Counts = histogramOf(Indices);
+    const double Impurity = giniOf(Counts, weightOf(Indices));
+
+    const int32_t NodeIndex = static_cast<int32_t>(Tree.Nodes.size());
+    Tree.Nodes.emplace_back();
+    Tree.Nodes[NodeIndex].Prediction = Data.Costs.empty()
+                                           ? majorityOf(Counts)
+                                           : costArgmin(Indices);
+    Tree.Nodes[NodeIndex].SampleCount =
+        static_cast<uint32_t>(Indices.size());
+    Tree.Nodes[NodeIndex].Impurity = Impurity;
+
+    const bool CanSplit = Depth < Config.MaxDepth && Impurity > 0.0 &&
+                          Indices.size() >= Config.MinSamplesSplit;
+    if (!CanSplit)
+      return NodeIndex;
+
+    const SplitChoice Split = findBestSplit(Indices, Impurity);
+    if (!Split.Found)
+      return NodeIndex;
+
+    std::vector<size_t> LeftIdx, RightIdx;
+    for (size_t Index : Indices) {
+      if (Data.Rows[Index][Split.Feature] <= Split.Threshold)
+        LeftIdx.push_back(Index);
+      else
+        RightIdx.push_back(Index);
+    }
+    assert(!LeftIdx.empty() && !RightIdx.empty() &&
+           "degenerate split slipped through");
+
+    Tree.Nodes[NodeIndex].FeatureIndex = Split.Feature;
+    Tree.Nodes[NodeIndex].Threshold = Split.Threshold;
+    const int32_t Left = buildNode(Tree, LeftIdx, Depth + 1);
+    Tree.Nodes[NodeIndex].Left = Left;
+    const int32_t Right = buildNode(Tree, RightIdx, Depth + 1);
+    Tree.Nodes[NodeIndex].Right = Right;
+    return NodeIndex;
+  }
+
+  const Dataset &Data;
+  const TreeConfig &Config;
+  uint32_t NumClasses;
+};
+
+} // namespace seer
+
+DecisionTree DecisionTree::train(const Dataset &Data,
+                                 const TreeConfig &Config) {
+  assert(Data.numSamples() > 0 && "cannot train on an empty dataset");
+  TreeBuilder Builder(Data, Config);
+  return Builder.build();
+}
+
+uint32_t DecisionTree::predict(const std::vector<double> &Features) const {
+  assert(!Nodes.empty() && "predict on an untrained tree");
+  assert(Features.size() == FeatureNames.size() && "feature arity mismatch");
+  int32_t Node = 0;
+  while (!Nodes[Node].isLeaf()) {
+    const TreeNode &N = Nodes[Node];
+    Node = Features[N.FeatureIndex] <= N.Threshold ? N.Left : N.Right;
+  }
+  return Nodes[Node].Prediction;
+}
+
+std::vector<uint32_t> DecisionTree::predictAll(const Dataset &Data) const {
+  std::vector<uint32_t> Out;
+  Out.reserve(Data.numSamples());
+  for (const auto &Row : Data.Rows)
+    Out.push_back(predict(Row));
+  return Out;
+}
+
+double DecisionTree::accuracy(const Dataset &Data) const {
+  if (Data.numSamples() == 0)
+    return 0.0;
+  size_t Correct = 0;
+  for (size_t I = 0; I < Data.numSamples(); ++I)
+    if (predict(Data.Rows[I]) == Data.Labels[I])
+      ++Correct;
+  return static_cast<double>(Correct) /
+         static_cast<double>(Data.numSamples());
+}
+
+std::vector<double> DecisionTree::featureImportance() const {
+  std::vector<double> Importance(FeatureNames.size(), 0.0);
+  if (Nodes.empty())
+    return Importance;
+  const double RootCount = Nodes[0].SampleCount;
+  for (const TreeNode &N : Nodes) {
+    if (N.isLeaf())
+      continue;
+    const TreeNode &L = Nodes[N.Left];
+    const TreeNode &R = Nodes[N.Right];
+    const double Decrease =
+        N.SampleCount * N.Impurity - L.SampleCount * L.Impurity -
+        R.SampleCount * R.Impurity;
+    Importance[N.FeatureIndex] += Decrease / RootCount;
+  }
+  double Sum = 0.0;
+  for (double V : Importance)
+    Sum += V;
+  if (Sum > 0.0)
+    for (double &V : Importance)
+      V /= Sum;
+  return Importance;
+}
+
+uint32_t DecisionTree::depth() const {
+  if (Nodes.empty())
+    return 0;
+  // Iterative depth computation over the flattened tree.
+  std::vector<std::pair<int32_t, uint32_t>> Stack = {{0, 0}};
+  uint32_t Max = 0;
+  while (!Stack.empty()) {
+    const auto [Node, Depth] = Stack.back();
+    Stack.pop_back();
+    Max = std::max(Max, Depth);
+    if (!Nodes[Node].isLeaf()) {
+      Stack.push_back({Nodes[Node].Left, Depth + 1});
+      Stack.push_back({Nodes[Node].Right, Depth + 1});
+    }
+  }
+  return Max;
+}
+
+std::string DecisionTree::dumpText() const {
+  std::ostringstream Out;
+  // Depth-first with explicit stack to avoid recursion in a hot header.
+  std::vector<std::pair<int32_t, uint32_t>> Stack = {{0, 0}};
+  while (!Stack.empty()) {
+    const auto [Node, Indent] = Stack.back();
+    Stack.pop_back();
+    const TreeNode &N = Nodes[Node];
+    for (uint32_t I = 0; I < Indent; ++I)
+      Out << "  ";
+    if (N.isLeaf()) {
+      Out << "predict class " << N.Prediction << " (n=" << N.SampleCount
+          << ", gini=" << N.Impurity << ")\n";
+      continue;
+    }
+    Out << "if " << FeatureNames[N.FeatureIndex] << " <= " << N.Threshold
+        << " (n=" << N.SampleCount << ")\n";
+    // Push right first so the left branch prints first.
+    Stack.push_back({N.Right, Indent + 1});
+    Stack.push_back({N.Left, Indent + 1});
+  }
+  return Out.str();
+}
+
+std::string DecisionTree::serialize() const {
+  std::ostringstream Out;
+  Out << "tree " << NumClasses << ' ' << FeatureNames.size() << ' '
+      << Nodes.size() << '\n';
+  for (const std::string &Name : FeatureNames)
+    Out << "feature " << Name << '\n';
+  Out.precision(17);
+  for (const TreeNode &N : Nodes)
+    Out << "node " << N.FeatureIndex << ' ' << N.Threshold << ' ' << N.Left
+        << ' ' << N.Right << ' ' << N.Prediction << ' ' << N.SampleCount
+        << ' ' << N.Impurity << '\n';
+  return Out.str();
+}
+
+bool DecisionTree::parse(const std::string &Text, DecisionTree &Out,
+                         std::string *ErrorMessage) {
+  const auto Fail = [&](const std::string &Message) {
+    if (ErrorMessage)
+      *ErrorMessage = Message;
+    return false;
+  };
+  std::istringstream Stream(Text);
+  std::string Tag;
+  size_t NumFeatures = 0, NumNodes = 0;
+  uint32_t NumClasses = 0;
+  if (!(Stream >> Tag >> NumClasses >> NumFeatures >> NumNodes) ||
+      Tag != "tree")
+    return Fail("malformed tree header");
+  DecisionTree Tree;
+  Tree.NumClasses = NumClasses;
+  for (size_t I = 0; I < NumFeatures; ++I) {
+    std::string Name;
+    if (!(Stream >> Tag >> Name) || Tag != "feature")
+      return Fail("malformed feature line");
+    Tree.FeatureNames.push_back(Name);
+  }
+  for (size_t I = 0; I < NumNodes; ++I) {
+    TreeNode N;
+    if (!(Stream >> Tag >> N.FeatureIndex >> N.Threshold >> N.Left >>
+          N.Right >> N.Prediction >> N.SampleCount >> N.Impurity) ||
+        Tag != "node")
+      return Fail("malformed node line");
+    Tree.Nodes.push_back(N);
+  }
+  // Structural sanity: children must be in range and acyclic (forward).
+  for (size_t I = 0; I < Tree.Nodes.size(); ++I) {
+    const TreeNode &N = Tree.Nodes[I];
+    if (N.isLeaf())
+      continue;
+    if (N.Left <= static_cast<int32_t>(I) ||
+        N.Right <= static_cast<int32_t>(I) ||
+        N.Left >= static_cast<int32_t>(Tree.Nodes.size()) ||
+        N.Right >= static_cast<int32_t>(Tree.Nodes.size()))
+      return Fail("node " + std::to_string(I) + " has invalid children");
+  }
+  Out = std::move(Tree);
+  return true;
+}

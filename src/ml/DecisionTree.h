@@ -1,0 +1,117 @@
+//===- ml/DecisionTree.h - CART decision-tree classifier ------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch CART decision-tree classifier matching the paper's
+/// training recipe (Section III-A): Gini impurity as the splitting
+/// criterion, a maximum-depth cap as the only regularizer, and no
+/// hyperparameter tuning. The paper chose a decision tree for negligible
+/// inference overhead and explainability — "a static piece of code with
+/// weights that do not change" — which this class supports through
+/// dumpText() and the C++ header generator in TreeCodegen.h.
+///
+/// Determinism rules (important for reproducibility and for the generated
+/// headers): candidate splits are evaluated in feature order, thresholds
+/// are midpoints between consecutive distinct values in ascending order,
+/// and ties in impurity gain keep the first candidate found.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_ML_DECISIONTREE_H
+#define SEER_ML_DECISIONTREE_H
+
+#include "ml/Dataset.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// Training hyperparameters (defaults follow the paper's "max depth cap,
+/// nothing else tuned" stance).
+struct TreeConfig {
+  /// Maximum tree depth (root = depth 0). The paper caps depth to avoid
+  /// 0-impurity overfitting; 8 keeps trees readable.
+  uint32_t MaxDepth = 8;
+  /// Do not split nodes with fewer samples than this.
+  uint32_t MinSamplesSplit = 2;
+  /// Every leaf must keep at least this many samples.
+  uint32_t MinSamplesLeaf = 1;
+};
+
+/// One node of the trained tree (leaf or internal).
+struct TreeNode {
+  /// Feature tested by an internal node; unused in leaves.
+  uint32_t FeatureIndex = 0;
+  /// Decision boundary: go left when feature <= Threshold.
+  double Threshold = 0.0;
+  /// Child indices into DecisionTree::nodes(); -1 marks a leaf.
+  int32_t Left = -1;
+  int32_t Right = -1;
+  /// Majority class of the training samples reaching the node.
+  uint32_t Prediction = 0;
+  /// Training samples that reached the node.
+  uint32_t SampleCount = 0;
+  /// Gini impurity of those samples.
+  double Impurity = 0.0;
+
+  bool isLeaf() const { return Left < 0; }
+};
+
+/// A trained CART classifier.
+class DecisionTree {
+public:
+  DecisionTree() = default;
+
+  /// Trains on \p Data with \p Config. \p Data must be non-empty.
+  static DecisionTree train(const Dataset &Data, const TreeConfig &Config);
+
+  /// Predicts the class of \p Features (arity must match training data).
+  uint32_t predict(const std::vector<double> &Features) const;
+
+  /// Predicts every row of \p Data.
+  std::vector<uint32_t> predictAll(const Dataset &Data) const;
+
+  /// Fraction of \p Data rows predicted correctly.
+  double accuracy(const Dataset &Data) const;
+
+  /// Gini importance per feature (impurity decrease weighted by node
+  /// sample share; sums to 1 unless the tree is a single leaf).
+  std::vector<double> featureImportance() const;
+
+  /// Flattened nodes; node 0 is the root.
+  const std::vector<TreeNode> &nodes() const { return Nodes; }
+
+  /// Names of the features the tree was trained on.
+  const std::vector<std::string> &featureNames() const { return FeatureNames; }
+
+  /// Number of classes seen at training time.
+  uint32_t numClasses() const { return NumClasses; }
+
+  /// Depth of the trained tree (0 for a single leaf).
+  uint32_t depth() const;
+
+  /// Human-readable indented dump (the paper's explainability artifact).
+  std::string dumpText() const;
+
+  /// Serializes to a compact line format; parse() inverts it. Used for
+  /// persisting models without the C++ codegen.
+  std::string serialize() const;
+  static bool parse(const std::string &Text, DecisionTree &Out,
+                    std::string *ErrorMessage);
+
+private:
+  std::vector<TreeNode> Nodes;
+  std::vector<std::string> FeatureNames;
+  uint32_t NumClasses = 0;
+
+  friend class TreeBuilder;
+};
+
+} // namespace seer
+
+#endif // SEER_ML_DECISIONTREE_H

@@ -1,0 +1,87 @@
+//===- ml/Metrics.cpp ------------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Metrics.h"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+using namespace seer;
+
+double seer::classificationAccuracy(const std::vector<uint32_t> &Predicted,
+                                    const std::vector<uint32_t> &Actual) {
+  if (Predicted.empty() || Predicted.size() != Actual.size())
+    return 0.0;
+  size_t Correct = 0;
+  for (size_t I = 0; I < Predicted.size(); ++I)
+    if (Predicted[I] == Actual[I])
+      ++Correct;
+  return static_cast<double>(Correct) / static_cast<double>(Predicted.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(const std::vector<uint32_t> &Predicted,
+                                 const std::vector<uint32_t> &Actual,
+                                 uint32_t NumClasses)
+    : NumClasses(NumClasses),
+      Counts(static_cast<size_t>(NumClasses) * NumClasses, 0) {
+  assert(Predicted.size() == Actual.size() && "label vectors differ in size");
+  for (size_t I = 0; I < Predicted.size(); ++I) {
+    assert(Predicted[I] < NumClasses && "predicted label out of range");
+    assert(Actual[I] < NumClasses && "actual label out of range");
+    ++Counts[static_cast<size_t>(Actual[I]) * NumClasses + Predicted[I]];
+  }
+}
+
+uint64_t ConfusionMatrix::count(uint32_t Actual, uint32_t Predicted) const {
+  assert(Actual < NumClasses && Predicted < NumClasses && "label range");
+  return Counts[static_cast<size_t>(Actual) * NumClasses + Predicted];
+}
+
+double ConfusionMatrix::recall(uint32_t Class) const {
+  uint64_t RowTotal = 0;
+  for (uint32_t P = 0; P < NumClasses; ++P)
+    RowTotal += count(Class, P);
+  if (RowTotal == 0)
+    return 0.0;
+  return static_cast<double>(count(Class, Class)) /
+         static_cast<double>(RowTotal);
+}
+
+double ConfusionMatrix::precision(uint32_t Class) const {
+  uint64_t ColTotal = 0;
+  for (uint32_t A = 0; A < NumClasses; ++A)
+    ColTotal += count(A, Class);
+  if (ColTotal == 0)
+    return 0.0;
+  return static_cast<double>(count(Class, Class)) /
+         static_cast<double>(ColTotal);
+}
+
+std::string
+ConfusionMatrix::toString(const std::vector<std::string> &ClassNames) const {
+  const auto NameOf = [&](uint32_t Class) -> std::string {
+    if (Class < ClassNames.size())
+      return ClassNames[Class];
+    return "class" + std::to_string(Class);
+  };
+  size_t Width = 8;
+  for (uint32_t C = 0; C < NumClasses; ++C)
+    Width = std::max(Width, NameOf(C).size() + 1);
+
+  std::ostringstream Out;
+  Out << std::setw(static_cast<int>(Width)) << "actual\\pred";
+  for (uint32_t P = 0; P < NumClasses; ++P)
+    Out << std::setw(static_cast<int>(Width)) << NameOf(P);
+  Out << '\n';
+  for (uint32_t A = 0; A < NumClasses; ++A) {
+    Out << std::setw(static_cast<int>(Width)) << NameOf(A);
+    for (uint32_t P = 0; P < NumClasses; ++P)
+      Out << std::setw(static_cast<int>(Width)) << count(A, P);
+    Out << '\n';
+  }
+  return Out.str();
+}

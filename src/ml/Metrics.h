@@ -1,0 +1,57 @@
+//===- ml/Metrics.h - Classification metrics ------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accuracy and confusion-matrix helpers. The paper stresses the gap
+/// between *accuracy* (exact fastest-kernel hits) and *error* (runtime lost
+/// versus the Oracle, Section IV-C); the runtime-loss metrics live in
+/// src/core where kernel timings are available, the pure label metrics
+/// live here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_ML_METRICS_H
+#define SEER_ML_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// Fraction of positions where \p Predicted == \p Actual; 0 for empty or
+/// mismatched inputs.
+double classificationAccuracy(const std::vector<uint32_t> &Predicted,
+                              const std::vector<uint32_t> &Actual);
+
+/// Row-major confusion matrix: entry [actual][predicted].
+class ConfusionMatrix {
+public:
+  /// Builds from parallel label vectors; \p NumClasses must exceed every
+  /// label (asserted).
+  ConfusionMatrix(const std::vector<uint32_t> &Predicted,
+                  const std::vector<uint32_t> &Actual, uint32_t NumClasses);
+
+  uint32_t numClasses() const { return NumClasses; }
+  uint64_t count(uint32_t Actual, uint32_t Predicted) const;
+
+  /// Per-class recall: correct / actual occurrences (0 when unseen).
+  double recall(uint32_t Class) const;
+  /// Per-class precision: correct / predicted occurrences (0 when never
+  /// predicted).
+  double precision(uint32_t Class) const;
+
+  /// Pretty table with optional class names as headers.
+  std::string toString(const std::vector<std::string> &ClassNames = {}) const;
+
+private:
+  uint32_t NumClasses;
+  std::vector<uint64_t> Counts; // NumClasses * NumClasses, row-major
+};
+
+} // namespace seer
+
+#endif // SEER_ML_METRICS_H

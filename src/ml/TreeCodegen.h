@@ -1,0 +1,53 @@
+//===- ml/TreeCodegen.h - C++ header generation for trained trees ---------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The Seer training script outputs the models as C++ headers which take
+/// as input the set of input features and outputs a classification"
+/// (Section III-D, Fig. 4). This module reproduces that deployment
+/// artifact: a trained DecisionTree becomes a self-contained header with a
+/// single inline function of nested if-else statements — the paper's
+/// "static piece of code with weights that do not change".
+///
+/// The emitted header has no includes and no dependencies on this library,
+/// so it can be dropped into any C++ project (see examples/codegen_deploy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_ML_TREECODEGEN_H
+#define SEER_ML_TREECODEGEN_H
+
+#include "ml/DecisionTree.h"
+
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// Options for the generated header.
+struct CodegenOptions {
+  /// Function name; sanitized into a C++ identifier.
+  std::string FunctionName = "seer_predict";
+  /// Optional class names emitted as a comment table mapping the returned
+  /// index to a kernel (or sub-model) name.
+  std::vector<std::string> ClassNames;
+  /// Emit a `static constexpr const char *` name table alongside the
+  /// function when ClassNames is non-empty.
+  bool EmitNameTable = true;
+};
+
+/// Renders \p Tree as a self-contained C++17 header.
+std::string generateTreeHeader(const DecisionTree &Tree,
+                               const CodegenOptions &Options);
+
+/// Convenience: writes the header to \p Path. \returns false and fills
+/// \p ErrorMessage on I/O failure.
+bool writeTreeHeader(const DecisionTree &Tree, const CodegenOptions &Options,
+                     const std::string &Path, std::string *ErrorMessage);
+
+} // namespace seer
+
+#endif // SEER_ML_TREECODEGEN_H

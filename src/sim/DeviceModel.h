@@ -1,0 +1,108 @@
+//===- sim/DeviceModel.h - Parameters of the simulated GPU ----------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architectural parameters of the simulated accelerator. The defaults
+/// describe an AMD Instinct MI100-class device — the paper's testbed — at
+/// the granularity the kernel-selection problem is sensitive to: wavefront
+/// width (SIMD lockstep divergence), compute-unit count and occupancy
+/// (parallelism volume), memory bandwidth and gather behaviour (roofline),
+/// and fixed launch/transfer overheads (why tiny matrices are overhead
+/// bound in Fig. 1).
+///
+/// The host-side parameters model the CPU that performs sequential
+/// preprocessing (e.g. Adaptive-CSR's row binning, Section IV) and the
+/// PCIe-attached copies it implies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SIM_DEVICEMODEL_H
+#define SEER_SIM_DEVICEMODEL_H
+
+#include <cstdint>
+
+namespace seer {
+
+/// Immutable description of the simulated device + host.
+struct DeviceModel {
+  // --- Compute fabric -----------------------------------------------------
+  /// Number of compute units (MI100: 120).
+  uint32_t NumComputeUnits = 120;
+  /// SIMD units per CU; each executes one wavefront at a time (CDNA1: 4).
+  uint32_t SimdsPerCu = 4;
+  /// Lanes per wavefront (CDNA: 64).
+  uint32_t WavefrontSize = 64;
+  /// Shader clock in GHz (MI100 peak: ~1.502).
+  double ClockGhz = 1.502;
+  /// Average issue cycles per scalar op in the SpMV inner loop (covers
+  /// address arithmetic + FMA dual-issue inefficiency).
+  double CyclesPerOp = 1.0;
+  /// Serialization cycles per atomic update that conflicts within a
+  /// wavefront (COO segmented reduction tail).
+  double CyclesPerAtomic = 16.0;
+  /// Fixed per-wavefront scheduling cost in cycles (dispatch, drain).
+  double WavefrontOverheadCycles = 96.0;
+
+  // --- Memory system --------------------------------------------------------
+  /// Peak HBM2 bandwidth in GB/s (MI100: 1228.8).
+  double MemoryBandwidthGBs = 1228.8;
+  /// Fraction of peak achievable by perfectly coalesced streams.
+  double StreamEfficiency = 0.85;
+  /// Cache line size in bytes; a fully random 8-byte gather pays a whole
+  /// line of traffic.
+  double CacheLineBytes = 64.0;
+  /// Last-level cache capacity in bytes (MI100 L2: 8 MiB).
+  double L2CapacityBytes = 8.0 * 1024 * 1024;
+
+  // --- Fixed overheads -------------------------------------------------------
+  /// Kernel launch latency in microseconds.
+  double LaunchOverheadUs = 6.0;
+  /// Host<->device round trip for a result readback, microseconds (feature
+  /// collection ends with one).
+  double ReadbackOverheadUs = 10.0;
+
+  // --- Host (preprocessing) ---------------------------------------------------
+  /// Host core clock in GHz for sequential preprocessing loops.
+  double HostClockGhz = 3.0;
+  /// PCIe copy bandwidth in GB/s (gen4 x16 practical).
+  double PcieBandwidthGBs = 16.0;
+
+  /// The default MI100-like configuration.
+  static DeviceModel mi100() { return DeviceModel(); }
+
+  /// A small 36-CU gaming-class device, used by ablation benchmarks to show
+  /// that the trained selection policy is device dependent.
+  static DeviceModel smallGpu() {
+    DeviceModel M;
+    M.NumComputeUnits = 36;
+    M.MemoryBandwidthGBs = 448.0;
+    M.L2CapacityBytes = 4.0 * 1024 * 1024;
+    return M;
+  }
+
+  /// Total wavefront execution slots (CU x SIMD).
+  uint32_t numSlots() const { return NumComputeUnits * SimdsPerCu; }
+
+  /// Converts device cycles to milliseconds.
+  double cyclesToMs(double Cycles) const {
+    return Cycles / (ClockGhz * 1e6);
+  }
+
+  /// Time for a sequential host loop over \p Items items at
+  /// \p CyclesPerItem cycles each, in milliseconds.
+  double hostSequentialMs(uint64_t Items, double CyclesPerItem) const {
+    return static_cast<double>(Items) * CyclesPerItem / (HostClockGhz * 1e6);
+  }
+
+  /// Time to copy \p Bytes across PCIe, in milliseconds.
+  double pcieCopyMs(double Bytes) const {
+    return Bytes / (PcieBandwidthGBs * 1e6);
+  }
+};
+
+} // namespace seer
+
+#endif // SEER_SIM_DEVICEMODEL_H

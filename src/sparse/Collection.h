@@ -1,0 +1,74 @@
+//===- sparse/Collection.h - Synthetic SuiteSparse-like collection --------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper trains and evaluates over the SuiteSparse Matrix Collection.
+/// SuiteSparse is unavailable offline, so this module synthesizes a stand-in
+/// collection: a grid of (generator family x size x parameter variant)
+/// matrices spanning 16 .. ~260k rows, plus scaled replicas of the six
+/// matrices the paper showcases by name (nlpkkt200, matrix-new_3,
+/// Ga41As41H72, CurlCurl_3, G3_circuit, PWTK).
+///
+/// Matrices are described by *specs* and built on demand: a full collection
+/// holds tens of millions of nonzeros, which must never be resident all at
+/// once. Everything is a pure function of CollectionConfig::Seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SPARSE_COLLECTION_H
+#define SEER_SPARSE_COLLECTION_H
+
+#include "sparse/CsrMatrix.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// A lazily built collection member.
+struct MatrixSpec {
+  /// Unique, filesystem-safe name ("powerlaw_r4096_v2", "G3_circuit", ...).
+  std::string Name;
+  /// Generator family ("banded", "powerlaw", ..., "replica").
+  std::string Family;
+  /// Builds the matrix; pure and deterministic, so repeated calls give
+  /// identical structures.
+  std::function<CsrMatrix()> Build;
+};
+
+/// Tuning knobs for the synthetic collection.
+struct CollectionConfig {
+  /// Master seed; every matrix derives its own stream from this.
+  uint64_t Seed = 0x5ee2c011ull;
+  /// Parameter variants generated per (family, size) grid cell.
+  uint32_t VariantsPerCell = 4;
+  /// Row-count grid is truncated to entries <= MaxRows (keeps smoke tests
+  /// fast; benchmarks use the default).
+  uint32_t MaxRows = 1048576;
+  /// Upper bound on nonzeros per matrix; family parameters are clamped so
+  /// the expected count respects it.
+  uint64_t MaxNnzPerMatrix = 4u << 20;
+  /// Include the six named paper-figure replicas.
+  bool IncludeReplicas = true;
+};
+
+/// Builds the full list of collection specs for \p Config.
+std::vector<MatrixSpec> buildCollection(const CollectionConfig &Config);
+
+/// The six named replicas of the matrices in Figs. 5 and 7, scaled down
+/// from their SuiteSparse originals (scale factors documented per matrix in
+/// the implementation) while preserving rows:nnz ratio and row-length
+/// distribution shape.
+std::vector<MatrixSpec> paperReplicaSpecs(uint64_t Seed);
+
+/// Finds a spec by name; asserts that it exists.
+const MatrixSpec &findSpec(const std::vector<MatrixSpec> &Specs,
+                           const std::string &Name);
+
+} // namespace seer
+
+#endif // SEER_SPARSE_COLLECTION_H

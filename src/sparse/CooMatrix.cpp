@@ -1,0 +1,60 @@
+//===- sparse/CooMatrix.cpp ------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparse/CooMatrix.h"
+
+#include <cassert>
+
+using namespace seer;
+
+CooMatrix CooMatrix::fromCsr(const CsrMatrix &Csr) {
+  CooMatrix M;
+  M.NumRows = Csr.numRows();
+  M.NumCols = Csr.numCols();
+  M.RowIndices.reserve(Csr.nnz());
+  M.ColIndices = Csr.columnIndices();
+  M.Values = Csr.values();
+  for (uint32_t Row = 0; Row < Csr.numRows(); ++Row)
+    for (uint64_t K = Csr.rowOffsets()[Row], E = Csr.rowOffsets()[Row + 1];
+         K < E; ++K)
+      M.RowIndices.push_back(Row);
+  return M;
+}
+
+std::vector<double> CooMatrix::multiply(const std::vector<double> &X) const {
+  assert(X.size() == NumCols && "operand size mismatch");
+  std::vector<double> Y(NumRows, 0.0);
+  for (uint64_t K = 0; K < nnz(); ++K)
+    Y[RowIndices[K]] += Values[K] * X[ColIndices[K]];
+  return Y;
+}
+
+bool CooMatrix::verify(std::string *Why) const {
+  const auto Fail = [&](const std::string &Message) {
+    if (Why)
+      *Why = Message;
+    return false;
+  };
+  if (RowIndices.size() != ColIndices.size() ||
+      RowIndices.size() != Values.size())
+    return Fail("parallel arrays differ in length");
+  for (uint64_t K = 0; K < nnz(); ++K) {
+    if (RowIndices[K] >= NumRows)
+      return Fail("row index out of range at entry " + std::to_string(K));
+    if (ColIndices[K] >= NumCols)
+      return Fail("column index out of range at entry " + std::to_string(K));
+    if (K > 0) {
+      const bool Sorted =
+          RowIndices[K - 1] < RowIndices[K] ||
+          (RowIndices[K - 1] == RowIndices[K] &&
+           ColIndices[K - 1] < ColIndices[K]);
+      if (!Sorted)
+        return Fail("entries not sorted row-major at entry " +
+                    std::to_string(K));
+    }
+  }
+  return true;
+}

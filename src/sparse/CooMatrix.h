@@ -1,0 +1,58 @@
+//===- sparse/CooMatrix.h - Coordinate-format matrices -------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coordinate (COO) storage: three parallel arrays of row index, column
+/// index and value, sorted row-major. The COO,WM kernel of Table II assigns
+/// a fixed-size slice of nonzeros to each wavefront and reduces partial row
+/// sums with segmented reduction, so it needs explicit row indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SPARSE_COOMATRIX_H
+#define SEER_SPARSE_COOMATRIX_H
+
+#include "sparse/CsrMatrix.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// A sparse matrix in coordinate form, sorted by (row, col).
+class CooMatrix {
+public:
+  CooMatrix() = default;
+
+  /// Expands a CSR matrix into sorted COO.
+  static CooMatrix fromCsr(const CsrMatrix &Csr);
+
+  uint32_t numRows() const { return NumRows; }
+  uint32_t numCols() const { return NumCols; }
+  uint64_t nnz() const { return RowIndices.size(); }
+
+  const std::vector<uint32_t> &rowIndices() const { return RowIndices; }
+  const std::vector<uint32_t> &colIndices() const { return ColIndices; }
+  const std::vector<double> &values() const { return Values; }
+
+  /// Reference sequential y = A * x.
+  std::vector<double> multiply(const std::vector<double> &X) const;
+
+  /// Checks sortedness and index ranges.
+  bool verify(std::string *Why = nullptr) const;
+
+private:
+  uint32_t NumRows = 0;
+  uint32_t NumCols = 0;
+  std::vector<uint32_t> RowIndices;
+  std::vector<uint32_t> ColIndices;
+  std::vector<double> Values;
+};
+
+} // namespace seer
+
+#endif // SEER_SPARSE_COOMATRIX_H

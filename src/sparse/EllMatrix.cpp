@@ -1,0 +1,117 @@
+//===- sparse/EllMatrix.cpp ------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparse/EllMatrix.h"
+
+#include <cassert>
+
+using namespace seer;
+
+EllMatrix EllMatrix::fromCsr(const CsrMatrix &Csr, uint64_t MaxCells) {
+  EllMatrix M;
+  M.NumRows = Csr.numRows();
+  M.NumCols = Csr.numCols();
+  M.Width = Csr.maxRowLength();
+  M.Nnz = Csr.nnz();
+
+  const uint64_t Cells = M.paddedCells();
+  M.Materialized = Cells <= MaxCells;
+  if (M.Materialized) {
+    M.PaddedColumns.assign(Cells, PaddingColumn);
+    M.PaddedValues.assign(Cells, 0.0);
+    for (uint32_t Row = 0; Row < M.NumRows; ++Row) {
+      const uint64_t Begin = Csr.rowOffsets()[Row];
+      const uint64_t End = Csr.rowOffsets()[Row + 1];
+      for (uint64_t K = Begin; K < End; ++K) {
+        const uint64_t Slot =
+            static_cast<uint64_t>(Row) * M.Width + (K - Begin);
+        M.PaddedColumns[Slot] = Csr.columnIndices()[K];
+        M.PaddedValues[Slot] = Csr.values()[K];
+      }
+    }
+    return M;
+  }
+  M.RowOffsets = Csr.rowOffsets();
+  M.CompactColumns = Csr.columnIndices();
+  M.CompactValues = Csr.values();
+  return M;
+}
+
+uint32_t EllMatrix::rowLength(uint32_t Row) const {
+  assert(Row < NumRows && "row out of range");
+  if (!Materialized)
+    return static_cast<uint32_t>(RowOffsets[Row + 1] - RowOffsets[Row]);
+  uint32_t Length = 0;
+  const uint64_t Base = static_cast<uint64_t>(Row) * Width;
+  while (Length < Width && PaddedColumns[Base + Length] != PaddingColumn)
+    ++Length;
+  return Length;
+}
+
+uint32_t EllMatrix::entryColumn(uint32_t Row, uint32_t K) const {
+  assert(Row < NumRows && "row out of range");
+  assert(K < Width && "slot out of range");
+  if (Materialized)
+    return PaddedColumns[static_cast<uint64_t>(Row) * Width + K];
+  const uint64_t Begin = RowOffsets[Row];
+  if (Begin + K < RowOffsets[Row + 1])
+    return CompactColumns[Begin + K];
+  return PaddingColumn;
+}
+
+double EllMatrix::entryValue(uint32_t Row, uint32_t K) const {
+  assert(Row < NumRows && "row out of range");
+  assert(K < Width && "slot out of range");
+  if (Materialized)
+    return PaddedValues[static_cast<uint64_t>(Row) * Width + K];
+  const uint64_t Begin = RowOffsets[Row];
+  if (Begin + K < RowOffsets[Row + 1])
+    return CompactValues[Begin + K];
+  return 0.0;
+}
+
+std::vector<double> EllMatrix::multiply(const std::vector<double> &X) const {
+  assert(X.size() == NumCols && "operand size mismatch");
+  std::vector<double> Y(NumRows, 0.0);
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    double Sum = 0.0;
+    for (uint32_t K = 0; K < Width; ++K) {
+      const uint32_t Col = entryColumn(Row, K);
+      if (Col == PaddingColumn)
+        break; // Entries are stored densely from slot 0, padding after.
+      Sum += entryValue(Row, K) * X[Col];
+    }
+    Y[Row] = Sum;
+  }
+  return Y;
+}
+
+bool EllMatrix::verify(std::string *Why) const {
+  const auto Fail = [&](const std::string &Message) {
+    if (Why)
+      *Why = Message;
+    return false;
+  };
+  uint64_t CountedNnz = 0;
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    bool SeenPadding = false;
+    for (uint32_t K = 0; K < Width; ++K) {
+      const uint32_t Col = entryColumn(Row, K);
+      if (Col == PaddingColumn) {
+        SeenPadding = true;
+        continue;
+      }
+      if (SeenPadding)
+        return Fail("real entry after padding in row " + std::to_string(Row));
+      if (Col >= NumCols)
+        return Fail("column index out of range in row " + std::to_string(Row));
+      ++CountedNnz;
+    }
+  }
+  if (CountedNnz != Nnz)
+    return Fail("stored nnz does not match entry count");
+  return true;
+}

@@ -1,0 +1,99 @@
+//===- sparse/EllMatrix.h - ELLPACK-format matrices ----------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ELLPACK (ELL) storage pads every row to the length of the longest row so
+/// that a thread-mapped kernel reads perfectly coalesced, fixed-stride
+/// slabs. ELL,TM (Table II) is the fastest variant on uniform row lengths
+/// and catastrophically wasteful on skewed ones — exactly the behaviour the
+/// Seer predictor must learn (e.g. G3_circuit in Fig. 7c picks ELL,TM).
+///
+/// Padding a matrix whose longest row is large would need rows*width cells,
+/// which can exceed memory for heavy-tailed matrices (true on real GPUs
+/// too). Above a materialization budget we therefore keep a *virtual* ELL
+/// view: the logical padded geometry (used verbatim by the simulator's cost
+/// accounting) backed by the compact CSR arrays.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SPARSE_ELLMATRIX_H
+#define SEER_SPARSE_ELLMATRIX_H
+
+#include "sparse/CsrMatrix.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// A sparse matrix in (possibly virtual) ELLPACK form.
+class EllMatrix {
+public:
+  /// Column index stored in padding slots of a materialized ELL matrix.
+  static constexpr uint32_t PaddingColumn =
+      std::numeric_limits<uint32_t>::max();
+
+  /// Default materialization budget: at most this many padded cells are
+  /// stored explicitly (8 bytes value + 4 bytes index each).
+  static constexpr uint64_t DefaultMaxMaterializedCells = 1ull << 26;
+
+  EllMatrix() = default;
+
+  /// Converts from CSR. If rows * maxRowLength exceeds \p MaxCells the
+  /// result is a virtual view (isMaterialized() == false).
+  static EllMatrix fromCsr(const CsrMatrix &Csr,
+                           uint64_t MaxCells = DefaultMaxMaterializedCells);
+
+  uint32_t numRows() const { return NumRows; }
+  uint32_t numCols() const { return NumCols; }
+  /// Padded row width (the longest row of the source matrix).
+  uint32_t width() const { return Width; }
+  /// Stored (unpadded) nonzeros.
+  uint64_t nnz() const { return Nnz; }
+  /// Logical padded cell count, rows * width; this is what an ELL kernel
+  /// must stream from memory regardless of materialization.
+  uint64_t paddedCells() const {
+    return static_cast<uint64_t>(NumRows) * Width;
+  }
+  /// True when the padded arrays are stored explicitly.
+  bool isMaterialized() const { return Materialized; }
+
+  /// Entry accessors for slot \p K of row \p Row (K < width()). Padding
+  /// slots return (PaddingColumn, 0.0).
+  uint32_t entryColumn(uint32_t Row, uint32_t K) const;
+  double entryValue(uint32_t Row, uint32_t K) const;
+
+  /// Number of real (unpadded) entries in \p Row.
+  uint32_t rowLength(uint32_t Row) const;
+
+  /// Reference sequential y = A * x over the padded geometry.
+  std::vector<double> multiply(const std::vector<double> &X) const;
+
+  /// Structural checks for either representation.
+  bool verify(std::string *Why = nullptr) const;
+
+private:
+  uint32_t NumRows = 0;
+  uint32_t NumCols = 0;
+  uint32_t Width = 0;
+  uint64_t Nnz = 0;
+  bool Materialized = true;
+
+  // Materialized representation: row-major padded slabs.
+  std::vector<uint32_t> PaddedColumns;
+  std::vector<double> PaddedValues;
+
+  // Virtual representation: compact CSR arrays.
+  std::vector<uint64_t> RowOffsets;
+  std::vector<uint32_t> CompactColumns;
+  std::vector<double> CompactValues;
+};
+
+} // namespace seer
+
+#endif // SEER_SPARSE_ELLMATRIX_H

@@ -1,0 +1,230 @@
+//===- sparse/Generators.cpp -----------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparse/Generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+using namespace seer;
+
+namespace {
+
+/// Draws \p Count distinct column indices < NumCols into \p Out (sorted).
+/// Uses dense sampling for high fill fractions, hash rejection otherwise.
+void sampleDistinctColumns(Rng &R, uint32_t NumCols, uint32_t Count,
+                           std::vector<uint32_t> &Out) {
+  Out.clear();
+  assert(Count <= NumCols && "cannot sample more columns than exist");
+  if (Count == 0)
+    return;
+  if (static_cast<uint64_t>(Count) * 3 >= NumCols) {
+    // Dense regime: Floyd-style selection would still churn; do a partial
+    // Fisher-Yates over an index array.
+    std::vector<uint32_t> All(NumCols);
+    for (uint32_t I = 0; I < NumCols; ++I)
+      All[I] = I;
+    for (uint32_t I = 0; I < Count; ++I) {
+      const uint32_t J =
+          I + static_cast<uint32_t>(R.bounded(NumCols - I));
+      std::swap(All[I], All[J]);
+    }
+    Out.assign(All.begin(), All.begin() + Count);
+  } else {
+    std::unordered_set<uint32_t> Seen;
+    Seen.reserve(Count * 2);
+    while (Out.size() < Count) {
+      const uint32_t Col = static_cast<uint32_t>(R.bounded(NumCols));
+      if (Seen.insert(Col).second)
+        Out.push_back(Col);
+    }
+  }
+  std::sort(Out.begin(), Out.end());
+}
+
+/// Appends a row's sampled columns to CSR assembly arrays.
+struct CsrAssembler {
+  uint32_t NumRows;
+  uint32_t NumCols;
+  std::vector<uint64_t> Offsets;
+  std::vector<uint32_t> Columns;
+  std::vector<double> Values;
+
+  CsrAssembler(uint32_t Rows, uint32_t Cols) : NumRows(Rows), NumCols(Cols) {
+    Offsets.reserve(Rows + 1);
+    Offsets.push_back(0);
+  }
+
+  void addRow(const std::vector<uint32_t> &RowColumns, Rng &R) {
+    for (uint32_t Col : RowColumns) {
+      Columns.push_back(Col);
+      Values.push_back(R.uniform(-1.0, 1.0));
+    }
+    Offsets.push_back(Columns.size());
+  }
+
+  CsrMatrix finish() {
+    return CsrMatrix::fromArrays(NumRows, NumCols, std::move(Offsets),
+                                 std::move(Columns), std::move(Values));
+  }
+};
+
+} // namespace
+
+CsrMatrix seer::genBanded(uint32_t NumRows, uint32_t HalfBandwidth,
+                          double Fill, uint64_t Seed) {
+  assert(Fill >= 0.0 && Fill <= 1.0 && "fill must be a probability");
+  Rng R(Seed);
+  CsrAssembler Assembler(NumRows, NumRows);
+  std::vector<uint32_t> RowColumns;
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    RowColumns.clear();
+    const int64_t Lo =
+        std::max<int64_t>(0, static_cast<int64_t>(Row) - HalfBandwidth);
+    const int64_t Hi = std::min<int64_t>(NumRows - 1,
+                                         static_cast<int64_t>(Row) +
+                                             HalfBandwidth);
+    for (int64_t Col = Lo; Col <= Hi; ++Col)
+      if (Col == static_cast<int64_t>(Row) || R.chance(Fill))
+        RowColumns.push_back(static_cast<uint32_t>(Col));
+    Assembler.addRow(RowColumns, R);
+  }
+  return Assembler.finish();
+}
+
+CsrMatrix seer::genUniformRandom(uint32_t NumRows, uint32_t NumCols,
+                                 double MeanRowLength, double Jitter,
+                                 uint64_t Seed) {
+  Rng R(Seed);
+  CsrAssembler Assembler(NumRows, NumCols);
+  std::vector<uint32_t> RowColumns;
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    double Length = R.normal(MeanRowLength, Jitter * MeanRowLength);
+    Length = std::clamp(Length, 1.0, static_cast<double>(NumCols));
+    sampleDistinctColumns(R, NumCols, static_cast<uint32_t>(std::lround(Length)),
+                          RowColumns);
+    Assembler.addRow(RowColumns, R);
+  }
+  return Assembler.finish();
+}
+
+CsrMatrix seer::genPowerLaw(uint32_t NumRows, uint32_t NumCols,
+                            double Exponent, uint32_t MinRowLength,
+                            uint32_t MaxRowLength, uint64_t Seed) {
+  assert(MinRowLength >= 1 && MinRowLength <= MaxRowLength &&
+         "degenerate degree range");
+  Rng R(Seed);
+  CsrAssembler Assembler(NumRows, NumCols);
+  std::vector<uint32_t> RowColumns;
+  const uint64_t Span = MaxRowLength - MinRowLength + 1;
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    uint32_t Length =
+        MinRowLength + static_cast<uint32_t>(R.zipf(Span, Exponent));
+    Length = std::min(Length, NumCols);
+    sampleDistinctColumns(R, NumCols, Length, RowColumns);
+    Assembler.addRow(RowColumns, R);
+  }
+  return Assembler.finish();
+}
+
+CsrMatrix seer::genBlockDiagonal(uint32_t NumRows, uint32_t BlockSize,
+                                 double Density, uint64_t Seed) {
+  assert(BlockSize > 0 && "block size must be positive");
+  Rng R(Seed);
+  CsrAssembler Assembler(NumRows, NumRows);
+  std::vector<uint32_t> RowColumns;
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    RowColumns.clear();
+    const uint32_t BlockBegin = (Row / BlockSize) * BlockSize;
+    const uint32_t BlockEnd = std::min(NumRows, BlockBegin + BlockSize);
+    for (uint32_t Col = BlockBegin; Col < BlockEnd; ++Col)
+      if (Col == Row || R.chance(Density))
+        RowColumns.push_back(Col);
+    Assembler.addRow(RowColumns, R);
+  }
+  return Assembler.finish();
+}
+
+CsrMatrix seer::genDiagonal(uint32_t NumRows, uint64_t Seed) {
+  Rng R(Seed);
+  CsrAssembler Assembler(NumRows, NumRows);
+  std::vector<uint32_t> RowColumns(1);
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    RowColumns[0] = Row;
+    Assembler.addRow(RowColumns, R);
+  }
+  return Assembler.finish();
+}
+
+CsrMatrix seer::genRmat(uint32_t Scale, uint32_t EdgeFactor, uint64_t Seed,
+                        double A, double B, double C) {
+  assert(Scale < 31 && "R-MAT scale too large for 32-bit vertex ids");
+  assert(A + B + C < 1.0 + 1e-9 && "partition probabilities exceed 1");
+  Rng R(Seed);
+  const uint32_t NumVertices = 1u << Scale;
+  const uint64_t NumEdges = static_cast<uint64_t>(EdgeFactor) * NumVertices;
+  std::vector<Triplet> Edges;
+  Edges.reserve(NumEdges);
+  for (uint64_t E = 0; E < NumEdges; ++E) {
+    uint32_t Row = 0, Col = 0;
+    for (uint32_t Bit = Scale; Bit-- > 0;) {
+      const double U = R.uniform();
+      if (U < A) {
+        // top-left quadrant: no bits set.
+      } else if (U < A + B) {
+        Col |= 1u << Bit;
+      } else if (U < A + B + C) {
+        Row |= 1u << Bit;
+      } else {
+        Row |= 1u << Bit;
+        Col |= 1u << Bit;
+      }
+    }
+    Edges.push_back({Row, Col, 1.0});
+  }
+  return CsrMatrix::fromTriplets(NumVertices, NumVertices, std::move(Edges));
+}
+
+CsrMatrix seer::genDenseRowOutlier(uint32_t NumRows, uint32_t NumCols,
+                                   double BaseRowLength,
+                                   uint32_t NumDenseRows,
+                                   uint32_t DenseRowLength, uint64_t Seed) {
+  Rng R(Seed);
+  // Choose which rows are dense.
+  std::unordered_set<uint32_t> DenseRows;
+  while (DenseRows.size() < std::min(NumDenseRows, NumRows))
+    DenseRows.insert(static_cast<uint32_t>(R.bounded(NumRows)));
+
+  CsrAssembler Assembler(NumRows, NumCols);
+  std::vector<uint32_t> RowColumns;
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    uint32_t Length;
+    if (DenseRows.count(Row)) {
+      Length = std::min(DenseRowLength, NumCols);
+    } else {
+      double L = R.normal(BaseRowLength, 0.25 * BaseRowLength);
+      L = std::clamp(L, 1.0, static_cast<double>(NumCols));
+      Length = static_cast<uint32_t>(std::lround(L));
+    }
+    sampleDistinctColumns(R, NumCols, Length, RowColumns);
+    Assembler.addRow(RowColumns, R);
+  }
+  return Assembler.finish();
+}
+
+CsrMatrix seer::genConstantRowRandom(uint32_t NumRows, uint32_t NumCols,
+                                     uint32_t RowLength, uint64_t Seed) {
+  Rng R(Seed);
+  const uint32_t Length = std::min(RowLength, NumCols);
+  CsrAssembler Assembler(NumRows, NumCols);
+  std::vector<uint32_t> RowColumns;
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    sampleDistinctColumns(R, NumCols, Length, RowColumns);
+    Assembler.addRow(RowColumns, R);
+  }
+  return Assembler.finish();
+}

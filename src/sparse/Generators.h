@@ -1,0 +1,84 @@
+//===- sparse/Generators.h - Synthetic sparse-matrix generators ----------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic matrix generators standing in for the SuiteSparse Matrix
+/// Collection (Davis & Hu, 2011), which is not available offline. Each
+/// family reproduces one structural regime that drives kernel selection in
+/// the paper:
+///
+///  - banded:           FEM/stencil-like, uniform short rows, high locality;
+///  - uniformRandom:    unstructured, near-uniform row lengths, poor gather
+///                      locality;
+///  - powerLaw:         heavy-tailed degree distributions (web/social
+///                      graphs) — the regime where thread-mapped kernels
+///                      collapse and work-oriented ones win;
+///  - blockDiagonal:    dense diagonal blocks (multiphysics coupling);
+///  - diagonalMatrix:   the degenerate 1-nnz-per-row extreme;
+///  - rmatGraph:        Kronecker/R-MAT graph adjacency, skewed + clustered;
+///  - denseRowOutlier:  mostly-uniform matrix with a few pathological rows
+///                      (the Adaptive-CSR motivation);
+///  - constantRowRandom: exactly-equal row lengths with random columns —
+///                      ELL's best case structurally, but gather-hostile.
+///
+/// All generators are pure functions of (parameters, seed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SPARSE_GENERATORS_H
+#define SEER_SPARSE_GENERATORS_H
+
+#include "sparse/CsrMatrix.h"
+#include "support/Random.h"
+
+#include <cstdint>
+
+namespace seer {
+
+/// Square banded matrix: each row has entries in [row - Half, row + Half]
+/// kept with probability \p Fill (the diagonal is always kept).
+CsrMatrix genBanded(uint32_t NumRows, uint32_t HalfBandwidth, double Fill,
+                    uint64_t Seed);
+
+/// Uniform random matrix: row lengths ~ max(1, round(N(MeanRowLength,
+/// Jitter * MeanRowLength))), columns uniform without replacement.
+CsrMatrix genUniformRandom(uint32_t NumRows, uint32_t NumCols,
+                           double MeanRowLength, double Jitter, uint64_t Seed);
+
+/// Power-law matrix: row lengths follow an (approximate) Zipf distribution
+/// over [MinRowLength, MaxRowLength] with exponent \p Exponent; columns
+/// uniform.
+CsrMatrix genPowerLaw(uint32_t NumRows, uint32_t NumCols, double Exponent,
+                      uint32_t MinRowLength, uint32_t MaxRowLength,
+                      uint64_t Seed);
+
+/// Block-diagonal matrix of dense blocks of size \p BlockSize thinned to
+/// \p Density.
+CsrMatrix genBlockDiagonal(uint32_t NumRows, uint32_t BlockSize,
+                           double Density, uint64_t Seed);
+
+/// Pure diagonal matrix (1 nnz per row).
+CsrMatrix genDiagonal(uint32_t NumRows, uint64_t Seed);
+
+/// R-MAT graph adjacency matrix with 2^Scale vertices and
+/// EdgeFactor * 2^Scale directed edges. Partition probabilities default to
+/// the Graph500 (0.57, 0.19, 0.19, 0.05).
+CsrMatrix genRmat(uint32_t Scale, uint32_t EdgeFactor, uint64_t Seed,
+                  double A = 0.57, double B = 0.19, double C = 0.19);
+
+/// Mostly-uniform matrix with \p NumDenseRows rows of length
+/// \p DenseRowLength scattered among rows of mean length \p BaseRowLength.
+CsrMatrix genDenseRowOutlier(uint32_t NumRows, uint32_t NumCols,
+                             double BaseRowLength, uint32_t NumDenseRows,
+                             uint32_t DenseRowLength, uint64_t Seed);
+
+/// Every row has exactly \p RowLength random columns (ELL-perfect shape).
+CsrMatrix genConstantRowRandom(uint32_t NumRows, uint32_t NumCols,
+                               uint32_t RowLength, uint64_t Seed);
+
+} // namespace seer
+
+#endif // SEER_SPARSE_GENERATORS_H

@@ -1,0 +1,50 @@
+//===- sparse/MatrixMarket.h - Matrix Market (.mtx) I/O ------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reader/writer for the NIST Matrix Market exchange format, the format the
+/// SuiteSparse Matrix Collection distributes. The paper benchmarks over
+/// SuiteSparse; this repository generates a synthetic stand-in collection,
+/// but users with real .mtx files can load them through this module and run
+/// the identical pipeline (see examples/quickstart.cpp).
+///
+/// Supported: `matrix coordinate (real|integer|pattern) (general|symmetric|
+/// skew-symmetric)`. Pattern entries get value 1.0; symmetric inputs are
+/// expanded to general storage. Complex matrices and dense (`array`)
+/// storage are rejected with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SPARSE_MATRIXMARKET_H
+#define SEER_SPARSE_MATRIXMARKET_H
+
+#include "sparse/CsrMatrix.h"
+
+#include <optional>
+#include <string>
+
+namespace seer {
+
+/// Parses Matrix Market text into CSR. \returns std::nullopt and fills
+/// \p ErrorMessage on malformed input.
+std::optional<CsrMatrix> parseMatrixMarket(const std::string &Text,
+                                           std::string *ErrorMessage);
+
+/// Reads a .mtx file.
+std::optional<CsrMatrix> readMatrixMarketFile(const std::string &Path,
+                                              std::string *ErrorMessage);
+
+/// Serializes \p M as `matrix coordinate real general` text.
+std::string writeMatrixMarket(const CsrMatrix &M);
+
+/// Writes \p M to \p Path; \returns false and fills \p ErrorMessage on I/O
+/// failure.
+bool writeMatrixMarketFile(const CsrMatrix &M, const std::string &Path,
+                           std::string *ErrorMessage);
+
+} // namespace seer
+
+#endif // SEER_SPARSE_MATRIXMARKET_H

@@ -1,0 +1,65 @@
+//===- sparse/MatrixStats.cpp ----------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparse/MatrixStats.h"
+
+#include "support/Statistics.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace seer;
+
+MatrixStats seer::computeMatrixStats(const CsrMatrix &M) {
+  MatrixStats Stats;
+  Stats.Known.NumRows = M.numRows();
+  Stats.Known.NumCols = M.numCols();
+  Stats.Known.Nnz = M.nnz();
+
+  if (M.numRows() == 0)
+    return Stats;
+
+  RunningSummary Lengths;
+  RunningSummary Densities;
+  double BandwidthSum = 0.0;
+  double GapSum = 0.0;
+  uint64_t GapCount = 0;
+
+  const double InvCols =
+      M.numCols() == 0 ? 0.0 : 1.0 / static_cast<double>(M.numCols());
+  for (uint32_t Row = 0; Row < M.numRows(); ++Row) {
+    const uint32_t Length = M.rowLength(Row);
+    Lengths.add(static_cast<double>(Length));
+    Densities.add(static_cast<double>(Length) * InvCols);
+    const uint64_t Begin = M.rowOffsets()[Row];
+    const uint64_t End = M.rowOffsets()[Row + 1];
+    for (uint64_t K = Begin; K < End; ++K) {
+      BandwidthSum += std::abs(static_cast<double>(M.columnIndices()[K]) -
+                               static_cast<double>(Row));
+      if (K > Begin) {
+        GapSum += static_cast<double>(M.columnIndices()[K] -
+                                      M.columnIndices()[K - 1]);
+        ++GapCount;
+      }
+    }
+  }
+
+  Stats.MaxRowLength = static_cast<uint32_t>(Lengths.max());
+  Stats.MinRowLength = static_cast<uint32_t>(Lengths.min());
+  Stats.MeanRowLength = Lengths.mean();
+  Stats.VarRowLength = Lengths.variance();
+
+  Stats.Gathered.MaxRowDensity = Densities.max();
+  Stats.Gathered.MinRowDensity = Densities.min();
+  Stats.Gathered.MeanRowDensity = Densities.mean();
+  Stats.Gathered.VarRowDensity = Densities.variance();
+
+  if (M.nnz() > 0)
+    Stats.MeanBandwidth = BandwidthSum / static_cast<double>(M.nnz());
+  if (GapCount > 0)
+    Stats.MeanColumnGap = GapSum / static_cast<double>(GapCount);
+  return Stats;
+}

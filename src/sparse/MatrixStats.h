@@ -1,0 +1,72 @@
+//===- sparse/MatrixStats.h - Shape statistics of sparse matrices --------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shape statistics of a sparse matrix, split the way Section III of the
+/// paper splits model inputs:
+///
+///  - *Trivially known* features ship with the dataset and cost nothing at
+///    runtime: rows, columns, nonzeros.
+///  - *Dynamically computed* (gathered) features require a pass over the
+///    data: max/min/mean/variance of per-row density, where density is the
+///    row length normalized by the number of columns (Section IV-A).
+///
+/// This header computes both exactly on the host; the GPU feature-collection
+/// kernels in src/kernels produce the same numbers but with a simulated
+/// collection cost attached.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SPARSE_MATRIXSTATS_H
+#define SEER_SPARSE_MATRIXSTATS_H
+
+#include "sparse/CsrMatrix.h"
+
+#include <cstdint>
+
+namespace seer {
+
+/// Trivially known features (paper Section IV: "metrics which accompany the
+/// input dataset, available at runtime").
+struct KnownFeatures {
+  uint32_t NumRows = 0;
+  uint32_t NumCols = 0;
+  uint64_t Nnz = 0;
+};
+
+/// Dynamically computed row-density features (paper Section IV-A).
+struct GatheredFeatures {
+  double MaxRowDensity = 0.0;
+  double MinRowDensity = 0.0;
+  double MeanRowDensity = 0.0;
+  double VarRowDensity = 0.0;
+};
+
+/// Full shape summary, superset of what the predictors consume. The extra
+/// fields (row-length extremes, bandwidth, column locality) feed the GPU
+/// simulator's memory model and the ablation benchmarks.
+struct MatrixStats {
+  KnownFeatures Known;
+  GatheredFeatures Gathered;
+
+  uint32_t MaxRowLength = 0;
+  uint32_t MinRowLength = 0;
+  double MeanRowLength = 0.0;
+  double VarRowLength = 0.0;
+
+  /// Mean |col - row| over all entries: a bandedness measure.
+  double MeanBandwidth = 0.0;
+  /// Mean gap between consecutive column indices within a row; small gaps
+  /// mean the x-vector gather has good spatial locality.
+  double MeanColumnGap = 0.0;
+};
+
+/// Computes the full summary in one pass over the CSR arrays.
+MatrixStats computeMatrixStats(const CsrMatrix &M);
+
+} // namespace seer
+
+#endif // SEER_SPARSE_MATRIXSTATS_H

@@ -1,0 +1,270 @@
+//===- support/Csv.cpp ----------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+using namespace seer;
+
+CsvTable::CsvTable(std::vector<std::string> ColumnNames)
+    : Columns(std::move(ColumnNames)) {
+#ifndef NDEBUG
+  for (size_t I = 0; I < Columns.size(); ++I)
+    for (size_t J = I + 1; J < Columns.size(); ++J)
+      assert(Columns[I] != Columns[J] && "duplicate CSV column name");
+#endif
+}
+
+size_t CsvTable::columnIndex(const std::string &Name) const {
+  for (size_t I = 0; I < Columns.size(); ++I)
+    if (Columns[I] == Name)
+      return I;
+  return npos;
+}
+
+void CsvTable::addRow(std::vector<std::string> Fields) {
+  assert(Fields.size() == Columns.size() && "row arity mismatch");
+  Rows.push_back(std::move(Fields));
+}
+
+const std::string &CsvTable::cell(size_t Row, size_t Col) const {
+  assert(Row < Rows.size() && "row out of range");
+  assert(Col < Columns.size() && "column out of range");
+  return Rows[Row][Col];
+}
+
+const std::string &CsvTable::cell(size_t Row, const std::string &Col) const {
+  const size_t Index = columnIndex(Col);
+  assert(Index != npos && "unknown column name");
+  return cell(Row, Index);
+}
+
+std::optional<double> CsvTable::cellAsDouble(size_t Row,
+                                             const std::string &Col) const {
+  const size_t Index = columnIndex(Col);
+  if (Index == npos || Row >= Rows.size())
+    return std::nullopt;
+  double Value = 0.0;
+  if (!parseDouble(Rows[Row][Index], Value))
+    return std::nullopt;
+  return Value;
+}
+
+std::optional<int64_t> CsvTable::cellAsInt(size_t Row,
+                                           const std::string &Col) const {
+  const size_t Index = columnIndex(Col);
+  if (Index == npos || Row >= Rows.size())
+    return std::nullopt;
+  int64_t Value = 0;
+  if (!parseInt(Rows[Row][Index], Value))
+    return std::nullopt;
+  return Value;
+}
+
+std::vector<double> CsvTable::columnAsDoubles(const std::string &Col) const {
+  const size_t Index = columnIndex(Col);
+  assert(Index != npos && "unknown column name");
+  std::vector<double> Values;
+  Values.reserve(Rows.size());
+  for (const auto &Row : Rows) {
+    double Value = 0.0;
+    [[maybe_unused]] const bool Ok = parseDouble(Row[Index], Value);
+    assert(Ok && "non-numeric cell in numeric column");
+    Values.push_back(Value);
+  }
+  return Values;
+}
+
+void CsvTable::setCell(size_t Row, const std::string &Col, std::string Value) {
+  const size_t Index = columnIndex(Col);
+  assert(Index != npos && "unknown column name");
+  assert(Row < Rows.size() && "row out of range");
+  Rows[Row][Index] = std::move(Value);
+}
+
+std::string CsvTable::formatDouble(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.9g", Value);
+  return Buffer;
+}
+
+namespace {
+
+/// RFC 4180 quoting: fields containing separators, quotes or newlines are
+/// wrapped in double quotes with inner quotes doubled. Needed because
+/// kernel names like "CSR,TM" are CSV column headers.
+std::string quoteField(const std::string &Field) {
+  if (Field.find_first_of(",\"\n\r") == std::string::npos)
+    return Field;
+  std::string Out = "\"";
+  for (char C : Field) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Splits one CSV line honoring RFC 4180 quoting.
+std::vector<std::string> splitCsvLine(const std::string &Line) {
+  std::vector<std::string> Fields;
+  std::string Current;
+  bool InQuotes = false;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    const char C = Line[I];
+    if (InQuotes) {
+      if (C == '"') {
+        if (I + 1 < Line.size() && Line[I + 1] == '"') {
+          Current += '"';
+          ++I;
+        } else {
+          InQuotes = false;
+        }
+      } else {
+        Current += C;
+      }
+      continue;
+    }
+    if (C == '"' && Current.empty()) {
+      InQuotes = true;
+      continue;
+    }
+    if (C == ',') {
+      Fields.push_back(std::move(Current));
+      Current.clear();
+      continue;
+    }
+    Current += C;
+  }
+  Fields.push_back(std::move(Current));
+  return Fields;
+}
+
+} // namespace
+
+std::string CsvTable::toString() const {
+  std::string Out;
+  for (size_t I = 0; I < Columns.size(); ++I) {
+    if (I != 0)
+      Out += ',';
+    Out += quoteField(Columns[I]);
+  }
+  Out += '\n';
+  for (const auto &Row : Rows) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        Out += ',';
+      Out += quoteField(Row[I]);
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool CsvTable::writeFile(const std::string &Path,
+                         std::string *ErrorMessage) const {
+  std::ofstream Stream(Path);
+  if (!Stream) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Stream << toString();
+  Stream.flush();
+  if (!Stream) {
+    if (ErrorMessage)
+      *ErrorMessage = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<CsvTable> CsvTable::fromString(const std::string &Text,
+                                             std::string *ErrorMessage) {
+  std::istringstream Stream(Text);
+  std::string Line;
+  CsvTable Table;
+  bool SawHeader = false;
+  size_t LineNumber = 0;
+  while (std::getline(Stream, Line)) {
+    ++LineNumber;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (trimString(Line).empty())
+      continue;
+    std::vector<std::string> Fields = splitCsvLine(Line);
+    if (!SawHeader) {
+      Table.Columns = std::move(Fields);
+      SawHeader = true;
+      continue;
+    }
+    if (Fields.size() != Table.Columns.size()) {
+      if (ErrorMessage)
+        *ErrorMessage = "line " + std::to_string(LineNumber) + ": expected " +
+                        std::to_string(Table.Columns.size()) + " fields, got " +
+                        std::to_string(Fields.size());
+      return std::nullopt;
+    }
+    Table.Rows.push_back(std::move(Fields));
+  }
+  if (!SawHeader) {
+    if (ErrorMessage)
+      *ErrorMessage = "empty CSV input";
+    return std::nullopt;
+  }
+  return Table;
+}
+
+std::optional<CsvTable> CsvTable::readFile(const std::string &Path,
+                                           std::string *ErrorMessage) {
+  std::ifstream Stream(Path);
+  if (!Stream) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot open '" + Path + "' for reading";
+    return std::nullopt;
+  }
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  return fromString(Buffer.str(), ErrorMessage);
+}
+
+CsvTable CsvTable::innerJoinOnFirstColumn(const CsvTable &Left,
+                                          const CsvTable &Right) {
+  assert(Left.numColumns() > 0 && Right.numColumns() > 0 &&
+         "join requires key columns");
+  std::vector<std::string> JoinedColumns = Left.Columns;
+  for (size_t Col = 1; Col < Right.Columns.size(); ++Col) {
+    std::string Name = Right.Columns[Col];
+    if (Left.columnIndex(Name) != npos)
+      Name += "_rhs";
+    JoinedColumns.push_back(std::move(Name));
+  }
+  CsvTable Result(std::move(JoinedColumns));
+
+  std::unordered_map<std::string, size_t> RightIndex;
+  for (size_t Row = 0; Row < Right.numRows(); ++Row)
+    RightIndex.emplace(Right.Rows[Row][0], Row);
+
+  for (const auto &LeftRow : Left.Rows) {
+    const auto Match = RightIndex.find(LeftRow[0]);
+    if (Match == RightIndex.end())
+      continue;
+    std::vector<std::string> Fields = LeftRow;
+    const auto &RightRow = Right.Rows[Match->second];
+    for (size_t Col = 1; Col < RightRow.size(); ++Col)
+      Fields.push_back(RightRow[Col]);
+    Result.addRow(std::move(Fields));
+  }
+  return Result;
+}

@@ -1,0 +1,109 @@
+//===- support/Csv.h - Column-named CSV tables ----------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Seer API of the paper (Fig. 4) exchanges data between its stages as
+/// CSV files: GPU benchmarking emits per-kernel runtime/preprocessing CSVs,
+/// feature collection emits a feature CSV with a trailing collection-cost
+/// column, and the training stage ingests the aggregates. This header
+/// provides the small table abstraction used by all of those stages.
+///
+/// Cells are stored as strings; typed accessors parse on demand. Fields
+/// containing separators are quoted per RFC 4180 (kernel names such as
+/// "CSR,TM" appear as column headers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SUPPORT_CSV_H
+#define SEER_SUPPORT_CSV_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+/// An in-memory rectangular table with a header row.
+class CsvTable {
+public:
+  CsvTable() = default;
+
+  /// Creates an empty table with the given column names. Column names must
+  /// be unique; duplicates trip an assertion.
+  explicit CsvTable(std::vector<std::string> ColumnNames);
+
+  /// Number of data rows (excluding the header).
+  size_t numRows() const { return Rows.size(); }
+  /// Number of columns.
+  size_t numColumns() const { return Columns.size(); }
+
+  /// Column names, in order.
+  const std::vector<std::string> &columns() const { return Columns; }
+
+  /// Index of the column named \p Name, or npos if absent.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t columnIndex(const std::string &Name) const;
+
+  /// True if a column with this name exists.
+  bool hasColumn(const std::string &Name) const {
+    return columnIndex(Name) != npos;
+  }
+
+  /// Appends a row; the field count must equal numColumns().
+  void addRow(std::vector<std::string> Fields);
+
+  /// Raw cell access.
+  const std::string &cell(size_t Row, size_t Col) const;
+  const std::string &cell(size_t Row, const std::string &Col) const;
+
+  /// Typed accessors; return std::nullopt on parse failure or bad name.
+  std::optional<double> cellAsDouble(size_t Row, const std::string &Col) const;
+  std::optional<int64_t> cellAsInt(size_t Row, const std::string &Col) const;
+
+  /// Returns a whole column parsed as doubles; asserts that the column
+  /// exists and every cell parses. Convenience for numeric pipelines.
+  std::vector<double> columnAsDoubles(const std::string &Col) const;
+
+  /// Sets a cell (row must exist).
+  void setCell(size_t Row, const std::string &Col, std::string Value);
+
+  /// Formats a double the way all Seer CSV producers do (shortest %.17g
+  /// round-trippable representation is unnecessary; %.9g keeps files small
+  /// while preserving far more precision than the experiments need).
+  static std::string formatDouble(double Value);
+
+  /// Serializes to CSV text (header + rows, '\n' separated).
+  std::string toString() const;
+
+  /// Writes the table to \p Path. \returns false and fills \p ErrorMessage
+  /// on I/O failure.
+  bool writeFile(const std::string &Path, std::string *ErrorMessage) const;
+
+  /// Parses CSV text. \returns std::nullopt and fills \p ErrorMessage on a
+  /// malformed input (ragged rows, empty content).
+  static std::optional<CsvTable> fromString(const std::string &Text,
+                                            std::string *ErrorMessage);
+
+  /// Reads and parses a CSV file.
+  static std::optional<CsvTable> readFile(const std::string &Path,
+                                          std::string *ErrorMessage);
+
+  /// Joins two tables on their first column (the dataset-member name in the
+  /// Seer pipeline). Rows present in only one table are dropped; the result
+  /// carries Left's columns followed by Right's non-key columns. Duplicate
+  /// non-key column names in Right get a "_rhs" suffix.
+  static CsvTable innerJoinOnFirstColumn(const CsvTable &Left,
+                                         const CsvTable &Right);
+
+private:
+  std::vector<std::string> Columns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_CSV_H

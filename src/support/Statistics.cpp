@@ -1,0 +1,118 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace seer;
+
+void RunningSummary::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  const double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningSummary::min() const {
+  assert(N > 0 && "min() of empty summary");
+  return Min;
+}
+
+double RunningSummary::max() const {
+  assert(N > 0 && "max() of empty summary");
+  return Max;
+}
+
+double RunningSummary::mean() const {
+  assert(N > 0 && "mean() of empty summary");
+  return Mean;
+}
+
+double RunningSummary::variance() const {
+  assert(N > 0 && "variance() of empty summary");
+  return M2 / static_cast<double>(N);
+}
+
+double seer::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  RunningSummary S;
+  for (double V : Values)
+    S.add(V);
+  return S.mean();
+}
+
+double seer::variance(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  RunningSummary S;
+  for (double V : Values)
+    S.add(V);
+  return S.variance();
+}
+
+double seer::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires strictly positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double seer::median(std::vector<double> Values) {
+  assert(!Values.empty() && "median of empty vector");
+  const size_t Mid = (Values.size() - 1) / 2;
+  std::nth_element(Values.begin(), Values.begin() + Mid, Values.end());
+  return Values[Mid];
+}
+
+double seer::kendallTau(const std::vector<double> &X,
+                        const std::vector<double> &Y) {
+  if (X.size() != Y.size() || X.size() < 2)
+    return 0.0;
+  const size_t N = X.size();
+  int64_t Concordant = 0, Discordant = 0;
+  int64_t TiesX = 0, TiesY = 0;
+  for (size_t I = 0; I + 1 < N; ++I) {
+    for (size_t J = I + 1; J < N; ++J) {
+      const double DX = X[I] - X[J];
+      const double DY = Y[I] - Y[J];
+      if (DX == 0.0 && DY == 0.0)
+        continue; // Tied in both: contributes to neither denominator term.
+      if (DX == 0.0) {
+        ++TiesX;
+        continue;
+      }
+      if (DY == 0.0) {
+        ++TiesY;
+        continue;
+      }
+      if ((DX > 0.0) == (DY > 0.0))
+        ++Concordant;
+      else
+        ++Discordant;
+    }
+  }
+  const double N0 = static_cast<double>(Concordant + Discordant);
+  const double DenomX = N0 + static_cast<double>(TiesX);
+  const double DenomY = N0 + static_cast<double>(TiesY);
+  if (DenomX == 0.0 || DenomY == 0.0)
+    return 0.0;
+  return static_cast<double>(Concordant - Discordant) /
+         std::sqrt(DenomX * DenomY);
+}

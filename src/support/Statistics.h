@@ -1,0 +1,82 @@
+//===- support/Statistics.h - Summary statistics helpers -----------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small numeric helpers shared across the project: running summaries
+/// (min/max/mean/variance), geometric mean, and Kendall's tau-b rank
+/// correlation. Table III of the paper reports Kendall correlation between
+/// kernel runtimes and matrix features; Fig. 5d reports a geomean speedup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SUPPORT_STATISTICS_H
+#define SEER_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace seer {
+
+/// Accumulates min/max/mean/population-variance in one pass (Welford).
+///
+/// Used by the feature-collection kernels (row-density statistics) and by
+/// benchmark aggregation. All quantities are exact single-pass results; no
+/// samples are stored.
+class RunningSummary {
+public:
+  /// Adds one observation.
+  void add(double X);
+
+  /// Number of observations added so far.
+  size_t count() const { return N; }
+
+  /// Smallest observation; requires count() > 0.
+  double min() const;
+  /// Largest observation; requires count() > 0.
+  double max() const;
+  /// Arithmetic mean; requires count() > 0.
+  double mean() const;
+  /// Population variance (dividing by N); requires count() > 0.
+  double variance() const;
+  /// Sum of all observations.
+  double sum() const { return Mean * static_cast<double>(N); }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Arithmetic mean of \p Values; returns 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Population variance of \p Values; returns 0 for fewer than one sample.
+double variance(const std::vector<double> &Values);
+
+/// Geometric mean of strictly positive \p Values; returns 0 if empty.
+/// Asserts that every value is positive.
+double geomean(const std::vector<double> &Values);
+
+/// Median (lower median for even sizes); requires a non-empty vector.
+double median(std::vector<double> Values);
+
+/// Kendall's tau-b rank correlation between \p X and \p Y.
+///
+/// Tau-b corrects for ties, matching scipy.stats.kendalltau which the paper
+/// used to produce Table III. O(n^2) pair enumeration — the collection has
+/// under a thousand matrices, so the quadratic cost is irrelevant and the
+/// implementation stays obviously correct.
+///
+/// \returns a value in [-1, 1]; 0 if either input is constant or the sizes
+/// mismatch or are < 2.
+double kendallTau(const std::vector<double> &X, const std::vector<double> &Y);
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_STATISTICS_H

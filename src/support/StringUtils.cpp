@@ -1,0 +1,102 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+using namespace seer;
+
+std::vector<std::string> seer::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Fields;
+  size_t Start = 0;
+  while (true) {
+    const size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Fields.emplace_back(Text.substr(Start));
+      return Fields;
+    }
+    Fields.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view seer::trimString(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool seer::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string seer::toLower(std::string_view Text) {
+  std::string Out(Text);
+  for (char &C : Out)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+std::string seer::joinStrings(const std::vector<std::string> &Parts,
+                              std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool seer::parseDouble(std::string_view Text, double &Out) {
+  const std::string_view Trimmed = trimString(Text);
+  if (Trimmed.empty())
+    return false;
+  // std::from_chars<double> is unreliable across libstdc++ versions for
+  // hex/inf spellings; strtod on a NUL-terminated copy is simplest and the
+  // CSV fields are short.
+  const std::string Buffer(Trimmed);
+  char *End = nullptr;
+  const double Value = std::strtod(Buffer.c_str(), &End);
+  if (End != Buffer.c_str() + Buffer.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
+bool seer::parseInt(std::string_view Text, int64_t &Out) {
+  const std::string_view Trimmed = trimString(Text);
+  if (Trimmed.empty())
+    return false;
+  int64_t Value = 0;
+  const auto [Ptr, Ec] =
+      std::from_chars(Trimmed.data(), Trimmed.data() + Trimmed.size(), Value);
+  if (Ec != std::errc() || Ptr != Trimmed.data() + Trimmed.size())
+    return false;
+  Out = Value;
+  return true;
+}
+
+std::string seer::sanitizeIdentifier(std::string_view Name) {
+  std::string Out;
+  Out.reserve(Name.size() + 1);
+  for (char C : Name) {
+    const bool Ok = std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+    Out += Ok ? C : '_';
+  }
+  if (Out.empty() || std::isdigit(static_cast<unsigned char>(Out[0])))
+    Out.insert(Out.begin(), 'n');
+  return Out;
+}

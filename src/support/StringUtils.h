@@ -1,0 +1,53 @@
+//===- support/StringUtils.h - Small string helpers ----------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal string utilities used by the CSV layer, the Matrix Market parser
+/// and the decision-tree code generator. Nothing here allocates beyond what
+/// the returned values require.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SUPPORT_STRINGUTILS_H
+#define SEER_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seer {
+
+/// Splits \p Text on \p Sep; keeps empty fields ("a,,b" -> 3 fields).
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// True if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Lower-cases ASCII letters.
+std::string toLower(std::string_view Text);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Parses a double; \returns true and writes \p Out on success. Rejects
+/// trailing garbage ("1.5x" fails).
+bool parseDouble(std::string_view Text, double &Out);
+
+/// Parses a signed 64-bit integer with the same strictness as parseDouble.
+bool parseInt(std::string_view Text, int64_t &Out);
+
+/// Sanitizes \p Name into a C++ identifier: non-alphanumerics become '_',
+/// and a leading digit gets an 'n' prefix. Used by the tree code generator
+/// to derive function names from kernel/model names.
+std::string sanitizeIdentifier(std::string_view Name);
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_STRINGUTILS_H

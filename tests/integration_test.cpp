@@ -1,0 +1,212 @@
+//===- tests/integration_test.cpp - Full-pipeline integration tests -------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Exercises the whole system the way the bench binaries and a downstream
+/// user do: generate -> benchmark -> CSV -> train -> evaluate -> deploy,
+/// asserting the qualitative paper claims end to end on a mid-size
+/// collection (bigger than core_test's, still seconds not minutes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Seer.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+
+using namespace seer;
+
+namespace {
+
+struct Pipeline {
+  KernelRegistry Registry;
+  GpuSimulator Sim{DeviceModel::mi100()};
+  std::vector<MatrixBenchmark> Train;
+  std::vector<MatrixBenchmark> Test;
+  SeerModels Models;
+};
+
+/// Builds the shared mid-size pipeline once.
+const Pipeline &pipeline() {
+  static const Pipeline P = [] {
+    Pipeline Out;
+    CollectionConfig Collection;
+    Collection.MaxRows = 65536;
+    Collection.VariantsPerCell = 3;
+    Collection.IncludeReplicas = false;
+    const Benchmarker Runner(Out.Registry, Out.Sim);
+    const auto All = Runner.benchmarkCollection(buildCollection(Collection));
+    // Deterministic 80/20 matrix-level split.
+    Rng Shuffle(99);
+    for (const MatrixBenchmark &Bench : All)
+      (Shuffle.uniform() < 0.2 ? Out.Test : Out.Train).push_back(Bench);
+    Out.Models = trainSeerModels(Out.Train, Out.Registry.names());
+    return Out;
+  }();
+  return P;
+}
+
+} // namespace
+
+TEST(IntegrationTest, WinnerDiversityAcrossCollection) {
+  // Fig. 1's premise: multiple kernels win, including non-adjacent ones.
+  const Pipeline &P = pipeline();
+  std::set<size_t> Winners;
+  for (const MatrixBenchmark &Bench : P.Train)
+    Winners.insert(Bench.fastestKernel(1));
+  EXPECT_GE(Winners.size(), 4u);
+}
+
+TEST(IntegrationTest, IterationCountChangesWinners) {
+  // Sec. IV-E: preprocessing amortization flips winners between 1 and
+  // many iterations for a non-trivial share of matrices.
+  const Pipeline &P = pipeline();
+  size_t Flips = 0;
+  for (const MatrixBenchmark &Bench : P.Train)
+    Flips += Bench.fastestKernel(1) != Bench.fastestKernel(64);
+  EXPECT_GT(Flips, P.Train.size() / 20);
+}
+
+TEST(IntegrationTest, GatheredBeatsKnownOnAccuracy) {
+  // Sec. IV-C ordering: more features, better classification.
+  const Pipeline &P = pipeline();
+  const AggregateEvaluation Agg = evaluateAggregate(P.Models, P.Test, 1);
+  EXPECT_GT(Agg.GatheredAccuracy, Agg.KnownAccuracy);
+}
+
+TEST(IntegrationTest, SelectorTracksTheBetterPath) {
+  // The selector's whole point: at each iteration count it must be no
+  // worse than ~15% over the better of the two fixed policies.
+  const Pipeline &P = pipeline();
+  for (uint32_t Iterations : {1u, 19u}) {
+    const AggregateEvaluation Agg =
+        evaluateAggregate(P.Models, P.Test, Iterations);
+    const double BetterFixed = std::min(Agg.KnownMs, Agg.GatheredMs);
+    EXPECT_LT(Agg.SelectorMs, 1.15 * BetterFixed)
+        << "at " << Iterations << " iterations";
+  }
+}
+
+TEST(IntegrationTest, PredictorsAreFarAboveChance) {
+  const Pipeline &P = pipeline();
+  const AggregateEvaluation Agg = evaluateAggregate(P.Models, P.Test, 1);
+  const double Chance = 1.0 / static_cast<double>(P.Registry.size());
+  EXPECT_GT(Agg.KnownAccuracy, 2.0 * Chance);
+  EXPECT_GT(Agg.GatheredAccuracy, 4.0 * Chance);
+}
+
+TEST(IntegrationTest, SelectorBeatsMostSingleKernels) {
+  // The geomean-speedup claim in miniature: the selector must beat the
+  // majority of fixed-kernel policies on the test set.
+  const Pipeline &P = pipeline();
+  const AggregateEvaluation Agg = evaluateAggregate(P.Models, P.Test, 1);
+  size_t Beaten = 0;
+  for (double KernelMs : Agg.PerKernelMs)
+    Beaten += Agg.SelectorMs < KernelMs;
+  EXPECT_GE(Beaten, Agg.PerKernelMs.size() / 2);
+}
+
+TEST(IntegrationTest, CsvPipelineReproducesDirectTraining) {
+  // Fig. 4: training through the CSV files must equal in-memory training.
+  const Pipeline &P = pipeline();
+  const CsvTable Runtime =
+      Benchmarker::runtimeCsv(P.Train, P.Registry.names());
+  const CsvTable Preprocessing =
+      Benchmarker::preprocessingCsv(P.Train, P.Registry.names());
+  const CsvTable Features = Benchmarker::featuresCsv(P.Train);
+  std::string Error;
+  const auto ViaCsv =
+      seer::seer(Runtime, Preprocessing, Features, TrainerConfig(), &Error);
+  ASSERT_TRUE(ViaCsv.has_value()) << Error;
+  // CSV stores %.9g, so thresholds can differ in the last ulps; compare
+  // predictions, not serialized bytes.
+  const Dataset Probe = buildGatheredDataset(P.Test, {1, 19});
+  size_t Agreement = 0;
+  for (const auto &Row : Probe.Rows)
+    Agreement += ViaCsv->Gathered.predict(Row) == P.Models.Gathered.predict(Row);
+  EXPECT_GT(static_cast<double>(Agreement) / Probe.numSamples(), 0.98);
+}
+
+TEST(IntegrationTest, RuntimeExecuteAgreesWithEvaluateCase) {
+  // SeerRuntime (live objects) and evaluateCase (stored measurements) are
+  // two views of the same policy; on noise-free measurements they must
+  // choose identical kernels.
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  BenchmarkConfig Clean;
+  Clean.NoiseSigma = 0.0;
+  const Benchmarker Runner(Registry, Sim, Clean);
+
+  CollectionConfig Collection;
+  Collection.MaxRows = 16384;
+  Collection.VariantsPerCell = 2;
+  Collection.IncludeReplicas = false;
+  const auto Specs = buildCollection(Collection);
+  const auto Benchmarks = Runner.benchmarkCollection(Specs);
+  const SeerModels Models = trainSeerModels(Benchmarks, Registry.names());
+  const SeerRuntime Runtime(Models, Registry, Sim);
+
+  size_t Checked = 0;
+  for (size_t I = 0; I < Specs.size() && Checked < 12; I += 7, ++Checked) {
+    const CsrMatrix M = Specs[I].Build();
+    const SelectionResult Live = Runtime.select(M, 19);
+    const CaseEvaluation Stored = evaluateCase(Models, Benchmarks[I], 19);
+    EXPECT_EQ(Live.KernelIndex, Stored.Selector.KernelIndex)
+        << Specs[I].Name;
+    EXPECT_EQ(Live.UsedGatheredModel, Stored.Selector.UsedGatheredModel)
+        << Specs[I].Name;
+  }
+  EXPECT_GT(Checked, 0u);
+}
+
+TEST(IntegrationTest, DeployedHeadersMatchInMemoryModels) {
+  // emitModelHeaders -> headers encode the same trees we hold in memory
+  // (structural spot check; full compile-and-run equivalence is covered in
+  // ml_test's codegen test).
+  const Pipeline &P = pipeline();
+  const std::string Dir = testing::TempDir();
+  std::string Error;
+  ASSERT_TRUE(emitModelHeaders(P.Models, Dir, &Error)) << Error;
+  std::ifstream Stream(Dir + "/seer_gathered.h");
+  ASSERT_TRUE(Stream.good());
+  std::string Content((std::istreambuf_iterator<char>(Stream)),
+                      std::istreambuf_iterator<char>());
+  // Node and class counts appear in the banner.
+  EXPECT_NE(Content.find(std::to_string(P.Models.Gathered.nodes().size()) +
+                         " nodes"),
+            std::string::npos);
+  EXPECT_NE(Content.find("seer_gathered_predict"), std::string::npos);
+  // Every kernel name appears in the class table.
+  for (const std::string &Name : P.Registry.names())
+    EXPECT_NE(Content.find("\"" + Name + "\""), std::string::npos) << Name;
+}
+
+TEST(IntegrationTest, DifferentDeviceDifferentPolicy) {
+  // The trained policy is device-specific: retraining on a small GPU must
+  // change at least some selections (the motivation for shipping the
+  // trainer, not frozen trees).
+  const KernelRegistry Registry;
+  CollectionConfig Collection;
+  Collection.MaxRows = 65536;
+  Collection.VariantsPerCell = 2;
+  Collection.IncludeReplicas = false;
+  const auto Specs = buildCollection(Collection);
+
+  const GpuSimulator Mi100(DeviceModel::mi100());
+  const GpuSimulator Small(DeviceModel::smallGpu());
+  const Benchmarker RunnerBig(Registry, Mi100);
+  const Benchmarker RunnerSmall(Registry, Small);
+  const auto BenchBig = RunnerBig.benchmarkCollection(Specs);
+  const auto BenchSmall = RunnerSmall.benchmarkCollection(Specs);
+
+  size_t DifferentWinners = 0;
+  for (size_t I = 0; I < BenchBig.size(); ++I)
+    DifferentWinners +=
+        BenchBig[I].fastestKernel(1) != BenchSmall[I].fastestKernel(1);
+  EXPECT_GT(DifferentWinners, 0u);
+}

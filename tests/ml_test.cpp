@@ -1,0 +1,449 @@
+//===- tests/ml_test.cpp - Tests for the CART tree, metrics, codegen ------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Dataset.h"
+#include "ml/DecisionTree.h"
+#include "ml/Metrics.h"
+#include "ml/TreeCodegen.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+using namespace seer;
+
+namespace {
+
+/// Two clearly separable blobs in 2D.
+Dataset twoBlobs(size_t PerClass, uint64_t Seed) {
+  Dataset Data;
+  Data.FeatureNames = {"x", "y"};
+  Rng R(Seed);
+  for (size_t I = 0; I < PerClass; ++I) {
+    Data.addSample("a" + std::to_string(I),
+                   {R.normal(0.0, 0.5), R.normal(0.0, 0.5)}, 0);
+    Data.addSample("b" + std::to_string(I),
+                   {R.normal(5.0, 0.5), R.normal(5.0, 0.5)}, 1);
+  }
+  return Data;
+}
+
+/// XOR-like pattern needing depth >= 2. The corner counts are deliberately
+/// unbalanced (3/1/2/2): a perfectly balanced XOR gives every root split
+/// exactly zero Gini gain, so greedy CART (like scikit's) would refuse to
+/// split at all.
+Dataset xorDataset() {
+  Dataset Data;
+  Data.FeatureNames = {"x", "y"};
+  const auto Add = [&](double X, double Y, uint32_t Label, int Copies) {
+    for (int I = 0; I < Copies; ++I)
+      Data.addSample("s", {X, Y}, Label);
+  };
+  Add(0.0, 0.0, 0, 3);
+  Add(0.0, 1.0, 1, 1);
+  Add(1.0, 0.0, 1, 2);
+  Add(1.0, 1.0, 0, 2);
+  return Data;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Dataset
+//===----------------------------------------------------------------------===//
+
+TEST(DatasetTest, BasicAccounting) {
+  Dataset Data = twoBlobs(10, 1);
+  EXPECT_EQ(Data.numSamples(), 20u);
+  EXPECT_EQ(Data.numFeatures(), 2u);
+  EXPECT_EQ(Data.numClasses(), 2u);
+}
+
+TEST(DatasetTest, SubsetPreservesAlignment) {
+  Dataset Data = twoBlobs(5, 2);
+  const Dataset Sub = Data.subset({1, 3, 9});
+  ASSERT_EQ(Sub.numSamples(), 3u);
+  EXPECT_EQ(Sub.SampleNames[0], Data.SampleNames[1]);
+  EXPECT_EQ(Sub.Labels[2], Data.Labels[9]);
+  EXPECT_EQ(Sub.Rows[1], Data.Rows[3]);
+}
+
+TEST(DatasetTest, SubsetCarriesWeightsAndCosts) {
+  Dataset Data;
+  Data.FeatureNames = {"x"};
+  Data.addWeightedSample("a", {1.0}, 0, 2.0);
+  Data.addWeightedSample("b", {2.0}, 1, 3.0);
+  Data.Costs = {{0.1, 0.9}, {0.8, 0.2}};
+  const Dataset Sub = Data.subset({1});
+  ASSERT_EQ(Sub.Weights.size(), 1u);
+  EXPECT_DOUBLE_EQ(Sub.Weights[0], 3.0);
+  ASSERT_EQ(Sub.Costs.size(), 1u);
+  EXPECT_DOUBLE_EQ(Sub.Costs[0][1], 0.2);
+}
+
+TEST(DatasetTest, WeightOfDefaultsToOne) {
+  Dataset Data = twoBlobs(2, 3);
+  EXPECT_DOUBLE_EQ(Data.weightOf(0), 1.0);
+}
+
+TEST(SplitTest, FractionsAndDisjointness) {
+  Dataset Data = twoBlobs(50, 4);
+  const TrainTestSplit Split = splitDataset(Data, 0.2, 7);
+  EXPECT_EQ(Split.Test.numSamples(), 20u);
+  EXPECT_EQ(Split.Train.numSamples(), 80u);
+  std::set<std::string> Names;
+  for (const auto &Name : Split.Train.SampleNames)
+    Names.insert(Name);
+  for (const auto &Name : Split.Test.SampleNames)
+    EXPECT_FALSE(Names.count(Name)) << Name << " leaked into both splits";
+}
+
+TEST(SplitTest, Deterministic) {
+  Dataset Data = twoBlobs(30, 5);
+  const TrainTestSplit A = splitDataset(Data, 0.25, 11);
+  const TrainTestSplit B = splitDataset(Data, 0.25, 11);
+  EXPECT_EQ(A.Test.SampleNames, B.Test.SampleNames);
+  const TrainTestSplit C = splitDataset(Data, 0.25, 12);
+  EXPECT_NE(A.Test.SampleNames, C.Test.SampleNames);
+}
+
+//===----------------------------------------------------------------------===//
+// DecisionTree
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionTreeTest, SeparableBlobsPerfectAccuracy) {
+  Dataset Data = twoBlobs(50, 6);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  EXPECT_DOUBLE_EQ(Tree.accuracy(Data), 1.0);
+  EXPECT_EQ(Tree.predict({0.0, 0.0}), 0u);
+  EXPECT_EQ(Tree.predict({5.0, 5.0}), 1u);
+}
+
+TEST(DecisionTreeTest, XorNeedsDepthTwo) {
+  const Dataset Data = xorDataset();
+  TreeConfig Shallow;
+  Shallow.MaxDepth = 1;
+  const DecisionTree Stump = DecisionTree::train(Data, Shallow);
+  EXPECT_LT(Stump.accuracy(Data), 1.0);
+  const DecisionTree Full = DecisionTree::train(Data, TreeConfig());
+  EXPECT_DOUBLE_EQ(Full.accuracy(Data), 1.0);
+  EXPECT_GE(Full.depth(), 2u);
+}
+
+TEST(DecisionTreeTest, MaxDepthIsRespected) {
+  Dataset Data = twoBlobs(100, 7);
+  // Mix the blobs a bit so a deep tree would keep splitting.
+  for (size_t I = 0; I < Data.numSamples(); I += 7)
+    Data.Labels[I] ^= 1;
+  for (uint32_t Depth : {1u, 2u, 3u, 5u}) {
+    TreeConfig Config;
+    Config.MaxDepth = Depth;
+    EXPECT_LE(DecisionTree::train(Data, Config).depth(), Depth);
+  }
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+  Dataset Data = twoBlobs(20, 8);
+  TreeConfig Config;
+  Config.MinSamplesLeaf = 5;
+  const DecisionTree Tree = DecisionTree::train(Data, Config);
+  for (const TreeNode &N : Tree.nodes()) {
+    if (N.isLeaf()) {
+      EXPECT_GE(N.SampleCount, 5u);
+    }
+  }
+}
+
+TEST(DecisionTreeTest, SingleClassIsSingleLeaf) {
+  Dataset Data;
+  Data.FeatureNames = {"x"};
+  for (int I = 0; I < 10; ++I)
+    Data.addSample("s", {static_cast<double>(I)}, 3);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  EXPECT_EQ(Tree.nodes().size(), 1u);
+  EXPECT_EQ(Tree.predict({42.0}), 3u);
+}
+
+TEST(DecisionTreeTest, DeterministicTraining) {
+  Dataset Data = twoBlobs(40, 9);
+  const DecisionTree A = DecisionTree::train(Data, TreeConfig());
+  const DecisionTree B = DecisionTree::train(Data, TreeConfig());
+  EXPECT_EQ(A.serialize(), B.serialize());
+}
+
+TEST(DecisionTreeTest, ConstantFeaturesYieldLeaf) {
+  Dataset Data;
+  Data.FeatureNames = {"x"};
+  Data.addSample("a", {1.0}, 0);
+  Data.addSample("b", {1.0}, 1);
+  Data.addSample("c", {1.0}, 1);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  EXPECT_EQ(Tree.nodes().size(), 1u); // cannot split equal values
+  EXPECT_EQ(Tree.predict({1.0}), 1u); // majority
+}
+
+TEST(DecisionTreeTest, WeightedMajorityFlipsLeaf) {
+  // Two samples of class 0 vs one heavy sample of class 1 at the same x.
+  Dataset Data;
+  Data.FeatureNames = {"x"};
+  Data.addWeightedSample("a", {1.0}, 0, 1.0);
+  Data.addWeightedSample("b", {1.0}, 0, 1.0);
+  Data.addWeightedSample("c", {1.0}, 1, 10.0);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  EXPECT_EQ(Tree.predict({1.0}), 1u);
+}
+
+TEST(DecisionTreeTest, WeightsSteerSplits) {
+  // Feature x separates the heavy samples; feature y separates the light
+  // ones. With weights, the root must split on x.
+  Dataset Data;
+  Data.FeatureNames = {"x", "y"};
+  Data.addWeightedSample("h0", {0.0, 0.5}, 0, 100.0);
+  Data.addWeightedSample("h1", {1.0, 0.5}, 1, 100.0);
+  Data.addWeightedSample("l0", {0.5, 0.0}, 0, 1.0);
+  Data.addWeightedSample("l1", {0.5, 1.0}, 1, 1.0);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  ASSERT_FALSE(Tree.nodes().empty());
+  EXPECT_EQ(Tree.nodes()[0].FeatureIndex, 0u);
+}
+
+TEST(DecisionTreeTest, CostSensitiveLeafPicksCheapClass) {
+  // Labels say class 0 twice, class 1 once — but class 1 is catastrophic
+  // when wrong: a cost-aware leaf must pick the class with lower total.
+  Dataset Data;
+  Data.FeatureNames = {"x"};
+  Data.addSample("a", {1.0}, 0);
+  Data.addSample("b", {1.0}, 0);
+  Data.addSample("c", {1.0}, 1);
+  // Costs[i] = {cost of predicting 0, cost of predicting 1} for sample i.
+  Data.Costs = {{0.1, 100.0}, {0.1, 100.0}, {0.5, 0.1}};
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  EXPECT_EQ(Tree.predict({1.0}), 0u);
+  // Flip: class-1 totals lower.
+  Data.Costs = {{10.0, 0.2}, {10.0, 0.2}, {10.0, 0.1}};
+  const DecisionTree Flipped = DecisionTree::train(Data, TreeConfig());
+  EXPECT_EQ(Flipped.predict({1.0}), 1u);
+}
+
+TEST(DecisionTreeTest, CostRowsCanNameUnlabeledClasses) {
+  // Class 2 never appears as a label but is the cheapest overall.
+  Dataset Data;
+  Data.FeatureNames = {"x"};
+  Data.addSample("a", {1.0}, 0);
+  Data.addSample("b", {1.0}, 1);
+  Data.Costs = {{5.0, 9.0, 0.1}, {9.0, 5.0, 0.1}};
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  EXPECT_EQ(Tree.predict({1.0}), 2u);
+  EXPECT_EQ(Tree.numClasses(), 3u);
+}
+
+TEST(DecisionTreeTest, FeatureImportanceFavorsInformativeFeature) {
+  // Feature 0 carries the class; feature 1 is noise.
+  Dataset Data;
+  Data.FeatureNames = {"signal", "noise"};
+  Rng R(10);
+  for (int I = 0; I < 200; ++I) {
+    const uint32_t Label = I % 2;
+    Data.addSample("s", {Label * 2.0 + R.uniform(0.0, 0.5), R.uniform()},
+                   Label);
+  }
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  const auto Importance = Tree.featureImportance();
+  ASSERT_EQ(Importance.size(), 2u);
+  EXPECT_GT(Importance[0], 0.9);
+  EXPECT_NEAR(Importance[0] + Importance[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, GeneralizesToHeldOutBlobs) {
+  Dataset Data = twoBlobs(200, 11);
+  const TrainTestSplit Split = splitDataset(Data, 0.3, 13);
+  const DecisionTree Tree = DecisionTree::train(Split.Train, TreeConfig());
+  EXPECT_GT(Tree.accuracy(Split.Test), 0.95);
+}
+
+TEST(DecisionTreeTest, DumpTextMentionsFeatures) {
+  Dataset Data = twoBlobs(20, 12);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  const std::string Text = Tree.dumpText();
+  EXPECT_NE(Text.find("if "), std::string::npos);
+  EXPECT_NE(Text.find("predict class"), std::string::npos);
+  EXPECT_TRUE(Text.find("x") != std::string::npos ||
+              Text.find("y") != std::string::npos);
+}
+
+TEST(DecisionTreeTest, SerializeParseRoundTrip) {
+  Dataset Data = twoBlobs(30, 13);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  DecisionTree Parsed;
+  std::string Error;
+  ASSERT_TRUE(DecisionTree::parse(Tree.serialize(), Parsed, &Error)) << Error;
+  EXPECT_EQ(Parsed.serialize(), Tree.serialize());
+  // Predictions must agree everywhere we can easily check.
+  for (const auto &Row : Data.Rows)
+    EXPECT_EQ(Parsed.predict(Row), Tree.predict(Row));
+}
+
+TEST(DecisionTreeTest, ParseRejectsGarbage) {
+  DecisionTree Out;
+  std::string Error;
+  EXPECT_FALSE(DecisionTree::parse("not a tree", Out, &Error));
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(DecisionTree::parse("tree 2 1 1\nfeature x\nnode 0 0.5 5 6 0 1 0.0\n",
+                                   Out, &Error));
+}
+
+TEST(DecisionTreeTest, PredictAllMatchesPredict) {
+  Dataset Data = twoBlobs(25, 14);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  const auto All = Tree.predictAll(Data);
+  ASSERT_EQ(All.size(), Data.numSamples());
+  for (size_t I = 0; I < All.size(); ++I)
+    EXPECT_EQ(All[I], Tree.predict(Data.Rows[I]));
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(classificationAccuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(classificationAccuracy({1, 2, 3}, {1, 0, 0}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(classificationAccuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(classificationAccuracy({1}, {1, 2}), 0.0);
+}
+
+TEST(MetricsTest, ConfusionCounts) {
+  const ConfusionMatrix CM({0, 1, 1, 0}, {0, 1, 0, 0}, 2);
+  EXPECT_EQ(CM.count(0, 0), 2u);
+  EXPECT_EQ(CM.count(0, 1), 1u);
+  EXPECT_EQ(CM.count(1, 1), 1u);
+  EXPECT_EQ(CM.count(1, 0), 0u);
+}
+
+TEST(MetricsTest, PrecisionRecall) {
+  const ConfusionMatrix CM({0, 1, 1, 0}, {0, 1, 0, 0}, 2);
+  EXPECT_DOUBLE_EQ(CM.recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(CM.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(CM.precision(1), 0.5);
+  EXPECT_DOUBLE_EQ(CM.precision(0), 1.0);
+}
+
+TEST(MetricsTest, UnseenClassesAreZero) {
+  const ConfusionMatrix CM({0}, {0}, 3);
+  EXPECT_DOUBLE_EQ(CM.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(CM.precision(2), 0.0);
+}
+
+TEST(MetricsTest, ToStringContainsNames) {
+  const ConfusionMatrix CM({0, 1}, {0, 1}, 2);
+  const std::string Text = CM.toString({"CSR,TM", "ELL,TM"});
+  EXPECT_NE(Text.find("CSR,TM"), std::string::npos);
+  EXPECT_NE(Text.find("ELL,TM"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// TreeCodegen
+//===----------------------------------------------------------------------===//
+
+TEST(TreeCodegenTest, HeaderHasGuardAndFunction) {
+  Dataset Data = twoBlobs(20, 15);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  CodegenOptions Options;
+  Options.FunctionName = "my_model";
+  const std::string Header = generateTreeHeader(Tree, Options);
+  EXPECT_NE(Header.find("#ifndef SEER_GENERATED_MY_MODEL_H"),
+            std::string::npos);
+  EXPECT_NE(Header.find("inline int my_model(const double *features)"),
+            std::string::npos);
+  EXPECT_NE(Header.find("#endif"), std::string::npos);
+}
+
+TEST(TreeCodegenTest, ClassNameTableEmitted) {
+  Dataset Data = twoBlobs(10, 16);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  CodegenOptions Options;
+  Options.FunctionName = "m";
+  Options.ClassNames = {"CSR,TM", "ELL,TM"};
+  const std::string Header = generateTreeHeader(Tree, Options);
+  EXPECT_NE(Header.find("m_classes[]"), std::string::npos);
+  EXPECT_NE(Header.find("\"CSR,TM\""), std::string::npos);
+}
+
+TEST(TreeCodegenTest, SanitizesFunctionName) {
+  Dataset Data = twoBlobs(10, 17);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+  CodegenOptions Options;
+  Options.FunctionName = "3bad name!";
+  const std::string Header = generateTreeHeader(Tree, Options);
+  EXPECT_NE(Header.find("inline int n3bad_name_("), std::string::npos);
+}
+
+TEST(TreeCodegenTest, GeneratedCodeCompilesAndAgreesWithTree) {
+  // The real deployment check: compile the generated header with the host
+  // compiler and compare its predictions against DecisionTree::predict on
+  // a grid of inputs.
+  Dataset Data = twoBlobs(60, 18);
+  // Add a third class to exercise multi-way output.
+  Rng R(19);
+  for (int I = 0; I < 60; ++I)
+    Data.addSample("c", {R.normal(-5.0, 0.5), R.normal(5.0, 0.5)}, 2);
+  const DecisionTree Tree = DecisionTree::train(Data, TreeConfig());
+
+  CodegenOptions Options;
+  Options.FunctionName = "codegen_check";
+  const std::string Dir = testing::TempDir();
+  const std::string HeaderPath = Dir + "/seer_codegen_check.h";
+  std::string Error;
+  ASSERT_TRUE(writeTreeHeader(Tree, Options, HeaderPath, &Error)) << Error;
+
+  // Driver: reads x y pairs from argv-less stdin, prints predictions.
+  const std::string DriverPath = Dir + "/seer_codegen_driver.cpp";
+  {
+    std::ofstream Driver(DriverPath);
+    Driver << "#include \"seer_codegen_check.h\"\n"
+              "#include <cstdio>\n"
+              "int main() {\n"
+              "  double f[2];\n"
+              "  while (std::scanf(\"%lf %lf\", &f[0], &f[1]) == 2)\n"
+              "    std::printf(\"%d\\n\", codegen_check(f));\n"
+              "  return 0;\n"
+              "}\n";
+  }
+  const std::string Binary = Dir + "/seer_codegen_driver";
+  const std::string Compile =
+      "g++ -std=c++17 -I " + Dir + " " + DriverPath + " -o " + Binary;
+  if (std::system(Compile.c_str()) != 0)
+    GTEST_SKIP() << "host compiler unavailable";
+
+  // Feed a grid through the binary.
+  std::string Input;
+  std::vector<std::vector<double>> Grid;
+  for (double X = -7.0; X <= 7.0; X += 1.3) {
+    for (double Y = -7.0; Y <= 7.0; Y += 1.7) {
+      Grid.push_back({X, Y});
+      Input += std::to_string(X) + " " + std::to_string(Y) + "\n";
+    }
+  }
+  const std::string InputPath = Dir + "/seer_codegen_input.txt";
+  {
+    std::ofstream In(InputPath);
+    In << Input;
+  }
+  const std::string OutputPath = Dir + "/seer_codegen_output.txt";
+  ASSERT_EQ(std::system((Binary + " < " + InputPath + " > " + OutputPath)
+                            .c_str()),
+            0);
+  std::ifstream Out(OutputPath);
+  for (const auto &Point : Grid) {
+    int Got = -1;
+    ASSERT_TRUE(Out >> Got);
+    EXPECT_EQ(static_cast<uint32_t>(Got), Tree.predict(Point))
+        << "at (" << Point[0] << ", " << Point[1] << ")";
+  }
+}

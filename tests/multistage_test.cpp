@@ -1,0 +1,139 @@
+//===- tests/multistage_test.cpp - Tests for the multi-tier selector ------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/MultiStageSelector.h"
+
+#include "core/Seer.h"
+
+#include <gtest/gtest.h>
+
+using namespace seer;
+
+namespace {
+
+struct Fixture {
+  KernelRegistry Registry;
+  GpuSimulator Sim{DeviceModel::mi100()};
+  std::vector<MatrixSpec> Specs;
+  std::vector<MultiStageBenchmark> Benchmarks;
+  MultiStageModels Models;
+};
+
+const Fixture &fixture() {
+  static const Fixture F = [] {
+    Fixture Out;
+    CollectionConfig Collection;
+    Collection.MaxRows = 4096;
+    Collection.VariantsPerCell = 2;
+    Collection.IncludeReplicas = false;
+    Out.Specs = buildCollection(Collection);
+    const Benchmarker Runner(Out.Registry, Out.Sim);
+    const auto Base = Runner.benchmarkCollection(Out.Specs);
+    Out.Benchmarks = augmentWithCheapTier(Base, Out.Specs, Out.Sim);
+    Out.Models = trainMultiStageModels(Out.Benchmarks, Out.Registry.names());
+    return Out;
+  }();
+  return F;
+}
+
+} // namespace
+
+TEST(CheapFeaturesTest, SubsetOfFullStatistics) {
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const CsrMatrix M = genPowerLaw(2000, 2000, 1.5, 1, 100, 7);
+  const FeatureCollectionResult Full = collectGatheredFeatures(M, Sim);
+  const FeatureCollectionResult Cheap = collectCheapFeatures(M, Sim);
+  EXPECT_DOUBLE_EQ(Cheap.Features.MaxRowDensity, Full.Features.MaxRowDensity);
+  EXPECT_DOUBLE_EQ(Cheap.Features.MeanRowDensity,
+                   Full.Features.MeanRowDensity);
+  // Not collected on the cheap tier:
+  EXPECT_DOUBLE_EQ(Cheap.Features.MinRowDensity, 0.0);
+  EXPECT_DOUBLE_EQ(Cheap.Features.VarRowDensity, 0.0);
+}
+
+TEST(CheapFeaturesTest, CostsLessThanFullCollection) {
+  const GpuSimulator Sim(DeviceModel::mi100());
+  for (uint32_t Rows : {100u, 10000u, 500000u}) {
+    const CsrMatrix M = genDiagonal(Rows, Rows);
+    const double FullMs = collectGatheredFeatures(M, Sim).CollectionMs;
+    const double CheapMs = collectCheapFeatures(M, Sim).CollectionMs;
+    EXPECT_LT(CheapMs, 0.65 * FullMs) << Rows << " rows";
+  }
+}
+
+TEST(MultiStageTest, AugmentMatchesBaseOrder) {
+  const Fixture &F = fixture();
+  ASSERT_EQ(F.Benchmarks.size(), F.Specs.size());
+  for (size_t I = 0; I < F.Benchmarks.size(); ++I) {
+    EXPECT_EQ(F.Benchmarks[I].Base.Name, F.Specs[I].Name);
+    EXPECT_GT(F.Benchmarks[I].CheapCollectionMs, 0.0);
+    EXPECT_LT(F.Benchmarks[I].CheapCollectionMs,
+              F.Benchmarks[I].Base.FeatureCollectionMs);
+  }
+}
+
+TEST(MultiStageTest, TrainsThreeTiersAndSelector) {
+  const Fixture &F = fixture();
+  EXPECT_EQ(F.Models.TierModels[0].featureNames().size(), 4u);
+  EXPECT_EQ(F.Models.TierModels[1].featureNames().size(), 6u);
+  EXPECT_EQ(F.Models.TierModels[2].featureNames().size(), 8u);
+  for (const TreeNode &N : F.Models.Selector.nodes()) {
+    if (N.isLeaf()) {
+      EXPECT_LT(N.Prediction, MultiStageModels::NumTiers);
+    }
+  }
+}
+
+TEST(MultiStageTest, OutcomeInvoicesMatchTier) {
+  const Fixture &F = fixture();
+  for (const MultiStageBenchmark &Bench : F.Benchmarks) {
+    const MultiStageOutcome Outcome =
+        evaluateMultiStageCase(F.Models, Bench, 19);
+    ASSERT_LT(Outcome.KernelIndex, F.Registry.size());
+    switch (Outcome.Tier) {
+    case MultiStageModels::TierKnown:
+      EXPECT_DOUBLE_EQ(Outcome.OverheadMs, 0.0);
+      break;
+    case MultiStageModels::TierCheap:
+      EXPECT_DOUBLE_EQ(Outcome.OverheadMs, Bench.CheapCollectionMs);
+      break;
+    default:
+      EXPECT_DOUBLE_EQ(Outcome.OverheadMs, Bench.Base.FeatureCollectionMs);
+      break;
+    }
+    // Total must be overhead + the picked kernel's amortized cost.
+    const double KernelMs =
+        Bench.Base.PerKernel[Outcome.KernelIndex].totalMs(19);
+    EXPECT_NEAR(Outcome.TotalMs, Outcome.OverheadMs + KernelMs, 1e-9);
+  }
+}
+
+TEST(MultiStageTest, NoWorseThanAlwaysFullOnTrainingSet) {
+  // Sanity on the extension's value: routing must not lose to the naive
+  // always-collect-everything policy on the data it was fitted to.
+  const Fixture &F = fixture();
+  double MultiMs = 0.0, AlwaysFullMs = 0.0;
+  for (const MultiStageBenchmark &Bench : F.Benchmarks) {
+    MultiMs += evaluateMultiStageCase(F.Models, Bench, 1).TotalMs;
+    // Always-full: full collection + full model's pick.
+    const auto Row = features::gatheredVector(Bench.Base.Known,
+                                              Bench.Base.Gathered, 1.0);
+    const uint32_t Pick = F.Models.TierModels[2].predict(Row);
+    AlwaysFullMs +=
+        Bench.Base.FeatureCollectionMs + Bench.Base.PerKernel[Pick].totalMs(1);
+  }
+  EXPECT_LE(MultiMs, AlwaysFullMs * 1.02);
+}
+
+TEST(MultiStageTest, DeterministicTraining) {
+  const Fixture &F = fixture();
+  const MultiStageModels Again =
+      trainMultiStageModels(F.Benchmarks, F.Registry.names());
+  EXPECT_EQ(Again.Selector.serialize(), F.Models.Selector.serialize());
+  for (int Tier = 0; Tier < 3; ++Tier)
+    EXPECT_EQ(Again.TierModels[Tier].serialize(),
+              F.Models.TierModels[Tier].serialize());
+}

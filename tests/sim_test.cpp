@@ -1,0 +1,220 @@
+//===- tests/sim_test.cpp - Unit tests for the GPU simulator --------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/GpuSimulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace seer;
+
+namespace {
+
+GpuSimulator makeSim() { return GpuSimulator(DeviceModel::mi100()); }
+
+/// A launch of \p Waves identical wavefronts with \p Ops max lane ops.
+KernelLaunch uniformLaunch(uint64_t Waves, double Ops, double Coalesced = 0.0,
+                           double Random = 0.0) {
+  LaunchBuilder Builder(64);
+  for (uint64_t I = 0; I < Waves; ++I) {
+    WavefrontWork Work;
+    Work.MaxLaneOps = Ops;
+    Work.CoalescedBytes = Coalesced;
+    Work.RandomBytes = Random;
+    Work.ActiveLanes = 64;
+    Builder.addWavefront(Work);
+  }
+  return Builder.take();
+}
+
+} // namespace
+
+TEST(DeviceModelTest, Mi100Defaults) {
+  const DeviceModel M = DeviceModel::mi100();
+  EXPECT_EQ(M.NumComputeUnits, 120u);
+  EXPECT_EQ(M.WavefrontSize, 64u);
+  EXPECT_EQ(M.numSlots(), 480u);
+}
+
+TEST(DeviceModelTest, UnitConversions) {
+  const DeviceModel M = DeviceModel::mi100();
+  // 1.502e6 cycles at 1.502 GHz is exactly 1 ms.
+  EXPECT_NEAR(M.cyclesToMs(1.502e6), 1.0, 1e-12);
+  // 3e6 host cycles at 3 GHz is 1 ms.
+  EXPECT_NEAR(M.hostSequentialMs(3000000, 1.0), 1.0, 1e-12);
+  // 16 MB over 16 GB/s PCIe is 1 ms.
+  EXPECT_NEAR(M.pcieCopyMs(16e6), 1.0, 1e-12);
+}
+
+TEST(GpuSimulatorTest, EmptyLaunchIsPureOverhead) {
+  const GpuSimulator Sim = makeSim();
+  const LaunchTiming T = Sim.simulate(KernelLaunch());
+  EXPECT_NEAR(T.TotalMs, Sim.device().LaunchOverheadUs * 1e-3, 1e-12);
+  EXPECT_EQ(T.NumWavefronts, 0u);
+}
+
+TEST(GpuSimulatorTest, FixedOverheadAdds) {
+  const GpuSimulator Sim = makeSim();
+  KernelLaunch Launch;
+  Launch.FixedOverheadUs = 100.0;
+  const LaunchTiming T = Sim.simulate(Launch);
+  EXPECT_NEAR(T.OverheadMs, (Sim.device().LaunchOverheadUs + 100.0) * 1e-3,
+              1e-12);
+}
+
+TEST(GpuSimulatorTest, SingleWavefrontComputeTime) {
+  const GpuSimulator Sim = makeSim();
+  const LaunchTiming T = Sim.simulate(uniformLaunch(1, 1000.0));
+  const double ExpectedCycles =
+      1000.0 * Sim.device().CyclesPerOp + Sim.device().WavefrontOverheadCycles;
+  EXPECT_NEAR(T.ComputeMs, Sim.device().cyclesToMs(ExpectedCycles), 1e-12);
+}
+
+TEST(GpuSimulatorTest, FewerWavesThanSlotsRunFullyParallel) {
+  const GpuSimulator Sim = makeSim();
+  // 480 slots; 10 identical waves must take the time of one.
+  const LaunchTiming One = Sim.simulate(uniformLaunch(1, 5000.0));
+  const LaunchTiming Ten = Sim.simulate(uniformLaunch(10, 5000.0));
+  EXPECT_NEAR(One.ComputeMs, Ten.ComputeMs, 1e-12);
+}
+
+TEST(GpuSimulatorTest, OversubscriptionScalesLinearly) {
+  const GpuSimulator Sim = makeSim();
+  const uint32_t Slots = Sim.device().numSlots();
+  const LaunchTiming Single = Sim.simulate(uniformLaunch(Slots, 5000.0));
+  const LaunchTiming Double = Sim.simulate(uniformLaunch(2 * Slots, 5000.0));
+  EXPECT_NEAR(Double.ComputeMs / Single.ComputeMs, 2.0, 0.01);
+}
+
+TEST(GpuSimulatorTest, DeepOversubscriptionMatchesBalancedBound) {
+  const GpuSimulator Sim = makeSim();
+  const uint32_t Slots = Sim.device().numSlots();
+  // > 16x slots triggers the closed-form path; it must stay close to the
+  // exact greedy result for uniform waves (within the one-wave slack).
+  const uint64_t Waves = 20ull * Slots;
+  const LaunchTiming T = Sim.simulate(uniformLaunch(Waves, 1000.0));
+  const double PerWave =
+      1000.0 * Sim.device().CyclesPerOp + Sim.device().WavefrontOverheadCycles;
+  const double Balanced = PerWave * static_cast<double>(Waves) / Slots;
+  EXPECT_GE(T.ComputeMs, Sim.device().cyclesToMs(Balanced) - 1e-12);
+  EXPECT_LE(T.ComputeMs, Sim.device().cyclesToMs(Balanced + PerWave) + 1e-12);
+}
+
+TEST(GpuSimulatorTest, DivergenceCostsMaxNotMean) {
+  const GpuSimulator Sim = makeSim();
+  // One wavefront with a single 6400-op lane among 64 idle lanes must cost
+  // the same as one whose lanes all have 6400 ops: lockstep.
+  LaunchBuilder A(64);
+  A.beginWavefront();
+  A.addLane(6400.0, 0.0, 0.0);
+  for (int I = 0; I < 63; ++I)
+    A.addLane(0.0, 0.0, 0.0);
+  A.endWavefront();
+  const LaunchTiming Skewed = Sim.simulate(A.take());
+  const LaunchTiming Uniform = Sim.simulate(uniformLaunch(1, 6400.0));
+  EXPECT_NEAR(Skewed.ComputeMs, Uniform.ComputeMs, 1e-12);
+}
+
+TEST(GpuSimulatorTest, BalancedBeatsImbalanced) {
+  const GpuSimulator Sim = makeSim();
+  // Same total work, split evenly across lanes vs. dumped on one lane per
+  // wavefront: balanced must be dramatically faster.
+  LaunchBuilder Balanced(64);
+  Balanced.addUniformLanes(64 * 64, 100.0, 0.0, 0.0);
+  LaunchBuilder Imbalanced(64);
+  for (int Wave = 0; Wave < 64; ++Wave) {
+    Imbalanced.beginWavefront();
+    Imbalanced.addLane(6400.0, 0.0, 0.0);
+    for (int I = 0; I < 63; ++I)
+      Imbalanced.addLane(0.0, 0.0, 0.0);
+    Imbalanced.endWavefront();
+  }
+  const LaunchTiming B = Sim.simulate(Balanced.take());
+  const LaunchTiming I = Sim.simulate(Imbalanced.take());
+  EXPECT_LT(B.ComputeMs * 10.0, I.ComputeMs);
+}
+
+TEST(GpuSimulatorTest, MemoryRooflineDominatesBigStreams) {
+  const GpuSimulator Sim = makeSim();
+  // 1 GB of coalesced traffic with trivial compute: the memory component
+  // must set the total (~1 ms at ~1 TB/s effective).
+  const LaunchTiming T = Sim.simulate(uniformLaunch(480, 10.0, 2.1e6));
+  EXPECT_GT(T.MemoryMs, T.ComputeMs);
+  const double ExpectedMs = (480 * 2.1e6) / (Sim.device().MemoryBandwidthGBs *
+                                             Sim.device().StreamEfficiency *
+                                             1e6);
+  EXPECT_NEAR(T.MemoryMs, ExpectedMs, 1e-9);
+}
+
+TEST(GpuSimulatorTest, GatherMissesInflateTraffic) {
+  const GpuSimulator Sim = makeSim();
+  KernelLaunch Hits = uniformLaunch(480, 10.0, 0.0, 1e5);
+  Hits.GatherHitRate = 1.0;
+  KernelLaunch Misses = uniformLaunch(480, 10.0, 0.0, 1e5);
+  Misses.GatherHitRate = 0.0;
+  const LaunchTiming THits = Sim.simulate(Hits);
+  const LaunchTiming TMisses = Sim.simulate(Misses);
+  const double Inflation = Sim.device().CacheLineBytes / 8.0;
+  EXPECT_NEAR(TMisses.DramBytes / THits.DramBytes, Inflation, 1e-9);
+}
+
+TEST(GpuSimulatorTest, AtomicsSerialize) {
+  const GpuSimulator Sim = makeSim();
+  LaunchBuilder NoAtomics(64);
+  NoAtomics.addUniformLanes(64, 100.0, 0.0, 0.0, 0.0);
+  LaunchBuilder WithAtomics(64);
+  WithAtomics.addUniformLanes(64, 100.0, 0.0, 0.0, 1.0);
+  const LaunchTiming A = Sim.simulate(NoAtomics.take());
+  const LaunchTiming B = Sim.simulate(WithAtomics.take());
+  EXPECT_GT(B.ComputeMs, A.ComputeMs);
+}
+
+TEST(GpuSimulatorTest, EmptyWavefrontsAreDropped) {
+  LaunchBuilder Builder(64);
+  Builder.beginWavefront();
+  Builder.endWavefront();
+  const KernelLaunch Launch = Builder.take();
+  EXPECT_TRUE(Launch.Wavefronts.empty());
+}
+
+TEST(GpuSimulatorTest, AddUniformLanesSplitsIntoWavefronts) {
+  LaunchBuilder Builder(64);
+  Builder.addUniformLanes(130, 10.0, 4.0, 8.0);
+  const KernelLaunch Launch = Builder.take();
+  ASSERT_EQ(Launch.Wavefronts.size(), 3u);
+  EXPECT_EQ(Launch.Wavefronts[0].ActiveLanes, 64u);
+  EXPECT_EQ(Launch.Wavefronts[2].ActiveLanes, 2u);
+  EXPECT_NEAR(Launch.Wavefronts[2].CoalescedBytes, 8.0, 1e-12);
+  EXPECT_NEAR(Launch.Wavefronts[2].RandomBytes, 16.0, 1e-12);
+}
+
+TEST(GatherHitRateTest, SmallVectorFitsInCache) {
+  const DeviceModel M = DeviceModel::mi100();
+  // 1000-column x vector = 8 KB, far under L2: hit rate ~1.
+  EXPECT_GT(estimateGatherHitRate(M, 1000, 1000.0), 0.99);
+}
+
+TEST(GatherHitRateTest, HugeVectorWithRandomAccessMisses) {
+  const DeviceModel M = DeviceModel::mi100();
+  // 100M columns, huge gaps: most gathers miss.
+  EXPECT_LT(estimateGatherHitRate(M, 100000000, 1e6), 0.2);
+}
+
+TEST(GatherHitRateTest, LocalityHelpsLargeVectors) {
+  const DeviceModel M = DeviceModel::mi100();
+  const double Tight = estimateGatherHitRate(M, 100000000, 1.0);
+  const double Loose = estimateGatherHitRate(M, 100000000, 1e5);
+  EXPECT_GT(Tight, Loose);
+}
+
+TEST(GatherHitRateTest, MonotoneInColumns) {
+  const DeviceModel M = DeviceModel::mi100();
+  double Prev = 1.1;
+  for (uint64_t Cols = 1u << 10; Cols <= 1u << 28; Cols <<= 4) {
+    const double Rate = estimateGatherHitRate(M, Cols, 64.0);
+    EXPECT_LE(Rate, Prev + 1e-12);
+    Prev = Rate;
+  }
+}

@@ -1,0 +1,380 @@
+//===- tests/support_test.cpp - Unit tests for src/support ----------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Csv.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace seer;
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(RandomTest, SameSeedSameStream) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RandomTest, ReseedRestartsStream) {
+  Rng A(77);
+  const uint64_t First = A.next();
+  A.next();
+  A.reseed(77);
+  EXPECT_EQ(A.next(), First);
+}
+
+TEST(RandomTest, UniformInUnitInterval) {
+  Rng R(5);
+  for (int I = 0; I < 10000; ++I) {
+    const double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformRangeRespectsBounds) {
+  Rng R(6);
+  for (int I = 0; I < 1000; ++I) {
+    const double U = R.uniform(3.0, 7.0);
+    EXPECT_GE(U, 3.0);
+    EXPECT_LT(U, 7.0);
+  }
+}
+
+TEST(RandomTest, UniformMeanIsCentered) {
+  Rng R(7);
+  double Sum = 0.0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.uniform();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  Rng R(8);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.bounded(17), 17u);
+}
+
+TEST(RandomTest, BoundedCoversSupport) {
+  Rng R(9);
+  std::vector<int> Seen(10, 0);
+  for (int I = 0; I < 10000; ++I)
+    ++Seen[R.bounded(10)];
+  for (int Count : Seen)
+    EXPECT_GT(Count, 500);
+}
+
+TEST(RandomTest, RangeInclusive) {
+  Rng R(10);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 10000; ++I) {
+    const int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    SawLo |= V == -2;
+    SawHi |= V == 2;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, NormalMomentsApproximatelyStandard) {
+  Rng R(11);
+  const int N = 200000;
+  double Sum = 0.0, SumSq = 0.0;
+  for (int I = 0; I < N; ++I) {
+    const double X = R.normal();
+    Sum += X;
+    SumSq += X * X;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.02);
+  EXPECT_NEAR(SumSq / N, 1.0, 0.03);
+}
+
+TEST(RandomTest, LogNormalIsPositive) {
+  Rng R(12);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_GT(R.logNormal(0.0, 0.5), 0.0);
+}
+
+TEST(RandomTest, ZipfStaysInSupportAndSkewsLow) {
+  Rng R(13);
+  const uint64_t N = 1000;
+  uint64_t LowHalf = 0;
+  for (int I = 0; I < 20000; ++I) {
+    const uint64_t K = R.zipf(N, 1.5);
+    ASSERT_LT(K, N);
+    LowHalf += K < N / 2;
+  }
+  // Heavy-tailed: the low half of the support dominates.
+  EXPECT_GT(LowHalf, 15000u);
+}
+
+TEST(RandomTest, ZipfSingletonSupport) {
+  Rng R(14);
+  EXPECT_EQ(R.zipf(1, 1.2), 0u);
+}
+
+TEST(RandomTest, ChanceExtremes) {
+  Rng R(15);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.chance(0.0));
+    EXPECT_TRUE(R.chance(1.0));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatisticsTest, RunningSummaryBasics) {
+  RunningSummary S;
+  for (double V : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(V);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 4.0); // classic textbook example
+}
+
+TEST(StatisticsTest, RunningSummarySingleValue) {
+  RunningSummary S;
+  S.add(3.5);
+  EXPECT_DOUBLE_EQ(S.min(), 3.5);
+  EXPECT_DOUBLE_EQ(S.max(), 3.5);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+}
+
+TEST(StatisticsTest, MeanAndVarianceHelpers) {
+  const std::vector<double> V = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(V), 2.5);
+  EXPECT_DOUBLE_EQ(variance(V), 1.25);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(StatisticsTest, GeomeanOfPowers) {
+  EXPECT_NEAR(geomean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(StatisticsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.0); // lower median
+}
+
+TEST(StatisticsTest, KendallPerfectAgreement) {
+  const std::vector<double> X = {1, 2, 3, 4, 5};
+  const std::vector<double> Y = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(kendallTau(X, Y), 1.0, 1e-12);
+}
+
+TEST(StatisticsTest, KendallPerfectDisagreement) {
+  const std::vector<double> X = {1, 2, 3, 4, 5};
+  const std::vector<double> Y = {50, 40, 30, 20, 10};
+  EXPECT_NEAR(kendallTau(X, Y), -1.0, 1e-12);
+}
+
+TEST(StatisticsTest, KendallConstantInputIsZero) {
+  EXPECT_DOUBLE_EQ(kendallTau({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatisticsTest, KendallSizeMismatchIsZero) {
+  EXPECT_DOUBLE_EQ(kendallTau({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(StatisticsTest, KendallTiesMatchTauB) {
+  // Hand-checked tau-b example with ties in both vectors.
+  const std::vector<double> X = {1, 2, 2, 3};
+  const std::vector<double> Y = {1, 3, 2, 3};
+  // Pairs: (0,1)C (0,2)C (0,3)C (1,2)tieX->skip... computed by hand: C=4,
+  // D=0, tiesX pairs=1 (x1==x2 with y differing), tiesY=1 (y1==y3).
+  const double Expected = 4.0 / std::sqrt(5.0 * 5.0);
+  EXPECT_NEAR(kendallTau(X, Y), Expected, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, SplitKeepsEmptyFields) {
+  const auto Fields = splitString("a,,b", ',');
+  ASSERT_EQ(Fields.size(), 3u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[1], "");
+  EXPECT_EQ(Fields[2], "b");
+}
+
+TEST(StringUtilsTest, SplitSingleField) {
+  const auto Fields = splitString("abc", ',');
+  ASSERT_EQ(Fields.size(), 1u);
+  EXPECT_EQ(Fields[0], "abc");
+}
+
+TEST(StringUtilsTest, TrimBothEnds) {
+  EXPECT_EQ(trimString("  x y\t\n"), "x y");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString(""), "");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("matrix", "mat"));
+  EXPECT_FALSE(startsWith("mat", "matrix"));
+  EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(StringUtilsTest, ToLower) {
+  EXPECT_EQ(toLower("CSR,TM"), "csr,tm");
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(joinStrings({}, ","), "");
+}
+
+TEST(StringUtilsTest, ParseDoubleStrict) {
+  double V = 0.0;
+  EXPECT_TRUE(parseDouble("1.5", V));
+  EXPECT_DOUBLE_EQ(V, 1.5);
+  EXPECT_TRUE(parseDouble("  -2e3 ", V));
+  EXPECT_DOUBLE_EQ(V, -2000.0);
+  EXPECT_FALSE(parseDouble("1.5x", V));
+  EXPECT_FALSE(parseDouble("", V));
+}
+
+TEST(StringUtilsTest, ParseIntStrict) {
+  int64_t V = 0;
+  EXPECT_TRUE(parseInt("-42", V));
+  EXPECT_EQ(V, -42);
+  EXPECT_FALSE(parseInt("42.5", V));
+  EXPECT_FALSE(parseInt("", V));
+}
+
+TEST(StringUtilsTest, SanitizeIdentifier) {
+  EXPECT_EQ(sanitizeIdentifier("CSR,TM"), "CSR_TM");
+  EXPECT_EQ(sanitizeIdentifier("3abc"), "n3abc");
+  EXPECT_EQ(sanitizeIdentifier(""), "n");
+}
+
+//===----------------------------------------------------------------------===//
+// Csv
+//===----------------------------------------------------------------------===//
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable Table({"name", "runtime"});
+  Table.addRow({"m1", "1.5"});
+  Table.addRow({"m2", "2.5"});
+  std::string Error;
+  const auto Parsed = CsvTable::fromString(Table.toString(), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_EQ(Parsed->numRows(), 2u);
+  EXPECT_EQ(Parsed->cell(1, "name"), "m2");
+  EXPECT_DOUBLE_EQ(*Parsed->cellAsDouble(1, "runtime"), 2.5);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  std::string Error;
+  const auto Parsed = CsvTable::fromString("a,b\n1,2,3\n", &Error);
+  EXPECT_FALSE(Parsed.has_value());
+  EXPECT_NE(Error.find("expected 2 fields"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  std::string Error;
+  EXPECT_FALSE(CsvTable::fromString("", &Error).has_value());
+}
+
+TEST(CsvTest, SkipsBlankLinesAndCr) {
+  const auto Parsed = CsvTable::fromString("a,b\r\n\r\n1,2\r\n", nullptr);
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->numRows(), 1u);
+  EXPECT_EQ(Parsed->cell(0, "b"), "2");
+}
+
+TEST(CsvTest, ColumnLookup) {
+  CsvTable Table({"x", "y"});
+  EXPECT_EQ(Table.columnIndex("y"), 1u);
+  EXPECT_EQ(Table.columnIndex("z"), CsvTable::npos);
+  EXPECT_TRUE(Table.hasColumn("x"));
+  EXPECT_FALSE(Table.hasColumn("q"));
+}
+
+TEST(CsvTest, TypedAccessorFailures) {
+  CsvTable Table({"name", "v"});
+  Table.addRow({"m", "abc"});
+  EXPECT_FALSE(Table.cellAsDouble(0, "v").has_value());
+  EXPECT_FALSE(Table.cellAsDouble(0, "missing").has_value());
+  EXPECT_FALSE(Table.cellAsInt(5, "v").has_value());
+}
+
+TEST(CsvTest, SetCell) {
+  CsvTable Table({"name", "v"});
+  Table.addRow({"m", "1"});
+  Table.setCell(0, "v", "9");
+  EXPECT_EQ(Table.cell(0, "v"), "9");
+}
+
+TEST(CsvTest, ColumnAsDoubles) {
+  CsvTable Table({"name", "v"});
+  Table.addRow({"a", "1.5"});
+  Table.addRow({"b", "2.5"});
+  const auto Values = Table.columnAsDoubles("v");
+  ASSERT_EQ(Values.size(), 2u);
+  EXPECT_DOUBLE_EQ(Values[0], 1.5);
+  EXPECT_DOUBLE_EQ(Values[1], 2.5);
+}
+
+TEST(CsvTest, InnerJoinOnFirstColumn) {
+  CsvTable Left({"name", "a"});
+  Left.addRow({"m1", "1"});
+  Left.addRow({"m2", "2"});
+  Left.addRow({"m3", "3"});
+  CsvTable Right({"name", "b", "a"});
+  Right.addRow({"m2", "20", "200"});
+  Right.addRow({"m1", "10", "100"});
+  const CsvTable Joined = CsvTable::innerJoinOnFirstColumn(Left, Right);
+  ASSERT_EQ(Joined.numRows(), 2u);
+  ASSERT_EQ(Joined.numColumns(), 4u);
+  EXPECT_EQ(Joined.columns()[3], "a_rhs"); // duplicate got suffixed
+  EXPECT_EQ(Joined.cell(0, "name"), "m1");
+  EXPECT_EQ(Joined.cell(0, "b"), "10");
+  EXPECT_EQ(Joined.cell(1, "a_rhs"), "200");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable Table({"k", "v"});
+  Table.addRow({"x", "1"});
+  const std::string Path = testing::TempDir() + "/seer_csv_test.csv";
+  std::string Error;
+  ASSERT_TRUE(Table.writeFile(Path, &Error)) << Error;
+  const auto Read = CsvTable::readFile(Path, &Error);
+  ASSERT_TRUE(Read.has_value()) << Error;
+  EXPECT_EQ(Read->cell(0, "k"), "x");
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  std::string Error;
+  EXPECT_FALSE(
+      CsvTable::readFile("/nonexistent/seer.csv", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+}

@@ -1,0 +1,97 @@
+//===- tools/ToolSupport.h - Shared helpers for the CLI tools -------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny flag parser and diagnostics shared by the seer-* command line
+/// tools. Flags are `--name value` or `--name=value`; anything else is a
+/// positional argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_TOOLS_TOOLSUPPORT_H
+#define SEER_TOOLS_TOOLSUPPORT_H
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seer::tools {
+
+/// Parsed command line: flag map + positional arguments.
+class CommandLine {
+public:
+  CommandLine(int Argc, char **Argv, const char *Usage) : Usage(Usage) {
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg.rfind("--", 0) != 0) {
+        Positional.push_back(std::move(Arg));
+        continue;
+      }
+      Arg = Arg.substr(2);
+      if (Arg == "help")
+        exitWithUsage(0);
+      const size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        Flags[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
+      } else if (I + 1 < Argc) {
+        Flags[Arg] = Argv[++I];
+      } else {
+        std::fprintf(stderr, "error: flag --%s needs a value\n", Arg.c_str());
+        exitWithUsage(1);
+      }
+    }
+  }
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  std::string flag(const std::string &Name,
+                   const std::string &Default = "") const {
+    const auto It = Flags.find(Name);
+    return It == Flags.end() ? Default : It->second;
+  }
+
+  int64_t intFlag(const std::string &Name, int64_t Default) const {
+    const auto It = Flags.find(Name);
+    if (It == Flags.end())
+      return Default;
+    int64_t Value = 0;
+    if (!parseInt(It->second, Value)) {
+      std::fprintf(stderr, "error: flag --%s expects an integer, got '%s'\n",
+                   Name.c_str(), It->second.c_str());
+      exitWithUsage(1);
+    }
+    return Value;
+  }
+
+  bool boolFlag(const std::string &Name) const {
+    const auto It = Flags.find(Name);
+    return It != Flags.end() && It->second != "0" && It->second != "false";
+  }
+
+  [[noreturn]] void exitWithUsage(int Code) const {
+    std::fprintf(Code == 0 ? stdout : stderr, "%s", Usage);
+    std::exit(Code);
+  }
+
+private:
+  const char *Usage;
+  std::map<std::string, std::string> Flags;
+  std::vector<std::string> Positional;
+};
+
+/// Prints `error: <message>` and exits 1.
+[[noreturn]] inline void fatal(const std::string &Message) {
+  std::fprintf(stderr, "error: %s\n", Message.c_str());
+  std::exit(1);
+}
+
+} // namespace seer::tools
+
+#endif // SEER_TOOLS_TOOLSUPPORT_H

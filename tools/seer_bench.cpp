@@ -1,0 +1,106 @@
+//===- tools/seer_bench.cpp - GPU benchmarking stage as a CLI -------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// The first stage of Fig. 4 as a standalone tool: benchmark every Table II
+// kernel over a dataset and write the three training CSVs. The dataset is
+// either Matrix Market files given on the command line or the built-in
+// synthetic collection.
+//
+//   seer-bench --out DIR [--variants N] [--max-rows N] [--seed S] \
+//              [--small-gpu] [file.mtx ...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "ToolSupport.h"
+
+#include "core/Seer.h"
+
+#include <filesystem>
+
+using namespace seer;
+using namespace seer::tools;
+
+namespace {
+
+constexpr const char *Usage =
+    "usage: seer-bench --out DIR [options] [file.mtx ...]\n"
+    "\n"
+    "Benchmarks every SpMV kernel variant over a dataset (Matrix Market\n"
+    "files, or the synthetic collection when none are given) and writes\n"
+    "runtime.csv, preprocessing.csv and features.csv into DIR — the inputs\n"
+    "of seer-train.\n"
+    "\n"
+    "options:\n"
+    "  --out DIR        output directory (required)\n"
+    "  --variants N     synthetic variants per family/size cell (default 4)\n"
+    "  --max-rows N     largest synthetic size (default 1048576)\n"
+    "  --seed S         collection seed (default 0x5ee2c011)\n"
+    "  --small-gpu      benchmark on the 36-CU device model instead of the\n"
+    "                   MI100-class default\n";
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const CommandLine Cmd(Argc, Argv, Usage);
+  const std::string OutDir = Cmd.flag("out");
+  if (OutDir.empty())
+    Cmd.exitWithUsage(1);
+  std::error_code Ec;
+  std::filesystem::create_directories(OutDir, Ec);
+  if (Ec)
+    fatal("cannot create '" + OutDir + "': " + Ec.message());
+
+  const DeviceModel Device = Cmd.boolFlag("small-gpu")
+                                 ? DeviceModel::smallGpu()
+                                 : DeviceModel::mi100();
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(Device);
+  const Benchmarker Runner(Registry, Sim);
+
+  std::vector<MatrixBenchmark> Benchmarks;
+  if (Cmd.positional().empty()) {
+    CollectionConfig Collection;
+    Collection.VariantsPerCell =
+        static_cast<uint32_t>(Cmd.intFlag("variants", 4));
+    Collection.MaxRows =
+        static_cast<uint32_t>(Cmd.intFlag("max-rows", 1048576));
+    Collection.Seed = static_cast<uint64_t>(
+        Cmd.intFlag("seed", static_cast<int64_t>(0x5ee2c011ull)));
+    const auto Specs = buildCollection(Collection);
+    std::fprintf(stderr, "benchmarking %zu synthetic matrices...\n",
+                 Specs.size());
+    Benchmarks = Runner.benchmarkCollection(
+        Specs, [](size_t I, size_t N, const std::string &Name) {
+          if (I % 50 == 0)
+            std::fprintf(stderr, "  %zu/%zu %s\n", I, N, Name.c_str());
+        });
+  } else {
+    for (const std::string &Path : Cmd.positional()) {
+      std::string Error;
+      const auto M = readMatrixMarketFile(Path, &Error);
+      if (!M)
+        fatal(Error);
+      const std::string Name =
+          std::filesystem::path(Path).stem().string();
+      std::fprintf(stderr, "benchmarking %s (%u x %u, %llu nnz)...\n",
+                   Name.c_str(), M->numRows(), M->numCols(),
+                   static_cast<unsigned long long>(M->nnz()));
+      Benchmarks.push_back(Runner.benchmarkMatrix(Name, *M));
+    }
+  }
+
+  std::string Error;
+  if (!Benchmarker::runtimeCsv(Benchmarks, Registry.names())
+           .writeFile(OutDir + "/runtime.csv", &Error) ||
+      !Benchmarker::preprocessingCsv(Benchmarks, Registry.names())
+           .writeFile(OutDir + "/preprocessing.csv", &Error) ||
+      !Benchmarker::featuresCsv(Benchmarks)
+           .writeFile(OutDir + "/features.csv", &Error))
+    fatal(Error);
+  std::printf("wrote %zu rows to %s/{runtime,preprocessing,features}.csv\n",
+              Benchmarks.size(), OutDir.c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- tools/seer_predict.cpp - Runtime kernel selection as a CLI ---------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// The Fig. 3 inference flow against trained model files:
+//
+//   seer-predict --models DIR [--iterations N] file.mtx [file.mtx ...]
+//
+// Loads the .tree files written by seer-train, runs the classifier
+// selector (collecting features only when it says to), and prints the
+// selected kernel for each matrix with the full cost breakdown.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ToolSupport.h"
+
+#include "core/Seer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace seer;
+using namespace seer::tools;
+
+namespace {
+
+constexpr const char *Usage =
+    "usage: seer-predict --models DIR [--iterations N] file.mtx ...\n"
+    "\n"
+    "Selects the best SpMV kernel for each Matrix Market file using the\n"
+    "models in DIR (written by seer-train) and prints the decision with\n"
+    "its cost breakdown.\n"
+    "\n"
+    "options:\n"
+    "  --models DIR     directory with seer_{known,gathered,selector}.tree\n"
+    "  --iterations N   expected SpMV iteration count (default 1)\n"
+    "  --execute        also run the chosen kernel and report simulated\n"
+    "                   timings\n";
+
+DecisionTree loadTree(const std::string &Path) {
+  std::ifstream Stream(Path);
+  if (!Stream)
+    fatal("cannot open model file '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  DecisionTree Tree;
+  std::string Error;
+  if (!DecisionTree::parse(Buffer.str(), Tree, &Error))
+    fatal("malformed model '" + Path + "': " + Error);
+  return Tree;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const CommandLine Cmd(Argc, Argv, Usage);
+  const std::string ModelDir = Cmd.flag("models");
+  if (ModelDir.empty() || Cmd.positional().empty())
+    Cmd.exitWithUsage(1);
+  const uint32_t Iterations =
+      static_cast<uint32_t>(Cmd.intFlag("iterations", 1));
+
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  SeerModels Models;
+  Models.Known = loadTree(ModelDir + "/seer_known.tree");
+  Models.Gathered = loadTree(ModelDir + "/seer_gathered.tree");
+  Models.Selector = loadTree(ModelDir + "/seer_selector.tree");
+  Models.KernelNames = Registry.names();
+  const SeerRuntime Runtime(Models, Registry, Sim);
+
+  for (const std::string &Path : Cmd.positional()) {
+    std::string Error;
+    const auto M = readMatrixMarketFile(Path, &Error);
+    if (!M)
+      fatal(Error);
+    const std::string Name = std::filesystem::path(Path).stem().string();
+
+    const SelectionResult Selection = Runtime.select(*M, Iterations);
+    std::printf("%s: %u x %u, %llu nnz, %u iteration%s\n", Name.c_str(),
+                M->numRows(), M->numCols(),
+                static_cast<unsigned long long>(M->nnz()), Iterations,
+                Iterations == 1 ? "" : "s");
+    std::printf("  route:  %s features (selector)\n",
+                Selection.UsedGatheredModel ? "gathered" : "known");
+    std::printf("  kernel: %s\n",
+                Registry.kernel(Selection.KernelIndex).name().c_str());
+    std::printf("  selection overhead: %.4f ms (collection %.4f + "
+                "inference %.4f)\n",
+                Selection.overheadMs(), Selection.FeatureCollectionMs,
+                Selection.InferenceMs);
+
+    if (Cmd.boolFlag("execute")) {
+      std::vector<double> X(M->numCols(), 1.0);
+      const ExecutionReport Report = Runtime.execute(*M, X, Iterations);
+      std::printf("  simulated: preprocess %.4f ms + %u x %.4f ms = %.4f "
+                  "ms end to end\n",
+                  Report.PreprocessMs, Report.Iterations, Report.IterationMs,
+                  Report.totalMs());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- tools/seer_train.cpp - The `seer()` training script as a CLI -------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// Section III-D: "the data is passed into the Seer training script ...
+// seer(runtime, preprocessing_data, features) ... outputs the models as
+// C++ headers". This tool is that script:
+//
+//   seer-train --data DIR --out DIR [--max-depth N] [--iterations 1,5,19]
+//
+// Reads the three CSVs produced by seer-bench, trains the known/gathered/
+// selector trees, writes the C++ headers plus portable .tree model files,
+// and prints a training report (accuracies, depths, importances).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ToolSupport.h"
+
+#include "core/Seer.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace seer;
+using namespace seer::tools;
+
+namespace {
+
+constexpr const char *Usage =
+    "usage: seer-train --data DIR --out DIR [options]\n"
+    "\n"
+    "Trains the Seer model triple from DIR/{runtime,preprocessing,\n"
+    "features}.csv and writes deployment artifacts into the output\n"
+    "directory: seer_known.h / seer_gathered.h / seer_selector.h plus\n"
+    "portable .tree files loadable with DecisionTree::parse().\n"
+    "\n"
+    "options:\n"
+    "  --data DIR         directory with the seer-bench CSVs (required)\n"
+    "  --out DIR          output directory (required)\n"
+    "  --max-depth N      depth cap for the kernel classifiers\n"
+    "  --iterations LIST  comma-separated iteration counts (default 1,5,19)\n";
+
+CsvTable readCsvOrDie(const std::string &Path) {
+  std::string Error;
+  const auto Table = CsvTable::readFile(Path, &Error);
+  if (!Table)
+    fatal(Error);
+  return *Table;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const CommandLine Cmd(Argc, Argv, Usage);
+  const std::string DataDir = Cmd.flag("data");
+  const std::string OutDir = Cmd.flag("out");
+  if (DataDir.empty() || OutDir.empty())
+    Cmd.exitWithUsage(1);
+  std::error_code Ec;
+  std::filesystem::create_directories(OutDir, Ec);
+  if (Ec)
+    fatal("cannot create '" + OutDir + "': " + Ec.message());
+
+  TrainerConfig Config;
+  if (const int64_t Depth = Cmd.intFlag("max-depth", 0)) {
+    Config.KnownTree.MaxDepth = static_cast<uint32_t>(Depth);
+    Config.GatheredTree.MaxDepth = static_cast<uint32_t>(Depth);
+  }
+  if (const std::string List = Cmd.flag("iterations"); !List.empty()) {
+    Config.IterationCounts.clear();
+    for (const std::string &Part : splitString(List, ',')) {
+      int64_t Value = 0;
+      if (!parseInt(Part, Value) || Value < 1)
+        fatal("bad --iterations entry '" + Part + "'");
+      Config.IterationCounts.push_back(static_cast<uint32_t>(Value));
+    }
+  }
+
+  const CsvTable Runtime = readCsvOrDie(DataDir + "/runtime.csv");
+  const CsvTable Preprocessing =
+      readCsvOrDie(DataDir + "/preprocessing.csv");
+  const CsvTable Features = readCsvOrDie(DataDir + "/features.csv");
+
+  std::string Error;
+  const auto Models =
+      seer::seer(Runtime, Preprocessing, Features, Config, &Error);
+  if (!Models)
+    fatal(Error);
+
+  if (!emitModelHeaders(*Models, OutDir, &Error))
+    fatal(Error);
+  for (const auto &[Name, Tree] :
+       {std::pair<const char *, const DecisionTree *>{"known",
+                                                      &Models->Known},
+        {"gathered", &Models->Gathered},
+        {"selector", &Models->Selector}}) {
+    std::ofstream Stream(OutDir + "/seer_" + Name + ".tree");
+    if (!Stream)
+      fatal("cannot write model file for " + std::string(Name));
+    Stream << Tree->serialize();
+  }
+
+  // Training report.
+  const auto Benchmarks =
+      Benchmarker::fromCsv(Runtime, Preprocessing, Features, &Error);
+  const Dataset KnownData =
+      buildKnownDataset(*Benchmarks, Config.IterationCounts);
+  const Dataset GatheredData =
+      buildGatheredDataset(*Benchmarks, Config.IterationCounts);
+  std::printf("trained on %zu matrices x %zu iteration counts\n",
+              Benchmarks->size(), Config.IterationCounts.size());
+  std::printf("  known:    depth %2u, %3zu nodes, train accuracy %.1f%%\n",
+              Models->Known.depth(), Models->Known.nodes().size(),
+              100.0 * Models->Known.accuracy(KnownData));
+  std::printf("  gathered: depth %2u, %3zu nodes, train accuracy %.1f%%\n",
+              Models->Gathered.depth(), Models->Gathered.nodes().size(),
+              100.0 * Models->Gathered.accuracy(GatheredData));
+  std::printf("  selector: depth %2u, %3zu nodes\n",
+              Models->Selector.depth(), Models->Selector.nodes().size());
+
+  const auto Importance = Models->Gathered.featureImportance();
+  std::printf("gathered-model feature importances:\n");
+  for (size_t I = 0; I < Importance.size(); ++I)
+    std::printf("  %-14s %.3f\n",
+                Models->Gathered.featureNames()[I].c_str(), Importance[I]);
+  std::printf("artifacts written to %s\n", OutDir.c_str());
+  return 0;
+}
