@@ -67,7 +67,12 @@ struct Environment {
 inline const Environment &environment() {
   static const Environment Env = [] {
     Environment E;
-    E.All = benchmarkCollectionCached(CollectionConfig(), BenchmarkConfig(),
+    // The sweep and the trainer both use every hardware thread; results
+    // are bit-identical to serial (and to the on-disk cache), so the
+    // parallelism setting never invalidates cached sweeps.
+    BenchmarkConfig Protocol;
+    Protocol.Parallelism = 0;
+    E.All = benchmarkCollectionCached(CollectionConfig(), Protocol,
                                       DeviceModel::mi100(), cacheDirectory(),
                                       /*Verbose=*/true);
 
@@ -94,7 +99,9 @@ inline const Environment &environment() {
     for (size_t I = 0; I < Order.size(); ++I)
       (I < TestCount ? E.Test : E.Train).push_back(Rest[Order[I]]);
 
-    E.Models = trainSeerModels(E.Train, E.Registry.names());
+    TrainerConfig Trainer;
+    Trainer.Parallelism = 0;
+    E.Models = trainSeerModels(E.Train, E.Registry.names(), Trainer);
     std::fprintf(stderr,
                  "seer: %zu train / %zu test matrices, %zu replicas held "
                  "out\n",

@@ -25,10 +25,14 @@ int main() {
   // The cheap tier needs the matrices themselves; rebuild from specs.
   const auto Specs = buildCollection(CollectionConfig());
   std::fprintf(stderr, "collecting cheap-tier features...\n");
-  const auto TrainMs = augmentWithCheapTier(Env.Train, Specs, Env.Sim);
-  const auto TestMs = augmentWithCheapTier(Env.Test, Specs, Env.Sim);
+  const auto TrainMs =
+      augmentWithCheapTier(Env.Train, Specs, Env.Sim, /*Parallelism=*/0);
+  const auto TestMs =
+      augmentWithCheapTier(Env.Test, Specs, Env.Sim, /*Parallelism=*/0);
+  TrainerConfig Trainer;
+  Trainer.Parallelism = 0;
   const MultiStageModels Models =
-      trainMultiStageModels(TrainMs, Env.Registry.names());
+      trainMultiStageModels(TrainMs, Env.Registry.names(), Trainer);
 
   for (uint32_t Iterations : {1u, 19u}) {
     printHeader(("future-work multi-tier selector — " +

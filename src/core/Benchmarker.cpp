@@ -6,14 +6,17 @@
 
 #include "core/Benchmarker.h"
 
+#include "core/Features.h"
 #include "kernels/FeatureKernels.h"
 #include "support/Random.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 using namespace seer;
 
@@ -69,16 +72,21 @@ MatrixBenchmark Benchmarker::benchmarkMatrix(const std::string &Name,
                                              const CsrMatrix &M) const {
   MatrixBenchmark Bench;
   Bench.Name = Name;
+  // One shared single-pass analysis feeds everything downstream: the known
+  // features, the simulator's memory model, every kernel's schedule, and
+  // the feature-collection result (which no longer re-walks the rows).
   const MatrixStats Stats = computeMatrixStats(M);
   Bench.Known = Stats.Known;
 
-  // Feature collection: the GPU kernels return the same statistics as the
-  // host computation plus their simulated cost.
-  const FeatureCollectionResult Collection = collectGatheredFeatures(M, Sim);
+  // Feature collection: the GPU kernels return the same statistics the
+  // shared analysis already computed, plus their simulated cost.
+  const FeatureCollectionResult Collection =
+      collectGatheredFeatures(M, Sim, Stats.Gathered);
   Bench.Gathered = Collection.Features;
   Bench.FeatureCollectionMs = Collection.CollectionMs;
 
-  // Reference result for verification.
+  // Operand and reference result, hoisted so the per-kernel work is only
+  // the kernel itself plus an elementwise compare.
   std::vector<double> X(M.numCols());
   Rng XRng(noiseSeed(0x5eedf00dull, Name, 0));
   for (double &V : X)
@@ -88,7 +96,7 @@ MatrixBenchmark Benchmarker::benchmarkMatrix(const std::string &Name,
     Reference = M.multiply(X);
 
   Bench.PerKernel.resize(Registry.size());
-  for (size_t K = 0; K < Registry.size(); ++K) {
+  parallelFor(Config.Parallelism, Registry.size(), [&](size_t K) {
     const SpmvKernel &Kernel = Registry.kernel(K);
     const PreprocessResult Prep = Kernel.preprocess(M, Stats, Sim);
     const SpmvRun Run = Kernel.run(M, Stats, Prep.State.get(), X, Sim);
@@ -110,7 +118,7 @@ MatrixBenchmark Benchmarker::benchmarkMatrix(const std::string &Name,
         averageNoisy(Prep.TimeMs, Config.NoiseSigma, Config.TimedRuns, Noise);
     Bench.PerKernel[K].IterationMs = averageNoisy(
         Run.Timing.TotalMs, Config.NoiseSigma, Config.TimedRuns, Noise);
-  }
+  });
   return Bench;
 }
 
@@ -118,14 +126,16 @@ std::vector<MatrixBenchmark> Benchmarker::benchmarkCollection(
     const std::vector<MatrixSpec> &Specs,
     const std::function<void(size_t, size_t, const std::string &)> &Progress)
     const {
-  std::vector<MatrixBenchmark> Benchmarks;
-  Benchmarks.reserve(Specs.size());
-  for (size_t I = 0; I < Specs.size(); ++I) {
-    if (Progress)
+  std::vector<MatrixBenchmark> Benchmarks(Specs.size());
+  std::mutex ProgressMutex;
+  parallelFor(Config.Parallelism, Specs.size(), [&](size_t I) {
+    if (Progress) {
+      std::lock_guard<std::mutex> Lock(ProgressMutex);
       Progress(I, Specs.size(), Specs[I].Name);
+    }
     const CsrMatrix M = Specs[I].Build();
-    Benchmarks.push_back(benchmarkMatrix(Specs[I].Name, M));
-  }
+    Benchmarks[I] = benchmarkMatrix(Specs[I].Name, M);
+  });
   return Benchmarks;
 }
 
@@ -163,8 +173,10 @@ Benchmarker::preprocessingCsv(const std::vector<MatrixBenchmark> &Benchmarks,
 
 CsvTable
 Benchmarker::featuresCsv(const std::vector<MatrixBenchmark> &Benchmarks) {
-  CsvTable Table({"name", "rows", "cols", "nnz", "max_density", "min_density",
-                  "mean_density", "var_density", "collection_ms"});
+  // The column list is the feature schema itself (features::gatheredNames
+  // minus the train-time-only iterations axis), so the CSV and the
+  // in-memory feature vectors cannot drift apart.
+  CsvTable Table(features::featureCsvColumns());
   for (const MatrixBenchmark &Bench : Benchmarks) {
     Table.addRow({Bench.Name, std::to_string(Bench.Known.NumRows),
                   std::to_string(Bench.Known.NumCols),
@@ -194,6 +206,8 @@ Benchmarker::fromCsv(const CsvTable &Runtime, const CsvTable &Preprocessing,
   if (Runtime.numRows() != Preprocessing.numRows() ||
       Runtime.numRows() != Features.numRows())
     return Fail("tables disagree on dataset size");
+  if (Features.columns() != features::featureCsvColumns())
+    return Fail("features table does not match the feature schema");
 
   const size_t NumKernels = Runtime.numColumns() - 1;
   std::vector<MatrixBenchmark> Benchmarks;

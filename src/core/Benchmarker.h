@@ -77,6 +77,13 @@ struct BenchmarkConfig {
   uint64_t NoiseSeed = 0x5ee2b41cull;
   /// Verify every kernel's numeric result against the reference multiply.
   bool VerifyResults = true;
+  /// Worker threads for the sweep: 1 = serial, 0 = one per hardware
+  /// thread, N = exactly N. benchmarkCollection parallelizes across
+  /// matrices and benchmarkMatrix across the kernel registry; results are
+  /// bit-identical at every setting because the noise streams are seeded
+  /// per (matrix, kernel), never per thread. Deliberately excluded from
+  /// the benchmark cache key for the same reason.
+  uint32_t Parallelism = 1;
 };
 
 /// Runs the benchmarking stage.
@@ -89,9 +96,12 @@ public:
   MatrixBenchmark benchmarkMatrix(const std::string &Name,
                                   const CsrMatrix &M) const;
 
-  /// Benchmarks every spec in \p Specs, building matrices one at a time so
-  /// peak memory stays one matrix. \p Progress (may be null) is invoked
-  /// with (index, total, name) before each member.
+  /// Benchmarks every spec in \p Specs, building matrices on demand so
+  /// peak memory stays one matrix per worker. With Parallelism != 1 the
+  /// members are benchmarked concurrently; the returned vector is always
+  /// in spec order and bit-identical to a serial run. \p Progress (may be
+  /// null) is invoked with (index, total, name) as each member starts —
+  /// serialized, but possibly from worker threads and out of index order.
   std::vector<MatrixBenchmark> benchmarkCollection(
       const std::vector<MatrixSpec> &Specs,
       const std::function<void(size_t, size_t, const std::string &)>

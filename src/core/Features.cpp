@@ -1,0 +1,47 @@
+//===- core/Features.cpp ---------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Features.h"
+
+using namespace seer;
+
+std::vector<std::string> features::knownNames() {
+  return {"rows", "cols", "nnz", "iterations"};
+}
+
+std::vector<double> features::knownVector(const KnownFeatures &Known,
+                                          double Iterations) {
+  return {static_cast<double>(Known.NumRows),
+          static_cast<double>(Known.NumCols),
+          static_cast<double>(Known.Nnz), Iterations};
+}
+
+std::vector<std::string> features::gatheredNames() {
+  return {"rows",        "cols",        "nnz",          "iterations",
+          "max_density", "min_density", "mean_density", "var_density"};
+}
+
+std::vector<double> features::gatheredVector(const KnownFeatures &Known,
+                                             const GatheredFeatures &Gathered,
+                                             double Iterations) {
+  return {static_cast<double>(Known.NumRows),
+          static_cast<double>(Known.NumCols),
+          static_cast<double>(Known.Nnz),
+          Iterations,
+          Gathered.MaxRowDensity,
+          Gathered.MinRowDensity,
+          Gathered.MeanRowDensity,
+          Gathered.VarRowDensity};
+}
+
+std::vector<std::string> features::featureCsvColumns() {
+  std::vector<std::string> Columns = {"name"};
+  for (const std::string &Name : gatheredNames())
+    if (Name != "iterations")
+      Columns.push_back(Name);
+  Columns.push_back("collection_ms");
+  return Columns;
+}

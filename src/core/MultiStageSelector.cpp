@@ -7,6 +7,7 @@
 #include "core/MultiStageSelector.h"
 
 #include "kernels/FeatureKernels.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -33,14 +34,14 @@ std::vector<double> features::cheapVector(const KnownFeatures &Known,
 std::vector<MultiStageBenchmark>
 seer::augmentWithCheapTier(const std::vector<MatrixBenchmark> &Benchmarks,
                            const std::vector<MatrixSpec> &Specs,
-                           const GpuSimulator &Sim) {
+                           const GpuSimulator &Sim, uint32_t Parallelism) {
   std::unordered_map<std::string, const MatrixSpec *> SpecsByName;
   for (const MatrixSpec &Spec : Specs)
     SpecsByName.emplace(Spec.Name, &Spec);
 
-  std::vector<MultiStageBenchmark> Out;
-  Out.reserve(Benchmarks.size());
-  for (const MatrixBenchmark &Bench : Benchmarks) {
+  std::vector<MultiStageBenchmark> Out(Benchmarks.size());
+  parallelFor(Parallelism, Benchmarks.size(), [&](size_t I) {
+    const MatrixBenchmark &Bench = Benchmarks[I];
     const auto It = SpecsByName.find(Bench.Name);
     assert(It != SpecsByName.end() && "benchmark without a matching spec");
     MultiStageBenchmark Extended;
@@ -49,8 +50,8 @@ seer::augmentWithCheapTier(const std::vector<MatrixBenchmark> &Benchmarks,
     const FeatureCollectionResult Cheap = collectCheapFeatures(M, Sim);
     Extended.CheapFeatures = Cheap.Features;
     Extended.CheapCollectionMs = Cheap.CollectionMs;
-    Out.push_back(std::move(Extended));
-  }
+    Out[I] = std::move(Extended);
+  });
   return Out;
 }
 
@@ -169,19 +170,24 @@ MultiStageModels seer::trainMultiStageModels(
   MultiStageModels Models;
   Models.KernelNames = KernelNames;
 
-  const TreeConfig TierConfigs[3] = {Config.KnownTree, Config.GatheredTree,
-                                     Config.GatheredTree};
+  TreeConfig TierConfigs[3] = {Config.KnownTree, Config.GatheredTree,
+                               Config.GatheredTree};
+  TreeConfig SelectorConfig = Config.SelectorTree;
+  for (TreeConfig &Tree : TierConfigs)
+    Tree.Parallelism = Config.Parallelism;
+  SelectorConfig.Parallelism = Config.Parallelism;
   for (uint32_t Tier = 0; Tier < MultiStageModels::NumTiers; ++Tier)
     Models.TierModels[Tier] = DecisionTree::train(
         buildTierDataset(Benchmarks, Config.IterationCounts, Tier),
         TierConfigs[Tier]);
 
-  // Cross-fitted selector labels, as in the two-tier trainer.
-  Dataset SelectorData;
-  SelectorData.FeatureNames = features::knownNames();
+  // Cross-fitted selector labels, as in the two-tier trainer: folds are
+  // independent, so they train concurrently; per-fold datasets are
+  // concatenated in fold order, keeping the result thread-count-invariant.
   const uint32_t NumFolds =
       Benchmarks.size() >= 2 * CrossFitFolds ? CrossFitFolds : 1;
-  for (uint32_t Fold = 0; Fold < NumFolds; ++Fold) {
+  std::vector<Dataset> FoldDatasets(NumFolds);
+  parallelFor(Config.Parallelism, NumFolds, [&](size_t Fold) {
     std::vector<MultiStageBenchmark> FoldIn, FoldOut;
     for (size_t I = 0; I < Benchmarks.size(); ++I)
       ((I % NumFolds == Fold) ? FoldOut : FoldIn).push_back(Benchmarks[I]);
@@ -192,8 +198,12 @@ MultiStageModels seer::trainMultiStageModels(
       FoldModels.TierModels[Tier] = DecisionTree::train(
           buildTierDataset(FoldIn, Config.IterationCounts, Tier),
           TierConfigs[Tier]);
-    const Dataset FoldData = buildTierSelectorDataset(
+    FoldDatasets[Fold] = buildTierSelectorDataset(
         FoldOut, Config.IterationCounts, FoldModels);
+  });
+  Dataset SelectorData;
+  SelectorData.FeatureNames = features::knownNames();
+  for (const Dataset &FoldData : FoldDatasets) {
     SelectorData.Rows.insert(SelectorData.Rows.end(), FoldData.Rows.begin(),
                              FoldData.Rows.end());
     SelectorData.Labels.insert(SelectorData.Labels.end(),
@@ -208,8 +218,7 @@ MultiStageModels seer::trainMultiStageModels(
     SelectorData.Costs.insert(SelectorData.Costs.end(),
                               FoldData.Costs.begin(), FoldData.Costs.end());
   }
-  Models.Selector =
-      DecisionTree::train(SelectorData, Config.SelectorTree);
+  Models.Selector = DecisionTree::train(SelectorData, SelectorConfig);
   return Models;
 }
 

@@ -69,10 +69,13 @@ std::vector<double> cheapVector(const KnownFeatures &Known,
 
 /// Augments benchmarks with cheap-tier measurements by rebuilding each
 /// matrix from \p Specs (matched by name) and running the cheap kernels.
+/// \p Parallelism follows the pipeline-wide convention (1 = serial,
+/// 0 = one worker per hardware thread); results are order-stable and
+/// bit-identical at every setting.
 std::vector<MultiStageBenchmark>
 augmentWithCheapTier(const std::vector<MatrixBenchmark> &Benchmarks,
                      const std::vector<MatrixSpec> &Specs,
-                     const GpuSimulator &Sim);
+                     const GpuSimulator &Sim, uint32_t Parallelism = 1);
 
 /// Trains the three tier models and the tier selector.
 MultiStageModels

@@ -20,8 +20,17 @@ SeerRuntime::SeerRuntime(const SeerModels &Models,
          "models were trained for a different kernel registry");
 }
 
-SelectionResult SeerRuntime::select(const CsrMatrix &M,
-                                    uint32_t Iterations) const {
+namespace {
+
+/// Shared body of the two select() overloads; \p Collect produces the
+/// gathered features (and their modeled cost) only when the selector
+/// routes to the gathered path. Templated so the common known path stays
+/// allocation-free — selection is the overhead the paper models as
+/// negligible, so it must not pay for a std::function it never calls.
+template <typename CollectFn>
+SelectionResult selectImpl(const SeerModels &Models,
+                           const KernelRegistry &Registry, const CsrMatrix &M,
+                           uint32_t Iterations, const CollectFn &Collect) {
   SelectionResult Result;
   // Trivially known features are free: they ship with the input.
   KnownFeatures Known;
@@ -32,24 +41,39 @@ SelectionResult SeerRuntime::select(const CsrMatrix &M,
       features::knownVector(Known, Iterations);
 
   const uint32_t Choice = Models.Selector.predict(KnownVec);
-  Result.InferenceMs = InferenceOverheadUs * 1e-3;
+  Result.InferenceMs = SeerRuntime::InferenceOverheadUs * 1e-3;
 
   if (Choice == SeerModels::SelectGathered) {
     // Pay for the collection kernels, then ask the gathered model.
-    const FeatureCollectionResult Collection =
-        collectGatheredFeatures(M, Sim);
+    const FeatureCollectionResult Collection = Collect();
     Result.UsedGatheredModel = true;
     Result.FeatureCollectionMs = Collection.CollectionMs;
-    Result.InferenceMs += InferenceOverheadUs * 1e-3;
+    Result.InferenceMs += SeerRuntime::InferenceOverheadUs * 1e-3;
     Result.KernelIndex = Models.Gathered.predict(features::gatheredVector(
         Known, Collection.Features, Iterations));
   } else {
-    Result.InferenceMs += InferenceOverheadUs * 1e-3;
+    Result.InferenceMs += SeerRuntime::InferenceOverheadUs * 1e-3;
     Result.KernelIndex = Models.Known.predict(KnownVec);
   }
   assert(Result.KernelIndex < Registry.size() &&
          "model predicted an out-of-range kernel");
+  (void)Registry;
   return Result;
+}
+
+} // namespace
+
+SelectionResult SeerRuntime::select(const CsrMatrix &M,
+                                    uint32_t Iterations) const {
+  return selectImpl(Models, Registry, M, Iterations,
+                    [&] { return collectGatheredFeatures(M, Sim); });
+}
+
+SelectionResult SeerRuntime::select(const CsrMatrix &M, uint32_t Iterations,
+                                    const MatrixStats &Stats) const {
+  return selectImpl(Models, Registry, M, Iterations, [&] {
+    return collectGatheredFeatures(M, Sim, Stats.Gathered);
+  });
 }
 
 ExecutionReport SeerRuntime::execute(const CsrMatrix &M,
@@ -57,11 +81,12 @@ ExecutionReport SeerRuntime::execute(const CsrMatrix &M,
                                      uint32_t Iterations) const {
   assert(Iterations > 0 && "execute needs at least one iteration");
   ExecutionReport Report;
-  Report.Selection = select(M, Iterations);
+  // One analysis pass serves selection, preprocessing and the run.
+  const MatrixStats Stats = computeMatrixStats(M);
+  Report.Selection = select(M, Iterations, Stats);
   Report.Iterations = Iterations;
 
   const SpmvKernel &Kernel = Registry.kernel(Report.Selection.KernelIndex);
-  const MatrixStats Stats = computeMatrixStats(M);
   const PreprocessResult Prep = Kernel.preprocess(M, Stats, Sim);
   Report.PreprocessMs = Prep.TimeMs;
 

@@ -80,6 +80,13 @@ public:
   /// Runs the Fig. 3 selection flow for \p M at \p Iterations.
   SelectionResult select(const CsrMatrix &M, uint32_t Iterations) const;
 
+  /// Fused variant: reuses an already-computed analysis of \p M for the
+  /// gathered path instead of re-walking the matrix (the modeled
+  /// collection cost is still charged). Used by execute(), which needs
+  /// the full stats for the chosen kernel anyway.
+  SelectionResult select(const CsrMatrix &M, uint32_t Iterations,
+                         const MatrixStats &Stats) const;
+
   /// Selection + execution: preprocesses the chosen kernel once and runs
   /// \p Iterations SpMVs with the given operand.
   ExecutionReport execute(const CsrMatrix &M, const std::vector<double> &X,

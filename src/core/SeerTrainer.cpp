@@ -7,40 +7,12 @@
 #include "core/SeerTrainer.h"
 
 #include "ml/TreeCodegen.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
 
 using namespace seer;
-
-std::vector<std::string> features::knownNames() {
-  return {"rows", "cols", "nnz", "iterations"};
-}
-
-std::vector<double> features::knownVector(const KnownFeatures &Known,
-                                          double Iterations) {
-  return {static_cast<double>(Known.NumRows),
-          static_cast<double>(Known.NumCols),
-          static_cast<double>(Known.Nnz), Iterations};
-}
-
-std::vector<std::string> features::gatheredNames() {
-  return {"rows",        "cols",        "nnz",          "iterations",
-          "max_density", "min_density", "mean_density", "var_density"};
-}
-
-std::vector<double> features::gatheredVector(const KnownFeatures &Known,
-                                             const GatheredFeatures &Gathered,
-                                             double Iterations) {
-  return {static_cast<double>(Known.NumRows),
-          static_cast<double>(Known.NumCols),
-          static_cast<double>(Known.Nnz),
-          Iterations,
-          Gathered.MaxRowDensity,
-          Gathered.MinRowDensity,
-          Gathered.MeanRowDensity,
-          Gathered.VarRowDensity};
-}
 
 namespace {
 
@@ -169,40 +141,51 @@ seer::trainSeerModels(const std::vector<MatrixBenchmark> &Benchmarks,
   SeerModels Models;
   Models.KernelNames = KernelNames;
 
+  // The config-level Parallelism knob governs every tree trained here.
+  TreeConfig KnownTree = Config.KnownTree;
+  TreeConfig GatheredTree = Config.GatheredTree;
+  TreeConfig SelectorTree = Config.SelectorTree;
+  KnownTree.Parallelism = Config.Parallelism;
+  GatheredTree.Parallelism = Config.Parallelism;
+  SelectorTree.Parallelism = Config.Parallelism;
+
   const Dataset KnownData =
       buildKnownDataset(Benchmarks, Config.IterationCounts);
-  Models.Known = DecisionTree::train(KnownData, Config.KnownTree);
+  Models.Known = DecisionTree::train(KnownData, KnownTree);
 
   const Dataset GatheredData =
       buildGatheredDataset(Benchmarks, Config.IterationCounts);
-  Models.Gathered = DecisionTree::train(GatheredData, Config.GatheredTree);
+  Models.Gathered = DecisionTree::train(GatheredData, GatheredTree);
 
   // Selector labels must reflect how the sub-models behave on data they
   // were NOT fitted to; labeling the training set with models trained on
   // that same set would make the known path look optimistically good and
   // the selector would under-collect at deployment. Cross-fit: partition
   // the benchmarks into folds, label each fold with sub-models trained on
-  // the other folds.
-  Dataset SelectorData;
-  SelectorData.FeatureNames = features::knownNames();
+  // the other folds. Folds are independent, so they train concurrently;
+  // the per-fold datasets are concatenated in fold order afterwards, so
+  // the selector's training set is identical at every thread count.
   const uint32_t NumFolds =
       Benchmarks.size() >= 2 * CrossFitFolds ? CrossFitFolds : 1;
-  for (uint32_t Fold = 0; Fold < NumFolds; ++Fold) {
+  std::vector<Dataset> FoldDatasets(NumFolds);
+  parallelFor(Config.Parallelism, NumFolds, [&](size_t Fold) {
     std::vector<MatrixBenchmark> FoldIn, FoldOut;
     for (size_t I = 0; I < Benchmarks.size(); ++I)
       ((I % NumFolds == Fold) ? FoldOut : FoldIn).push_back(Benchmarks[I]);
     if (FoldIn.empty())
       FoldIn = FoldOut; // single-fold degenerate case
     const DecisionTree FoldKnown = DecisionTree::train(
-        buildKnownDataset(FoldIn, Config.IterationCounts), Config.KnownTree);
+        buildKnownDataset(FoldIn, Config.IterationCounts), KnownTree);
     const DecisionTree FoldGathered = DecisionTree::train(
-        buildGatheredDataset(FoldIn, Config.IterationCounts),
-        Config.GatheredTree);
-    appendDataset(SelectorData,
-                  buildSelectorDataset(FoldOut, Config.IterationCounts,
-                                       FoldKnown, FoldGathered));
-  }
-  Models.Selector = DecisionTree::train(SelectorData, Config.SelectorTree);
+        buildGatheredDataset(FoldIn, Config.IterationCounts), GatheredTree);
+    FoldDatasets[Fold] = buildSelectorDataset(
+        FoldOut, Config.IterationCounts, FoldKnown, FoldGathered);
+  });
+  Dataset SelectorData;
+  SelectorData.FeatureNames = features::knownNames();
+  for (const Dataset &FoldData : FoldDatasets)
+    appendDataset(SelectorData, FoldData);
+  Models.Selector = DecisionTree::train(SelectorData, SelectorTree);
   return Models;
 }
 

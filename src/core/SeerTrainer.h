@@ -28,6 +28,7 @@
 #define SEER_CORE_SEERTRAINER_H
 
 #include "core/Benchmarker.h"
+#include "core/Features.h"
 #include "ml/DecisionTree.h"
 
 #include <optional>
@@ -63,20 +64,13 @@ struct TrainerConfig {
   /// Iteration counts replicated into the training data (the paper trains
   /// across iteration counts so amortization is learnable, Section IV-E).
   std::vector<uint32_t> IterationCounts = {1, 5, 19};
+  /// Worker threads for training: cross-fit folds train concurrently and
+  /// each tree evaluates its candidate features concurrently (1 = serial,
+  /// 0 = one per hardware thread). Fold work is independent and fold
+  /// datasets are concatenated in fold order, so the trained models are
+  /// bit-identical at every setting.
+  uint32_t Parallelism = 1;
 };
-
-/// Feature vector layouts shared by training and runtime inference.
-namespace features {
-/// Known layout: [rows, cols, nnz, iterations].
-std::vector<std::string> knownNames();
-std::vector<double> knownVector(const KnownFeatures &Known,
-                                double Iterations);
-/// Gathered layout: known + [max, min, mean, var row density].
-std::vector<std::string> gatheredNames();
-std::vector<double> gatheredVector(const KnownFeatures &Known,
-                                   const GatheredFeatures &Gathered,
-                                   double Iterations);
-} // namespace features
 
 /// Builds the fastest-kernel dataset over known features only.
 Dataset buildKnownDataset(const std::vector<MatrixBenchmark> &Benchmarks,

@@ -178,17 +178,20 @@ SpmvRun CsrWorkOriented::run(const CsrMatrix &M, const MatrixStats &Stats,
   SpmvRun Result;
   Result.Y.assign(M.numRows(), 0.0);
 
-  // Host execution mirrors the schedule: walk fixed-size nonzero chunks,
-  // resolving row boundaries by binary search exactly as the GPU threads do.
+  // Host execution mirrors the schedule: walk fixed-size nonzero chunks.
+  // The GPU threads each binary-search for their chunk's starting row, but
+  // the host walks chunks in order, so the cursor from the previous chunk
+  // already points at (or just before) the next chunk's row — carrying it
+  // replaces the per-chunk upper_bound with an amortized-O(1) advance.
   const uint64_t Nnz = M.nnz();
   const auto &Offsets = M.rowOffsets();
+  uint32_t Row = 0;
   for (uint64_t ChunkBegin = 0; ChunkBegin < Nnz;
        ChunkBegin += ItemsPerThread) {
     const uint64_t ChunkEnd = std::min<uint64_t>(ChunkBegin + ItemsPerThread, Nnz);
-    // Find the row containing ChunkBegin (upper_bound - 1).
-    uint32_t Row = static_cast<uint32_t>(
-        std::upper_bound(Offsets.begin(), Offsets.end(), ChunkBegin) -
-        Offsets.begin() - 1);
+    // Advance to the row containing ChunkBegin (skipping empty rows).
+    while (Offsets[Row + 1] <= ChunkBegin)
+      ++Row;
     double Partial = 0.0;
     for (uint64_t K = ChunkBegin; K < ChunkEnd; ++K) {
       while (K >= Offsets[Row + 1]) {

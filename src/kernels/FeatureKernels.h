@@ -44,6 +44,16 @@ struct FeatureCollectionResult {
 FeatureCollectionResult collectGatheredFeatures(const CsrMatrix &M,
                                                 const GpuSimulator &Sim);
 
+/// Fused-analysis variant: takes the row-density statistics already
+/// produced by the shared single pass (computeMatrixStats) instead of
+/// re-walking the CSR arrays, and only attaches the simulated collection
+/// cost. Bit-identical to the two-argument overload — computeMatrixStats
+/// accumulates the densities with the same RunningSummary recurrence in
+/// the same row order.
+FeatureCollectionResult collectGatheredFeatures(const CsrMatrix &M,
+                                                const GpuSimulator &Sim,
+                                                const GatheredFeatures &Precomputed);
+
 /// The cheap single-pass subset: only max and mean row density (no
 /// variance, so no second pass; no min, saving one reduction tree). Costs
 /// roughly half of collectGatheredFeatures — the paper's future-work idea
@@ -53,6 +63,13 @@ FeatureCollectionResult collectGatheredFeatures(const CsrMatrix &M,
 /// The unset fields of the result (MinRowDensity, VarRowDensity) are 0.
 FeatureCollectionResult collectCheapFeatures(const CsrMatrix &M,
                                              const GpuSimulator &Sim);
+
+/// Fused-analysis variant of the cheap tier: masks the precomputed full
+/// statistics down to the cheap subset (max + mean; min/var zeroed) and
+/// attaches the simulated single-pass cost, skipping the host re-walk.
+FeatureCollectionResult collectCheapFeatures(const CsrMatrix &M,
+                                             const GpuSimulator &Sim,
+                                             const GatheredFeatures &Precomputed);
 
 } // namespace seer
 

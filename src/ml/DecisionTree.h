@@ -16,7 +16,17 @@
 /// Determinism rules (important for reproducibility and for the generated
 /// headers): candidate splits are evaluated in feature order, thresholds
 /// are midpoints between consecutive distinct values in ascending order,
-/// and ties in impurity gain keep the first candidate found.
+/// and ties in impurity gain keep the first candidate found — each
+/// feature's best threshold is chosen by scanning its thresholds in
+/// ascending order, then features are compared in index order, both with
+/// the same keep-the-incumbent epsilon rule. The two-level selection makes
+/// per-feature scans independent, so they can run on worker threads
+/// without changing the result.
+///
+/// Training complexity: the trainer presorts each feature's sample order
+/// once at the root (O(features · n log n)) and maintains the per-feature
+/// orders through node partitions (sklearn-style), so per node the work is
+/// a linear scan per feature instead of a fresh sort per (node, feature).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +51,11 @@ struct TreeConfig {
   uint32_t MinSamplesSplit = 2;
   /// Every leaf must keep at least this many samples.
   uint32_t MinSamplesLeaf = 1;
+  /// Worker threads for candidate-feature evaluation within a node
+  /// (1 = serial, 0 = one per hardware thread). Per-feature scans are
+  /// independent and combined in feature order, so the trained tree is
+  /// identical at every setting.
+  uint32_t Parallelism = 1;
 };
 
 /// One node of the trained tree (leaf or internal).

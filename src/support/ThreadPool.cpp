@@ -1,0 +1,130 @@
+//===- support/ThreadPool.cpp ----------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+using namespace seer;
+
+namespace {
+thread_local bool InsideWorkerFlag = false;
+
+/// Marks the current thread as executing parallelFor work for the scope
+/// of one block, so nested parallelFor calls run inline instead of
+/// queueing behind the very blocks that are waiting on them.
+class InsideWorkerScope {
+public:
+  InsideWorkerScope() : Saved(InsideWorkerFlag) { InsideWorkerFlag = true; }
+  ~InsideWorkerScope() { InsideWorkerFlag = Saved; }
+
+private:
+  bool Saved;
+};
+} // namespace
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  const unsigned Count = std::max(1u, Workers);
+  this->Workers.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I)
+    this->Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "submit after shutdown");
+    Tasks.push_back(std::move(Task));
+  }
+  WakeWorkers.notify_one();
+}
+
+bool ThreadPool::insideWorker() { return InsideWorkerFlag; }
+
+ThreadPool &ThreadPool::shared() {
+  static ThreadPool Pool(resolveParallelism(0));
+  return Pool;
+}
+
+void ThreadPool::workerLoop() {
+  InsideWorkerFlag = true;
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock, [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // shutting down and drained
+      Task = std::move(Tasks.front());
+      Tasks.pop_front();
+    }
+    Task();
+  }
+}
+
+unsigned seer::resolveParallelism(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void seer::parallelFor(unsigned Parallelism, size_t Count,
+                       const std::function<void(size_t)> &Fn) {
+  const unsigned Resolved = resolveParallelism(Parallelism);
+  // Serial fast path: requested serial, trivial trip count, or nested
+  // inside a pool worker (the outer loop already owns the parallelism).
+  if (Resolved <= 1 || Count <= 1 || ThreadPool::insideWorker()) {
+    for (size_t I = 0; I < Count; ++I)
+      Fn(I);
+    return;
+  }
+
+  const size_t Blocks = std::min<size_t>(Resolved, Count);
+  struct Completion {
+    std::mutex Mutex;
+    std::condition_variable Done;
+    size_t Remaining;
+  } State{{}, {}, Blocks - 1};
+
+  // Fixed partition: block B covers [B*Count/Blocks, (B+1)*Count/Blocks).
+  const auto RunBlock = [&](size_t Block) {
+    const size_t Begin = Block * Count / Blocks;
+    const size_t End = (Block + 1) * Count / Blocks;
+    for (size_t I = Begin; I < End; ++I)
+      Fn(I);
+  };
+
+  ThreadPool &Pool = ThreadPool::shared();
+  for (size_t Block = 1; Block < Blocks; ++Block)
+    Pool.submit([&State, &RunBlock, Block] {
+      RunBlock(Block);
+      std::lock_guard<std::mutex> Lock(State.Mutex);
+      if (--State.Remaining == 0)
+        State.Done.notify_one();
+    });
+  {
+    // The calling thread is the first worker; mark it as such so nested
+    // parallelFor calls inside block 0 run inline rather than enqueueing
+    // behind the other blocks and deadlocking the caller's share of the
+    // work until a pool worker drains its whole block.
+    InsideWorkerScope Scope;
+    RunBlock(0);
+  }
+  std::unique_lock<std::mutex> Lock(State.Mutex);
+  State.Done.wait(Lock, [&State] { return State.Remaining == 0; });
+}

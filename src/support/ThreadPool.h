@@ -1,0 +1,91 @@
+//===- support/ThreadPool.h - Deterministic parallel-for utility ---------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small persistent thread pool plus a deterministic `parallelFor`.
+///
+/// The Seer pipeline must produce *bit-identical* results at any thread
+/// count: every random stream is seeded per work item (per matrix, per
+/// kernel, per fold), never per thread, so the only requirements on the
+/// parallel runtime are that (a) each index runs exactly once, (b) results
+/// land in index-addressed slots, and (c) no work is dynamically re-split
+/// in a way that changes per-item floating-point evaluation. parallelFor
+/// therefore uses a fixed static partition of [0, Count) into contiguous
+/// blocks — determinism by construction, and contiguous blocks keep
+/// cache-friendly access for index-adjacent work items.
+///
+/// Nesting: a parallelFor issued from inside a pool worker runs inline on
+/// that worker (no new tasks), so nested parallel code cannot deadlock the
+/// pool and the outermost loop keeps all the parallelism.
+///
+/// Parallelism knob convention used across the pipeline:
+///   0 = one worker per hardware thread, 1 = serial (no pool touched),
+///   N = exactly N workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SUPPORT_THREADPOOL_H
+#define SEER_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seer {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (at least 1).
+  explicit ThreadPool(unsigned Workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads.
+  unsigned workerCount() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues a task; it runs on some worker. Tasks must not throw.
+  void submit(std::function<void()> Task);
+
+  /// True when called from inside one of this process's pool workers.
+  static bool insideWorker();
+
+  /// The process-wide pool, lazily created with one worker per hardware
+  /// thread. All parallelFor calls share it so the process never
+  /// oversubscribes, regardless of how many pipeline stages are active.
+  static ThreadPool &shared();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  bool ShuttingDown = false;
+};
+
+/// Resolves the pipeline-wide parallelism convention: 0 means one worker
+/// per hardware thread (at least 1), anything else is taken literally.
+unsigned resolveParallelism(unsigned Requested);
+
+/// Runs `Fn(Index)` for every Index in [0, Count), partitioned statically
+/// into min(Parallelism, Count) contiguous blocks, and blocks until all
+/// indices completed. With Parallelism <= 1 (or nested inside a pool
+/// worker) every index runs inline on the calling thread in ascending
+/// order — exactly the serial loop. \p Fn must not throw.
+void parallelFor(unsigned Parallelism, size_t Count,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_THREADPOOL_H

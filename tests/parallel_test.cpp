@@ -1,0 +1,397 @@
+//===- tests/parallel_test.cpp - Tests for the parallel pipeline engine ---===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the three determinism contracts of the parallel engine:
+//
+//  1. benchmarkCollection is bit-identical at every thread count (the
+//     noise streams are per (matrix, kernel), never per thread);
+//  2. the fused single-pass analysis returns exactly what the standalone
+//     feature-collection walk returns;
+//  3. the presorted decision-tree trainer builds the same tree as a naive
+//     per-node-sorting reference, and the same tree at every thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Seer.h"
+#include "support/Random.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+using namespace seer;
+
+namespace {
+
+std::vector<MatrixSpec> smallCollection() {
+  CollectionConfig Config;
+  Config.VariantsPerCell = 1;
+  Config.MaxRows = 2048;
+  Config.IncludeReplicas = false;
+  return buildCollection(Config);
+}
+
+std::vector<MatrixBenchmark> sweepAt(uint32_t Parallelism,
+                                     const std::vector<MatrixSpec> &Specs,
+                                     const KernelRegistry &Registry,
+                                     const GpuSimulator &Sim) {
+  BenchmarkConfig Config;
+  Config.Parallelism = Parallelism;
+  const Benchmarker Runner(Registry, Sim, Config);
+  return Runner.benchmarkCollection(Specs);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ThreadPool / parallelFor
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned Parallelism : {1u, 2u, 5u, 16u}) {
+    std::vector<std::atomic<int>> Hits(1000);
+    parallelFor(Parallelism, Hits.size(),
+                [&](size_t I) { Hits[I].fetch_add(1); });
+    for (const auto &Hit : Hits)
+      EXPECT_EQ(Hit.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroAndTinyCounts) {
+  int Calls = 0;
+  parallelFor(8, 0, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  parallelFor(8, 1, [&](size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(ParallelForTest, NestedCallsComplete) {
+  std::vector<std::atomic<int>> Hits(64);
+  parallelFor(4, 8, [&](size_t Outer) {
+    parallelFor(4, 8, [&](size_t Inner) {
+      Hits[Outer * 8 + Inner].fetch_add(1);
+    });
+  });
+  for (const auto &Hit : Hits)
+    EXPECT_EQ(Hit.load(), 1);
+}
+
+TEST(ParallelForTest, ResolveParallelismConvention) {
+  EXPECT_GE(resolveParallelism(0), 1u);
+  EXPECT_EQ(resolveParallelism(1), 1u);
+  EXPECT_EQ(resolveParallelism(7), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Serial-vs-parallel bit-identity of the sweep
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSweepTest, BitIdenticalAcrossThreadCounts) {
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::smallGpu());
+  const auto Specs = smallCollection();
+  ASSERT_FALSE(Specs.empty());
+
+  const auto Serial = sweepAt(1, Specs, Registry, Sim);
+  const std::string SerialRuntime =
+      Benchmarker::runtimeCsv(Serial, Registry.names()).toString();
+  const std::string SerialPrep =
+      Benchmarker::preprocessingCsv(Serial, Registry.names()).toString();
+  const std::string SerialFeatures =
+      Benchmarker::featuresCsv(Serial).toString();
+
+  for (uint32_t Parallelism : {2u, 4u, 8u}) {
+    const auto Parallel = sweepAt(Parallelism, Specs, Registry, Sim);
+    ASSERT_EQ(Parallel.size(), Serial.size());
+    // The CSV emissions are the pipeline's interchange format; comparing
+    // their text compares every measurement bit (formatDouble round-trips
+    // doubles exactly) plus ordering.
+    EXPECT_EQ(Benchmarker::runtimeCsv(Parallel, Registry.names()).toString(),
+              SerialRuntime)
+        << "runtime CSV diverged at parallelism " << Parallelism;
+    EXPECT_EQ(
+        Benchmarker::preprocessingCsv(Parallel, Registry.names()).toString(),
+        SerialPrep);
+    EXPECT_EQ(Benchmarker::featuresCsv(Parallel).toString(), SerialFeatures);
+  }
+}
+
+TEST(ParallelSweepTest, ProgressReportsEveryMember) {
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::smallGpu());
+  const auto Specs = smallCollection();
+
+  BenchmarkConfig Config;
+  Config.Parallelism = 4;
+  const Benchmarker Runner(Registry, Sim, Config);
+  std::vector<int> Seen(Specs.size(), 0);
+  Runner.benchmarkCollection(
+      Specs, [&](size_t I, size_t Total, const std::string &Name) {
+        ASSERT_LT(I, Specs.size());
+        EXPECT_EQ(Total, Specs.size());
+        EXPECT_EQ(Name, Specs[I].Name);
+        ++Seen[I]; // Progress is serialized by the engine
+      });
+  for (int Count : Seen)
+    EXPECT_EQ(Count, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Fused single-pass analysis
+//===----------------------------------------------------------------------===//
+
+TEST(FusedAnalysisTest, MatchesStandaloneCollection) {
+  const GpuSimulator Sim(DeviceModel::mi100());
+  for (const MatrixSpec &Spec : smallCollection()) {
+    const CsrMatrix M = Spec.Build();
+    const MatrixStats Stats = computeMatrixStats(M);
+
+    const FeatureCollectionResult Standalone = collectGatheredFeatures(M, Sim);
+    const FeatureCollectionResult Fused =
+        collectGatheredFeatures(M, Sim, Stats.Gathered);
+    // Bit-exact: the fused path must be a pure elision of the re-walk.
+    EXPECT_EQ(Fused.Features.MaxRowDensity, Standalone.Features.MaxRowDensity)
+        << Spec.Name;
+    EXPECT_EQ(Fused.Features.MinRowDensity, Standalone.Features.MinRowDensity);
+    EXPECT_EQ(Fused.Features.MeanRowDensity,
+              Standalone.Features.MeanRowDensity);
+    EXPECT_EQ(Fused.Features.VarRowDensity, Standalone.Features.VarRowDensity);
+    EXPECT_EQ(Fused.CollectionMs, Standalone.CollectionMs);
+
+    const FeatureCollectionResult CheapStandalone =
+        collectCheapFeatures(M, Sim);
+    const FeatureCollectionResult CheapFused =
+        collectCheapFeatures(M, Sim, Stats.Gathered);
+    EXPECT_EQ(CheapFused.Features.MaxRowDensity,
+              CheapStandalone.Features.MaxRowDensity);
+    EXPECT_EQ(CheapFused.Features.MeanRowDensity,
+              CheapStandalone.Features.MeanRowDensity);
+    EXPECT_EQ(CheapFused.Features.MinRowDensity, 0.0);
+    EXPECT_EQ(CheapFused.Features.VarRowDensity, 0.0);
+    EXPECT_EQ(CheapFused.CollectionMs, CheapStandalone.CollectionMs);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Presorted decision-tree trainer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reference CART with per-(node, feature) std::sort — the algorithm the
+/// presorted trainer replaced. Selection semantics match the production
+/// trainer: per-feature best threshold first, then features in index
+/// order, both with the keep-the-incumbent epsilon rule.
+struct NaiveCart {
+  const Dataset &Data;
+  const TreeConfig &Config;
+  uint32_t NumClasses;
+  std::vector<TreeNode> Nodes;
+
+  explicit NaiveCart(const Dataset &Data, const TreeConfig &Config)
+      : Data(Data), Config(Config),
+        NumClasses(std::max<uint32_t>(
+            Data.numClasses(),
+            Data.Costs.empty()
+                ? 0
+                : static_cast<uint32_t>(Data.Costs.front().size()))) {}
+
+  std::vector<double> histogramOf(const std::vector<size_t> &Idx) const {
+    std::vector<double> Counts(NumClasses, 0.0);
+    for (size_t I : Idx)
+      Counts[Data.Labels[I]] += Data.weightOf(I);
+    return Counts;
+  }
+
+  static double gini(const std::vector<double> &Counts, double Total) {
+    if (Total <= 0.0)
+      return 0.0;
+    double SumSq = 0.0;
+    for (double C : Counts)
+      SumSq += (C / Total) * (C / Total);
+    return 1.0 - SumSq;
+  }
+
+  int32_t build(std::vector<size_t> Idx, uint32_t Depth) {
+    const std::vector<double> Counts = histogramOf(Idx);
+    double Weight = 0.0;
+    for (double C : Counts)
+      Weight += C;
+    const double Impurity = gini(Counts, Weight);
+    const int32_t NodeIndex = static_cast<int32_t>(Nodes.size());
+    Nodes.emplace_back();
+    uint32_t Majority = 0;
+    for (uint32_t C = 1; C < Counts.size(); ++C)
+      if (Counts[C] > Counts[Majority])
+        Majority = C;
+    Nodes[NodeIndex].Prediction = Majority;
+    Nodes[NodeIndex].SampleCount = static_cast<uint32_t>(Idx.size());
+    Nodes[NodeIndex].Impurity = Impurity;
+    if (Depth >= Config.MaxDepth || Impurity <= 0.0 ||
+        Idx.size() < Config.MinSamplesSplit)
+      return NodeIndex;
+
+    bool Found = false;
+    uint32_t BestFeature = 0;
+    double BestThreshold = 0.0, BestGain = 0.0;
+    for (uint32_t F = 0; F < Data.numFeatures(); ++F) {
+      std::vector<size_t> Sorted = Idx;
+      std::sort(Sorted.begin(), Sorted.end(), [&](size_t A, size_t B) {
+        if (Data.Rows[A][F] != Data.Rows[B][F])
+          return Data.Rows[A][F] < Data.Rows[B][F];
+        return A < B;
+      });
+      std::vector<double> Left(NumClasses, 0.0);
+      std::vector<double> Right = histogramOf(Sorted);
+      double LeftW = 0.0, RightW = Weight;
+      bool FeatFound = false;
+      double FeatThreshold = 0.0, FeatGain = 0.0;
+      for (size_t I = 0; I + 1 < Sorted.size(); ++I) {
+        const double W = Data.weightOf(Sorted[I]);
+        Left[Data.Labels[Sorted[I]]] += W;
+        Right[Data.Labels[Sorted[I]]] -= W;
+        LeftW += W;
+        RightW -= W;
+        if (Data.Rows[Sorted[I]][F] == Data.Rows[Sorted[I + 1]][F])
+          continue;
+        if (I + 1 < Config.MinSamplesLeaf ||
+            Sorted.size() - I - 1 < Config.MinSamplesLeaf)
+          continue;
+        const double Gain =
+            Impurity - (LeftW * gini(Left, LeftW) +
+                        RightW * gini(Right, RightW)) /
+                           Weight;
+        if (Gain > FeatGain + 1e-12) {
+          FeatFound = true;
+          FeatGain = Gain;
+          FeatThreshold = Data.Rows[Sorted[I]][F] +
+                          0.5 * (Data.Rows[Sorted[I + 1]][F] -
+                                 Data.Rows[Sorted[I]][F]);
+        }
+      }
+      if (FeatFound && FeatGain > BestGain + 1e-12) {
+        Found = true;
+        BestFeature = F;
+        BestThreshold = FeatThreshold;
+        BestGain = FeatGain;
+      }
+    }
+    if (!Found)
+      return NodeIndex;
+
+    std::vector<size_t> LeftIdx, RightIdx;
+    for (size_t I : Idx)
+      (Data.Rows[I][BestFeature] <= BestThreshold ? LeftIdx : RightIdx)
+          .push_back(I);
+    Nodes[NodeIndex].FeatureIndex = BestFeature;
+    Nodes[NodeIndex].Threshold = BestThreshold;
+    Nodes[NodeIndex].Left = build(std::move(LeftIdx), Depth + 1);
+    Nodes[NodeIndex].Right = build(std::move(RightIdx), Depth + 1);
+    return NodeIndex;
+  }
+};
+
+Dataset randomDataset(uint64_t Seed, size_t Samples, size_t Features,
+                      uint32_t Classes, bool Quantized) {
+  Rng R(Seed);
+  Dataset Data;
+  for (size_t F = 0; F < Features; ++F)
+    Data.FeatureNames.push_back("f" + std::to_string(F));
+  for (size_t I = 0; I < Samples; ++I) {
+    std::vector<double> Row(Features);
+    for (double &V : Row)
+      // Quantized features force many exactly-equal values, exercising
+      // the can't-split-between-equal-values and tie-order paths.
+      V = Quantized ? static_cast<double>(R.bounded(8)) : R.uniform();
+    // Label correlates with the features so real splits exist.
+    const uint32_t Label =
+        static_cast<uint32_t>(Row[0] * 2.9999) % Classes +
+        (R.chance(0.15) ? 1 : 0);
+    Data.addSample("s" + std::to_string(I), std::move(Row),
+                   std::min(Label, Classes - 1));
+  }
+  return Data;
+}
+
+void expectSameStructure(const std::vector<TreeNode> &A,
+                         const std::vector<TreeNode> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Left, B[I].Left) << "node " << I;
+    EXPECT_EQ(A[I].Right, B[I].Right) << "node " << I;
+    EXPECT_EQ(A[I].SampleCount, B[I].SampleCount) << "node " << I;
+    EXPECT_EQ(A[I].Prediction, B[I].Prediction) << "node " << I;
+    if (!A[I].isLeaf()) {
+      EXPECT_EQ(A[I].FeatureIndex, B[I].FeatureIndex) << "node " << I;
+      EXPECT_EQ(A[I].Threshold, B[I].Threshold) << "node " << I;
+    }
+  }
+}
+
+} // namespace
+
+TEST(PresortedTreeTest, MatchesNaiveReferenceOnRandomDatasets) {
+  for (uint64_t Seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    for (bool Quantized : {false, true}) {
+      const Dataset Data =
+          randomDataset(Seed, /*Samples=*/200, /*Features=*/6,
+                        /*Classes=*/3, Quantized);
+      TreeConfig Config;
+      Config.MaxDepth = 6;
+      Config.MinSamplesSplit = 4;
+      Config.MinSamplesLeaf = 2;
+      const DecisionTree Tree = DecisionTree::train(Data, Config);
+      NaiveCart Reference(Data, Config);
+      Reference.build([&] {
+        std::vector<size_t> All(Data.numSamples());
+        std::iota(All.begin(), All.end(), 0);
+        return All;
+      }(), 0);
+      expectSameStructure(Tree.nodes(), Reference.Nodes);
+    }
+  }
+}
+
+TEST(PresortedTreeTest, IdenticalAtEveryThreadCount) {
+  const Dataset Data = randomDataset(42, 300, 8, 4, /*Quantized=*/false);
+  TreeConfig Serial;
+  Serial.Parallelism = 1;
+  const std::string Baseline = DecisionTree::train(Data, Serial).serialize();
+  for (uint32_t Parallelism : {0u, 2u, 8u}) {
+    TreeConfig Config;
+    Config.Parallelism = Parallelism;
+    EXPECT_EQ(DecisionTree::train(Data, Config).serialize(), Baseline)
+        << "tree diverged at parallelism " << Parallelism;
+  }
+}
+
+TEST(PresortedTreeTest, TrainedModelsIdenticalAcrossThreadCounts) {
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::smallGpu());
+  const auto Specs = smallCollection();
+  const auto Benchmarks = sweepAt(1, Specs, Registry, Sim);
+
+  TrainerConfig Serial;
+  Serial.Parallelism = 1;
+  const SeerModels Baseline =
+      trainSeerModels(Benchmarks, Registry.names(), Serial);
+
+  for (uint32_t Parallelism : {2u, 8u}) {
+    TrainerConfig Config;
+    Config.Parallelism = Parallelism;
+    const SeerModels Models =
+        trainSeerModels(Benchmarks, Registry.names(), Config);
+    EXPECT_EQ(Models.Known.serialize(), Baseline.Known.serialize());
+    EXPECT_EQ(Models.Gathered.serialize(), Baseline.Gathered.serialize());
+    EXPECT_EQ(Models.Selector.serialize(), Baseline.Selector.serialize());
+  }
+}

@@ -38,6 +38,9 @@ constexpr const char *Usage =
     "  --variants N     synthetic variants per family/size cell (default 4)\n"
     "  --max-rows N     largest synthetic size (default 1048576)\n"
     "  --seed S         collection seed (default 0x5ee2c011)\n"
+    "  --parallelism N  sweep worker threads: 0 = all hardware threads\n"
+    "                   (default), 1 = serial; output is bit-identical at\n"
+    "                   every setting\n"
     "  --small-gpu      benchmark on the 36-CU device model instead of the\n"
     "                   MI100-class default\n";
 
@@ -56,9 +59,12 @@ int main(int Argc, char **Argv) {
   const DeviceModel Device = Cmd.boolFlag("small-gpu")
                                  ? DeviceModel::smallGpu()
                                  : DeviceModel::mi100();
+  BenchmarkConfig Protocol;
+  Protocol.Parallelism =
+      static_cast<uint32_t>(Cmd.intFlag("parallelism", 0));
   const KernelRegistry Registry;
   const GpuSimulator Sim(Device);
-  const Benchmarker Runner(Registry, Sim);
+  const Benchmarker Runner(Registry, Sim, Protocol);
 
   std::vector<MatrixBenchmark> Benchmarks;
   if (Cmd.positional().empty()) {

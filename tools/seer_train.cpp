@@ -40,7 +40,10 @@ constexpr const char *Usage =
     "  --data DIR         directory with the seer-bench CSVs (required)\n"
     "  --out DIR          output directory (required)\n"
     "  --max-depth N      depth cap for the kernel classifiers\n"
-    "  --iterations LIST  comma-separated iteration counts (default 1,5,19)\n";
+    "  --iterations LIST  comma-separated iteration counts (default 1,5,19)\n"
+    "  --parallelism N    training worker threads: 0 = all hardware\n"
+    "                     threads (default), 1 = serial; the trained\n"
+    "                     models are bit-identical at every setting\n";
 
 CsvTable readCsvOrDie(const std::string &Path) {
   std::string Error;
@@ -64,6 +67,8 @@ int main(int Argc, char **Argv) {
     fatal("cannot create '" + OutDir + "': " + Ec.message());
 
   TrainerConfig Config;
+  Config.Parallelism =
+      static_cast<uint32_t>(Cmd.intFlag("parallelism", 0));
   if (const int64_t Depth = Cmd.intFlag("max-depth", 0)) {
     Config.KnownTree.MaxDepth = static_cast<uint32_t>(Depth);
     Config.GatheredTree.MaxDepth = static_cast<uint32_t>(Depth);
