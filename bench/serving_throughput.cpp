@@ -1,0 +1,256 @@
+//===- bench/serving_throughput.cpp - Serving-layer scaling harness -------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// The perf-tracking harness for the serving layer: drives one SeerServer
+// with a synthetic request stream at a ladder of client counts and
+// cache-hit ratios, in both select-only and execute modes, and writes
+// BENCH_serving.json (throughput, latency percentiles, observed hit
+// ratio, mispredict rate).
+//
+// Every response is checked bit-identical against the one-shot
+// SeerRuntime answer for the same (matrix, iterations): same kernel, same
+// routing, and in execute mode the same product vector. The exit status
+// gates on that, so CI catches a serving layer that drifts from Fig. 3.
+//
+//   serving_throughput [--out FILE] [--clients LIST] [--requests N]
+//                      [--hit-ratios LIST] [--variants N] [--max-rows N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Seer.h"
+#include "serve/SeerServer.h"
+#include "support/ThreadPool.h"
+
+#include "../tools/ToolSupport.h"
+#include "BenchCommon.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace seer;
+using namespace seer::tools;
+
+namespace {
+
+constexpr const char *Usage =
+    "usage: serving_throughput [options]\n"
+    "\n"
+    "Times SeerServer request handling vs. client count and cache-hit\n"
+    "ratio, verifies bit-identity against one-shot SeerRuntime calls, and\n"
+    "writes BENCH_serving.json.\n"
+    "\n"
+    "options:\n"
+    "  --out FILE         output JSON path (default BENCH_serving.json)\n"
+    "  --clients LIST     client counts (default 1,2,4,8)\n"
+    "  --requests N       requests per run (default 512)\n"
+    "  --hit-ratios LIST  target cache-hit ratios (default 0,0.5,0.9)\n"
+    "  --variants N       training-collection variants per cell (default 2)\n"
+    "  --max-rows N       training-collection size cap (default 16384)\n";
+
+/// The request matrices: a pool of small irregular inputs cycling the
+/// generator families (pool index seeds every stream, so the pool is
+/// deterministic).
+std::vector<CsrMatrix> buildPool(size_t Size) {
+  std::vector<CsrMatrix> Pool;
+  Pool.reserve(Size);
+  for (size_t I = 0; I < Size; ++I) {
+    const uint32_t Rows = 256u << (I % 4); // 256 .. 2048
+    const uint64_t Seed = 0x5e21e0ull + I;
+    switch (I % 4) {
+    case 0:
+      Pool.push_back(genBanded(Rows, 8, 0.9, Seed));
+      break;
+    case 1:
+      Pool.push_back(genPowerLaw(Rows, Rows, 1.8, 1, Rows / 4, Seed));
+      break;
+    case 2:
+      Pool.push_back(genUniformRandom(Rows, Rows, 12.0, 0.5, Seed));
+      break;
+    default:
+      Pool.push_back(genDenseRowOutlier(Rows, Rows, 6.0, 4, Rows / 8, Seed));
+      break;
+    }
+  }
+  return Pool;
+}
+
+struct RunRecord {
+  unsigned Clients = 0;
+  bool Execute = false;
+  double TargetHitRatio = 0.0;
+  size_t UniqueMatrices = 0;
+  size_t Requests = 0;
+  double WallSeconds = 0.0;
+  ServerStats Stats;
+  bool BitIdentical = true;
+};
+
+/// Expected answers from the one-shot runtime, memoized per
+/// (pool index, iterations).
+struct Expected {
+  SelectionResult Selection;
+  std::vector<double> Y; // execute mode only
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const CommandLine Cmd(Argc, Argv, Usage);
+  const std::string OutPath = Cmd.flag("out", "BENCH_serving.json");
+  const size_t Requests =
+      static_cast<size_t>(Cmd.intFlag("requests", 512));
+
+  std::vector<unsigned> Clients;
+  for (const std::string &Part :
+       splitString(Cmd.flag("clients", "1,2,4,8"), ',')) {
+    int64_t Value = 0;
+    if (!parseInt(Part, Value) || Value < 1)
+      fatal("bad --clients entry '" + Part + "'");
+    Clients.push_back(static_cast<unsigned>(Value));
+  }
+  std::vector<double> HitRatios;
+  for (const std::string &Part :
+       splitString(Cmd.flag("hit-ratios", "0,0.5,0.9"), ',')) {
+    double Value = 0.0;
+    if (!parseDouble(Part, Value) || Value < 0.0 || Value >= 1.0)
+      fatal("bad --hit-ratios entry '" + Part + "'");
+    HitRatios.push_back(Value);
+  }
+
+  // Train the model triple on a small collection (memoized on disk like
+  // every bench binary).
+  CollectionConfig Collection;
+  Collection.VariantsPerCell =
+      static_cast<uint32_t>(Cmd.intFlag("variants", 2));
+  Collection.MaxRows = static_cast<uint32_t>(Cmd.intFlag("max-rows", 16384));
+  BenchmarkConfig Protocol;
+  Protocol.Parallelism = 0;
+  const std::vector<MatrixBenchmark> Benchmarks = benchmarkCollectionCached(
+      Collection, Protocol, DeviceModel::mi100(), bench::cacheDirectory(),
+      /*Verbose=*/true);
+  const KernelRegistry Registry;
+  TrainerConfig Trainer;
+  Trainer.Parallelism = 0;
+  const SeerModels Models =
+      trainSeerModels(Benchmarks, Registry.names(), Trainer);
+
+  const std::vector<CsrMatrix> Pool = buildPool(Requests);
+  const uint32_t IterationPattern[3] = {1, 5, 19};
+
+  // One-shot runtime reference (the bit-identity baseline).
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const SeerRuntime Reference(Models, Registry, Sim);
+  std::map<std::pair<size_t, uint32_t>, Expected> Baseline;
+  const auto ExpectedFor = [&](size_t PoolIndex, uint32_t Iterations,
+                               bool Execute) -> const Expected & {
+    Expected &E = Baseline[{PoolIndex, Iterations}];
+    if (E.Selection.InferenceMs == 0.0)
+      E.Selection = Reference.select(Pool[PoolIndex], Iterations);
+    if (Execute && E.Y.empty()) {
+      const std::vector<double> X(Pool[PoolIndex].numCols(), 1.0);
+      E.Y = Reference.execute(Pool[PoolIndex], X, Iterations).Y;
+    }
+    return E;
+  };
+
+  std::vector<RunRecord> Records;
+  for (const bool Execute : {false, true})
+    for (const double Ratio : HitRatios)
+      for (const unsigned C : Clients) {
+        // A target hit ratio h over R requests needs U = R * (1 - h)
+        // unique matrices: U first-touch misses, R - U hits.
+        const size_t Unique = std::max<size_t>(
+            1, static_cast<size_t>(static_cast<double>(Requests) *
+                                   (1.0 - Ratio)));
+
+        std::vector<ServeRequest> Stream(Requests);
+        for (size_t I = 0; I < Requests; ++I) {
+          Stream[I].Matrix = &Pool[I % Unique];
+          Stream[I].Iterations = IterationPattern[I % 3];
+          Stream[I].Execute = Execute;
+          Stream[I].VerifyOracle = Execute;
+        }
+
+        SeerServer Server(Models);
+        const auto Start = std::chrono::steady_clock::now();
+        const std::vector<ServeResponse> Responses =
+            Server.handleBatch(Stream, C);
+        const double Wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - Start)
+                                .count();
+
+        RunRecord Record;
+        Record.Clients = C;
+        Record.Execute = Execute;
+        Record.TargetHitRatio = Ratio;
+        Record.UniqueMatrices = Unique;
+        Record.Requests = Requests;
+        Record.WallSeconds = Wall;
+        Record.Stats = Server.stats();
+        for (size_t I = 0; I < Responses.size(); ++I) {
+          const Expected &E = ExpectedFor(I % Unique, Stream[I].Iterations,
+                                          Execute);
+          const ServeResponse &R = Responses[I];
+          const bool Same =
+              R.Selection.KernelIndex == E.Selection.KernelIndex &&
+              R.Selection.UsedGatheredModel ==
+                  E.Selection.UsedGatheredModel &&
+              (!Execute || R.Y == E.Y);
+          Record.BitIdentical = Record.BitIdentical && Same;
+        }
+        Records.push_back(Record);
+        std::fprintf(stderr,
+                     "  %s clients=%u hit=%.1f  %7.0f req/s  p50 %.1fus  "
+                     "p99 %.1fus  %s\n",
+                     Execute ? "execute" : "select ", C, Ratio,
+                     static_cast<double>(Requests) / Wall,
+                     Record.Stats.P50LatencyUs, Record.Stats.P99LatencyUs,
+                     Record.BitIdentical ? "ok" : "MISMATCH");
+      }
+
+  bool AllIdentical = true;
+  for (const RunRecord &R : Records)
+    AllIdentical = AllIdentical && R.BitIdentical;
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out)
+    fatal("cannot write '" + OutPath + "'");
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"benchmark\": \"serving_throughput\",\n");
+  std::fprintf(Out, "  \"hardware_threads\": %u,\n", resolveParallelism(0));
+  std::fprintf(Out, "  \"requests_per_run\": %zu,\n", Requests);
+  std::fprintf(Out, "  \"bit_identical\": %s,\n",
+               AllIdentical ? "true" : "false");
+  std::fprintf(Out, "  \"runs\": [\n");
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const RunRecord &R = Records[I];
+    std::fprintf(
+        Out,
+        "    {\"mode\": \"%s\", \"clients\": %u, \"target_hit_ratio\": %.2f, "
+        "\"unique_matrices\": %zu, \"wall_s\": %.6f, "
+        "\"throughput_rps\": %.1f, \"hit_ratio\": %.4f, "
+        "\"p50_us\": %.3f, \"p99_us\": %.3f, \"mean_us\": %.3f, "
+        "\"mispredict_rate\": %.4f, \"saved_collection_ms\": %.6f, "
+        "\"saved_preprocess_ms\": %.6f, \"bit_identical\": %s}%s\n",
+        R.Execute ? "execute" : "select", R.Clients, R.TargetHitRatio,
+        R.UniqueMatrices, R.WallSeconds,
+        static_cast<double>(R.Requests) / R.WallSeconds,
+        R.Stats.hitRate(), R.Stats.P50LatencyUs, R.Stats.P99LatencyUs,
+        R.Stats.MeanLatencyUs, R.Stats.mispredictRate(),
+        R.Stats.SavedCollectionMs, R.Stats.SavedPreprocessMs,
+        R.BitIdentical ? "true" : "false",
+        I + 1 < Records.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+
+  std::printf("wrote %s (%zu runs, bit_identical=%s)\n", OutPath.c_str(),
+              Records.size(), AllIdentical ? "true" : "false");
+  return AllIdentical ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 
 #include "kernels/KernelRegistry.h"
 #include "sim/GpuSimulator.h"
+#include "support/Fnv.h"
 
 #include <cinttypes>
 #include <cstdio>
@@ -16,27 +17,6 @@
 using namespace seer;
 
 namespace {
-
-/// FNV-1a over the bytes of a value sequence.
-class Fingerprint {
-public:
-  void add(uint64_t Value) {
-    for (int Byte = 0; Byte < 8; ++Byte) {
-      Hash ^= (Value >> (8 * Byte)) & 0xff;
-      Hash *= 1099511628211ull;
-    }
-  }
-  void add(double Value) {
-    uint64_t Bits;
-    static_assert(sizeof(Bits) == sizeof(Value));
-    __builtin_memcpy(&Bits, &Value, sizeof(Bits));
-    add(Bits);
-  }
-  uint64_t value() const { return Hash; }
-
-private:
-  uint64_t Hash = 1469598103934665603ull;
-};
 
 std::string cachePath(const std::string &Directory, uint64_t Key,
                       const char *Which) {
@@ -51,7 +31,7 @@ std::string cachePath(const std::string &Directory, uint64_t Key,
 uint64_t seer::benchmarkCacheKey(const CollectionConfig &Collection,
                                  const BenchmarkConfig &Benchmark,
                                  const DeviceModel &Device) {
-  Fingerprint F;
+  Fnv1a F;
   // Schema version: bump when MatrixBenchmark/CSV layout changes.
   F.add(uint64_t(3));
   F.add(Collection.Seed);

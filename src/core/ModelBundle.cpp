@@ -1,0 +1,69 @@
+//===- core/ModelBundle.cpp ------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ModelBundle.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace seer;
+
+std::vector<std::string> seer::modelBundleFileNames() {
+  return {"seer_known.tree", "seer_gathered.tree", "seer_selector.tree"};
+}
+
+std::optional<SeerModels>
+seer::loadModelBundle(const std::string &Directory,
+                      std::vector<std::string> KernelNames,
+                      std::string *ErrorMessage) {
+  const auto Fail = [&](const std::string &Message) -> std::optional<SeerModels> {
+    if (ErrorMessage)
+      *ErrorMessage = Message;
+    return std::nullopt;
+  };
+
+  SeerModels Models;
+  DecisionTree *const Trees[] = {&Models.Known, &Models.Gathered,
+                                 &Models.Selector};
+  const std::vector<std::string> Names = modelBundleFileNames();
+  for (size_t I = 0; I < Names.size(); ++I) {
+    const std::string Path = Directory + "/" + Names[I];
+    std::ifstream Stream(Path);
+    if (!Stream)
+      return Fail("cannot open model file '" + Path + "'");
+    std::ostringstream Buffer;
+    Buffer << Stream.rdbuf();
+    std::string ParseError;
+    if (!DecisionTree::parse(Buffer.str(), *Trees[I], &ParseError))
+      return Fail("malformed model '" + Path + "': " + ParseError);
+  }
+  Models.KernelNames = std::move(KernelNames);
+  return Models;
+}
+
+bool seer::storeModelBundle(const SeerModels &Models,
+                            const std::string &Directory,
+                            std::string *ErrorMessage) {
+  const DecisionTree *const Trees[] = {&Models.Known, &Models.Gathered,
+                                       &Models.Selector};
+  const std::vector<std::string> Names = modelBundleFileNames();
+  for (size_t I = 0; I < Names.size(); ++I) {
+    const std::string Path = Directory + "/" + Names[I];
+    std::ofstream Stream(Path);
+    if (!Stream) {
+      if (ErrorMessage)
+        *ErrorMessage = "cannot write model file '" + Path + "'";
+      return false;
+    }
+    Stream << Trees[I]->serialize();
+    if (!Stream) {
+      if (ErrorMessage)
+        *ErrorMessage = "short write to model file '" + Path + "'";
+      return false;
+    }
+  }
+  return true;
+}

@@ -29,14 +29,11 @@ namespace {
 /// negligible, so it must not pay for a std::function it never calls.
 template <typename CollectFn>
 SelectionResult selectImpl(const SeerModels &Models,
-                           const KernelRegistry &Registry, const CsrMatrix &M,
-                           uint32_t Iterations, const CollectFn &Collect) {
+                           const KernelRegistry &Registry,
+                           const KnownFeatures &Known, uint32_t Iterations,
+                           const CollectFn &Collect) {
   SelectionResult Result;
   // Trivially known features are free: they ship with the input.
-  KnownFeatures Known;
-  Known.NumRows = M.numRows();
-  Known.NumCols = M.numCols();
-  Known.Nnz = M.nnz();
   const std::vector<double> KnownVec =
       features::knownVector(Known, Iterations);
 
@@ -61,18 +58,39 @@ SelectionResult selectImpl(const SeerModels &Models,
   return Result;
 }
 
+/// The trivially known features of \p M (they ship with the input).
+KnownFeatures knownOf(const CsrMatrix &M) {
+  KnownFeatures Known;
+  Known.NumRows = M.numRows();
+  Known.NumCols = M.numCols();
+  Known.Nnz = M.nnz();
+  return Known;
+}
+
 } // namespace
 
 SelectionResult SeerRuntime::select(const CsrMatrix &M,
                                     uint32_t Iterations) const {
-  return selectImpl(Models, Registry, M, Iterations,
+  return selectImpl(Models, Registry, knownOf(M), Iterations,
                     [&] { return collectGatheredFeatures(M, Sim); });
 }
 
 SelectionResult SeerRuntime::select(const CsrMatrix &M, uint32_t Iterations,
                                     const MatrixStats &Stats) const {
-  return selectImpl(Models, Registry, M, Iterations, [&] {
+  return selectImpl(Models, Registry, knownOf(M), Iterations, [&] {
     return collectGatheredFeatures(M, Sim, Stats.Gathered);
+  });
+}
+
+SelectionResult
+SeerRuntime::selectPrecollected(const KnownFeatures &Known,
+                                const GatheredFeatures &Gathered,
+                                uint32_t Iterations) const {
+  return selectImpl(Models, Registry, Known, Iterations, [&] {
+    FeatureCollectionResult Collection;
+    Collection.Features = Gathered;
+    Collection.CollectionMs = 0.0; // already paid on a previous request
+    return Collection;
   });
 }
 

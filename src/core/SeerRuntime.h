@@ -87,6 +87,16 @@ public:
   SelectionResult select(const CsrMatrix &M, uint32_t Iterations,
                          const MatrixStats &Stats) const;
 
+  /// Serving-path variant: selection from features that were collected on
+  /// an earlier request for the same matrix. No collection cost is charged
+  /// (the serving layer's fingerprint cache paid it once, on first sight);
+  /// the routing decision and the chosen kernel are bit-identical to the
+  /// select() overloads because the cached gathered features are exactly
+  /// what collectGatheredFeatures would recompute.
+  SelectionResult selectPrecollected(const KnownFeatures &Known,
+                                     const GatheredFeatures &Gathered,
+                                     uint32_t Iterations) const;
+
   /// Selection + execution: preprocesses the chosen kernel once and runs
   /// \p Iterations SpMVs with the given operand.
   ExecutionReport execute(const CsrMatrix &M, const std::vector<double> &X,

@@ -1,0 +1,65 @@
+//===- serve/FingerprintCache.cpp ------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/FingerprintCache.h"
+
+#include "support/Fnv.h"
+
+#include <cassert>
+
+using namespace seer;
+
+uint64_t seer::matrixFingerprint(const CsrMatrix &M) {
+  Fnv1a F;
+  F.add(static_cast<uint64_t>(M.numRows()));
+  F.add(static_cast<uint64_t>(M.numCols()));
+  F.add(M.nnz());
+  for (uint64_t Offset : M.rowOffsets())
+    F.add(Offset);
+  for (uint32_t Col : M.columnIndices())
+    F.add(static_cast<uint64_t>(Col));
+  for (double Value : M.values())
+    F.add(Value);
+  return F.value();
+}
+
+FingerprintCache::FingerprintCache(size_t NumShards)
+    : Shards(NumShards ? NumShards : 1) {}
+
+std::pair<std::shared_ptr<FingerprintCache::Entry>, bool>
+FingerprintCache::lookupOrAnalyze(uint64_t Fingerprint, const CsrMatrix &M,
+                                  size_t NumKernels) {
+  Shard &S = shardFor(Fingerprint);
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    const auto It = S.Map.find(Fingerprint);
+    if (It != S.Map.end())
+      return {It->second, true};
+  }
+
+  // Miss: run the single-pass analysis outside the shard lock so other
+  // matrices in this shard are not blocked behind an O(nnz) walk.
+  auto Fresh = std::make_shared<Entry>();
+  Fresh->Stats = computeMatrixStats(M);
+  Fresh->Kernels.resize(NumKernels);
+
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  const auto [It, Inserted] = S.Map.try_emplace(Fingerprint, std::move(Fresh));
+  // A racing thread may have inserted first; its entry is bit-identical
+  // (the analysis is deterministic), so adopt it. Either way this request
+  // did the work itself: report a miss.
+  (void)Inserted;
+  return {It->second, false};
+}
+
+size_t FingerprintCache::size() const {
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Total += S.Map.size();
+  }
+  return Total;
+}

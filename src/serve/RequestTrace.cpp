@@ -1,0 +1,357 @@
+//===- serve/RequestTrace.cpp ----------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/RequestTrace.h"
+
+#include "kernels/KernelRegistry.h"
+#include "sparse/Generators.h"
+#include "sparse/MatrixMarket.h"
+#include "support/StringUtils.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace seer;
+
+namespace {
+
+bool fail(std::string *ErrorMessage, const std::string &Message) {
+  if (ErrorMessage)
+    *ErrorMessage = Message;
+  return false;
+}
+
+/// Splits a line into whitespace-separated tokens, dropping `#` comments.
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  std::istringstream Stream(Line);
+  std::string Token;
+  while (Stream >> Token) {
+    if (Token[0] == '#')
+      break;
+    Tokens.push_back(Token);
+  }
+  return Tokens;
+}
+
+bool parseIterations(const std::string &Token, uint32_t &Out,
+                     std::string *ErrorMessage) {
+  int64_t Value = 0;
+  if (!parseInt(Token, Value) || Value < 1)
+    return fail(ErrorMessage, "bad iteration count '" + Token + "'");
+  Out = static_cast<uint32_t>(Value);
+  return true;
+}
+
+} // namespace
+
+bool seer::parseTraceLine(const std::string &Line, TraceCommand &Out,
+                          std::string *ErrorMessage) {
+  Out = TraceCommand();
+  const std::vector<std::string> Tokens = tokenize(Line);
+  if (Tokens.empty())
+    return true; // blank or comment
+
+  const std::string &Verb = Tokens[0];
+  if (Verb == "stats" || Verb == "quit") {
+    if (Tokens.size() != 1)
+      return fail(ErrorMessage, "'" + Verb + "' takes no arguments");
+    Out.Command = Verb == "stats" ? TraceCommand::Kind::Stats
+                                  : TraceCommand::Kind::Quit;
+    return true;
+  }
+
+  if (Verb == "load") {
+    if (Tokens.size() != 3)
+      return fail(ErrorMessage, "usage: load NAME PATH");
+    Out.Command = TraceCommand::Kind::Load;
+    Out.Name = Tokens[1];
+    Out.Path = Tokens[2];
+    return true;
+  }
+
+  if (Verb == "gen") {
+    if (Tokens.size() < 3)
+      return fail(ErrorMessage, "usage: gen NAME FAMILY ARGS...");
+    Out.Command = TraceCommand::Kind::Gen;
+    Out.Name = Tokens[1];
+    Out.GenFamily = Tokens[2];
+    for (size_t I = 3; I < Tokens.size(); ++I) {
+      double Value = 0.0;
+      if (!parseDouble(Tokens[I], Value))
+        return fail(ErrorMessage,
+                    "bad gen argument '" + Tokens[I] + "'");
+      Out.GenArgs.push_back(Value);
+    }
+    return true;
+  }
+
+  if (Verb == "select" || Verb == "execute") {
+    if (Tokens.size() < 2)
+      return fail(ErrorMessage, "usage: " + Verb + " NAME [ITERATIONS]");
+    Out.Command = Verb == "select" ? TraceCommand::Kind::Select
+                                   : TraceCommand::Kind::Execute;
+    Out.Name = Tokens[1];
+    size_t Next = 2;
+    if (Next < Tokens.size() && Tokens[Next] != "verify") {
+      if (!parseIterations(Tokens[Next], Out.Iterations, ErrorMessage))
+        return false;
+      ++Next;
+    }
+    if (Next < Tokens.size()) {
+      if (Tokens[Next] != "verify" || Out.Command != TraceCommand::Kind::Execute)
+        return fail(ErrorMessage, "unexpected token '" + Tokens[Next] + "'");
+      Out.Verify = true;
+      ++Next;
+    }
+    if (Next != Tokens.size())
+      return fail(ErrorMessage, "trailing tokens after '" + Verb + "'");
+    return true;
+  }
+
+  return fail(ErrorMessage, "unknown command '" + Verb + "'");
+}
+
+namespace {
+
+/// Largest matrix dimension the protocol will generate: the server is
+/// long-running, so one malformed or hostile `gen` line must not be able
+/// to request a multi-gigabyte allocation.
+constexpr double MaxGenDimension = 1 << 24;
+
+/// Converts a protocol argument to an integral value in [Min, Max];
+/// rejects non-integral, out-of-range and NaN inputs (casting those would
+/// be undefined behavior).
+bool genIntArg(double Value, double Min, double Max, uint64_t &Out) {
+  if (!(Value >= Min && Value <= Max) || Value != std::floor(Value))
+    return false;
+  Out = static_cast<uint64_t>(Value);
+  return true;
+}
+
+} // namespace
+
+std::optional<CsrMatrix> seer::buildTraceMatrix(const TraceCommand &Command,
+                                                std::string *ErrorMessage) {
+  const auto Fail = [&](const std::string &Message) -> std::optional<CsrMatrix> {
+    if (ErrorMessage)
+      *ErrorMessage = Message;
+    return std::nullopt;
+  };
+  const std::vector<double> &A = Command.GenArgs;
+  for (double Value : A)
+    if (!std::isfinite(Value))
+      return Fail("gen arguments must be finite");
+
+  // Validates the dimension-like arguments at Positions (rows, cols,
+  // band, row lengths) and the trailing seed before any cast — casting a
+  // negative or out-of-range double is undefined behavior, and a
+  // long-running server must not allocate gigabytes off one bad line.
+  // Real-valued arguments (fill, exponent, jitter) pass through as-is.
+  std::vector<uint64_t> Dims;
+  uint64_t Seed = 0;
+  std::string Why;
+  const auto ArgsOk = [&](std::initializer_list<size_t> Positions) {
+    for (size_t Position : Positions) {
+      // The first listed position is always ROWS, which must be positive;
+      // later ones (half-band, min row length) may be 0.
+      const double Min = Dims.empty() ? 1 : 0;
+      uint64_t Value = 0;
+      if (!genIntArg(A[Position], Min, MaxGenDimension, Value)) {
+        Why = "argument " + std::to_string(Position + 1) +
+              " must be an integer in [" + std::to_string(int(Min)) +
+              ", 2^24]";
+        return false;
+      }
+      Dims.push_back(Value);
+    }
+    if (!genIntArg(A.back(), 0, /*2^53*/ 9007199254740992.0, Seed)) {
+      Why = "seed must be a non-negative integer";
+      return false;
+    }
+    return true;
+  };
+
+  if (Command.GenFamily == "banded") {
+    if (A.size() != 4)
+      return Fail("gen banded needs ROWS HALFBAND FILL SEED");
+    if (!ArgsOk({0, 1}))
+      return Fail("gen banded: " + Why);
+    return genBanded(static_cast<uint32_t>(Dims[0]),
+                     static_cast<uint32_t>(Dims[1]), A[2], Seed);
+  }
+  if (Command.GenFamily == "powerlaw") {
+    if (A.size() != 5)
+      return Fail("gen powerlaw needs ROWS EXPONENT MINROW MAXROW SEED");
+    if (!ArgsOk({0, 2, 3}))
+      return Fail("gen powerlaw: " + Why);
+    return genPowerLaw(static_cast<uint32_t>(Dims[0]),
+                       static_cast<uint32_t>(Dims[0]), A[1],
+                       static_cast<uint32_t>(Dims[1]),
+                       static_cast<uint32_t>(Dims[2]), Seed);
+  }
+  if (Command.GenFamily == "uniform") {
+    if (A.size() != 5)
+      return Fail("gen uniform needs ROWS COLS MEANROW JITTER SEED");
+    if (!ArgsOk({0, 1}))
+      return Fail("gen uniform: " + Why);
+    return genUniformRandom(static_cast<uint32_t>(Dims[0]),
+                            static_cast<uint32_t>(Dims[1]), A[2], A[3], Seed);
+  }
+  if (Command.GenFamily == "diagonal") {
+    if (A.size() != 2)
+      return Fail("gen diagonal needs ROWS SEED");
+    if (!ArgsOk({0}))
+      return Fail("gen diagonal: " + Why);
+    return genDiagonal(static_cast<uint32_t>(Dims[0]), Seed);
+  }
+  return Fail("unknown generator family '" + Command.GenFamily + "'");
+}
+
+size_t TraceScript::matrixIndex(const std::string &Name) const {
+  for (size_t I = 0; I < Matrices.size(); ++I)
+    if (Matrices[I].first == Name)
+      return I;
+  return npos;
+}
+
+std::optional<TraceScript> seer::parseTrace(const std::string &Text,
+                                            std::string *ErrorMessage) {
+  const auto Fail =
+      [&](size_t LineNo, const std::string &Message) -> std::optional<TraceScript> {
+    if (ErrorMessage)
+      *ErrorMessage = "trace line " + std::to_string(LineNo) + ": " + Message;
+    return std::nullopt;
+  };
+
+  TraceScript Script;
+  const std::vector<std::string> Lines = splitString(Text, '\n');
+  for (size_t LineNo = 1; LineNo <= Lines.size(); ++LineNo) {
+    TraceCommand Command;
+    std::string Error;
+    if (!parseTraceLine(Lines[LineNo - 1], Command, &Error))
+      return Fail(LineNo, Error);
+
+    switch (Command.Command) {
+    case TraceCommand::Kind::Blank:
+      break;
+    case TraceCommand::Kind::Stats:
+    case TraceCommand::Kind::Quit:
+      return Fail(LineNo, "control commands are not allowed in traces");
+    case TraceCommand::Kind::Load: {
+      if (Script.matrixIndex(Command.Name) != TraceScript::npos)
+        return Fail(LineNo, "duplicate matrix name '" + Command.Name + "'");
+      auto M = readMatrixMarketFile(Command.Path, &Error);
+      if (!M)
+        return Fail(LineNo, Error);
+      Script.Matrices.emplace_back(Command.Name, std::move(*M));
+      break;
+    }
+    case TraceCommand::Kind::Gen: {
+      if (Script.matrixIndex(Command.Name) != TraceScript::npos)
+        return Fail(LineNo, "duplicate matrix name '" + Command.Name + "'");
+      auto M = buildTraceMatrix(Command, &Error);
+      if (!M)
+        return Fail(LineNo, Error);
+      Script.Matrices.emplace_back(Command.Name, std::move(*M));
+      break;
+    }
+    case TraceCommand::Kind::Select:
+    case TraceCommand::Kind::Execute: {
+      const size_t Index = Script.matrixIndex(Command.Name);
+      if (Index == TraceScript::npos)
+        return Fail(LineNo, "unknown matrix '" + Command.Name + "'");
+      TraceScript::Request Request;
+      Request.MatrixIndex = Index;
+      Request.Iterations = Command.Iterations;
+      Request.Execute = Command.Command == TraceCommand::Kind::Execute;
+      Request.Verify = Command.Verify;
+      Script.Requests.push_back(Request);
+      break;
+    }
+    }
+  }
+  return Script;
+}
+
+std::optional<TraceScript> seer::readTraceFile(const std::string &Path,
+                                               std::string *ErrorMessage) {
+  std::ifstream Stream(Path);
+  if (!Stream) {
+    if (ErrorMessage)
+      *ErrorMessage = "cannot open trace file '" + Path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  return parseTrace(Buffer.str(), ErrorMessage);
+}
+
+std::string seer::formatResponseLine(const std::string &Name,
+                                     const ServeResponse &Response,
+                                     const KernelRegistry &Registry) {
+  char Buffer[512];
+  int Written = std::snprintf(
+      Buffer, sizeof(Buffer),
+      "%s kernel=%s route=%s cache=%s iterations=%u overhead_ms=%.6f",
+      Name.c_str(),
+      Registry.kernel(Response.Selection.KernelIndex).name().c_str(),
+      Response.Selection.UsedGatheredModel ? "gathered" : "known",
+      Response.CacheHit ? "hit" : "miss", Response.Iterations,
+      Response.Selection.overheadMs());
+  std::string Line(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
+  if (Response.Executed) {
+    Written = std::snprintf(
+        Buffer, sizeof(Buffer),
+        " preprocess_ms=%.6f amortized=%d iteration_ms=%.6f total_ms=%.6f",
+        Response.PreprocessMs, Response.PreprocessAmortized ? 1 : 0,
+        Response.IterationMs, Response.totalMs());
+    Line.append(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
+  }
+  if (Response.OracleChecked) {
+    Written = std::snprintf(
+        Buffer, sizeof(Buffer), " oracle=%s mispredict=%d regret_ms=%.6f",
+        Registry.kernel(Response.OracleKernelIndex).name().c_str(),
+        Response.Mispredicted ? 1 : 0, Response.RegretMs);
+    Line.append(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
+  }
+  return Line;
+}
+
+std::string seer::formatStatsLines(const ServerStats &Stats) {
+  char Buffer[1024];
+  const int Written = std::snprintf(
+      Buffer, sizeof(Buffer),
+      "stat requests %" PRIu64 "\n"
+      "stat cache_hits %" PRIu64 "\n"
+      "stat cache_misses %" PRIu64 "\n"
+      "stat hit_rate %.4f\n"
+      "stat known_routes %" PRIu64 "\n"
+      "stat gathered_routes %" PRIu64 "\n"
+      "stat executions %" PRIu64 "\n"
+      "stat paid_preprocesses %" PRIu64 "\n"
+      "stat amortized_preprocesses %" PRIu64 "\n"
+      "stat oracle_checks %" PRIu64 "\n"
+      "stat mispredictions %" PRIu64 "\n"
+      "stat mispredict_rate %.4f\n"
+      "stat saved_collection_ms %.6f\n"
+      "stat saved_preprocess_ms %.6f\n"
+      "stat cached_matrices %" PRIu64 "\n"
+      "stat latency_samples %" PRIu64 "\n"
+      "stat latency_mean_us %.3f\n"
+      "stat latency_p50_us %.3f\n"
+      "stat latency_p99_us %.3f\n",
+      Stats.Requests, Stats.CacheHits, Stats.CacheMisses, Stats.hitRate(),
+      Stats.KnownRoutes, Stats.GatheredRoutes, Stats.Executions,
+      Stats.PaidPreprocesses, Stats.AmortizedPreprocesses, Stats.OracleChecks,
+      Stats.Mispredictions, Stats.mispredictRate(), Stats.SavedCollectionMs,
+      Stats.SavedPreprocessMs, Stats.CachedMatrices, Stats.LatencySamples,
+      Stats.MeanLatencyUs, Stats.P50LatencyUs, Stats.P99LatencyUs);
+  return std::string(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
+}

@@ -1,0 +1,112 @@
+//===- serve/RequestTrace.h - Line protocol and request traces ------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The text protocol of `seer-serve`, used both for scripted trace files
+/// and the interactive stdin mode. One command per line; `#` starts a
+/// comment; blank lines are ignored.
+///
+/// Setup commands (register a named matrix):
+///   load NAME PATH                   Matrix Market file
+///   gen NAME banded ROWS HALFBAND FILL SEED
+///   gen NAME powerlaw ROWS EXPONENT MINROW MAXROW SEED
+///   gen NAME uniform ROWS COLS MEANROW JITTER SEED
+///   gen NAME diagonal ROWS SEED
+///
+/// Request commands (hit the server):
+///   select NAME [ITERATIONS]         selection only (default 1 iteration)
+///   execute NAME [ITERATIONS] [verify]
+///                                    also run the kernel; `verify` turns
+///                                    on the oracle comparison
+///
+/// Control commands (interactive mode):
+///   stats                            print the telemetry snapshot
+///   quit                             exit
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SERVE_REQUESTTRACE_H
+#define SEER_SERVE_REQUESTTRACE_H
+
+#include "serve/ServeTypes.h"
+#include "sparse/CsrMatrix.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace seer {
+
+class KernelRegistry;
+
+/// One parsed protocol line.
+struct TraceCommand {
+  enum class Kind { Blank, Load, Gen, Select, Execute, Stats, Quit };
+  Kind Command = Kind::Blank;
+  /// Matrix name (Load/Gen/Select/Execute).
+  std::string Name;
+  /// File path (Load).
+  std::string Path;
+  /// Generator family and numeric arguments (Gen).
+  std::string GenFamily;
+  std::vector<double> GenArgs;
+  /// Request parameters (Select/Execute).
+  uint32_t Iterations = 1;
+  bool Verify = false;
+};
+
+/// Parses one protocol line. \returns false and fills \p ErrorMessage on a
+/// malformed line; blank/comment lines parse as Kind::Blank.
+bool parseTraceLine(const std::string &Line, TraceCommand &Out,
+                    std::string *ErrorMessage);
+
+/// Materializes a Gen command into a matrix. \returns std::nullopt and
+/// fills \p ErrorMessage on an unknown family or bad arguments.
+std::optional<CsrMatrix> buildTraceMatrix(const TraceCommand &Command,
+                                          std::string *ErrorMessage);
+
+/// A fully parsed trace: the named matrices (setup section, in file
+/// order) and the request sequence.
+struct TraceScript {
+  struct Request {
+    /// Index into Matrices.
+    size_t MatrixIndex = 0;
+    uint32_t Iterations = 1;
+    bool Execute = false;
+    bool Verify = false;
+  };
+
+  std::vector<std::pair<std::string, CsrMatrix>> Matrices;
+  std::vector<Request> Requests;
+
+  /// Index of the matrix named \p Name, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t matrixIndex(const std::string &Name) const;
+};
+
+/// Parses a whole trace (setup + requests). Control commands are rejected
+/// in traces. \returns std::nullopt and fills \p ErrorMessage (with a
+/// 1-based line number) on the first bad line.
+std::optional<TraceScript> parseTrace(const std::string &Text,
+                                      std::string *ErrorMessage);
+
+/// Reads and parses a trace file.
+std::optional<TraceScript> readTraceFile(const std::string &Path,
+                                         std::string *ErrorMessage);
+
+/// Formats one response as a single protocol output line, e.g.
+///   `web1 kernel=CSR,WO route=gathered cache=hit overhead_ms=0 ...`.
+std::string formatResponseLine(const std::string &Name,
+                               const ServeResponse &Response,
+                               const KernelRegistry &Registry);
+
+/// Formats a stats snapshot as `stat NAME VALUE` lines.
+std::string formatStatsLines(const ServerStats &Stats);
+
+} // namespace seer
+
+#endif // SEER_SERVE_REQUESTTRACE_H

@@ -1,0 +1,221 @@
+//===- serve/SeerServer.cpp ------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/SeerServer.h"
+
+#include "kernels/FeatureKernels.h"
+#include "support/ThreadPool.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace seer;
+
+SeerServer::SeerServer(SeerModels Models, ServerConfig Config)
+    : Models(std::move(Models)), Registry(), Sim(Config.Device),
+      Runtime(this->Models, Registry, Sim), Cache(Config.CacheShards) {}
+
+namespace {
+
+uint64_t msToNanos(double Ms) {
+  return Ms > 0 ? static_cast<uint64_t>(Ms * 1e6) : 0;
+}
+
+} // namespace
+
+ServeResponse SeerServer::handle(const ServeRequest &Request) {
+  assert(Request.Matrix && "request without a matrix");
+  const auto Start = std::chrono::steady_clock::now();
+  const CsrMatrix &M = *Request.Matrix;
+
+  ServeResponse R;
+  R.Iterations = Request.Iterations ? Request.Iterations : 1;
+  R.Fingerprint = matrixFingerprint(M);
+
+  const auto [Entry, Hit] =
+      Cache.lookupOrAnalyze(R.Fingerprint, M, Registry.size());
+  R.CacheHit = Hit;
+
+  if (Hit) {
+    // Features come from the cache: zero collection cost is charged, and
+    // the chosen kernel is bit-identical to the uncached path because the
+    // cached gathered features are exactly what collection recomputes.
+    R.Selection = Runtime.selectPrecollected(Entry->Stats.Known,
+                                             Entry->Stats.Gathered,
+                                             R.Iterations);
+    if (R.Selection.UsedGatheredModel) {
+      // Telemetry: the modeled collection cost this hit skipped. The fused
+      // overload only evaluates the simulator's cost formula — no matrix
+      // walk happens here.
+      const double Skipped =
+          collectGatheredFeatures(M, Sim, Entry->Stats.Gathered).CollectionMs;
+      SavedCollectionNs.fetch_add(msToNanos(Skipped),
+                                  std::memory_order_relaxed);
+    }
+  } else {
+    R.Selection = Runtime.select(M, R.Iterations, Entry->Stats);
+  }
+
+  if (Request.Execute) {
+    R.Executed = true;
+    const SpmvKernel &Kernel = Registry.kernel(R.Selection.KernelIndex);
+
+    // Amortization ledger: preprocessing for this (matrix, kernel) pair is
+    // charged once per session. Check under the entry lock, do the work
+    // outside it, and let the first finisher record the payment.
+    std::shared_ptr<KernelState> State;
+    bool NeedPreprocess = false;
+    {
+      std::lock_guard<std::mutex> Lock(Entry->Mutex);
+      FingerprintCache::KernelSlot &Slot =
+          Entry->Kernels[R.Selection.KernelIndex];
+      if (Slot.Paid) {
+        State = Slot.State;
+        R.PreprocessAmortized = true;
+        SavedPreprocessNs.fetch_add(msToNanos(Slot.PreprocessMs),
+                                    std::memory_order_relaxed);
+      } else {
+        NeedPreprocess = true;
+      }
+    }
+    if (NeedPreprocess) {
+      PreprocessResult Prep = Kernel.preprocess(M, Entry->Stats, Sim);
+      std::lock_guard<std::mutex> Lock(Entry->Mutex);
+      FingerprintCache::KernelSlot &Slot =
+          Entry->Kernels[R.Selection.KernelIndex];
+      if (!Slot.Paid) {
+        Slot.State = std::move(Prep.State);
+        Slot.PreprocessMs = Prep.TimeMs;
+        Slot.Paid = true;
+        R.PreprocessMs = Prep.TimeMs;
+      } else {
+        // A racing request paid first; this one rides along.
+        R.PreprocessAmortized = true;
+        SavedPreprocessNs.fetch_add(msToNanos(Slot.PreprocessMs),
+                                    std::memory_order_relaxed);
+      }
+      State = Slot.State;
+    }
+
+    const std::vector<double> Ones =
+        Request.Operand ? std::vector<double>()
+                        : std::vector<double>(M.numCols(), 1.0);
+    const std::vector<double> &X = Request.Operand ? *Request.Operand : Ones;
+    assert(X.size() == M.numCols() && "operand length mismatch");
+
+    SpmvRun Run = Kernel.run(M, Entry->Stats, State.get(), X, Sim);
+    R.IterationMs = Run.Timing.TotalMs;
+    R.Y = std::move(Run.Y);
+
+    if (Request.VerifyOracle) {
+      // Online feedback: compare against the noise-free oracle, computed
+      // once per fingerprint and cached.
+      std::vector<KernelMeasurement> Oracle;
+      {
+        std::lock_guard<std::mutex> Lock(Entry->Mutex);
+        Oracle = Entry->Oracle;
+      }
+      if (Oracle.empty()) {
+        Oracle.resize(Registry.size());
+        for (size_t K = 0; K < Registry.size(); ++K) {
+          const SpmvKernel &Candidate = Registry.kernel(K);
+          const PreprocessResult Prep =
+              Candidate.preprocess(M, Entry->Stats, Sim);
+          const SpmvRun Probe =
+              Candidate.run(M, Entry->Stats, Prep.State.get(), X, Sim);
+          Oracle[K].PreprocessMs = Prep.TimeMs;
+          Oracle[K].IterationMs = Probe.Timing.TotalMs;
+        }
+        std::lock_guard<std::mutex> Lock(Entry->Mutex);
+        if (Entry->Oracle.empty())
+          Entry->Oracle = Oracle;
+      }
+      size_t Best = 0;
+      for (size_t K = 1; K < Oracle.size(); ++K)
+        if (Oracle[K].totalMs(R.Iterations) < Oracle[Best].totalMs(R.Iterations))
+          Best = K;
+      R.OracleChecked = true;
+      R.OracleKernelIndex = Best;
+      R.Mispredicted = Best != R.Selection.KernelIndex;
+      R.RegretMs = Oracle[R.Selection.KernelIndex].totalMs(R.Iterations) -
+                   Oracle[Best].totalMs(R.Iterations);
+    }
+  }
+
+  R.ServiceMicros = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+
+  // Commit telemetry before returning so stats() is consistent once the
+  // caller has its response.
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  if (R.CacheHit)
+    CacheHits.fetch_add(1, std::memory_order_relaxed);
+  if (R.Selection.UsedGatheredModel)
+    GatheredRoutes.fetch_add(1, std::memory_order_relaxed);
+  if (R.Executed) {
+    Executions.fetch_add(1, std::memory_order_relaxed);
+    (R.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  if (R.OracleChecked) {
+    OracleChecks.fetch_add(1, std::memory_order_relaxed);
+    if (R.Mispredicted)
+      Mispredictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  Latency.record(R.ServiceMicros);
+  return R;
+}
+
+std::vector<ServeResponse>
+SeerServer::handleBatch(const std::vector<ServeRequest> &Batch,
+                        unsigned Parallelism) {
+  std::vector<ServeResponse> Responses(Batch.size());
+  parallelFor(Parallelism, Batch.size(),
+              [&](size_t I) { Responses[I] = handle(Batch[I]); });
+  return Responses;
+}
+
+ServerStats SeerServer::stats() const {
+  ServerStats S;
+  S.Requests = Requests.load(std::memory_order_relaxed);
+  S.CacheHits = CacheHits.load(std::memory_order_relaxed);
+  S.CacheMisses = S.Requests - S.CacheHits;
+  S.GatheredRoutes = GatheredRoutes.load(std::memory_order_relaxed);
+  S.KnownRoutes = S.Requests - S.GatheredRoutes;
+  S.Executions = Executions.load(std::memory_order_relaxed);
+  S.PaidPreprocesses = PaidPreprocesses.load(std::memory_order_relaxed);
+  S.AmortizedPreprocesses =
+      AmortizedPreprocesses.load(std::memory_order_relaxed);
+  S.OracleChecks = OracleChecks.load(std::memory_order_relaxed);
+  S.Mispredictions = Mispredictions.load(std::memory_order_relaxed);
+  S.SavedCollectionMs =
+      static_cast<double>(SavedCollectionNs.load(std::memory_order_relaxed)) /
+      1e6;
+  S.SavedPreprocessMs =
+      static_cast<double>(SavedPreprocessNs.load(std::memory_order_relaxed)) /
+      1e6;
+  S.CachedMatrices = Cache.size();
+  S.LatencySamples = Latency.samples();
+  S.MeanLatencyUs = Latency.meanMicros();
+  S.P50LatencyUs = Latency.percentileMicros(0.50);
+  S.P99LatencyUs = Latency.percentileMicros(0.99);
+  return S;
+}
+
+void SeerServer::resetStats() {
+  Requests.store(0, std::memory_order_relaxed);
+  CacheHits.store(0, std::memory_order_relaxed);
+  GatheredRoutes.store(0, std::memory_order_relaxed);
+  Executions.store(0, std::memory_order_relaxed);
+  PaidPreprocesses.store(0, std::memory_order_relaxed);
+  AmortizedPreprocesses.store(0, std::memory_order_relaxed);
+  OracleChecks.store(0, std::memory_order_relaxed);
+  Mispredictions.store(0, std::memory_order_relaxed);
+  SavedCollectionNs.store(0, std::memory_order_relaxed);
+  SavedPreprocessNs.store(0, std::memory_order_relaxed);
+  Latency.reset();
+}

@@ -1,0 +1,73 @@
+//===- serve/ServeTypes.cpp ------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeTypes.h"
+
+#include <cmath>
+
+using namespace seer;
+
+namespace {
+
+/// Smallest representable latency and the geometric bucket growth factor:
+/// 128 buckets spanning [0.01 us, 0.01 * G^128 us) with G = 10^(10/128)
+/// cover ~10 orders of magnitude.
+constexpr double LowestMicros = 0.01;
+const double GrowthLog = std::log(10.0) * (10.0 / 128.0);
+
+size_t bucketFor(double Micros) {
+  if (!(Micros > LowestMicros))
+    return 0;
+  const double Index = std::log(Micros / LowestMicros) / GrowthLog;
+  if (Index >= static_cast<double>(LatencyHistogram::NumBuckets - 1))
+    return LatencyHistogram::NumBuckets - 1;
+  return static_cast<size_t>(Index);
+}
+
+/// Geometric midpoint of bucket \p Index.
+double bucketMidpoint(size_t Index) {
+  return LowestMicros *
+         std::exp(GrowthLog * (static_cast<double>(Index) + 0.5));
+}
+
+} // namespace
+
+void LatencyHistogram::record(double Micros) {
+  Buckets[bucketFor(Micros)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  const double Nanos = Micros * 1000.0;
+  TotalNanos.fetch_add(Nanos > 0 ? static_cast<uint64_t>(Nanos) : 0,
+                       std::memory_order_relaxed);
+}
+
+double LatencyHistogram::meanMicros() const {
+  const uint64_t N = Count.load(std::memory_order_relaxed);
+  if (N == 0)
+    return 0.0;
+  return static_cast<double>(TotalNanos.load(std::memory_order_relaxed)) /
+         (1000.0 * static_cast<double>(N));
+}
+
+double LatencyHistogram::percentileMicros(double P) const {
+  const uint64_t N = Count.load(std::memory_order_relaxed);
+  if (N == 0)
+    return 0.0;
+  const double Target = P * static_cast<double>(N);
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Cumulative += Buckets[I].load(std::memory_order_relaxed);
+    if (static_cast<double>(Cumulative) >= Target)
+      return bucketMidpoint(I);
+  }
+  return bucketMidpoint(NumBuckets - 1);
+}
+
+void LatencyHistogram::reset() {
+  for (auto &Bucket : Buckets)
+    Bucket.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  TotalNanos.store(0, std::memory_order_relaxed);
+}

@@ -1,0 +1,178 @@
+//===- serve/ServeTypes.h - Request/response API of the serving layer -----===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request/response structs and telemetry types of the Seer serving
+/// layer. A `ServeRequest` asks the server to select (and optionally
+/// execute) a kernel for one matrix; the `ServeResponse` carries the
+/// selection plus the costs that were actually *charged* for this request
+/// — which is where serving differs from the one-shot runtime: a cache
+/// hit charges zero feature-collection cost, and an amortized kernel
+/// charges zero preprocessing cost, because both were paid by an earlier
+/// request in the session (the paper's multi-iteration amortization of
+/// Sec. IV-E, extended across requests).
+///
+/// `ServerStats` is the monotone telemetry snapshot: request/hit/route
+/// counters, online-feedback misprediction counts, and service-latency
+/// percentiles from a bounded geometric histogram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SERVE_SERVETYPES_H
+#define SEER_SERVE_SERVETYPES_H
+
+#include "core/SeerRuntime.h"
+#include "sparse/CsrMatrix.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace seer {
+
+/// One client request against a SeerServer.
+struct ServeRequest {
+  /// The input matrix. Must stay alive for the duration of handle();
+  /// the server never stores the pointer (only a content fingerprint).
+  const CsrMatrix *Matrix = nullptr;
+  /// Expected SpMV iteration count (Sec. IV-E break-even axis).
+  uint32_t Iterations = 1;
+  /// Also execute the chosen kernel (preprocess + run) and return Y.
+  bool Execute = false;
+  /// With Execute: benchmark every registry kernel for this matrix (the
+  /// oracle) and record whether the selection was a misprediction. The
+  /// oracle measurements are cached per fingerprint, so repeat matrices
+  /// verify for free.
+  bool VerifyOracle = false;
+  /// SpMV operand; when null the server uses an all-ones vector of the
+  /// matrix's column count.
+  const std::vector<double> *Operand = nullptr;
+};
+
+/// The server's answer. Cost fields are *charged* costs for this request,
+/// not intrinsic ones: cached work is charged at zero.
+struct ServeResponse {
+  /// Selection outcome. On a cache hit FeatureCollectionMs is 0 even when
+  /// the gathered model was used — the features came from the cache.
+  SelectionResult Selection;
+  /// Content fingerprint of the request matrix.
+  uint64_t Fingerprint = 0;
+  /// True when the matrix's features were already cached.
+  bool CacheHit = false;
+  /// Iterations the costs below are quoted for.
+  uint32_t Iterations = 1;
+
+  /// Execution results (valid when Executed).
+  bool Executed = false;
+  /// True when this (fingerprint, kernel) pair's preprocessing was paid by
+  /// an earlier request; PreprocessMs is then 0.
+  bool PreprocessAmortized = false;
+  /// Charged one-time preprocessing cost of the chosen kernel.
+  double PreprocessMs = 0.0;
+  /// Per-iteration runtime of the chosen kernel.
+  double IterationMs = 0.0;
+  /// The product vector (one iteration's y = A * x).
+  std::vector<double> Y;
+
+  /// Online feedback (valid when OracleChecked).
+  bool OracleChecked = false;
+  /// Fastest kernel by noise-free simulated total at this iteration count.
+  size_t OracleKernelIndex = 0;
+  /// True when the selection differs from the oracle.
+  bool Mispredicted = false;
+  /// Modeled regret: chosen total minus oracle total, ms (>= 0).
+  double RegretMs = 0.0;
+
+  /// Host wall-clock time spent inside handle(), microseconds.
+  double ServiceMicros = 0.0;
+
+  /// Charged end-to-end cost at the quoted iteration count.
+  double totalMs() const {
+    return Selection.overheadMs() + PreprocessMs + Iterations * IterationMs;
+  }
+};
+
+/// Bounded, lock-free latency recorder: 128 geometric buckets spanning
+/// 0.01 us .. ~1e8 us, ~19.7% bucket width (so percentile queries have
+/// <10% relative error — plenty for telemetry). All operations are atomic;
+/// record() never allocates, so the hot path stays wait-free.
+class LatencyHistogram {
+public:
+  static constexpr size_t NumBuckets = 128;
+
+  /// Records one service latency in microseconds.
+  void record(double Micros);
+
+  /// Number of recorded samples.
+  uint64_t samples() const { return Count.load(std::memory_order_relaxed); }
+
+  /// Mean recorded latency, microseconds (0 with no samples).
+  double meanMicros() const;
+
+  /// Approximate \p P-quantile (0 < P < 1) in microseconds: the geometric
+  /// midpoint of the bucket where the cumulative count crosses P. Returns
+  /// 0 with no samples.
+  double percentileMicros(double P) const;
+
+  /// Zeroes all buckets. Not linearizable against concurrent record();
+  /// call it only between request waves.
+  void reset();
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  /// Total latency in nanoseconds (integer so fetch_add works pre-C++20).
+  std::atomic<uint64_t> TotalNanos{0};
+};
+
+/// Monotone telemetry snapshot of a SeerServer.
+struct ServerStats {
+  /// Requests handled (== CacheHits + CacheMisses
+  ///                  == KnownRoutes + GatheredRoutes).
+  uint64_t Requests = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  /// Requests answered from the known-feature model / the gathered model.
+  uint64_t KnownRoutes = 0;
+  uint64_t GatheredRoutes = 0;
+  /// Requests that also executed the kernel.
+  uint64_t Executions = 0;
+  /// Executions that paid preprocessing / reused an earlier payment.
+  uint64_t PaidPreprocesses = 0;
+  uint64_t AmortizedPreprocesses = 0;
+  /// Online feedback: oracle comparisons run and mispredictions seen.
+  uint64_t OracleChecks = 0;
+  uint64_t Mispredictions = 0;
+  /// Modeled costs the cache saved: collection skipped on hits and
+  /// preprocessing skipped by the amortization ledger.
+  double SavedCollectionMs = 0.0;
+  double SavedPreprocessMs = 0.0;
+  /// Distinct matrices (fingerprints) currently cached.
+  uint64_t CachedMatrices = 0;
+  /// Service-latency summary, microseconds.
+  uint64_t LatencySamples = 0;
+  double MeanLatencyUs = 0.0;
+  double P50LatencyUs = 0.0;
+  double P99LatencyUs = 0.0;
+
+  /// Misprediction rate over oracle-checked requests (0 when none).
+  double mispredictRate() const {
+    return OracleChecks ? static_cast<double>(Mispredictions) /
+                              static_cast<double>(OracleChecks)
+                        : 0.0;
+  }
+  /// Cache hit rate over all requests (0 when none).
+  double hitRate() const {
+    return Requests
+               ? static_cast<double>(CacheHits) / static_cast<double>(Requests)
+               : 0.0;
+  }
+};
+
+} // namespace seer
+
+#endif // SEER_SERVE_SERVETYPES_H

@@ -1,0 +1,235 @@
+//===- tests/cache_test.cpp - BenchmarkCache corruption handling ----------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// The on-disk sweep cache's contract under damage: a truncated, garbled,
+// or partially deleted cache entry must load as a *miss* (std::nullopt) —
+// never as an error and never as bad data — because every caller's
+// recovery path is simply "re-run the sweep". These tests vandalize a
+// freshly stored entry in every way a real filesystem mishap could and
+// check the loader shrugs each one off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Seer.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace seer;
+
+namespace {
+
+/// Fresh scratch directory per test.
+std::string scratchDir(const char *Name) {
+  const std::string Dir =
+      (std::filesystem::temp_directory_path() / Name).string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// A tiny sweep to populate the cache with.
+std::vector<MatrixBenchmark> tinySweep() {
+  static const std::vector<MatrixBenchmark> Benchmarks = [] {
+    CollectionConfig Config;
+    Config.MaxRows = 1024;
+    Config.VariantsPerCell = 1;
+    Config.IncludeReplicas = false;
+    const KernelRegistry Registry;
+    const GpuSimulator Sim(DeviceModel::mi100());
+    BenchmarkConfig Protocol;
+    Protocol.Parallelism = 0;
+    const Benchmarker Runner(Registry, Sim, Protocol);
+    return Runner.benchmarkCollection(buildCollection(Config));
+  }();
+  return Benchmarks;
+}
+
+/// Stores the tiny sweep and returns (directory, key).
+std::pair<std::string, uint64_t> storedCache(const char *Name) {
+  const std::string Dir = scratchDir(Name);
+  const uint64_t Key = benchmarkCacheKey(CollectionConfig(),
+                                         BenchmarkConfig(),
+                                         DeviceModel::mi100());
+  const KernelRegistry Registry;
+  std::string Error;
+  EXPECT_TRUE(storeBenchmarkCache(Dir, Key, tinySweep(), Registry.names(),
+                                  &Error))
+      << Error;
+  return {Dir, Key};
+}
+
+/// The three files of one cache entry.
+std::vector<std::string> entryFiles(const std::string &Dir) {
+  std::vector<std::string> Files;
+  for (const auto &File : std::filesystem::directory_iterator(Dir))
+    Files.push_back(File.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+/// Truncates \p Path to \p Bytes bytes.
+void truncateFile(const std::string &Path, size_t Bytes) {
+  std::error_code Ec;
+  std::filesystem::resize_file(Path, Bytes, Ec);
+  ASSERT_FALSE(Ec) << Ec.message();
+}
+
+} // namespace
+
+TEST(BenchmarkCacheTest, IntactEntryRoundTrips) {
+  const auto [Dir, Key] = storedCache("seer_cache_intact");
+  const auto Loaded = loadBenchmarkCache(Dir, Key);
+  ASSERT_TRUE(Loaded);
+  const std::vector<MatrixBenchmark> Original = tinySweep();
+  ASSERT_EQ(Loaded->size(), Original.size());
+  for (size_t I = 0; I < Original.size(); ++I) {
+    EXPECT_EQ((*Loaded)[I].Name, Original[I].Name);
+    EXPECT_EQ((*Loaded)[I].PerKernel.size(), Original[I].PerKernel.size());
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(BenchmarkCacheTest, AbsentDirectoryIsAMiss) {
+  EXPECT_FALSE(loadBenchmarkCache("/nonexistent/seer_cache_dir", 42));
+}
+
+TEST(BenchmarkCacheTest, WrongKeyIsAMiss) {
+  const auto [Dir, Key] = storedCache("seer_cache_wrongkey");
+  EXPECT_FALSE(loadBenchmarkCache(Dir, Key + 1));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(BenchmarkCacheTest, EachFileMissingIsAMiss) {
+  // Deleting any one of the three CSVs must turn the entry into a miss.
+  for (size_t Victim = 0; Victim < 3; ++Victim) {
+    const auto [Dir, Key] = storedCache("seer_cache_missing");
+    const std::vector<std::string> Files = entryFiles(Dir);
+    ASSERT_EQ(Files.size(), 3u);
+    std::filesystem::remove(Files[Victim]);
+    EXPECT_FALSE(loadBenchmarkCache(Dir, Key))
+        << "deleted " << Files[Victim];
+    std::filesystem::remove_all(Dir);
+  }
+}
+
+TEST(BenchmarkCacheTest, TruncatedFilesAreMisses) {
+  // Chop each file mid-row (half its size) and to zero bytes: a partial
+  // write or a crashed storer must read back as a miss.
+  for (size_t Victim = 0; Victim < 3; ++Victim)
+    for (const double Fraction : {0.5, 0.0}) {
+      const auto [Dir, Key] = storedCache("seer_cache_truncated");
+      const std::vector<std::string> Files = entryFiles(Dir);
+      ASSERT_EQ(Files.size(), 3u);
+      const auto Size = std::filesystem::file_size(Files[Victim]);
+      truncateFile(Files[Victim],
+                   static_cast<size_t>(static_cast<double>(Size) * Fraction));
+      EXPECT_FALSE(loadBenchmarkCache(Dir, Key))
+          << "truncated " << Files[Victim] << " to " << Fraction;
+      std::filesystem::remove_all(Dir);
+    }
+}
+
+TEST(BenchmarkCacheTest, GarbledNumericCellIsAMiss) {
+  // Valid CSV shape, non-numeric payload: must be a miss, not bad data.
+  for (size_t Victim = 0; Victim < 3; ++Victim) {
+    const auto [Dir, Key] = storedCache("seer_cache_garbled");
+    const std::vector<std::string> Files = entryFiles(Dir);
+    ASSERT_EQ(Files.size(), 3u);
+    std::string Text;
+    {
+      std::ifstream In(Files[Victim]);
+      std::ostringstream Buffer;
+      Buffer << In.rdbuf();
+      Text = Buffer.str();
+    }
+    // Replace the first digit after the header row with garbage.
+    const size_t HeaderEnd = Text.find('\n');
+    ASSERT_NE(HeaderEnd, std::string::npos);
+    const size_t Digit = Text.find_first_of("0123456789", HeaderEnd);
+    ASSERT_NE(Digit, std::string::npos);
+    Text[Digit] = 'x';
+    std::ofstream(Files[Victim]) << Text;
+    EXPECT_FALSE(loadBenchmarkCache(Dir, Key))
+        << "garbled " << Files[Victim];
+    std::filesystem::remove_all(Dir);
+  }
+}
+
+TEST(BenchmarkCacheTest, RandomBinaryGarbageIsAMiss) {
+  const auto [Dir, Key] = storedCache("seer_cache_binary");
+  const std::vector<std::string> Files = entryFiles(Dir);
+  ASSERT_EQ(Files.size(), 3u);
+  std::ofstream Out(Files[0], std::ios::binary);
+  for (int I = 0; I < 4096; ++I)
+    Out.put(static_cast<char>((I * 131 + 17) & 0xff));
+  Out.close();
+  EXPECT_FALSE(loadBenchmarkCache(Dir, Key));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(BenchmarkCacheTest, DroppedColumnIsAMiss) {
+  // A schema drift (fewer kernels in the runtime table than in the
+  // preprocessing table) must be rejected by the loader's consistency
+  // checks, not silently mis-shaped.
+  const auto [Dir, Key] = storedCache("seer_cache_schema");
+  const std::vector<std::string> Files = entryFiles(Dir);
+  ASSERT_EQ(Files.size(), 3u);
+  // entryFiles sorts: features, preprocessing, runtime.
+  const std::string RuntimePath = Files[2];
+  std::string Text;
+  {
+    std::ifstream In(RuntimePath);
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Text = Buffer.str();
+  }
+  // Drop the last column from every line (find last comma per line).
+  std::string Dropped;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    if (Line.empty())
+      continue;
+    const size_t LastComma = Line.rfind(',');
+    ASSERT_NE(LastComma, std::string::npos);
+    Dropped += Line.substr(0, LastComma) + "\n";
+  }
+  std::ofstream(RuntimePath) << Dropped;
+  EXPECT_FALSE(loadBenchmarkCache(Dir, Key));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(BenchmarkCacheTest, CorruptEntryRecoversByResweeping) {
+  // End-to-end recovery: benchmarkCollectionCached over a vandalized
+  // entry re-runs the sweep and restores a loadable cache.
+  CollectionConfig Config;
+  Config.MaxRows = 1024;
+  Config.VariantsPerCell = 1;
+  Config.IncludeReplicas = false;
+  BenchmarkConfig Protocol;
+  Protocol.Parallelism = 0;
+  const std::string Dir = scratchDir("seer_cache_recover");
+
+  const auto First = benchmarkCollectionCached(Config, Protocol,
+                                               DeviceModel::mi100(), Dir,
+                                               /*Verbose=*/false);
+  const std::vector<std::string> Files = entryFiles(Dir);
+  ASSERT_EQ(Files.size(), 3u);
+  std::ofstream(Files[0]) << "vandalized\n";
+
+  const auto Second = benchmarkCollectionCached(Config, Protocol,
+                                                DeviceModel::mi100(), Dir,
+                                                /*Verbose=*/false);
+  ASSERT_EQ(Second.size(), First.size());
+  const uint64_t Key =
+      benchmarkCacheKey(Config, Protocol, DeviceModel::mi100());
+  EXPECT_TRUE(loadBenchmarkCache(Dir, Key));
+  std::filesystem::remove_all(Dir);
+}

@@ -1,0 +1,491 @@
+//===- tests/serve_test.cpp - Tests for the Seer serving layer ------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving-layer contract: concurrent clients get answers bit-identical
+// to one-shot SeerRuntime calls, cache hits charge zero collection cost,
+// the amortization ledger charges preprocessing once, telemetry counters
+// add up, and the protocol/trace/bundle plumbing round-trips. The
+// concurrency tests run real std::thread clients so the ThreadSanitizer CI
+// job exercises the locking for data races.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ModelBundle.h"
+#include "core/Seer.h"
+#include "serve/RequestTrace.h"
+#include "serve/SeerServer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace seer;
+
+namespace {
+
+/// A tiny but diverse collection for fast serving tests.
+std::vector<MatrixSpec> tinyCollection() {
+  CollectionConfig Config;
+  Config.MaxRows = 4096;
+  Config.VariantsPerCell = 2;
+  Config.IncludeReplicas = false;
+  return buildCollection(Config);
+}
+
+/// Models trained once on the tiny collection (shared across tests).
+const SeerModels &tinyModels() {
+  static const SeerModels Models = [] {
+    const KernelRegistry Registry;
+    const GpuSimulator Sim(DeviceModel::mi100());
+    BenchmarkConfig Protocol;
+    Protocol.Parallelism = 0;
+    const Benchmarker Runner(Registry, Sim, Protocol);
+    TrainerConfig Trainer;
+    Trainer.Parallelism = 0;
+    return trainSeerModels(Runner.benchmarkCollection(tinyCollection()),
+                           Registry.names(), Trainer);
+  }();
+  return Models;
+}
+
+/// A pool of request matrices with varied shapes.
+const std::vector<CsrMatrix> &requestPool() {
+  static const std::vector<CsrMatrix> Pool = [] {
+    std::vector<CsrMatrix> P;
+    P.push_back(genBanded(1024, 8, 0.9, 7));
+    P.push_back(genPowerLaw(2048, 2048, 1.8, 1, 256, 11));
+    P.push_back(genUniformRandom(512, 512, 12.0, 0.5, 13));
+    P.push_back(genDiagonal(4096, 17));
+    P.push_back(genDenseRowOutlier(1024, 1024, 6.0, 4, 128, 19));
+    P.push_back(genConstantRowRandom(768, 768, 9, 23));
+    return P;
+  }();
+  return Pool;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Fingerprinting
+//===----------------------------------------------------------------------===//
+
+TEST(FingerprintTest, ContentAddressing) {
+  const CsrMatrix A = genBanded(100, 4, 0.8, 1);
+  const CsrMatrix SameContent = genBanded(100, 4, 0.8, 1);
+  const CsrMatrix OtherSeed = genBanded(100, 4, 0.8, 2);
+  const CsrMatrix OtherShape = genBanded(101, 4, 0.8, 1);
+  EXPECT_EQ(matrixFingerprint(A), matrixFingerprint(SameContent));
+  EXPECT_NE(matrixFingerprint(A), matrixFingerprint(OtherSeed));
+  EXPECT_NE(matrixFingerprint(A), matrixFingerprint(OtherShape));
+}
+
+TEST(FingerprintTest, ValueSensitive) {
+  // Same structure, one value changed: the fingerprint must differ.
+  std::vector<Triplet> Entries = {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}};
+  const CsrMatrix A = CsrMatrix::fromTriplets(2, 2, Entries);
+  Entries[2].Value = 4.0;
+  const CsrMatrix B = CsrMatrix::fromTriplets(2, 2, Entries);
+  EXPECT_NE(matrixFingerprint(A), matrixFingerprint(B));
+}
+
+//===----------------------------------------------------------------------===//
+// SeerServer: correctness vs. the one-shot runtime
+//===----------------------------------------------------------------------===//
+
+TEST(SeerServerTest, SelectionsMatchRuntimeSerially) {
+  SeerServer Server(tinyModels());
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const SeerRuntime Reference(tinyModels(), Registry, Sim);
+
+  for (const CsrMatrix &M : requestPool())
+    for (const uint32_t Iterations : {1u, 5u, 19u}) {
+      const SelectionResult Direct = Reference.select(M, Iterations);
+      ServeRequest Request;
+      Request.Matrix = &M;
+      Request.Iterations = Iterations;
+      const ServeResponse Response = Server.handle(Request);
+      EXPECT_EQ(Response.Selection.KernelIndex, Direct.KernelIndex);
+      EXPECT_EQ(Response.Selection.UsedGatheredModel,
+                Direct.UsedGatheredModel);
+    }
+}
+
+TEST(SeerServerTest, ConcurrentClientsBitIdentical) {
+  // >= 8 client threads hammer one server with interleaved repeat
+  // requests; every response must equal the serial one-shot answer.
+  const std::vector<CsrMatrix> &Pool = requestPool();
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const SeerRuntime Reference(tinyModels(), Registry, Sim);
+  const uint32_t IterationPattern[3] = {1, 5, 19};
+
+  // Serial ground truth per (matrix, iterations).
+  std::vector<std::vector<SelectionResult>> Direct(Pool.size());
+  for (size_t M = 0; M < Pool.size(); ++M)
+    for (uint32_t I : IterationPattern)
+      Direct[M].push_back(Reference.select(Pool[M], I));
+
+  SeerServer Server(tinyModels());
+  constexpr size_t NumClients = 8;
+  constexpr size_t RequestsPerClient = 60;
+  std::vector<std::string> Failures(NumClients);
+  std::vector<std::thread> Clients;
+  for (size_t C = 0; C < NumClients; ++C)
+    Clients.emplace_back([&, C] {
+      for (size_t R = 0; R < RequestsPerClient; ++R) {
+        const size_t MatrixIndex = (C + R) % Pool.size();
+        const size_t IterIndex = R % 3;
+        ServeRequest Request;
+        Request.Matrix = &Pool[MatrixIndex];
+        Request.Iterations = IterationPattern[IterIndex];
+        const ServeResponse Response = Server.handle(Request);
+        const SelectionResult &Expected = Direct[MatrixIndex][IterIndex];
+        if (Response.Selection.KernelIndex != Expected.KernelIndex ||
+            Response.Selection.UsedGatheredModel !=
+                Expected.UsedGatheredModel)
+          Failures[C] = "client " + std::to_string(C) + " request " +
+                        std::to_string(R) + " diverged";
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  for (const std::string &Failure : Failures)
+    EXPECT_TRUE(Failure.empty()) << Failure;
+
+  const ServerStats Stats = Server.stats();
+  EXPECT_EQ(Stats.Requests, NumClients * RequestsPerClient);
+  EXPECT_EQ(Stats.Requests, Stats.CacheHits + Stats.CacheMisses);
+  EXPECT_EQ(Stats.Requests, Stats.KnownRoutes + Stats.GatheredRoutes);
+  EXPECT_EQ(Stats.CachedMatrices, Pool.size());
+  EXPECT_EQ(Stats.LatencySamples, Stats.Requests);
+  // Every matrix is requested many times; almost all requests hit. At
+  // minimum the non-first touch of each matrix must have hit.
+  EXPECT_GE(Stats.CacheHits,
+            NumClients * RequestsPerClient - Pool.size() * NumClients);
+}
+
+TEST(SeerServerTest, CacheHitChargesZeroCollection) {
+  SeerServer Server(tinyModels());
+  for (const CsrMatrix &M : requestPool()) {
+    ServeRequest Request;
+    Request.Matrix = &M;
+    Request.Iterations = 5;
+    const ServeResponse First = Server.handle(Request);
+    const ServeResponse Second = Server.handle(Request);
+    EXPECT_FALSE(First.CacheHit);
+    EXPECT_TRUE(Second.CacheHit);
+    // Same decision, but the hit charges no collection cost even when the
+    // gathered model was consulted.
+    EXPECT_EQ(Second.Selection.KernelIndex, First.Selection.KernelIndex);
+    EXPECT_EQ(Second.Selection.UsedGatheredModel,
+              First.Selection.UsedGatheredModel);
+    EXPECT_EQ(Second.Selection.FeatureCollectionMs, 0.0);
+    if (First.Selection.UsedGatheredModel) {
+      EXPECT_GT(First.Selection.FeatureCollectionMs, 0.0);
+    }
+  }
+  // The pool's gathered-routed matrices saved their collection cost.
+  const ServerStats Stats = Server.stats();
+  if (Stats.GatheredRoutes > 0) {
+    EXPECT_GT(Stats.SavedCollectionMs, 0.0);
+  }
+}
+
+TEST(SeerServerTest, PreprocessingAmortizedAcrossRequests) {
+  const CsrMatrix &M = requestPool()[1]; // power-law: irregular input
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const SeerRuntime Reference(tinyModels(), Registry, Sim);
+  const std::vector<double> X(M.numCols(), 1.0);
+  const ExecutionReport Direct = Reference.execute(M, X, 19);
+
+  SeerServer Server(tinyModels());
+  ServeRequest Request;
+  Request.Matrix = &M;
+  Request.Iterations = 19;
+  Request.Execute = true;
+  const ServeResponse First = Server.handle(Request);
+  const ServeResponse Second = Server.handle(Request);
+
+  // First execution pays exactly what the one-shot runtime pays.
+  EXPECT_EQ(First.Selection.KernelIndex, Direct.Selection.KernelIndex);
+  EXPECT_FALSE(First.PreprocessAmortized);
+  EXPECT_EQ(First.PreprocessMs, Direct.PreprocessMs);
+  EXPECT_EQ(First.IterationMs, Direct.IterationMs);
+  EXPECT_EQ(First.Y, Direct.Y);
+
+  // The repeat charges zero preprocessing and returns the identical
+  // product (the cached kernel state is reused, not recomputed).
+  EXPECT_TRUE(Second.PreprocessAmortized);
+  EXPECT_EQ(Second.PreprocessMs, 0.0);
+  EXPECT_EQ(Second.IterationMs, Direct.IterationMs);
+  EXPECT_EQ(Second.Y, Direct.Y);
+
+  const ServerStats Stats = Server.stats();
+  EXPECT_EQ(Stats.Executions, 2u);
+  EXPECT_EQ(Stats.PaidPreprocesses, 1u);
+  EXPECT_EQ(Stats.AmortizedPreprocesses, 1u);
+  if (Direct.PreprocessMs > 0.0) {
+    EXPECT_GT(Stats.SavedPreprocessMs, 0.0);
+  }
+}
+
+TEST(SeerServerTest, ConcurrentExecutionsShareTheLedger) {
+  const CsrMatrix &M = requestPool()[1];
+  SeerServer Server(tinyModels());
+  constexpr size_t NumClients = 8;
+  constexpr size_t PerClient = 10;
+  std::vector<std::thread> Clients;
+  std::vector<std::vector<double>> FirstY(NumClients);
+  for (size_t C = 0; C < NumClients; ++C)
+    Clients.emplace_back([&, C] {
+      for (size_t R = 0; R < PerClient; ++R) {
+        ServeRequest Request;
+        Request.Matrix = &M;
+        Request.Iterations = 5;
+        Request.Execute = true;
+        const ServeResponse Response = Server.handle(Request);
+        if (R == 0)
+          FirstY[C] = Response.Y;
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  for (size_t C = 1; C < NumClients; ++C)
+    EXPECT_EQ(FirstY[C], FirstY[0]);
+
+  // Exactly one request paid preprocessing for the (single) chosen kernel;
+  // everyone else amortized.
+  const ServerStats Stats = Server.stats();
+  EXPECT_EQ(Stats.Executions, NumClients * PerClient);
+  EXPECT_EQ(Stats.PaidPreprocesses, 1u);
+  EXPECT_EQ(Stats.AmortizedPreprocesses, NumClients * PerClient - 1);
+}
+
+TEST(SeerServerTest, OracleFeedbackCountsMispredictions) {
+  SeerServer Server(tinyModels());
+  uint64_t ExpectedMispredictions = 0;
+  for (const CsrMatrix &M : requestPool()) {
+    ServeRequest Request;
+    Request.Matrix = &M;
+    Request.Iterations = 5;
+    Request.Execute = true;
+    Request.VerifyOracle = true;
+    const ServeResponse Response = Server.handle(Request);
+    ASSERT_TRUE(Response.OracleChecked);
+    EXPECT_EQ(Response.Mispredicted,
+              Response.OracleKernelIndex != Response.Selection.KernelIndex);
+    EXPECT_GE(Response.RegretMs, 0.0);
+    if (!Response.Mispredicted) {
+      EXPECT_EQ(Response.RegretMs, 0.0);
+    }
+    ExpectedMispredictions += Response.Mispredicted ? 1 : 0;
+  }
+  const ServerStats Stats = Server.stats();
+  EXPECT_EQ(Stats.OracleChecks, requestPool().size());
+  EXPECT_EQ(Stats.Mispredictions, ExpectedMispredictions);
+  EXPECT_EQ(Stats.mispredictRate(),
+            static_cast<double>(ExpectedMispredictions) /
+                static_cast<double>(requestPool().size()));
+}
+
+TEST(SeerServerTest, HandleBatchMatchesSerialHandling) {
+  const std::vector<CsrMatrix> &Pool = requestPool();
+  std::vector<ServeRequest> Batch;
+  for (size_t I = 0; I < 48; ++I) {
+    ServeRequest Request;
+    Request.Matrix = &Pool[I % Pool.size()];
+    Request.Iterations = 1 + static_cast<uint32_t>(I % 7);
+    Batch.push_back(Request);
+  }
+  SeerServer Serial(tinyModels());
+  SeerServer Parallel(tinyModels());
+  const std::vector<ServeResponse> A = Serial.handleBatch(Batch, 1);
+  const std::vector<ServeResponse> B = Parallel.handleBatch(Batch, 8);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Selection.KernelIndex, B[I].Selection.KernelIndex);
+    EXPECT_EQ(A[I].Selection.UsedGatheredModel,
+              B[I].Selection.UsedGatheredModel);
+  }
+}
+
+TEST(SeerServerTest, StatsResetZeroesTelemetryButKeepsCache) {
+  SeerServer Server(tinyModels());
+  ServeRequest Request;
+  Request.Matrix = &requestPool()[0];
+  Server.handle(Request);
+  Server.resetStats();
+  const ServerStats Stats = Server.stats();
+  EXPECT_EQ(Stats.Requests, 0u);
+  EXPECT_EQ(Stats.LatencySamples, 0u);
+  EXPECT_EQ(Stats.CachedMatrices, 1u); // the cache survives
+  // And the cached matrix still hits.
+  EXPECT_TRUE(Server.handle(Request).CacheHit);
+}
+
+//===----------------------------------------------------------------------===//
+// Latency histogram
+//===----------------------------------------------------------------------===//
+
+TEST(LatencyHistogramTest, PercentilesApproximateTheSamples) {
+  LatencyHistogram H;
+  for (int I = 1; I <= 100; ++I)
+    H.record(static_cast<double>(I)); // 1..100 us, uniform
+  EXPECT_EQ(H.samples(), 100u);
+  EXPECT_NEAR(H.meanMicros(), 50.5, 0.1);
+  // Geometric buckets are ~20% wide; percentiles land within one bucket.
+  EXPECT_NEAR(H.percentileMicros(0.50), 50.0, 12.0);
+  EXPECT_NEAR(H.percentileMicros(0.99), 99.0, 25.0);
+  EXPECT_LE(H.percentileMicros(0.50), H.percentileMicros(0.99));
+  H.reset();
+  EXPECT_EQ(H.samples(), 0u);
+  EXPECT_EQ(H.percentileMicros(0.5), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace protocol
+//===----------------------------------------------------------------------===//
+
+TEST(RequestTraceTest, ParsesCommandsAndRejectsGarbage) {
+  TraceCommand Command;
+  std::string Error;
+  EXPECT_TRUE(parseTraceLine("", Command, &Error));
+  EXPECT_EQ(Command.Command, TraceCommand::Kind::Blank);
+  EXPECT_TRUE(parseTraceLine("  # just a comment", Command, &Error));
+  EXPECT_EQ(Command.Command, TraceCommand::Kind::Blank);
+
+  ASSERT_TRUE(parseTraceLine("gen web banded 1000 8 0.9 42", Command, &Error));
+  EXPECT_EQ(Command.Command, TraceCommand::Kind::Gen);
+  EXPECT_EQ(Command.Name, "web");
+  EXPECT_EQ(Command.GenFamily, "banded");
+  EXPECT_EQ(Command.GenArgs.size(), 4u);
+
+  ASSERT_TRUE(parseTraceLine("select web 19", Command, &Error));
+  EXPECT_EQ(Command.Command, TraceCommand::Kind::Select);
+  EXPECT_EQ(Command.Iterations, 19u);
+  EXPECT_FALSE(Command.Verify);
+
+  ASSERT_TRUE(parseTraceLine("execute web 5 verify", Command, &Error));
+  EXPECT_EQ(Command.Command, TraceCommand::Kind::Execute);
+  EXPECT_TRUE(Command.Verify);
+
+  EXPECT_FALSE(parseTraceLine("select", Command, &Error));
+  EXPECT_FALSE(parseTraceLine("select web 0", Command, &Error));
+  EXPECT_FALSE(parseTraceLine("select web 5 verify", Command, &Error));
+  EXPECT_FALSE(parseTraceLine("frobnicate web", Command, &Error));
+  EXPECT_FALSE(parseTraceLine("gen web banded ten 8 0.9 42", Command, &Error));
+}
+
+TEST(RequestTraceTest, ParsesWholeTraceAndServesIt) {
+  const std::string Text = "# two matrices, three requests\n"
+                           "gen a banded 512 4 0.9 1\n"
+                           "gen b powerlaw 512 1.8 1 64 2\n"
+                           "select a 1\n"
+                           "execute b 19\n"
+                           "select a 5\n";
+  std::string Error;
+  const auto Script = parseTrace(Text, &Error);
+  ASSERT_TRUE(Script) << Error;
+  EXPECT_EQ(Script->Matrices.size(), 2u);
+  ASSERT_EQ(Script->Requests.size(), 3u);
+  EXPECT_EQ(Script->Requests[0].MatrixIndex, 0u);
+  EXPECT_FALSE(Script->Requests[0].Execute);
+  EXPECT_TRUE(Script->Requests[1].Execute);
+  EXPECT_EQ(Script->Requests[1].Iterations, 19u);
+
+  SeerServer Server(tinyModels());
+  for (const TraceScript::Request &Spec : Script->Requests) {
+    ServeRequest Request;
+    Request.Matrix = &Script->Matrices[Spec.MatrixIndex].second;
+    Request.Iterations = Spec.Iterations;
+    Request.Execute = Spec.Execute;
+    const ServeResponse Response = Server.handle(Request);
+    const std::string Line = formatResponseLine(
+        Script->Matrices[Spec.MatrixIndex].first, Response,
+        Server.registry());
+    EXPECT_NE(Line.find("kernel="), std::string::npos);
+  }
+  EXPECT_EQ(Server.stats().Requests, 3u);
+}
+
+TEST(RequestTraceTest, RejectsBadTraces) {
+  std::string Error;
+  EXPECT_FALSE(parseTrace("select nosuch 1\n", &Error));
+  EXPECT_NE(Error.find("unknown matrix"), std::string::npos);
+  EXPECT_FALSE(parseTrace("gen a banded 10 2 0.5 1\ngen a diagonal 10 1\n",
+                          &Error));
+  EXPECT_NE(Error.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(parseTrace("stats\n", &Error));
+  EXPECT_FALSE(parseTrace("gen a warp 10 1\n", &Error));
+}
+
+TEST(RequestTraceTest, GenArgumentsAreRangeChecked) {
+  // Casting negative / huge / fractional doubles would be UB (and a
+  // hostile line could otherwise make a long-running server allocate
+  // gigabytes): all must fail cleanly.
+  TraceCommand Command;
+  std::string Error;
+  for (const char *Line : {
+           "gen a banded -1 8 0.9 7",      // negative rows
+           "gen a banded 1e9 8 0.9 7",     // rows above the 2^24 cap
+           "gen a banded 10.5 8 0.9 7",    // fractional rows
+           "gen a banded 0 8 0.9 7",       // zero rows
+           "gen a banded 100 8 0.9 -3",    // negative seed
+           "gen a diagonal nan 1",         // non-finite (parse or build)
+           "gen a powerlaw 100 1.8 1 1e30 7", // huge max row length
+       }) {
+    ASSERT_TRUE(parseTraceLine(Line, Command, &Error) ||
+                Command.Command == TraceCommand::Kind::Blank)
+        << Line; // "nan" fails at parse time; the rest parse fine
+    if (Command.Command == TraceCommand::Kind::Gen)
+      EXPECT_FALSE(buildTraceMatrix(Command, &Error)) << Line;
+  }
+  // Half-band 0 stays legal (a pure diagonal band).
+  ASSERT_TRUE(parseTraceLine("gen a banded 64 0 0.9 7", Command, &Error));
+  EXPECT_TRUE(buildTraceMatrix(Command, &Error)) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Model bundle
+//===----------------------------------------------------------------------===//
+
+TEST(ModelBundleTest, RoundTripsThroughDisk) {
+  const std::string Dir =
+      (std::filesystem::temp_directory_path() / "seer_bundle_test").string();
+  std::filesystem::create_directories(Dir);
+  const SeerModels &Models = tinyModels();
+  std::string Error;
+  ASSERT_TRUE(storeModelBundle(Models, Dir, &Error)) << Error;
+  const KernelRegistry Registry;
+  const auto Loaded = loadModelBundle(Dir, Registry.names(), &Error);
+  ASSERT_TRUE(Loaded) << Error;
+  EXPECT_EQ(Loaded->Known.serialize(), Models.Known.serialize());
+  EXPECT_EQ(Loaded->Gathered.serialize(), Models.Gathered.serialize());
+  EXPECT_EQ(Loaded->Selector.serialize(), Models.Selector.serialize());
+  EXPECT_EQ(Loaded->KernelNames, Registry.names());
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ModelBundleTest, MissingAndMalformedFilesAreErrors) {
+  const std::string Dir =
+      (std::filesystem::temp_directory_path() / "seer_bundle_bad").string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  const KernelRegistry Registry;
+  std::string Error;
+  EXPECT_FALSE(loadModelBundle(Dir, Registry.names(), &Error));
+  EXPECT_NE(Error.find("cannot open"), std::string::npos);
+
+  ASSERT_TRUE(storeModelBundle(tinyModels(), Dir, &Error)) << Error;
+  std::ofstream(Dir + "/seer_selector.tree") << "not a tree\n";
+  EXPECT_FALSE(loadModelBundle(Dir, Registry.names(), &Error));
+  EXPECT_NE(Error.find("malformed"), std::string::npos);
+  std::filesystem::remove_all(Dir);
+}

@@ -16,18 +16,29 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace seer::tools {
 
-/// Parsed command line: flag map + positional arguments.
+/// Parsed command line: flag map + positional arguments. Flags named in
+/// \p BoolFlags are valueless switches (`--execute file.mtx` leaves the
+/// file positional); all other flags consume the next argument.
 class CommandLine {
 public:
-  CommandLine(int Argc, char **Argv, const char *Usage) : Usage(Usage) {
+  CommandLine(int Argc, char **Argv, const char *Usage,
+              std::initializer_list<const char *> BoolFlags = {})
+      : Usage(Usage) {
+    const auto IsBool = [&](const std::string &Name) {
+      return std::find_if(BoolFlags.begin(), BoolFlags.end(),
+                          [&](const char *Flag) { return Name == Flag; }) !=
+             BoolFlags.end();
+    };
     for (int I = 1; I < Argc; ++I) {
       std::string Arg = Argv[I];
       if (Arg.rfind("--", 0) != 0) {
@@ -40,6 +51,8 @@ public:
       const size_t Eq = Arg.find('=');
       if (Eq != std::string::npos) {
         Flags[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
+      } else if (IsBool(Arg)) {
+        Flags[Arg] = "1";
       } else if (I + 1 < Argc) {
         Flags[Arg] = Argv[++I];
       } else {

@@ -47,7 +47,7 @@ constexpr const char *Usage =
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const CommandLine Cmd(Argc, Argv, Usage);
+  const CommandLine Cmd(Argc, Argv, Usage, {"small-gpu"});
   const std::string OutDir = Cmd.flag("out");
   if (OutDir.empty())
     Cmd.exitWithUsage(1);

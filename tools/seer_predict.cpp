@@ -8,19 +8,20 @@
 //
 //   seer-predict --models DIR [--iterations N] file.mtx [file.mtx ...]
 //
-// Loads the .tree files written by seer-train, runs the classifier
+// Loads the .tree bundle written by seer-train, runs the classifier
 // selector (collecting features only when it says to), and prints the
-// selected kernel for each matrix with the full cost breakdown.
+// selected kernel for each matrix with the full cost breakdown —
+// human-readable by default, one JSON object per matrix with --json.
 //
 //===----------------------------------------------------------------------===//
 
 #include "ToolSupport.h"
 
+#include "core/ModelBundle.h"
 #include "core/Seer.h"
+#include "support/ThreadPool.h"
 
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
 using namespace seer;
 using namespace seer::tools;
@@ -28,79 +29,146 @@ using namespace seer::tools;
 namespace {
 
 constexpr const char *Usage =
-    "usage: seer-predict --models DIR [--iterations N] file.mtx ...\n"
+    "usage: seer-predict --models DIR [options] file.mtx ...\n"
     "\n"
     "Selects the best SpMV kernel for each Matrix Market file using the\n"
     "models in DIR (written by seer-train) and prints the decision with\n"
     "its cost breakdown.\n"
     "\n"
     "options:\n"
-    "  --models DIR     directory with seer_{known,gathered,selector}.tree\n"
-    "  --iterations N   expected SpMV iteration count (default 1)\n"
-    "  --execute        also run the chosen kernel and report simulated\n"
-    "                   timings\n";
+    "  --models DIR       directory with seer_{known,gathered,selector}.tree\n"
+    "  --iterations N     expected SpMV iteration count (default 1)\n"
+    "  --execute          also run the chosen kernel and report simulated\n"
+    "                     timings\n"
+    "  --json             one JSON object per matrix on stdout instead of\n"
+    "                     the human-readable report\n"
+    "  --parallelism N    worker threads across input files: 0 = one per\n"
+    "                     hardware thread, 1 = serial (default); feature\n"
+    "                     collection for different matrices runs\n"
+    "                     concurrently, output order is unchanged\n";
 
-DecisionTree loadTree(const std::string &Path) {
-  std::ifstream Stream(Path);
-  if (!Stream)
-    fatal("cannot open model file '" + Path + "'");
-  std::ostringstream Buffer;
-  Buffer << Stream.rdbuf();
-  DecisionTree Tree;
-  std::string Error;
-  if (!DecisionTree::parse(Buffer.str(), Tree, &Error))
-    fatal("malformed model '" + Path + "': " + Error);
-  return Tree;
+/// Everything printed for one input, computed possibly on a worker.
+struct FileResult {
+  std::string Name;
+  std::string Error; // non-empty on failure
+  uint32_t Rows = 0, Cols = 0;
+  uint64_t Nnz = 0;
+  SelectionResult Selection;
+  std::string KernelName;
+  bool Executed = false;
+  ExecutionReport Report;
+};
+
+/// Escapes a string for a JSON literal (names come from file paths).
+std::string jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buffer[8];
+      std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+      Out += Buffer;
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+void printHuman(const FileResult &R, uint32_t Iterations) {
+  std::printf("%s: %u x %u, %llu nnz, %u iteration%s\n", R.Name.c_str(),
+              R.Rows, R.Cols, static_cast<unsigned long long>(R.Nnz),
+              Iterations, Iterations == 1 ? "" : "s");
+  std::printf("  route:  %s features (selector)\n",
+              R.Selection.UsedGatheredModel ? "gathered" : "known");
+  std::printf("  kernel: %s\n", R.KernelName.c_str());
+  std::printf("  selection overhead: %.4f ms (collection %.4f + "
+              "inference %.4f)\n",
+              R.Selection.overheadMs(), R.Selection.FeatureCollectionMs,
+              R.Selection.InferenceMs);
+  if (R.Executed)
+    std::printf("  simulated: preprocess %.4f ms + %u x %.4f ms = %.4f "
+                "ms end to end\n",
+                R.Report.PreprocessMs, R.Report.Iterations,
+                R.Report.IterationMs, R.Report.totalMs());
+}
+
+void printJson(const FileResult &R, uint32_t Iterations) {
+  std::printf("{\"name\": \"%s\", \"rows\": %u, \"cols\": %u, \"nnz\": %llu, "
+              "\"iterations\": %u, \"route\": \"%s\", \"kernel\": \"%s\", "
+              "\"selection_overhead_ms\": %.6f, \"collection_ms\": %.6f, "
+              "\"inference_ms\": %.6f",
+              jsonEscape(R.Name).c_str(), R.Rows, R.Cols,
+              static_cast<unsigned long long>(R.Nnz), Iterations,
+              R.Selection.UsedGatheredModel ? "gathered" : "known",
+              jsonEscape(R.KernelName).c_str(), R.Selection.overheadMs(),
+              R.Selection.FeatureCollectionMs, R.Selection.InferenceMs);
+  if (R.Executed)
+    std::printf(", \"preprocess_ms\": %.6f, \"iteration_ms\": %.6f, "
+                "\"total_ms\": %.6f",
+                R.Report.PreprocessMs, R.Report.IterationMs,
+                R.Report.totalMs());
+  std::printf("}\n");
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const CommandLine Cmd(Argc, Argv, Usage);
+  const CommandLine Cmd(Argc, Argv, Usage, {"execute", "json"});
   const std::string ModelDir = Cmd.flag("models");
   if (ModelDir.empty() || Cmd.positional().empty())
     Cmd.exitWithUsage(1);
   const uint32_t Iterations =
       static_cast<uint32_t>(Cmd.intFlag("iterations", 1));
+  const unsigned Parallelism =
+      static_cast<unsigned>(Cmd.intFlag("parallelism", 1));
+  const bool Execute = Cmd.boolFlag("execute");
+  const bool Json = Cmd.boolFlag("json");
 
   const KernelRegistry Registry;
   const GpuSimulator Sim(DeviceModel::mi100());
-  SeerModels Models;
-  Models.Known = loadTree(ModelDir + "/seer_known.tree");
-  Models.Gathered = loadTree(ModelDir + "/seer_gathered.tree");
-  Models.Selector = loadTree(ModelDir + "/seer_selector.tree");
-  Models.KernelNames = Registry.names();
-  const SeerRuntime Runtime(Models, Registry, Sim);
+  std::string Error;
+  const auto Models = loadModelBundle(ModelDir, Registry.names(), &Error);
+  if (!Models)
+    fatal(Error);
+  const SeerRuntime Runtime(*Models, Registry, Sim);
 
-  for (const std::string &Path : Cmd.positional()) {
-    std::string Error;
-    const auto M = readMatrixMarketFile(Path, &Error);
-    if (!M)
-      fatal(Error);
-    const std::string Name = std::filesystem::path(Path).stem().string();
-
-    const SelectionResult Selection = Runtime.select(*M, Iterations);
-    std::printf("%s: %u x %u, %llu nnz, %u iteration%s\n", Name.c_str(),
-                M->numRows(), M->numCols(),
-                static_cast<unsigned long long>(M->nnz()), Iterations,
-                Iterations == 1 ? "" : "s");
-    std::printf("  route:  %s features (selector)\n",
-                Selection.UsedGatheredModel ? "gathered" : "known");
-    std::printf("  kernel: %s\n",
-                Registry.kernel(Selection.KernelIndex).name().c_str());
-    std::printf("  selection overhead: %.4f ms (collection %.4f + "
-                "inference %.4f)\n",
-                Selection.overheadMs(), Selection.FeatureCollectionMs,
-                Selection.InferenceMs);
-
-    if (Cmd.boolFlag("execute")) {
-      std::vector<double> X(M->numCols(), 1.0);
-      const ExecutionReport Report = Runtime.execute(*M, X, Iterations);
-      std::printf("  simulated: preprocess %.4f ms + %u x %.4f ms = %.4f "
-                  "ms end to end\n",
-                  Report.PreprocessMs, Report.Iterations, Report.IterationMs,
-                  Report.totalMs());
+  // Files are independent: read + analyze + select (and optionally
+  // execute) on workers, then print in input order.
+  const std::vector<std::string> &Paths = Cmd.positional();
+  std::vector<FileResult> Results(Paths.size());
+  parallelFor(Parallelism, Paths.size(), [&](size_t I) {
+    FileResult &R = Results[I];
+    R.Name = std::filesystem::path(Paths[I]).stem().string();
+    std::string ReadError;
+    const auto M = readMatrixMarketFile(Paths[I], &ReadError);
+    if (!M) {
+      R.Error = ReadError;
+      return;
     }
+    R.Rows = M->numRows();
+    R.Cols = M->numCols();
+    R.Nnz = M->nnz();
+    if (Execute) {
+      std::vector<double> X(M->numCols(), 1.0);
+      R.Report = Runtime.execute(*M, X, Iterations);
+      R.Selection = R.Report.Selection;
+      R.Executed = true;
+    } else {
+      R.Selection = Runtime.select(*M, Iterations);
+    }
+    R.KernelName = Registry.kernel(R.Selection.KernelIndex).name();
+  });
+
+  for (const FileResult &R : Results) {
+    if (!R.Error.empty())
+      fatal(R.Error);
+    if (Json)
+      printJson(R, Iterations);
+    else
+      printHuman(R, Iterations);
   }
   return 0;
 }

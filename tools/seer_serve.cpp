@@ -1,0 +1,210 @@
+//===- tools/seer_serve.cpp - The Seer serving layer as a CLI -------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+//
+// Long-running counterpart of seer-predict: loads the trained model
+// bundle once into a SeerServer and serves selection/execution requests.
+// Two modes:
+//
+//   seer-serve --models DIR                     line protocol on stdin
+//   seer-serve --models DIR --trace FILE        replay a scripted trace
+//              [--clients N] [--repeat K]
+//
+// In trace mode, N client threads each replay the trace's request
+// sequence K times concurrently against the shared server, then the
+// telemetry snapshot and a throughput summary are printed. With a single
+// client the per-request response lines are printed too (in order), so a
+// trace doubles as a readable demo.
+//
+// The protocol grammar is documented in serve/RequestTrace.h and the
+// README's "Serving" section.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ToolSupport.h"
+
+#include "core/ModelBundle.h"
+#include "serve/RequestTrace.h"
+#include "serve/SeerServer.h"
+#include "sparse/MatrixMarket.h"
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+using namespace seer;
+using namespace seer::tools;
+
+namespace {
+
+constexpr const char *Usage =
+    "usage: seer-serve --models DIR [options]\n"
+    "\n"
+    "Serves Fig. 3 kernel selection from the .tree models in DIR. Without\n"
+    "--trace, reads the line protocol from stdin (try 'gen m banded 1000 8\n"
+    "0.9 1' then 'select m 5', 'stats', 'quit'). With --trace, replays the\n"
+    "scripted request trace and prints telemetry.\n"
+    "\n"
+    "options:\n"
+    "  --models DIR   directory with seer_{known,gathered,selector}.tree\n"
+    "  --trace FILE   request trace to replay (see serve/RequestTrace.h)\n"
+    "  --clients N    concurrent client threads in trace mode (default 1)\n"
+    "  --repeat K     times each client replays the trace (default 1)\n";
+
+void runTrace(SeerServer &Server, const TraceScript &Script, unsigned Clients,
+              unsigned Repeat) {
+  // Pre-resolve the per-request inputs once; clients share them read-only.
+  std::vector<ServeRequest> Requests;
+  Requests.reserve(Script.Requests.size());
+  for (const TraceScript::Request &Spec : Script.Requests) {
+    ServeRequest Request;
+    Request.Matrix = &Script.Matrices[Spec.MatrixIndex].second;
+    Request.Iterations = Spec.Iterations;
+    Request.Execute = Spec.Execute;
+    Request.VerifyOracle = Spec.Verify;
+    Requests.push_back(Request);
+  }
+
+  const auto Start = std::chrono::steady_clock::now();
+  if (Clients <= 1) {
+    for (unsigned K = 0; K < Repeat; ++K)
+      for (size_t I = 0; I < Requests.size(); ++I) {
+        const ServeResponse Response = Server.handle(Requests[I]);
+        std::printf("%s\n",
+                    formatResponseLine(
+                        Script.Matrices[Script.Requests[I].MatrixIndex].first,
+                        Response, Server.registry())
+                        .c_str());
+      }
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Clients);
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&] {
+        for (unsigned K = 0; K < Repeat; ++K)
+          for (const ServeRequest &Request : Requests)
+            Server.handle(Request);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  const double WallSeconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - Start)
+                                 .count();
+
+  const ServerStats Stats = Server.stats();
+  std::printf("%s", formatStatsLines(Stats).c_str());
+  std::printf("replayed %zu requests x %u clients x %u in %.3fs "
+              "(%.0f req/s)\n",
+              Requests.size(), Clients, Repeat, WallSeconds,
+              WallSeconds > 0 ? static_cast<double>(Stats.Requests) /
+                                    WallSeconds
+                              : 0.0);
+}
+
+int runStdin(SeerServer &Server) {
+  std::vector<std::pair<std::string, CsrMatrix>> Matrices;
+  const auto Find = [&](const std::string &Name) -> const CsrMatrix * {
+    for (const auto &[N, M] : Matrices)
+      if (N == Name)
+        return &M;
+    return nullptr;
+  };
+
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    TraceCommand Command;
+    std::string Error;
+    if (!parseTraceLine(Line, Command, &Error)) {
+      std::printf("error %s\n", Error.c_str());
+      continue;
+    }
+    switch (Command.Command) {
+    case TraceCommand::Kind::Blank:
+      break;
+    case TraceCommand::Kind::Quit:
+      return 0;
+    case TraceCommand::Kind::Stats:
+      std::printf("%s", formatStatsLines(Server.stats()).c_str());
+      break;
+    case TraceCommand::Kind::Load:
+    case TraceCommand::Kind::Gen: {
+      if (Find(Command.Name)) {
+        std::printf("error duplicate matrix name '%s'\n",
+                    Command.Name.c_str());
+        break;
+      }
+      auto M = Command.Command == TraceCommand::Kind::Load
+                   ? readMatrixMarketFile(Command.Path, &Error)
+                   : buildTraceMatrix(Command, &Error);
+      if (!M) {
+        std::printf("error %s\n", Error.c_str());
+        break;
+      }
+      Matrices.emplace_back(Command.Name, std::move(*M));
+      std::printf("ok %s %ux%u %llu nnz\n", Command.Name.c_str(),
+                  Matrices.back().second.numRows(),
+                  Matrices.back().second.numCols(),
+                  static_cast<unsigned long long>(
+                      Matrices.back().second.nnz()));
+      break;
+    }
+    case TraceCommand::Kind::Select:
+    case TraceCommand::Kind::Execute: {
+      const CsrMatrix *M = Find(Command.Name);
+      if (!M) {
+        std::printf("error unknown matrix '%s'\n", Command.Name.c_str());
+        break;
+      }
+      ServeRequest Request;
+      Request.Matrix = M;
+      Request.Iterations = Command.Iterations;
+      Request.Execute = Command.Command == TraceCommand::Kind::Execute;
+      Request.VerifyOracle = Command.Verify;
+      const ServeResponse Response = Server.handle(Request);
+      std::printf("%s\n",
+                  formatResponseLine(Command.Name, Response,
+                                     Server.registry())
+                      .c_str());
+      break;
+    }
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const CommandLine Cmd(Argc, Argv, Usage);
+  const std::string ModelDir = Cmd.flag("models");
+  if (ModelDir.empty())
+    Cmd.exitWithUsage(1);
+
+  const KernelRegistry Registry;
+  std::string Error;
+  auto Models = loadModelBundle(ModelDir, Registry.names(), &Error);
+  if (!Models)
+    fatal(Error);
+  SeerServer Server(std::move(*Models));
+
+  const std::string TracePath = Cmd.flag("trace");
+  if (TracePath.empty())
+    return runStdin(Server);
+
+  const auto Script = readTraceFile(TracePath, &Error);
+  if (!Script)
+    fatal(Error);
+  const int64_t ClientsArg = Cmd.intFlag("clients", 1);
+  const int64_t RepeatArg = Cmd.intFlag("repeat", 1);
+  if (ClientsArg < 1 || ClientsArg > 4096 || RepeatArg < 1 ||
+      RepeatArg > 1000000)
+    fatal("--clients must be in [1, 4096] and --repeat in [1, 1000000]");
+  const unsigned Clients = static_cast<unsigned>(ClientsArg);
+  const unsigned Repeat = static_cast<unsigned>(RepeatArg);
+  runTrace(Server, *Script, Clients, Repeat);
+  return 0;
+}

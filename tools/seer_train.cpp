@@ -21,7 +21,6 @@
 #include "core/Seer.h"
 
 #include <filesystem>
-#include <fstream>
 
 using namespace seer;
 using namespace seer::tools;
@@ -96,16 +95,8 @@ int main(int Argc, char **Argv) {
 
   if (!emitModelHeaders(*Models, OutDir, &Error))
     fatal(Error);
-  for (const auto &[Name, Tree] :
-       {std::pair<const char *, const DecisionTree *>{"known",
-                                                      &Models->Known},
-        {"gathered", &Models->Gathered},
-        {"selector", &Models->Selector}}) {
-    std::ofstream Stream(OutDir + "/seer_" + Name + ".tree");
-    if (!Stream)
-      fatal("cannot write model file for " + std::string(Name));
-    Stream << Tree->serialize();
-  }
+  if (!storeModelBundle(*Models, OutDir, &Error))
+    fatal(Error);
 
   // Training report.
   const auto Benchmarks =
