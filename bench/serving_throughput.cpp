@@ -15,6 +15,13 @@
 // routing, and in execute mode the same product vector. The exit status
 // gates on that, so CI catches a serving layer that drifts from Fig. 3.
 //
+// A churn scenario additionally stresses the byte-budgeted cache: a
+// working set several times larger than the configured budget cycles
+// through the server for multiple passes, so entries are continuously
+// evicted and re-analyzed. The gate extends to the budget invariant —
+// the accounted cache bytes must never exceed the budget — and to
+// bit-identity of every selection despite the eviction/re-analysis churn.
+//
 //   serving_throughput [--out FILE] [--clients LIST] [--requests N]
 //                      [--hit-ratios LIST] [--variants N] [--max-rows N]
 //
@@ -31,6 +38,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace seer;
@@ -81,6 +89,7 @@ std::vector<CsrMatrix> buildPool(size_t Size) {
 }
 
 struct RunRecord {
+  std::string Mode;
   unsigned Clients = 0;
   bool Execute = false;
   double TargetHitRatio = 0.0;
@@ -89,6 +98,11 @@ struct RunRecord {
   double WallSeconds = 0.0;
   ServerStats Stats;
   bool BitIdentical = true;
+  /// Churn runs only: the configured budget, the largest accounted byte
+  /// count ever observed, and whether it stayed within the budget.
+  size_t BudgetBytes = 0;
+  uint64_t MaxBytesCached = 0;
+  bool BudgetRespected = true;
 };
 
 /// Expected answers from the one-shot runtime, memoized per
@@ -186,6 +200,7 @@ int main(int Argc, char **Argv) {
                                 .count();
 
         RunRecord Record;
+        Record.Mode = Execute ? "execute" : "select";
         Record.Clients = C;
         Record.Execute = Execute;
         Record.TargetHitRatio = Ratio;
@@ -214,9 +229,154 @@ int main(int Argc, char **Argv) {
                      Record.BitIdentical ? "ok" : "MISMATCH");
       }
 
+  // Churn scenario: a working set several times the cache budget cycles
+  // through the server for multiple passes. The unbounded working-set
+  // size is measured first so the budget scales with the request pool
+  // instead of being a magic constant.
+  const size_t ChurnUnique = std::min<size_t>(Requests, 32);
+  const size_t ChurnPasses = std::max<size_t>(2, Requests / ChurnUnique);
+  for (const bool Execute : {false, true}) {
+    std::vector<ServeRequest> Pass(ChurnUnique);
+    for (size_t I = 0; I < ChurnUnique; ++I) {
+      Pass[I].Matrix = &Pool[I];
+      Pass[I].Iterations = IterationPattern[I % 3];
+      Pass[I].Execute = Execute;
+      Pass[I].VerifyOracle = Execute;
+    }
+    // Two unbounded measurements size the budget: the full working set
+    // (with oracle sweeps and their stashed states) and the lean one
+    // (paid preprocessing only — exactly what survives stage-1 shedding).
+    // A budget below half the lean set guarantees whole-entry evictions
+    // even after every recomputable byte has been shed, so the churn run
+    // always exercises eviction, re-analysis AND cost-aware shedding.
+    uint64_t FullSetBytes = 0, LeanSetBytes = 0;
+    {
+      SeerServer Unbounded(Models);
+      Unbounded.handleBatch(Pass, 1);
+      FullSetBytes = Unbounded.stats().BytesCached;
+    }
+    if (!Execute) {
+      // Select-only entries hold nothing shed-able: lean == full.
+      LeanSetBytes = FullSetBytes;
+    } else {
+      std::vector<ServeRequest> Lean = Pass;
+      for (ServeRequest &Request : Lean)
+        Request.VerifyOracle = false;
+      SeerServer Unbounded(Models);
+      Unbounded.handleBatch(Lean, 1);
+      LeanSetBytes = Unbounded.stats().BytesCached;
+    }
+
+    // Warm the one-shot reference memo outside the timed window so the
+    // serial run's wall clock measures the server, not the baseline.
+    for (size_t I = 0; I < ChurnUnique; ++I)
+      ExpectedFor(I, Pass[I].Iterations, Execute);
+
+    ServerConfig Config;
+    // Coarser sharding so the per-shard budget slice stays larger than a
+    // single entry.
+    Config.CacheShards = 4;
+    Config.CacheBudgetBytes = std::max<uint64_t>(
+        1, std::min(FullSetBytes / 4, LeanSetBytes / 2));
+
+    for (const unsigned C : {1u, 4u}) {
+      SeerServer Server(Models, Config);
+      RunRecord Record;
+      Record.Mode = Execute ? "churn-execute" : "churn-select";
+      Record.Clients = C;
+      Record.Execute = Execute;
+      Record.UniqueMatrices = ChurnUnique;
+      Record.Requests = ChurnUnique * ChurnPasses;
+      Record.BudgetBytes = Config.CacheBudgetBytes;
+
+      const auto Start = std::chrono::steady_clock::now();
+      if (C == 1) {
+        // Serial run: sample the accounted bytes after every response so
+        // a budget violation is caught the moment it happens.
+        for (size_t P = 0; P < ChurnPasses; ++P)
+          for (size_t I = 0; I < ChurnUnique; ++I) {
+            const ServeResponse R = Server.handle(Pass[I]);
+            const Expected &E =
+                ExpectedFor(I, Pass[I].Iterations, Execute);
+            const bool Same =
+                R.Selection.KernelIndex == E.Selection.KernelIndex &&
+                R.Selection.UsedGatheredModel ==
+                    E.Selection.UsedGatheredModel &&
+                (!Execute || R.Y == E.Y);
+            Record.BitIdentical = Record.BitIdentical && Same;
+            const uint64_t Bytes = Server.stats().BytesCached;
+            Record.MaxBytesCached = std::max(Record.MaxBytesCached, Bytes);
+          }
+      } else {
+        // Concurrent run: real client threads over disjoint slices of
+        // the stream, each sampling the accounted bytes after every
+        // response so a mid-run budget overshoot cannot hide behind the
+        // end-of-batch state.
+        std::vector<ServeRequest> Stream;
+        Stream.reserve(ChurnUnique * ChurnPasses);
+        for (size_t P = 0; P < ChurnPasses; ++P)
+          Stream.insert(Stream.end(), Pass.begin(), Pass.end());
+        std::vector<ServeResponse> Responses(Stream.size());
+        std::vector<uint64_t> MaxSeen(C, 0);
+        std::vector<std::thread> Threads;
+        Threads.reserve(C);
+        const size_t Chunk = (Stream.size() + C - 1) / C;
+        for (unsigned T = 0; T < C; ++T)
+          Threads.emplace_back([&, T] {
+            const size_t Begin = T * Chunk;
+            const size_t End = std::min(Stream.size(), Begin + Chunk);
+            for (size_t I = Begin; I < End; ++I) {
+              Responses[I] = Server.handle(Stream[I]);
+              MaxSeen[T] =
+                  std::max(MaxSeen[T], Server.stats().BytesCached);
+            }
+          });
+        for (std::thread &T : Threads)
+          T.join();
+        for (size_t I = 0; I < Responses.size(); ++I) {
+          const Expected &E = ExpectedFor(I % ChurnUnique,
+                                          Stream[I].Iterations, Execute);
+          const ServeResponse &R = Responses[I];
+          const bool Same =
+              R.Selection.KernelIndex == E.Selection.KernelIndex &&
+              R.Selection.UsedGatheredModel == E.Selection.UsedGatheredModel &&
+              (!Execute || R.Y == E.Y);
+          Record.BitIdentical = Record.BitIdentical && Same;
+        }
+        for (const uint64_t Max : MaxSeen)
+          Record.MaxBytesCached = std::max(Record.MaxBytesCached, Max);
+      }
+      Record.WallSeconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - Start)
+                               .count();
+      Record.Stats = Server.stats();
+      Record.MaxBytesCached =
+          std::max<uint64_t>(Record.MaxBytesCached, Record.Stats.BytesCached);
+      Record.BudgetRespected = Record.MaxBytesCached <= Record.BudgetBytes;
+      // A churn run that never evicts and re-analyzes is not stressing
+      // the budget at all; flag it the same way as a violation so the
+      // baseline stays honest.
+      if (Record.Stats.Evictions == 0 || Record.Stats.Reanalyses == 0)
+        Record.BudgetRespected = false;
+      Records.push_back(Record);
+      std::fprintf(stderr,
+                   "  %s clients=%u  budget=%zu  max_bytes=%llu  "
+                   "evictions=%llu  reanalyses=%llu  %s%s\n",
+                   Record.Mode.c_str(), C, Record.BudgetBytes,
+                   static_cast<unsigned long long>(Record.MaxBytesCached),
+                   static_cast<unsigned long long>(Record.Stats.Evictions),
+                   static_cast<unsigned long long>(Record.Stats.Reanalyses),
+                   Record.BitIdentical ? "ok" : "MISMATCH",
+                   Record.BudgetRespected ? "" : " OVER-BUDGET");
+    }
+  }
+
   bool AllIdentical = true;
-  for (const RunRecord &R : Records)
+  bool AllWithinBudget = true;
+  for (const RunRecord &R : Records) {
     AllIdentical = AllIdentical && R.BitIdentical;
+    AllWithinBudget = AllWithinBudget && R.BudgetRespected;
+  }
 
   std::FILE *Out = std::fopen(OutPath.c_str(), "w");
   if (!Out)
@@ -227,6 +387,8 @@ int main(int Argc, char **Argv) {
   std::fprintf(Out, "  \"requests_per_run\": %zu,\n", Requests);
   std::fprintf(Out, "  \"bit_identical\": %s,\n",
                AllIdentical ? "true" : "false");
+  std::fprintf(Out, "  \"budget_respected\": %s,\n",
+               AllWithinBudget ? "true" : "false");
   std::fprintf(Out, "  \"runs\": [\n");
   for (size_t I = 0; I < Records.size(); ++I) {
     const RunRecord &R = Records[I];
@@ -237,20 +399,33 @@ int main(int Argc, char **Argv) {
         "\"throughput_rps\": %.1f, \"hit_ratio\": %.4f, "
         "\"p50_us\": %.3f, \"p99_us\": %.3f, \"mean_us\": %.3f, "
         "\"mispredict_rate\": %.4f, \"saved_collection_ms\": %.6f, "
-        "\"saved_preprocess_ms\": %.6f, \"bit_identical\": %s}%s\n",
-        R.Execute ? "execute" : "select", R.Clients, R.TargetHitRatio,
+        "\"saved_preprocess_ms\": %.6f, "
+        "\"budget_bytes\": %zu, \"max_bytes_cached\": %llu, "
+        "\"bytes_evicted\": %llu, \"evictions\": %llu, "
+        "\"partial_evictions\": %llu, \"reanalyses\": %llu, "
+        "\"budget_respected\": %s, \"bit_identical\": %s}%s\n",
+        R.Mode.c_str(), R.Clients, R.TargetHitRatio,
         R.UniqueMatrices, R.WallSeconds,
         static_cast<double>(R.Requests) / R.WallSeconds,
         R.Stats.hitRate(), R.Stats.P50LatencyUs, R.Stats.P99LatencyUs,
         R.Stats.MeanLatencyUs, R.Stats.mispredictRate(),
         R.Stats.SavedCollectionMs, R.Stats.SavedPreprocessMs,
+        R.BudgetBytes,
+        static_cast<unsigned long long>(R.MaxBytesCached),
+        static_cast<unsigned long long>(R.Stats.BytesEvicted),
+        static_cast<unsigned long long>(R.Stats.Evictions),
+        static_cast<unsigned long long>(R.Stats.PartialEvictions),
+        static_cast<unsigned long long>(R.Stats.Reanalyses),
+        R.BudgetRespected ? "true" : "false",
         R.BitIdentical ? "true" : "false",
         I + 1 < Records.size() ? "," : "");
   }
   std::fprintf(Out, "  ]\n}\n");
   std::fclose(Out);
 
-  std::printf("wrote %s (%zu runs, bit_identical=%s)\n", OutPath.c_str(),
-              Records.size(), AllIdentical ? "true" : "false");
-  return AllIdentical ? 0 : 1;
+  std::printf("wrote %s (%zu runs, bit_identical=%s, budget_respected=%s)\n",
+              OutPath.c_str(), Records.size(),
+              AllIdentical ? "true" : "false",
+              AllWithinBudget ? "true" : "false");
+  return AllIdentical && AllWithinBudget ? 0 : 1;
 }

@@ -39,6 +39,13 @@ struct RowBinsState : KernelState {
   std::vector<uint32_t> MediumRows;
   /// Rows split across multiple wavefronts.
   std::vector<uint32_t> LongRows;
+
+  size_t bytes() const override {
+    return sizeof(RowBinsState) +
+           (ShortRows.capacity() + MediumRows.capacity() +
+            LongRows.capacity()) *
+               sizeof(uint32_t);
+  }
 };
 
 /// Common implementation core; the two public kernels differ in tuning

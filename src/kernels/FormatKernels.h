@@ -37,6 +37,10 @@ namespace seer {
 /// Preprocessed state holding the converted ELL matrix.
 struct EllState : KernelState {
   EllMatrix Ell;
+
+  size_t bytes() const override {
+    return sizeof(EllState) + Ell.storageBytes();
+  }
 };
 
 /// ELL,TM — thread-per-row over the padded ELLPACK slab.
@@ -56,6 +60,10 @@ public:
 /// Preprocessed state holding the converted COO matrix.
 struct CooState : KernelState {
   CooMatrix Coo;
+
+  size_t bytes() const override {
+    return sizeof(CooState) + Coo.storageBytes();
+  }
 };
 
 /// COO,WM — wavefront-sliced segmented reduction over triples.

@@ -12,6 +12,8 @@ using namespace seer;
 KernelState::~KernelState() = default;
 SpmvKernel::~SpmvKernel() = default;
 
+size_t KernelState::bytes() const { return sizeof(KernelState); }
+
 PreprocessResult SpmvKernel::preprocess(const CsrMatrix &,
                                         const MatrixStats &,
                                         const GpuSimulator &) const {

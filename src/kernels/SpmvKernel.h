@@ -41,6 +41,12 @@ namespace seer {
 /// converted formats). Kernels downcast to their own state type.
 struct KernelState {
   virtual ~KernelState();
+
+  /// Resident host bytes of this state, including heap storage behind any
+  /// owned vectors. The serving layer's byte-budgeted cache charges each
+  /// ledger slot by this number, so implementations must account for the
+  /// arrays they actually hold, not just sizeof.
+  virtual size_t bytes() const;
 };
 
 /// Result of preprocessing: the state plus its simulated one-time cost.

@@ -26,8 +26,66 @@ uint64_t seer::matrixFingerprint(const CsrMatrix &M) {
   return F.value();
 }
 
-FingerprintCache::FingerprintCache(size_t NumShards)
-    : Shards(NumShards ? NumShards : 1) {}
+namespace {
+
+/// Fraction of a shard's budget the protected segment may occupy before
+/// its tail is demoted back to probation. High enough that a hot working
+/// set fits, low enough that probation always has room to admit newcomers.
+constexpr double ProtectedFraction = 0.75;
+
+/// Slots in each shard's direct-mapped evicted-fingerprint table (32 KiB
+/// per shard). Power of two so the slot index is a mask.
+constexpr size_t EvictedTableSlots = 4096;
+
+size_t evictedSlot(uint64_t Fingerprint) {
+  // The low bits pick the shard; mix before masking so fingerprints in
+  // the same shard spread over the whole table.
+  return ((Fingerprint * 0x9e3779b97f4a7c15ull) >> 52) &
+         (EvictedTableSlots - 1);
+}
+
+/// Accounted resident bytes of \p E: the struct itself plus the heap
+/// storage behind its vectors and kernel states. The caller must hold
+/// E.Mutex (or be the only owner).
+size_t entryResidentBytes(const FingerprintCache::Entry &E) {
+  size_t Bytes = sizeof(FingerprintCache::Entry);
+  Bytes += E.Kernels.capacity() * sizeof(FingerprintCache::KernelSlot);
+  for (const FingerprintCache::KernelSlot &Slot : E.Kernels)
+    if (Slot.State)
+      Bytes += Slot.State->bytes();
+  Bytes += E.Oracle.capacity() * sizeof(KernelMeasurement);
+  return Bytes;
+}
+
+/// Drops \p E's recomputable bytes — the lazy oracle and any stashed but
+/// never-charged kernel states. Nothing a past request was charged for is
+/// touched, so charged costs and responses stay bit-identical. The caller
+/// must hold E.Mutex. \returns true when anything was shed.
+bool shedRecomputable(FingerprintCache::Entry &E) {
+  bool Shed = false;
+  if (!E.Oracle.empty() || E.Oracle.capacity() != 0) {
+    std::vector<KernelMeasurement>().swap(E.Oracle);
+    Shed = true;
+  }
+  for (FingerprintCache::KernelSlot &Slot : E.Kernels)
+    if (Slot.State && !Slot.Paid) {
+      Slot = FingerprintCache::KernelSlot();
+      Shed = true;
+    }
+  return Shed;
+}
+
+} // namespace
+
+FingerprintCache::FingerprintCache(size_t NumShards, size_t BudgetBytes)
+    : Shards(NumShards ? NumShards : 1), BudgetBytes(BudgetBytes),
+      ShardBudget(BudgetBytes / (NumShards ? NumShards : 1)) {
+  // A nonzero budget smaller than the shard count would truncate to a
+  // zero shard slice and cache nothing; keep at least one byte of slice
+  // so tiny budgets degrade to "cache almost nothing" instead.
+  if (BudgetBytes && !ShardBudget)
+    ShardBudget = 1;
+}
 
 std::pair<std::shared_ptr<FingerprintCache::Entry>, bool>
 FingerprintCache::lookupOrAnalyze(uint64_t Fingerprint, const CsrMatrix &M,
@@ -35,31 +93,153 @@ FingerprintCache::lookupOrAnalyze(uint64_t Fingerprint, const CsrMatrix &M,
   Shard &S = shardFor(Fingerprint);
   {
     std::lock_guard<std::mutex> Lock(S.Mutex);
-    const auto It = S.Map.find(Fingerprint);
-    if (It != S.Map.end())
-      return {It->second, true};
+    const auto It = S.Index.find(Fingerprint);
+    if (It != S.Index.end()) {
+      touch(S, It->second);
+      return {It->second->E, true};
+    }
   }
 
   // Miss: run the single-pass analysis outside the shard lock so other
   // matrices in this shard are not blocked behind an O(nnz) walk.
   auto Fresh = std::make_shared<Entry>();
+  Fresh->Fingerprint = Fingerprint;
   Fresh->Stats = computeMatrixStats(M);
   Fresh->Kernels.resize(NumKernels);
+  const size_t FreshBytes = entryResidentBytes(*Fresh);
 
   std::lock_guard<std::mutex> Lock(S.Mutex);
-  const auto [It, Inserted] = S.Map.try_emplace(Fingerprint, std::move(Fresh));
-  // A racing thread may have inserted first; its entry is bit-identical
-  // (the analysis is deterministic), so adopt it. Either way this request
-  // did the work itself: report a miss.
-  (void)Inserted;
-  return {It->second, false};
+  const auto It = S.Index.find(Fingerprint);
+  if (It != S.Index.end()) {
+    // A racing thread inserted first; its entry is bit-identical (the
+    // analysis is deterministic), so adopt it. This request still did the
+    // work itself: report a miss.
+    touch(S, It->second);
+    return {It->second->E, false};
+  }
+  if (!S.EvictedFingerprints.empty() &&
+      S.EvictedFingerprints[evictedSlot(Fingerprint)] == Fingerprint)
+    ++S.Reanalyses;
+  S.Probation.push_front(Node{Fresh, FreshBytes, /*InProtected=*/false});
+  S.Index.emplace(Fingerprint, S.Probation.begin());
+  S.UsedBytes += FreshBytes;
+  enforceBudget(S, /*AlreadyLocked=*/nullptr);
+  return {std::move(Fresh), false};
 }
 
-size_t FingerprintCache::size() const {
-  size_t Total = 0;
+void FingerprintCache::noteMutation(const std::shared_ptr<Entry> &E) {
+  assert(E && "noteMutation without an entry");
+  Shard &S = shardFor(E->Fingerprint);
+  // Lock order entry -> shard: the byte computation and the accounting
+  // update must be atomic, or a racing noteMutation could publish a stale
+  // (smaller) size and leave the shard undercounted.
+  std::lock_guard<std::mutex> EntryLock(E->Mutex);
+  const size_t NewBytes = entryResidentBytes(*E);
+  std::lock_guard<std::mutex> ShardLock(S.Mutex);
+  const auto It = S.Index.find(E->Fingerprint);
+  if (It == S.Index.end() || It->second->E != E)
+    return; // evicted (or replaced) while the caller worked; dies with it
+  Node &N = *It->second;
+  S.UsedBytes += NewBytes - N.AccountedBytes;
+  if (N.InProtected)
+    S.ProtectedBytes += NewBytes - N.AccountedBytes;
+  N.AccountedBytes = NewBytes;
+  enforceBudget(S, E.get());
+}
+
+void FingerprintCache::touch(Shard &S, std::list<Node>::iterator It) {
+  if (It->InProtected) {
+    S.Protected.splice(S.Protected.begin(), S.Protected, It);
+    return;
+  }
+  S.Protected.splice(S.Protected.begin(), S.Probation, It);
+  It->InProtected = true;
+  S.ProtectedBytes += It->AccountedBytes;
+  if (!ShardBudget)
+    return;
+  // Cap the protected segment so probation keeps room to admit newcomers;
+  // demoted entries get one more trip through probation before eviction.
+  const size_t ProtectedCap =
+      static_cast<size_t>(static_cast<double>(ShardBudget) *
+                          ProtectedFraction);
+  while (S.ProtectedBytes > ProtectedCap && S.Protected.size() > 1) {
+    const auto Tail = std::prev(S.Protected.end());
+    Tail->InProtected = false;
+    S.ProtectedBytes -= Tail->AccountedBytes;
+    S.Probation.splice(S.Probation.begin(), S.Protected, Tail);
+  }
+}
+
+void FingerprintCache::enforceBudget(Shard &S, Entry *AlreadyLocked) {
+  if (!ShardBudget || S.UsedBytes <= ShardBudget)
+    return;
+
+  // Stage 1: shed recomputable bytes (oracle sweeps, unpaid kernel
+  // states) from every resident entry, coldest first, before any whole
+  // entry is dropped. A busy entry (try_lock fails) is skipped here — it
+  // is mid-request and therefore hot — unless it is the caller's own
+  // entry, whose lock the caller already holds for us.
+  const auto Shed = [&](Node &N) {
+    Entry &E = *N.E;
+    const bool Locked = &E != AlreadyLocked;
+    if (Locked && !E.Mutex.try_lock())
+      return;
+    const bool DidShed = shedRecomputable(E);
+    const size_t NewBytes = DidShed ? entryResidentBytes(E) : N.AccountedBytes;
+    if (Locked)
+      E.Mutex.unlock();
+    if (NewBytes >= N.AccountedBytes)
+      return;
+    const size_t Freed = N.AccountedBytes - NewBytes;
+    S.UsedBytes -= Freed;
+    if (N.InProtected)
+      S.ProtectedBytes -= Freed;
+    N.AccountedBytes = NewBytes;
+    S.BytesEvicted += Freed;
+    ++S.PartialEvictions;
+  };
+  for (auto List : {&S.Probation, &S.Protected}) {
+    for (auto It = List->rbegin();
+         It != List->rend() && S.UsedBytes > ShardBudget; ++It)
+      Shed(*It);
+    if (S.UsedBytes <= ShardBudget)
+      return;
+  }
+
+  // Stage 2: drop whole entries, probation tail first, protected tail
+  // last. Removal needs no entry lock — in-flight holders keep the entry
+  // alive through their shared_ptr; it just stops being findable, and its
+  // next visit re-analyzes (and re-charges preprocessing) for the new
+  // residency.
+  while (S.UsedBytes > ShardBudget) {
+    std::list<Node> &From = S.Probation.empty() ? S.Protected : S.Probation;
+    if (From.empty())
+      break; // nothing resident; a lone oversized entry was never kept
+    const auto Victim = std::prev(From.end());
+    S.UsedBytes -= Victim->AccountedBytes;
+    if (Victim->InProtected)
+      S.ProtectedBytes -= Victim->AccountedBytes;
+    S.BytesEvicted += Victim->AccountedBytes;
+    ++S.Evictions;
+    if (S.EvictedFingerprints.empty())
+      S.EvictedFingerprints.resize(EvictedTableSlots, 0);
+    S.EvictedFingerprints[evictedSlot(Victim->E->Fingerprint)] =
+        Victim->E->Fingerprint;
+    S.Index.erase(Victim->E->Fingerprint);
+    From.erase(Victim);
+  }
+}
+
+FingerprintCache::Stats FingerprintCache::stats() const {
+  Stats Total;
   for (const Shard &S : Shards) {
     std::lock_guard<std::mutex> Lock(S.Mutex);
-    Total += S.Map.size();
+    Total.Entries += S.Index.size();
+    Total.BytesCached += S.UsedBytes;
+    Total.Evictions += S.Evictions;
+    Total.PartialEvictions += S.PartialEvictions;
+    Total.BytesEvicted += S.BytesEvicted;
+    Total.Reanalyses += S.Reanalyses;
   }
   return Total;
 }

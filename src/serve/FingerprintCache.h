@@ -17,16 +17,43 @@
 ///    repeat selections skip feature collection entirely;
 ///  - the per-kernel *amortization ledger*: the preprocessed kernel state
 ///    and a paid flag, so a kernel's one-time preprocessing cost is
-///    charged exactly once per session (Sec. IV-E amortization, extended
+///    charged exactly once per residency (Sec. IV-E amortization, extended
 ///    across requests);
 ///  - lazily, the full per-kernel oracle measurements used by online
 ///    feedback, so repeat matrices verify for free.
+///
+/// ## Byte budget and eviction
+///
+/// A long-running server cannot retain every distinct matrix forever: on
+/// a SuiteSparse-scale stream the resident analyses, kernel states and
+/// oracle sweeps grow without bound. The cache therefore accounts every
+/// entry's resident bytes (computed from the actual vectors it holds) and
+/// enforces a configurable budget with *segmented LRU* eviction, sharded
+/// like the map itself: each shard polices an equal slice of the budget,
+/// so the global accounted total can never exceed it.
+///
+/// Entries enter a shard's probation segment; a repeat hit promotes them
+/// to the protected segment (capped at a fraction of the shard slice, the
+/// excess demoted back to probation). Victims are taken from the
+/// probation tail first, protected tail last, and each victim is evicted
+/// in *cost order*: first its lazy oracle measurements and any unpaid
+/// (stashed but never charged) kernel states — both recomputable without
+/// changing what any request was charged — and only then the whole entry.
+/// A hot matrix's paid preprocessing thus survives churn, preserving the
+/// paper's amortization story. Dropping a whole entry turns the ledger's
+/// "charge once per session" into "charge once per *residency*": when an
+/// evicted matrix returns, its deterministic analysis is recomputed
+/// bit-identically and its preprocessing is charged afresh.
 ///
 /// The map is sharded by fingerprint; each shard has its own mutex, and
 /// per-entry lazy fields are guarded by a per-entry mutex. Expensive work
 /// (analysis, preprocessing, oracle sweeps) always runs *outside* the
 /// locks; when two requests race on the same fingerprint both compute the
 /// (deterministic, hence identical) value and the first insert wins.
+/// Lock order is entry -> shard; the eviction path, which holds a shard
+/// lock, only try_locks entry mutexes and falls back to whole-entry
+/// removal (which needs no entry lock) when one is busy, so the two
+/// orders cannot deadlock.
 ///
 /// Fingerprints are 64-bit content hashes: a collision between two
 /// distinct matrices is vanishingly unlikely (~2^-64 per pair) and would
@@ -41,6 +68,7 @@
 #include "kernels/SpmvKernel.h"
 #include "sparse/MatrixStats.h"
 
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -60,14 +88,20 @@ public:
   struct KernelSlot {
     /// Preprocessed state, shared with every request that runs the kernel.
     std::shared_ptr<KernelState> State;
-    /// Modeled one-time cost that was paid when Paid flipped.
+    /// Modeled one-time cost; valid whenever State is set. Charged to the
+    /// first request that executes this kernel (which flips Paid).
     double PreprocessMs = 0.0;
-    /// True once some request paid this kernel's preprocessing.
+    /// True once some request was charged this kernel's preprocessing
+    /// during the current residency. A stashed state with Paid == false
+    /// (e.g. left behind by an oracle sweep) is reusable but still owes
+    /// its one-time cost, and is the cheapest thing to evict.
     bool Paid = false;
   };
 
   /// Cached state for one distinct matrix.
   struct Entry {
+    /// Content fingerprint, fixed at insertion (eviction bookkeeping).
+    uint64_t Fingerprint = 0;
     /// Single-pass analysis (known + gathered features and the simulator
     /// inputs). Immutable after construction.
     MatrixStats Stats;
@@ -80,30 +114,107 @@ public:
     std::mutex Mutex;
   };
 
-  explicit FingerprintCache(size_t NumShards = 16);
+  /// Residency counters, all monotone except the byte/entry gauges.
+  struct Stats {
+    /// Distinct matrices currently resident.
+    uint64_t Entries = 0;
+    /// Accounted resident bytes across all shards.
+    uint64_t BytesCached = 0;
+    /// Whole entries dropped (their next visit is a re-analysis).
+    uint64_t Evictions = 0;
+    /// Oracle/unpaid-state sheds that kept the entry resident.
+    uint64_t PartialEvictions = 0;
+    /// Cumulative accounted bytes freed by both eviction kinds.
+    uint64_t BytesEvicted = 0;
+    /// Misses on fingerprints that were resident before (deterministic
+    /// re-analysis; the selections they produce are bit-identical). Never
+    /// overcounts; may undercount under extreme churn because the
+    /// evicted-fingerprint table is bounded (see Shard).
+    uint64_t Reanalyses = 0;
+  };
+
+  /// \p BudgetBytes caps the accounted resident bytes (0 = unbounded, the
+  /// pre-eviction behavior). Each shard enforces BudgetBytes / NumShards,
+  /// so budgets should be generous relative to the shard count: a budget
+  /// smaller than NumShards * (one entry's bytes) caches nothing.
+  explicit FingerprintCache(size_t NumShards = 16, size_t BudgetBytes = 0);
 
   /// Looks up \p Fingerprint; on a miss, analyzes \p M (outside any lock)
   /// and inserts the entry, sizing the ledger for \p NumKernels. \returns
   /// the entry and whether this was a hit. When two threads miss on the
   /// same fingerprint simultaneously, both report a miss (both did the
-  /// analysis work) and share the first-inserted entry afterwards.
+  /// analysis work) and share the first-inserted entry afterwards. Under
+  /// a budget the returned entry may already have been evicted again (it
+  /// is larger than the shard slice, or the shard is churning); the
+  /// caller's shared_ptr keeps it alive for the request either way.
   std::pair<std::shared_ptr<Entry>, bool>
   lookupOrAnalyze(uint64_t Fingerprint, const CsrMatrix &M, size_t NumKernels);
 
-  /// Number of cached matrices.
-  size_t size() const;
+  /// Re-accounts \p E after the caller grew or shrank it (filled a ledger
+  /// slot, stashed oracle data) and evicts if the shard is over budget.
+  /// Must be called WITHOUT E->Mutex held (lock order is entry -> shard,
+  /// and this takes both). No-op when E is no longer resident.
+  void noteMutation(const std::shared_ptr<Entry> &E);
+
+  /// Configured budget (0 = unbounded).
+  size_t budgetBytes() const { return BudgetBytes; }
+
+  /// Aggregated residency counters across all shards.
+  Stats stats() const;
 
 private:
+  /// Per-entry LRU bookkeeping. Nodes live in exactly one of the two
+  /// segment lists; splicing between them keeps iterators valid.
+  struct Node {
+    std::shared_ptr<Entry> E;
+    /// Bytes currently charged to the shard for this entry.
+    size_t AccountedBytes = 0;
+    /// Which segment the node is in (true = protected).
+    bool InProtected = false;
+  };
+
   struct Shard {
     mutable std::mutex Mutex;
-    std::unordered_map<uint64_t, std::shared_ptr<Entry>> Map;
+    /// Segment lists, most recently used at the front.
+    std::list<Node> Probation;
+    std::list<Node> Protected;
+    std::unordered_map<uint64_t, std::list<Node>::iterator> Index;
+    /// Recently evicted fingerprints, for re-analysis counting: a
+    /// fixed-size direct-mapped table (slot = hash of fp), written on
+    /// whole-entry eviction and probed on miss. Storing the full
+    /// fingerprint makes every reported re-analysis genuine (no false
+    /// positives); a collision overwrites and can only *under*count. The
+    /// table is bounded by construction — an unbounded exact set would
+    /// reintroduce the very leak this cache exists to fix.
+    std::vector<uint64_t> EvictedFingerprints;
+    size_t UsedBytes = 0;
+    size_t ProtectedBytes = 0;
+    uint64_t Evictions = 0;
+    uint64_t PartialEvictions = 0;
+    uint64_t BytesEvicted = 0;
+    uint64_t Reanalyses = 0;
   };
 
   Shard &shardFor(uint64_t Fingerprint) {
     return Shards[Fingerprint % Shards.size()];
   }
 
+  /// Promotes a just-hit node (probation -> protected, or to the front of
+  /// protected) and demotes the protected tail while it exceeds its cap.
+  /// Caller holds S.Mutex.
+  void touch(Shard &S, std::list<Node>::iterator It);
+
+  /// Evicts from \p S until UsedBytes <= ShardBudget (no-op when
+  /// unbounded). Caller holds S.Mutex; when it also holds one resident
+  /// entry's mutex it passes that entry as \p AlreadyLocked so the shed
+  /// stage can mutate it directly instead of try_locking it (which would
+  /// always fail and needlessly escalate to whole-entry eviction).
+  void enforceBudget(Shard &S, Entry *AlreadyLocked);
+
   std::vector<Shard> Shards;
+  /// Global budget and the equal slice each shard enforces (0 = off).
+  size_t BudgetBytes = 0;
+  size_t ShardBudget = 0;
 };
 
 } // namespace seer

@@ -325,7 +325,7 @@ std::string seer::formatResponseLine(const std::string &Name,
 }
 
 std::string seer::formatStatsLines(const ServerStats &Stats) {
-  char Buffer[1024];
+  char Buffer[2048];
   const int Written = std::snprintf(
       Buffer, sizeof(Buffer),
       "stat requests %" PRIu64 "\n"
@@ -343,6 +343,12 @@ std::string seer::formatStatsLines(const ServerStats &Stats) {
       "stat saved_collection_ms %.6f\n"
       "stat saved_preprocess_ms %.6f\n"
       "stat cached_matrices %" PRIu64 "\n"
+      "stat cache_budget_bytes %" PRIu64 "\n"
+      "stat bytes_cached %" PRIu64 "\n"
+      "stat bytes_evicted %" PRIu64 "\n"
+      "stat evictions %" PRIu64 "\n"
+      "stat partial_evictions %" PRIu64 "\n"
+      "stat reanalyses %" PRIu64 "\n"
       "stat latency_samples %" PRIu64 "\n"
       "stat latency_mean_us %.3f\n"
       "stat latency_p50_us %.3f\n"
@@ -351,7 +357,9 @@ std::string seer::formatStatsLines(const ServerStats &Stats) {
       Stats.KnownRoutes, Stats.GatheredRoutes, Stats.Executions,
       Stats.PaidPreprocesses, Stats.AmortizedPreprocesses, Stats.OracleChecks,
       Stats.Mispredictions, Stats.mispredictRate(), Stats.SavedCollectionMs,
-      Stats.SavedPreprocessMs, Stats.CachedMatrices, Stats.LatencySamples,
+      Stats.SavedPreprocessMs, Stats.CachedMatrices, Stats.CacheBudgetBytes,
+      Stats.BytesCached, Stats.BytesEvicted, Stats.Evictions,
+      Stats.PartialEvictions, Stats.Reanalyses, Stats.LatencySamples,
       Stats.MeanLatencyUs, Stats.P50LatencyUs, Stats.P99LatencyUs);
   return std::string(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
 }

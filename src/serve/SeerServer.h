@@ -49,6 +49,11 @@ struct ServerConfig {
   DeviceModel Device = DeviceModel::mi100();
   /// Shards of the fingerprint cache (more shards, less lock contention).
   size_t CacheShards = 16;
+  /// Byte budget of the fingerprint cache (0 = unbounded). Each shard
+  /// enforces an equal slice, so the accounted total never exceeds the
+  /// budget; see serve/FingerprintCache.h for the eviction policy and
+  /// what eviction does to the amortization ledger.
+  size_t CacheBudgetBytes = 0;
 };
 
 /// A concurrent kernel-selection service over one trained model triple.
@@ -76,7 +81,9 @@ public:
   /// before returning).
   ServerStats stats() const;
 
-  /// Zeroes all telemetry (not the cache). Call between request waves.
+  /// Zeroes all telemetry (not the cache). The residency counters
+  /// (bytesCached, evictions, ...) describe the cache itself and survive
+  /// the reset with it. Call between request waves.
   void resetStats();
 
   const KernelRegistry &registry() const { return Registry; }

@@ -7,6 +7,7 @@
 #include "serve/ServeTypes.h"
 
 #include <cmath>
+#include <limits>
 
 using namespace seer;
 
@@ -36,11 +37,30 @@ double bucketMidpoint(size_t Index) {
 } // namespace
 
 void LatencyHistogram::record(double Micros) {
+  // A NaN or negative duration (clock glitch, uninitialized field) must
+  // not land in bucket 0 where it would drag every percentile toward the
+  // floor; reject it so the buckets, Count and TotalNanos stay mutually
+  // consistent.
+  if (!std::isfinite(Micros) || Micros < 0.0) {
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Buckets[bucketFor(Micros)].fetch_add(1, std::memory_order_relaxed);
   Count.fetch_add(1, std::memory_order_relaxed);
+  // Saturate the accumulator instead of wrapping on absurdly large (but
+  // finite) samples. fetch_add cannot saturate, so clamp the addend to a
+  // representable value and CAS the capped sum in.
+  constexpr uint64_t MaxTotal = std::numeric_limits<uint64_t>::max();
   const double Nanos = Micros * 1000.0;
-  TotalNanos.fetch_add(Nanos > 0 ? static_cast<uint64_t>(Nanos) : 0,
-                       std::memory_order_relaxed);
+  const uint64_t Add = Nanos < static_cast<double>(MaxTotal)
+                           ? static_cast<uint64_t>(Nanos)
+                           : MaxTotal;
+  uint64_t Current = TotalNanos.load(std::memory_order_relaxed);
+  uint64_t Next;
+  do {
+    Next = Current + Add < Current ? MaxTotal : Current + Add;
+  } while (!TotalNanos.compare_exchange_weak(Current, Next,
+                                             std::memory_order_relaxed));
 }
 
 double LatencyHistogram::meanMicros() const {
@@ -69,5 +89,6 @@ void LatencyHistogram::reset() {
   for (auto &Bucket : Buckets)
     Bucket.store(0, std::memory_order_relaxed);
   Count.store(0, std::memory_order_relaxed);
+  Rejected.store(0, std::memory_order_relaxed);
   TotalNanos.store(0, std::memory_order_relaxed);
 }

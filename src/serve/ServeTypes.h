@@ -104,11 +104,19 @@ class LatencyHistogram {
 public:
   static constexpr size_t NumBuckets = 128;
 
-  /// Records one service latency in microseconds.
+  /// Records one service latency in microseconds. Non-finite or negative
+  /// samples are rejected (counted in rejected(), not in any bucket):
+  /// filing them into bucket 0 would silently drag the percentiles down
+  /// and desynchronize meanMicros from the bucket counts.
   void record(double Micros);
 
   /// Number of recorded samples.
   uint64_t samples() const { return Count.load(std::memory_order_relaxed); }
+
+  /// Number of rejected (NaN/infinite/negative) samples.
+  uint64_t rejected() const {
+    return Rejected.load(std::memory_order_relaxed);
+  }
 
   /// Mean recorded latency, microseconds (0 with no samples).
   double meanMicros() const;
@@ -125,6 +133,7 @@ public:
 private:
   std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
   std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Rejected{0};
   /// Total latency in nanoseconds (integer so fetch_add works pre-C++20).
   std::atomic<uint64_t> TotalNanos{0};
 };
@@ -153,6 +162,20 @@ struct ServerStats {
   double SavedPreprocessMs = 0.0;
   /// Distinct matrices (fingerprints) currently cached.
   uint64_t CachedMatrices = 0;
+  /// Byte-budgeted residency (see serve/FingerprintCache.h). Budget 0
+  /// means unbounded; the gauges/counters below are then mostly zero.
+  uint64_t CacheBudgetBytes = 0;
+  /// Accounted resident bytes of the fingerprint cache right now.
+  uint64_t BytesCached = 0;
+  /// Cumulative accounted bytes freed by eviction.
+  uint64_t BytesEvicted = 0;
+  /// Whole entries evicted (their preprocessing is re-charged on return).
+  uint64_t Evictions = 0;
+  /// Oracle/unpaid-state sheds that kept the entry resident.
+  uint64_t PartialEvictions = 0;
+  /// Misses on matrices that were cached before (deterministic, hence
+  /// bit-identical, re-analysis).
+  uint64_t Reanalyses = 0;
   /// Service-latency summary, microseconds.
   uint64_t LatencySamples = 0;
   double MeanLatencyUs = 0.0;

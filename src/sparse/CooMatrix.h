@@ -42,6 +42,14 @@ public:
   /// Reference sequential y = A * x.
   std::vector<double> multiply(const std::vector<double> &X) const;
 
+  /// Resident heap bytes of the three parallel arrays. Feeds the serving
+  /// layer's byte-budgeted cache accounting.
+  size_t storageBytes() const {
+    return (RowIndices.capacity() + ColIndices.capacity()) *
+               sizeof(uint32_t) +
+           Values.capacity() * sizeof(double);
+  }
+
   /// Checks sortedness and index ranges.
   bool verify(std::string *Why = nullptr) const;
 

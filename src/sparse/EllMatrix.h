@@ -63,6 +63,17 @@ public:
   /// True when the padded arrays are stored explicitly.
   bool isMaterialized() const { return Materialized; }
 
+  /// Resident heap bytes of whichever representation is held (padded
+  /// slabs when materialized, compact CSR arrays when virtual). Feeds the
+  /// serving layer's byte-budgeted cache accounting.
+  size_t storageBytes() const {
+    return PaddedColumns.capacity() * sizeof(uint32_t) +
+           PaddedValues.capacity() * sizeof(double) +
+           RowOffsets.capacity() * sizeof(uint64_t) +
+           CompactColumns.capacity() * sizeof(uint32_t) +
+           CompactValues.capacity() * sizeof(double);
+  }
+
   /// Entry accessors for slot \p K of row \p Row (K < width()). Padding
   /// slots return (PaddingColumn, 0.0).
   uint32_t entryColumn(uint32_t Row, uint32_t K) const;

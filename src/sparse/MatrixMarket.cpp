@@ -9,6 +9,7 @@
 #include "support/StringUtils.h"
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 using namespace seer;
@@ -71,6 +72,11 @@ std::optional<CsrMatrix> seer::parseMatrixMarket(const std::string &Text,
   int64_t NumRows = 0, NumCols = 0, NumEntries = 0;
   bool SawSize = false;
   std::vector<Triplet> Entries;
+  // Coordinate lines actually parsed. The size line declares exactly this
+  // count — NOT the count after symmetric expansion, which depends on how
+  // many entries sit on the diagonal — so surplus/deficit detection must
+  // compare against the raw line count.
+  int64_t CoordinateLines = 0;
   size_t LineNumber = 1;
   while (std::getline(Stream, Line)) {
     ++LineNumber;
@@ -88,6 +94,10 @@ std::optional<CsrMatrix> seer::parseMatrixMarket(const std::string &Text,
                       ((Symmetric || SkewSymmetric) ? 2 : 1));
       continue;
     }
+    if (++CoordinateLines > NumEntries)
+      return Fail("line " + std::to_string(LineNumber) + ": expected " +
+                  std::to_string(NumEntries) +
+                  " entries, got more (surplus coordinate line)");
     int64_t Row = 0, Col = 0;
     double Value = 1.0;
     if (!(Fields >> Row >> Col))
@@ -105,10 +115,9 @@ std::optional<CsrMatrix> seer::parseMatrixMarket(const std::string &Text,
   }
   if (!SawSize)
     return Fail("missing size line");
-  if (static_cast<int64_t>(Entries.size()) <
-      NumEntries) // symmetric expansion only grows the count
+  if (CoordinateLines != NumEntries)
     return Fail("expected " + std::to_string(NumEntries) + " entries, got " +
-                std::to_string(Entries.size()));
+                std::to_string(CoordinateLines));
   return CsrMatrix::fromTriplets(static_cast<uint32_t>(NumRows),
                                  static_cast<uint32_t>(NumCols),
                                  std::move(Entries));
@@ -130,6 +139,10 @@ seer::readMatrixMarketFile(const std::string &Path,
 
 std::string seer::writeMatrixMarket(const CsrMatrix &M) {
   std::ostringstream Out;
+  // max_digits10 makes the write -> parse round trip bit-exact: the
+  // default 6 significant digits would perturb the values and with them
+  // the matrix's content fingerprint in the serving layer.
+  Out.precision(std::numeric_limits<double>::max_digits10);
   Out << "%%MatrixMarket matrix coordinate real general\n";
   Out << "% generated by the Seer reproduction\n";
   Out << M.numRows() << ' ' << M.numCols() << ' ' << M.nnz() << '\n';

@@ -14,7 +14,10 @@
 /// Supported: `matrix coordinate (real|integer|pattern) (general|symmetric|
 /// skew-symmetric)`. Pattern entries get value 1.0; symmetric inputs are
 /// expanded to general storage. Complex matrices and dense (`array`)
-/// storage are rejected with a diagnostic.
+/// storage are rejected with a diagnostic, as is a coordinate-line count
+/// that differs from the size line's declaration in either direction.
+/// The writer emits values at max_digits10 so a write -> parse round trip
+/// is bit-exact (and hence fingerprint-stable in the serving layer).
 ///
 //===----------------------------------------------------------------------===//
 

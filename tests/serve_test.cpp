@@ -22,6 +22,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <thread>
 
 using namespace seer;
@@ -331,6 +332,234 @@ TEST(SeerServerTest, StatsResetZeroesTelemetryButKeepsCache) {
 }
 
 //===----------------------------------------------------------------------===//
+// Byte-budgeted eviction
+//===----------------------------------------------------------------------===//
+
+TEST(CacheBudgetTest, ZeroBudgetIsUnboundedButAccounted) {
+  SeerServer Server(tinyModels());
+  for (const CsrMatrix &M : requestPool()) {
+    ServeRequest Request;
+    Request.Matrix = &M;
+    Server.handle(Request);
+  }
+  const ServerStats Stats = Server.stats();
+  EXPECT_EQ(Stats.CacheBudgetBytes, 0u);
+  EXPECT_EQ(Stats.Evictions, 0u);
+  EXPECT_EQ(Stats.Reanalyses, 0u);
+  EXPECT_EQ(Stats.CachedMatrices, requestPool().size());
+  // Accounting runs even without a budget, so an operator can size one.
+  EXPECT_GT(Stats.BytesCached, 0u);
+}
+
+TEST(CacheBudgetTest, ChurnStaysWithinBudgetAndBitIdentical) {
+  const std::vector<CsrMatrix> &Pool = requestPool();
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const SeerRuntime Reference(tinyModels(), Registry, Sim);
+  std::vector<SelectionResult> Direct;
+  for (const CsrMatrix &M : Pool)
+    Direct.push_back(Reference.select(M, 5));
+
+  // Size the budget from the measured working set: a third of it, so the
+  // six-matrix pool churns hard through the bounded server.
+  uint64_t WorkingSet = 0;
+  {
+    SeerServer Unbounded(tinyModels());
+    for (const CsrMatrix &M : Pool) {
+      ServeRequest Request;
+      Request.Matrix = &M;
+      Request.Iterations = 5;
+      Unbounded.handle(Request);
+    }
+    WorkingSet = Unbounded.stats().BytesCached;
+  }
+
+  ServerConfig Config;
+  Config.CacheShards = 2;
+  Config.CacheBudgetBytes = static_cast<size_t>(WorkingSet / 3);
+  SeerServer Server(tinyModels(), Config);
+  for (int Pass = 0; Pass < 3; ++Pass)
+    for (size_t I = 0; I < Pool.size(); ++I) {
+      ServeRequest Request;
+      Request.Matrix = &Pool[I];
+      Request.Iterations = 5;
+      const ServeResponse Response = Server.handle(Request);
+      // Evicted-then-revisited matrices re-analyze deterministically: the
+      // kernel choice never changes.
+      EXPECT_EQ(Response.Selection.KernelIndex, Direct[I].KernelIndex);
+      EXPECT_EQ(Response.Selection.UsedGatheredModel,
+                Direct[I].UsedGatheredModel);
+      EXPECT_LE(Server.stats().BytesCached, Config.CacheBudgetBytes);
+    }
+
+  const ServerStats Stats = Server.stats();
+  EXPECT_EQ(Stats.CacheBudgetBytes, Config.CacheBudgetBytes);
+  EXPECT_GT(Stats.Evictions, 0u);
+  EXPECT_GT(Stats.BytesEvicted, 0u);
+  EXPECT_GT(Stats.Reanalyses, 0u);
+  EXPECT_LE(Stats.CachedMatrices, Pool.size());
+}
+
+TEST(CacheBudgetTest, EvictionRechargesPreprocessingPerResidency) {
+  const CsrMatrix &A = requestPool()[1]; // power-law: needs preprocessing
+  const CsrMatrix &B = requestPool()[4];
+
+  // Measure one executed entry so the budget can hold exactly one.
+  uint64_t OneEntryBytes = 0;
+  {
+    SeerServer Unbounded(tinyModels());
+    ServeRequest Request;
+    Request.Matrix = &A;
+    Request.Iterations = 19;
+    Request.Execute = true;
+    Unbounded.handle(Request);
+    OneEntryBytes = Unbounded.stats().BytesCached;
+  }
+
+  ServerConfig Config;
+  Config.CacheShards = 1;
+  // Exactly one executed entry fits; admitting B must evict A no matter
+  // how their sizes compare.
+  Config.CacheBudgetBytes = static_cast<size_t>(OneEntryBytes);
+  SeerServer Server(tinyModels(), Config);
+
+  ServeRequest ExecA;
+  ExecA.Matrix = &A;
+  ExecA.Iterations = 19;
+  ExecA.Execute = true;
+  const ServeResponse First = Server.handle(ExecA);
+  EXPECT_FALSE(First.PreprocessAmortized);
+
+  // B's executed entry pushes the shard over budget; A is the LRU victim.
+  ServeRequest ExecB = ExecA;
+  ExecB.Matrix = &B;
+  Server.handle(ExecB);
+  EXPECT_LE(Server.stats().BytesCached, Config.CacheBudgetBytes);
+
+  // A's return is a new residency: re-analyzed, re-charged, bit-identical.
+  const ServeResponse Second = Server.handle(ExecA);
+  EXPECT_FALSE(Second.CacheHit);
+  EXPECT_FALSE(Second.PreprocessAmortized);
+  EXPECT_EQ(Second.Selection.KernelIndex, First.Selection.KernelIndex);
+  EXPECT_EQ(Second.PreprocessMs, First.PreprocessMs);
+  EXPECT_EQ(Second.IterationMs, First.IterationMs);
+  EXPECT_EQ(Second.Y, First.Y);
+
+  const ServerStats Stats = Server.stats();
+  EXPECT_GE(Stats.Evictions, 1u);
+  EXPECT_GE(Stats.Reanalyses, 1u);
+  EXPECT_EQ(Stats.PaidPreprocesses, 3u); // A, B, then A's second residency
+}
+
+TEST(CacheBudgetTest, OracleShedsBeforeWholeEntries) {
+  const CsrMatrix &A = requestPool()[1];
+
+  // Full = entry bytes with the oracle sweep and its stashed states
+  // resident; a budget one byte below forces a shed, which must free the
+  // recomputable bytes while keeping the entry (and its paid state).
+  uint64_t FullBytes = 0;
+  {
+    SeerServer Unbounded(tinyModels());
+    ServeRequest Request;
+    Request.Matrix = &A;
+    Request.Iterations = 5;
+    Request.Execute = true;
+    Request.VerifyOracle = true;
+    Unbounded.handle(Request);
+    FullBytes = Unbounded.stats().BytesCached;
+  }
+
+  ServerConfig Config;
+  Config.CacheShards = 1;
+  Config.CacheBudgetBytes = static_cast<size_t>(FullBytes - 1);
+  SeerServer Server(tinyModels(), Config);
+  ServeRequest Request;
+  Request.Matrix = &A;
+  Request.Iterations = 5;
+  Request.Execute = true;
+  Request.VerifyOracle = true;
+  const ServeResponse First = Server.handle(Request);
+
+  ServerStats Stats = Server.stats();
+  EXPECT_LE(Stats.BytesCached, Config.CacheBudgetBytes);
+  EXPECT_GE(Stats.PartialEvictions, 1u);
+  EXPECT_EQ(Stats.Evictions, 0u);
+  EXPECT_EQ(Stats.CachedMatrices, 1u);
+
+  // The entry survived: still a hit, identical selection, and the next
+  // verify recomputes the (deterministic) oracle to the same verdict.
+  const ServeResponse Second = Server.handle(Request);
+  EXPECT_TRUE(Second.CacheHit);
+  EXPECT_EQ(Second.Selection.KernelIndex, First.Selection.KernelIndex);
+  EXPECT_TRUE(Second.OracleChecked);
+  EXPECT_EQ(Second.OracleKernelIndex, First.OracleKernelIndex);
+  EXPECT_EQ(Second.Mispredicted, First.Mispredicted);
+  EXPECT_EQ(Second.RegretMs, First.RegretMs);
+  EXPECT_EQ(Second.Y, First.Y);
+}
+
+TEST(CacheBudgetTest, ConcurrentChurnRespectsBudgetAndStaysBitIdentical) {
+  const std::vector<CsrMatrix> &Pool = requestPool();
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const SeerRuntime Reference(tinyModels(), Registry, Sim);
+  const uint32_t IterationPattern[3] = {1, 5, 19};
+  std::vector<std::vector<SelectionResult>> Direct(Pool.size());
+  for (size_t M = 0; M < Pool.size(); ++M)
+    for (uint32_t I : IterationPattern)
+      Direct[M].push_back(Reference.select(Pool[M], I));
+
+  uint64_t WorkingSet = 0;
+  {
+    SeerServer Unbounded(tinyModels());
+    for (const CsrMatrix &M : Pool) {
+      ServeRequest Request;
+      Request.Matrix = &M;
+      Unbounded.handle(Request);
+    }
+    WorkingSet = Unbounded.stats().BytesCached;
+  }
+
+  ServerConfig Config;
+  Config.CacheShards = 2;
+  Config.CacheBudgetBytes = static_cast<size_t>(WorkingSet / 3);
+  SeerServer Server(tinyModels(), Config);
+  constexpr size_t NumClients = 8;
+  constexpr size_t RequestsPerClient = 40;
+  std::vector<std::string> Failures(NumClients);
+  std::vector<std::thread> Clients;
+  for (size_t C = 0; C < NumClients; ++C)
+    Clients.emplace_back([&, C] {
+      for (size_t R = 0; R < RequestsPerClient; ++R) {
+        const size_t MatrixIndex = (C + R) % Pool.size();
+        const size_t IterIndex = R % 3;
+        ServeRequest Request;
+        Request.Matrix = &Pool[MatrixIndex];
+        Request.Iterations = IterationPattern[IterIndex];
+        const ServeResponse Response = Server.handle(Request);
+        const SelectionResult &Expected = Direct[MatrixIndex][IterIndex];
+        if (Response.Selection.KernelIndex != Expected.KernelIndex ||
+            Response.Selection.UsedGatheredModel !=
+                Expected.UsedGatheredModel)
+          Failures[C] = "client " + std::to_string(C) + " request " +
+                        std::to_string(R) + " diverged under churn";
+        if (Server.stats().BytesCached > Config.CacheBudgetBytes)
+          Failures[C] = "client " + std::to_string(C) + " request " +
+                        std::to_string(R) + " saw the cache over budget";
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  for (const std::string &Failure : Failures)
+    EXPECT_TRUE(Failure.empty()) << Failure;
+
+  const ServerStats Stats = Server.stats();
+  EXPECT_EQ(Stats.Requests, NumClients * RequestsPerClient);
+  EXPECT_LE(Stats.BytesCached, Config.CacheBudgetBytes);
+  EXPECT_GT(Stats.Evictions, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Latency histogram
 //===----------------------------------------------------------------------===//
 
@@ -347,6 +576,34 @@ TEST(LatencyHistogramTest, PercentilesApproximateTheSamples) {
   H.reset();
   EXPECT_EQ(H.samples(), 0u);
   EXPECT_EQ(H.percentileMicros(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, RejectsNonFiniteAndNegativeSamples) {
+  // NaN and negative durations used to land in bucket 0 and drag p50
+  // toward the floor while meanMicros diverged from the bucket counts.
+  LatencyHistogram H;
+  H.record(std::numeric_limits<double>::quiet_NaN());
+  H.record(-5.0);
+  H.record(std::numeric_limits<double>::infinity());
+  H.record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(H.samples(), 0u);
+  EXPECT_EQ(H.rejected(), 4u);
+  EXPECT_EQ(H.meanMicros(), 0.0);
+  EXPECT_EQ(H.percentileMicros(0.5), 0.0);
+
+  // Good samples around 100us: the rejected garbage must not have shifted
+  // the percentiles or the mean.
+  for (int I = 0; I < 10; ++I)
+    H.record(100.0);
+  H.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(H.samples(), 10u);
+  EXPECT_EQ(H.rejected(), 5u);
+  EXPECT_NEAR(H.meanMicros(), 100.0, 0.1);
+  EXPECT_NEAR(H.percentileMicros(0.5), 100.0, 25.0);
+  EXPECT_NEAR(H.percentileMicros(0.99), 100.0, 25.0);
+
+  H.reset();
+  EXPECT_EQ(H.rejected(), 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -413,6 +670,23 @@ TEST(RequestTraceTest, ParsesWholeTraceAndServesIt) {
     EXPECT_NE(Line.find("kernel="), std::string::npos);
   }
   EXPECT_EQ(Server.stats().Requests, 3u);
+}
+
+TEST(RequestTraceTest, StatsLinesCarryResidencyCounters) {
+  ServerStats Stats;
+  Stats.CacheBudgetBytes = 1 << 20;
+  Stats.BytesCached = 12345;
+  Stats.BytesEvicted = 678;
+  Stats.Evictions = 9;
+  Stats.PartialEvictions = 2;
+  Stats.Reanalyses = 4;
+  const std::string Lines = formatStatsLines(Stats);
+  EXPECT_NE(Lines.find("stat cache_budget_bytes 1048576"), std::string::npos);
+  EXPECT_NE(Lines.find("stat bytes_cached 12345"), std::string::npos);
+  EXPECT_NE(Lines.find("stat bytes_evicted 678"), std::string::npos);
+  EXPECT_NE(Lines.find("stat evictions 9"), std::string::npos);
+  EXPECT_NE(Lines.find("stat partial_evictions 2"), std::string::npos);
+  EXPECT_NE(Lines.find("stat reanalyses 4"), std::string::npos);
 }
 
 TEST(RequestTraceTest, RejectsBadTraces) {

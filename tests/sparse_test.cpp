@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "serve/FingerprintCache.h"
 #include "sparse/Collection.h"
 #include "sparse/CooMatrix.h"
 #include "sparse/CsrMatrix.h"
@@ -423,6 +424,115 @@ TEST(MatrixMarketTest, FileRoundTrip) {
   const auto Read = readMatrixMarketFile(Path, &Error);
   ASSERT_TRUE(Read.has_value()) << Error;
   EXPECT_EQ(Read->nnz(), M.nnz());
+}
+
+TEST(MatrixMarketTest, RejectsSurplusEntries) {
+  // The size line declares exactly one coordinate line; a second must be
+  // rejected, not silently folded into the matrix.
+  std::string Error;
+  EXPECT_FALSE(parseMatrixMarket("%%MatrixMarket matrix coordinate real "
+                                 "general\n2 2 1\n1 1 1.0\n2 2 2.0\n",
+                                 &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("expected 1 entries"), std::string::npos) << Error;
+}
+
+TEST(MatrixMarketTest, RejectsDeficitEntries) {
+  std::string Error;
+  EXPECT_FALSE(parseMatrixMarket("%%MatrixMarket matrix coordinate real "
+                                 "general\n2 2 3\n1 1 1.0\n2 2 2.0\n",
+                                 &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("expected 3 entries, got 2"), std::string::npos)
+      << Error;
+}
+
+TEST(MatrixMarketTest, SymmetricCountsDeclaredLinesNotExpandedEntries) {
+  // A diagonal-heavy symmetric file: 3 declared lines expand to only 4
+  // stored entries (diagonal entries do not mirror). The declared count
+  // refers to the lines, so this parses; one line more or less does not.
+  const std::string Good = "%%MatrixMarket matrix coordinate real symmetric\n"
+                           "3 3 3\n1 1 1.0\n2 2 2.0\n3 1 4.0\n";
+  std::string Error;
+  const auto M = parseMatrixMarket(Good, &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_EQ(M->nnz(), 4u);
+
+  const std::string Surplus =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n1 1 1.0\n2 2 2.0\n3 1 4.0\n";
+  EXPECT_FALSE(parseMatrixMarket(Surplus, &Error).has_value());
+  const std::string Deficit =
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 4\n1 1 1.0\n2 2 2.0\n3 1 4.0\n";
+  EXPECT_FALSE(parseMatrixMarket(Deficit, &Error).has_value());
+}
+
+TEST(MatrixMarketTest, SymmetricPatternExpands) {
+  const std::string Text =
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n2 1\n3 3\n";
+  std::string Error;
+  const auto M = parseMatrixMarket(Text, &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_EQ(M->nnz(), 3u); // (2,1) mirrors to (1,2); (3,3) does not
+  const auto Y = M->multiply({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(Y[0], 1.0);
+  EXPECT_DOUBLE_EQ(Y[1], 1.0);
+  EXPECT_DOUBLE_EQ(Y[2], 1.0);
+}
+
+TEST(MatrixMarketTest, SkewSymmetricPatternNegatesTheMirror) {
+  const std::string Text =
+      "%%MatrixMarket matrix coordinate pattern skew-symmetric\n"
+      "2 2 1\n2 1\n";
+  std::string Error;
+  const auto M = parseMatrixMarket(Text, &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_EQ(M->nnz(), 2u);
+  const auto Y = M->multiply({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(Y[0], -1.0); // the implied (1,2) entry is -1
+}
+
+TEST(MatrixMarketTest, CrlfLineEndingsParse) {
+  // SuiteSparse files written on Windows carry CRLF line endings; the
+  // trailing \r must not corrupt the banner, the size line or the values.
+  const std::string Text = "%%MatrixMarket matrix coordinate real general\r\n"
+                           "% comment\r\n"
+                           "2 2 2\r\n"
+                           "1 1 1.5\r\n"
+                           "2 2 2.5\r\n";
+  std::string Error;
+  const auto M = parseMatrixMarket(Text, &Error);
+  ASSERT_TRUE(M.has_value()) << Error;
+  EXPECT_EQ(M->nnz(), 2u);
+  EXPECT_DOUBLE_EQ(M->values()[0], 1.5);
+  EXPECT_DOUBLE_EQ(M->values()[1], 2.5);
+}
+
+TEST(MatrixMarketTest, RoundTripIsBitExactAndFingerprintStable) {
+  // The writer emits max_digits10 significant digits, so values that do
+  // not terminate in decimal (1/3, sqrt2, ...) and the full random value
+  // range survive write -> parse bit-for-bit, keeping the serving layer's
+  // content fingerprint stable across a save/load cycle.
+  CsrMatrix M = CsrMatrix::fromTriplets(
+      3, 3,
+      {{0, 0, 1.0 / 3.0},
+       {0, 2, std::sqrt(2.0)},
+       {1, 1, -1.0e-17},
+       {2, 2, 6.02214076e23}});
+  std::string Error;
+  const auto Parsed = parseMatrixMarket(writeMatrixMarket(M), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_EQ(Parsed->values(), M.values());
+  EXPECT_EQ(matrixFingerprint(*Parsed), matrixFingerprint(M));
+
+  const CsrMatrix Random = genUniformRandom(64, 64, 6.0, 0.4, 99);
+  const auto Reparsed = parseMatrixMarket(writeMatrixMarket(Random), &Error);
+  ASSERT_TRUE(Reparsed.has_value()) << Error;
+  EXPECT_EQ(Reparsed->values(), Random.values());
+  EXPECT_EQ(Reparsed->columnIndices(), Random.columnIndices());
+  EXPECT_EQ(matrixFingerprint(*Reparsed), matrixFingerprint(Random));
 }
 
 //===----------------------------------------------------------------------===//

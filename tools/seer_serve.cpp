@@ -48,10 +48,14 @@ constexpr const char *Usage =
     "scripted request trace and prints telemetry.\n"
     "\n"
     "options:\n"
-    "  --models DIR   directory with seer_{known,gathered,selector}.tree\n"
-    "  --trace FILE   request trace to replay (see serve/RequestTrace.h)\n"
-    "  --clients N    concurrent client threads in trace mode (default 1)\n"
-    "  --repeat K     times each client replays the trace (default 1)\n";
+    "  --models DIR        directory with seer_{known,gathered,selector}.tree\n"
+    "  --trace FILE        request trace to replay (see serve/RequestTrace.h)\n"
+    "  --clients N         concurrent client threads in trace mode (default 1)\n"
+    "  --repeat K          times each client replays the trace (default 1)\n"
+    "  --cache-budget B    fingerprint-cache byte budget (default 0 =\n"
+    "                      unbounded); under pressure the server evicts\n"
+    "                      oracle data and unpaid kernel states first,\n"
+    "                      then whole entries (see 'stats' counters)\n";
 
 void runTrace(SeerServer &Server, const TraceScript &Script, unsigned Clients,
               unsigned Repeat) {
@@ -189,7 +193,12 @@ int main(int Argc, char **Argv) {
   auto Models = loadModelBundle(ModelDir, Registry.names(), &Error);
   if (!Models)
     fatal(Error);
-  SeerServer Server(std::move(*Models));
+  const int64_t BudgetArg = Cmd.intFlag("cache-budget", 0);
+  if (BudgetArg < 0)
+    fatal("--cache-budget must be >= 0 (0 = unbounded)");
+  ServerConfig Config;
+  Config.CacheBudgetBytes = static_cast<size_t>(BudgetArg);
+  SeerServer Server(std::move(*Models), Config);
 
   const std::string TracePath = Cmd.flag("trace");
   if (TracePath.empty())
