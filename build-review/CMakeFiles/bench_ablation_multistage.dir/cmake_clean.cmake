@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multistage.dir/bench/ablation_multistage.cpp.o"
+  "CMakeFiles/bench_ablation_multistage.dir/bench/ablation_multistage.cpp.o.d"
+  "ablation_multistage"
+  "ablation_multistage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multistage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_selector.dir/bench/ablation_selector.cpp.o"
+  "CMakeFiles/bench_ablation_selector.dir/bench/ablation_selector.cpp.o.d"
+  "ablation_selector"
+  "ablation_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_table.dir/bench/accuracy_table.cpp.o"
+  "CMakeFiles/bench_accuracy_table.dir/bench/accuracy_table.cpp.o.d"
+  "accuracy_table"
+  "accuracy_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

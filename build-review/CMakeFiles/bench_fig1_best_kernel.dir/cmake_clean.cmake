@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_best_kernel.dir/bench/fig1_best_kernel.cpp.o"
+  "CMakeFiles/bench_fig1_best_kernel.dir/bench/fig1_best_kernel.cpp.o.d"
+  "fig1_best_kernel"
+  "fig1_best_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_best_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

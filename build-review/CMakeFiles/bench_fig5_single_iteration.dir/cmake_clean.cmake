@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_single_iteration.dir/bench/fig5_single_iteration.cpp.o"
+  "CMakeFiles/bench_fig5_single_iteration.dir/bench/fig5_single_iteration.cpp.o.d"
+  "fig5_single_iteration"
+  "fig5_single_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_single_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_feature_cost.dir/bench/fig6_feature_cost.cpp.o"
+  "CMakeFiles/bench_fig6_feature_cost.dir/bench/fig6_feature_cost.cpp.o.d"
+  "fig6_feature_cost"
+  "fig6_feature_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_feature_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

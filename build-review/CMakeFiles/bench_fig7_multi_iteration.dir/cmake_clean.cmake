@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_multi_iteration.dir/bench/fig7_multi_iteration.cpp.o"
+  "CMakeFiles/bench_fig7_multi_iteration.dir/bench/fig7_multi_iteration.cpp.o.d"
+  "fig7_multi_iteration"
+  "fig7_multi_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_multi_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_inference.dir/bench/micro_inference.cpp.o"
+  "CMakeFiles/bench_micro_inference.dir/bench/micro_inference.cpp.o.d"
+  "micro_inference"
+  "micro_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

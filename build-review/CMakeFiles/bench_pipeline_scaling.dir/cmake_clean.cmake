@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_scaling.dir/bench/pipeline_scaling.cpp.o"
+  "CMakeFiles/bench_pipeline_scaling.dir/bench/pipeline_scaling.cpp.o.d"
+  "pipeline_scaling"
+  "pipeline_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_kendall.dir/bench/table3_kendall.cpp.o"
+  "CMakeFiles/bench_table3_kendall.dir/bench/table3_kendall.cpp.o.d"
+  "table3_kendall"
+  "table3_kendall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_kendall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

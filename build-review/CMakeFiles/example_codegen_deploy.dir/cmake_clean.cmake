@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_codegen_deploy.dir/examples/codegen_deploy.cpp.o"
+  "CMakeFiles/example_codegen_deploy.dir/examples/codegen_deploy.cpp.o.d"
+  "codegen_deploy"
+  "codegen_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_codegen_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_pagerank.dir/examples/graph_pagerank.cpp.o"
+  "CMakeFiles/example_graph_pagerank.dir/examples/graph_pagerank.cpp.o.d"
+  "graph_pagerank"
+  "graph_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

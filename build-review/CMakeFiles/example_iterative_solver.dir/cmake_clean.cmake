@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_iterative_solver.dir/examples/iterative_solver.cpp.o"
+  "CMakeFiles/example_iterative_solver.dir/examples/iterative_solver.cpp.o.d"
+  "iterative_solver"
+  "iterative_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_iterative_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistage_test.dir/tests/multistage_test.cpp.o"
+  "CMakeFiles/multistage_test.dir/tests/multistage_test.cpp.o.d"
+  "multistage_test"
+  "multistage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BenchmarkCache.cpp" "CMakeFiles/seer.dir/src/core/BenchmarkCache.cpp.o" "gcc" "CMakeFiles/seer.dir/src/core/BenchmarkCache.cpp.o.d"
+  "/root/repo/src/core/Benchmarker.cpp" "CMakeFiles/seer.dir/src/core/Benchmarker.cpp.o" "gcc" "CMakeFiles/seer.dir/src/core/Benchmarker.cpp.o.d"
+  "/root/repo/src/core/Evaluation.cpp" "CMakeFiles/seer.dir/src/core/Evaluation.cpp.o" "gcc" "CMakeFiles/seer.dir/src/core/Evaluation.cpp.o.d"
+  "/root/repo/src/core/Features.cpp" "CMakeFiles/seer.dir/src/core/Features.cpp.o" "gcc" "CMakeFiles/seer.dir/src/core/Features.cpp.o.d"
+  "/root/repo/src/core/ModelBundle.cpp" "CMakeFiles/seer.dir/src/core/ModelBundle.cpp.o" "gcc" "CMakeFiles/seer.dir/src/core/ModelBundle.cpp.o.d"
+  "/root/repo/src/core/MultiStageSelector.cpp" "CMakeFiles/seer.dir/src/core/MultiStageSelector.cpp.o" "gcc" "CMakeFiles/seer.dir/src/core/MultiStageSelector.cpp.o.d"
+  "/root/repo/src/core/SeerRuntime.cpp" "CMakeFiles/seer.dir/src/core/SeerRuntime.cpp.o" "gcc" "CMakeFiles/seer.dir/src/core/SeerRuntime.cpp.o.d"
+  "/root/repo/src/core/SeerTrainer.cpp" "CMakeFiles/seer.dir/src/core/SeerTrainer.cpp.o" "gcc" "CMakeFiles/seer.dir/src/core/SeerTrainer.cpp.o.d"
+  "/root/repo/src/kernels/AdaptiveKernels.cpp" "CMakeFiles/seer.dir/src/kernels/AdaptiveKernels.cpp.o" "gcc" "CMakeFiles/seer.dir/src/kernels/AdaptiveKernels.cpp.o.d"
+  "/root/repo/src/kernels/CsrKernels.cpp" "CMakeFiles/seer.dir/src/kernels/CsrKernels.cpp.o" "gcc" "CMakeFiles/seer.dir/src/kernels/CsrKernels.cpp.o.d"
+  "/root/repo/src/kernels/FeatureKernels.cpp" "CMakeFiles/seer.dir/src/kernels/FeatureKernels.cpp.o" "gcc" "CMakeFiles/seer.dir/src/kernels/FeatureKernels.cpp.o.d"
+  "/root/repo/src/kernels/FormatKernels.cpp" "CMakeFiles/seer.dir/src/kernels/FormatKernels.cpp.o" "gcc" "CMakeFiles/seer.dir/src/kernels/FormatKernels.cpp.o.d"
+  "/root/repo/src/kernels/KernelRegistry.cpp" "CMakeFiles/seer.dir/src/kernels/KernelRegistry.cpp.o" "gcc" "CMakeFiles/seer.dir/src/kernels/KernelRegistry.cpp.o.d"
+  "/root/repo/src/kernels/SpmvKernel.cpp" "CMakeFiles/seer.dir/src/kernels/SpmvKernel.cpp.o" "gcc" "CMakeFiles/seer.dir/src/kernels/SpmvKernel.cpp.o.d"
+  "/root/repo/src/ml/Dataset.cpp" "CMakeFiles/seer.dir/src/ml/Dataset.cpp.o" "gcc" "CMakeFiles/seer.dir/src/ml/Dataset.cpp.o.d"
+  "/root/repo/src/ml/DecisionTree.cpp" "CMakeFiles/seer.dir/src/ml/DecisionTree.cpp.o" "gcc" "CMakeFiles/seer.dir/src/ml/DecisionTree.cpp.o.d"
+  "/root/repo/src/ml/Metrics.cpp" "CMakeFiles/seer.dir/src/ml/Metrics.cpp.o" "gcc" "CMakeFiles/seer.dir/src/ml/Metrics.cpp.o.d"
+  "/root/repo/src/ml/TreeCodegen.cpp" "CMakeFiles/seer.dir/src/ml/TreeCodegen.cpp.o" "gcc" "CMakeFiles/seer.dir/src/ml/TreeCodegen.cpp.o.d"
+  "/root/repo/src/serve/FingerprintCache.cpp" "CMakeFiles/seer.dir/src/serve/FingerprintCache.cpp.o" "gcc" "CMakeFiles/seer.dir/src/serve/FingerprintCache.cpp.o.d"
+  "/root/repo/src/serve/RequestTrace.cpp" "CMakeFiles/seer.dir/src/serve/RequestTrace.cpp.o" "gcc" "CMakeFiles/seer.dir/src/serve/RequestTrace.cpp.o.d"
+  "/root/repo/src/serve/SeerServer.cpp" "CMakeFiles/seer.dir/src/serve/SeerServer.cpp.o" "gcc" "CMakeFiles/seer.dir/src/serve/SeerServer.cpp.o.d"
+  "/root/repo/src/serve/ServeTypes.cpp" "CMakeFiles/seer.dir/src/serve/ServeTypes.cpp.o" "gcc" "CMakeFiles/seer.dir/src/serve/ServeTypes.cpp.o.d"
+  "/root/repo/src/sim/GpuSimulator.cpp" "CMakeFiles/seer.dir/src/sim/GpuSimulator.cpp.o" "gcc" "CMakeFiles/seer.dir/src/sim/GpuSimulator.cpp.o.d"
+  "/root/repo/src/sparse/Collection.cpp" "CMakeFiles/seer.dir/src/sparse/Collection.cpp.o" "gcc" "CMakeFiles/seer.dir/src/sparse/Collection.cpp.o.d"
+  "/root/repo/src/sparse/CooMatrix.cpp" "CMakeFiles/seer.dir/src/sparse/CooMatrix.cpp.o" "gcc" "CMakeFiles/seer.dir/src/sparse/CooMatrix.cpp.o.d"
+  "/root/repo/src/sparse/CsrMatrix.cpp" "CMakeFiles/seer.dir/src/sparse/CsrMatrix.cpp.o" "gcc" "CMakeFiles/seer.dir/src/sparse/CsrMatrix.cpp.o.d"
+  "/root/repo/src/sparse/EllMatrix.cpp" "CMakeFiles/seer.dir/src/sparse/EllMatrix.cpp.o" "gcc" "CMakeFiles/seer.dir/src/sparse/EllMatrix.cpp.o.d"
+  "/root/repo/src/sparse/Generators.cpp" "CMakeFiles/seer.dir/src/sparse/Generators.cpp.o" "gcc" "CMakeFiles/seer.dir/src/sparse/Generators.cpp.o.d"
+  "/root/repo/src/sparse/MatrixMarket.cpp" "CMakeFiles/seer.dir/src/sparse/MatrixMarket.cpp.o" "gcc" "CMakeFiles/seer.dir/src/sparse/MatrixMarket.cpp.o.d"
+  "/root/repo/src/sparse/MatrixStats.cpp" "CMakeFiles/seer.dir/src/sparse/MatrixStats.cpp.o" "gcc" "CMakeFiles/seer.dir/src/sparse/MatrixStats.cpp.o.d"
+  "/root/repo/src/support/Csv.cpp" "CMakeFiles/seer.dir/src/support/Csv.cpp.o" "gcc" "CMakeFiles/seer.dir/src/support/Csv.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "CMakeFiles/seer.dir/src/support/Statistics.cpp.o" "gcc" "CMakeFiles/seer.dir/src/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "CMakeFiles/seer.dir/src/support/StringUtils.cpp.o" "gcc" "CMakeFiles/seer.dir/src/support/StringUtils.cpp.o.d"
+  "/root/repo/src/support/ThreadPool.cpp" "CMakeFiles/seer.dir/src/support/ThreadPool.cpp.o" "gcc" "CMakeFiles/seer.dir/src/support/ThreadPool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

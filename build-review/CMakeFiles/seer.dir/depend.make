@@ -1,0 +1,2 @@
+# Empty dependencies file for seer.
+# This may be replaced when dependencies are built.

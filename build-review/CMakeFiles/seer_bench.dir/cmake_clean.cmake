@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_bench.dir/tools/seer_bench.cpp.o"
+  "CMakeFiles/seer_bench.dir/tools/seer_bench.cpp.o.d"
+  "seer-bench"
+  "seer-bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_predict.dir/tools/seer_predict.cpp.o"
+  "CMakeFiles/seer_predict.dir/tools/seer_predict.cpp.o.d"
+  "seer-predict"
+  "seer-predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

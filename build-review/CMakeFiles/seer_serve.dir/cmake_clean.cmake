@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_serve.dir/tools/seer_serve.cpp.o"
+  "CMakeFiles/seer_serve.dir/tools/seer_serve.cpp.o.d"
+  "seer-serve"
+  "seer-serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seer_train.dir/tools/seer_train.cpp.o"
+  "CMakeFiles/seer_train.dir/tools/seer_train.cpp.o.d"
+  "seer-train"
+  "seer-train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seer_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
