@@ -130,7 +130,12 @@ RunResult runAt(uint32_t Threads, const std::vector<MatrixSpec> &Specs,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const CommandLine Cmd(Argc, Argv, Usage);
+  FlagSpec Spec;
+  Spec.Value = {"out", "threads"};
+  Spec.Int = {"variants", "max-rows"};
+  const CommandLine Cmd(Argc, Argv, Usage, Spec);
+  if (const auto Early = Cmd.earlyExit())
+    return *Early;
   const std::string OutPath = Cmd.flag("out", "BENCH_pipeline.json");
 
   std::vector<uint32_t> Threads;

@@ -1,0 +1,162 @@
+//===- api/MatrixInput.cpp -------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/MatrixInput.h"
+
+#include "sparse/Generators.h"
+#include "sparse/MatrixMarket.h"
+
+#include <cmath>
+
+using namespace seer;
+
+namespace {
+
+/// Largest matrix dimension a generator spec may request: registration is
+/// a client-facing path, so one malformed or hostile spec must not be able
+/// to request a multi-gigabyte allocation.
+constexpr double MaxGenDimension = 1 << 24;
+
+/// Converts a spec argument to an integral value in [Min, Max]; rejects
+/// non-integral, out-of-range and NaN inputs (casting those would be
+/// undefined behavior).
+bool genIntArg(double Value, double Min, double Max, uint64_t &Out) {
+  if (!(Value >= Min && Value <= Max) || Value != std::floor(Value))
+    return false;
+  Out = static_cast<uint64_t>(Value);
+  return true;
+}
+
+} // namespace
+
+Expected<CsrMatrix> seer::buildGeneratorMatrix(const GeneratorSpec &Spec) {
+  const auto Fail = [](const std::string &Message) {
+    return Status::invalidArgument(Message);
+  };
+  const std::vector<double> &A = Spec.Args;
+  for (double Value : A)
+    if (!std::isfinite(Value))
+      return Fail("gen arguments must be finite");
+  if (A.empty())
+    return Fail("gen needs arguments (the last is the seed)");
+
+  // Validates the dimension-like arguments at Positions (rows, cols,
+  // band, row lengths) and the trailing seed before any cast — casting a
+  // negative or out-of-range double is undefined behavior, and a
+  // long-running server must not allocate gigabytes off one bad spec.
+  // Real-valued arguments (fill, exponent, jitter) pass through as-is.
+  std::vector<uint64_t> Dims;
+  uint64_t Seed = 0;
+  std::string Why;
+  const auto ArgsOk = [&](std::initializer_list<size_t> Positions) {
+    for (size_t Position : Positions) {
+      // The first listed position is always ROWS, which must be positive;
+      // later ones (half-band, min row length) may be 0.
+      const double Min = Dims.empty() ? 1 : 0;
+      uint64_t Value = 0;
+      if (!genIntArg(A[Position], Min, MaxGenDimension, Value)) {
+        Why = "argument " + std::to_string(Position + 1) +
+              " must be an integer in [" + std::to_string(int(Min)) +
+              ", 2^24]";
+        return false;
+      }
+      Dims.push_back(Value);
+    }
+    if (!genIntArg(A.back(), 0, /*2^53*/ 9007199254740992.0, Seed)) {
+      Why = "seed must be a non-negative integer";
+      return false;
+    }
+    return true;
+  };
+
+  if (Spec.Family == "banded") {
+    if (A.size() != 4)
+      return Fail("gen banded needs ROWS HALFBAND FILL SEED");
+    if (!ArgsOk({0, 1}))
+      return Fail("gen banded: " + Why);
+    return genBanded(static_cast<uint32_t>(Dims[0]),
+                     static_cast<uint32_t>(Dims[1]), A[2], Seed);
+  }
+  if (Spec.Family == "powerlaw") {
+    if (A.size() != 5)
+      return Fail("gen powerlaw needs ROWS EXPONENT MINROW MAXROW SEED");
+    if (!ArgsOk({0, 2, 3}))
+      return Fail("gen powerlaw: " + Why);
+    return genPowerLaw(static_cast<uint32_t>(Dims[0]),
+                       static_cast<uint32_t>(Dims[0]), A[1],
+                       static_cast<uint32_t>(Dims[1]),
+                       static_cast<uint32_t>(Dims[2]), Seed);
+  }
+  if (Spec.Family == "uniform") {
+    if (A.size() != 5)
+      return Fail("gen uniform needs ROWS COLS MEANROW JITTER SEED");
+    if (!ArgsOk({0, 1}))
+      return Fail("gen uniform: " + Why);
+    return genUniformRandom(static_cast<uint32_t>(Dims[0]),
+                            static_cast<uint32_t>(Dims[1]), A[2], A[3], Seed);
+  }
+  if (Spec.Family == "diagonal") {
+    if (A.size() != 2)
+      return Fail("gen diagonal needs ROWS SEED");
+    if (!ArgsOk({0}))
+      return Fail("gen diagonal: " + Why);
+    return genDiagonal(static_cast<uint32_t>(Dims[0]), Seed);
+  }
+  return Fail("unknown generator family '" + Spec.Family + "'");
+}
+
+Expected<CsrMatrix> seer::materializeMatrixInput(MatrixInput Input) {
+  struct Materialize {
+    Expected<CsrMatrix> operator()(CsrMatrix M) {
+      std::string Why;
+      if (!M.verify(&Why))
+        return Status::invalidArgument("invalid CSR input: " + Why);
+      return M;
+    }
+    Expected<CsrMatrix> operator()(const CooMatrix &M) {
+      std::string Why;
+      if (!M.verify(&Why))
+        return Status::invalidArgument("invalid COO input: " + Why);
+      return M.toCsr();
+    }
+    Expected<CsrMatrix> operator()(const EllMatrix &M) {
+      std::string Why;
+      if (!M.verify(&Why))
+        return Status::invalidArgument("invalid ELL input: " + Why);
+      return M.toCsr();
+    }
+    Expected<CsrMatrix> operator()(const MatrixMarketSource &Source) {
+      return readMatrixMarketFile(Source.Path);
+    }
+    Expected<CsrMatrix> operator()(const GeneratorSpec &Spec) {
+      return buildGeneratorMatrix(Spec);
+    }
+    Expected<CsrMatrix> operator()(
+        const std::shared_ptr<const CsrMatrix> &Shared) {
+      if (!Shared)
+        return Status::invalidArgument("null shared matrix pointer");
+      return (*this)(*Shared); // by-value case: verify + copy
+    }
+  };
+  return std::visit(Materialize{}, std::move(Input));
+}
+
+const char *seer::matrixInputFormatName(const MatrixInput &Input) {
+  switch (Input.index()) {
+  case 0:
+  case 5:
+    return "csr";
+  case 1:
+    return "coo";
+  case 2:
+    return "ell";
+  case 3:
+    return "mtx";
+  case 4:
+    return "gen";
+  }
+  return "unknown";
+}

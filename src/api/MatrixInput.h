@@ -1,0 +1,81 @@
+//===- api/MatrixInput.h - Format-agnostic matrix ingestion ---------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ingestion side of the serving API: a `MatrixInput` is any of the
+/// forms a client may hold a matrix in — already-built CSR, COO or ELL
+/// storage, a Matrix Market file on disk, or a synthetic-generator spec —
+/// and `materializeMatrixInput` converts it into the canonical CSR the
+/// pipeline operates on. The conversion (and the content fingerprint over
+/// the result) is paid exactly once, at `SeerService::registerMatrix`;
+/// every subsequent handle-based request reuses it.
+///
+/// COO and ELL inputs round-trip through their exact `toCsr()` inverses,
+/// so a matrix registered in any storage format gets the same fingerprint
+/// — and therefore the same cache entry and kernel choice — as its CSR
+/// form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_API_MATRIXINPUT_H
+#define SEER_API_MATRIXINPUT_H
+
+#include "api/Status.h"
+#include "sparse/CooMatrix.h"
+#include "sparse/CsrMatrix.h"
+#include "sparse/EllMatrix.h"
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace seer {
+
+/// A Matrix Market (.mtx) file to load at registration.
+struct MatrixMarketSource {
+  std::string Path;
+};
+
+/// A synthetic-generator invocation: one of the families the trace
+/// protocol's `gen` command accepts ("banded", "powerlaw", "uniform",
+/// "diagonal") with its numeric arguments in protocol order (the last is
+/// always the seed). Arguments are validated — dimension caps, integral
+/// checks — exactly like a protocol line, so a hostile spec cannot
+/// request a multi-gigabyte allocation.
+struct GeneratorSpec {
+  std::string Family;
+  std::vector<double> Args;
+};
+
+/// Any form a client may supply a matrix in. The by-value CsrMatrix
+/// alternative copies (or moves) the arrays into the service; the
+/// shared_ptr alternative registers a large client-held CSR matrix with
+/// zero copying — the service shares ownership instead.
+using MatrixInput =
+    std::variant<CsrMatrix, CooMatrix, EllMatrix, MatrixMarketSource,
+                 GeneratorSpec, std::shared_ptr<const CsrMatrix>>;
+
+/// Builds the matrix a GeneratorSpec describes. INVALID_ARGUMENT on an
+/// unknown family or out-of-range arguments.
+Expected<CsrMatrix> buildGeneratorMatrix(const GeneratorSpec &Spec);
+
+/// Converts \p Input into canonical CSR form: CSR passes through, COO and
+/// ELL convert via their exact inverses, files load from disk (NOT_FOUND /
+/// INVALID_ARGUMENT), generator specs are validated and built. The result
+/// is structurally verified; an invalid COO/ELL input (or a null shared
+/// pointer) is INVALID_ARGUMENT, never undefined behavior. Note: a
+/// shared_ptr input is *copied* here, because the result is by value —
+/// SeerService::registerMatrix adopts the pointer without copying instead.
+Expected<CsrMatrix> materializeMatrixInput(MatrixInput Input);
+
+/// Short name of the alternative \p Input holds ("csr", "coo", "ell",
+/// "mtx", "gen"), for diagnostics and telemetry.
+const char *matrixInputFormatName(const MatrixInput &Input);
+
+} // namespace seer
+
+#endif // SEER_API_MATRIXINPUT_H

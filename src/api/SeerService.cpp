@@ -1,0 +1,193 @@
+//===- api/SeerService.cpp -------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/SeerService.h"
+
+#include "support/ThreadPool.h"
+
+#include <utility>
+
+using namespace seer;
+
+SeerService::SeerService(SeerModels Models, ServiceConfig Config)
+    : Server(std::move(Models), Config.Server),
+      AsyncCapacity(Config.AsyncQueueCapacity) {}
+
+SeerService::~SeerService() { drain(); }
+
+Expected<MatrixHandle> SeerService::registerMatrix(MatrixInput Input) {
+  // A shared_ptr input is adopted, not copied: the client keeps its
+  // matrix, the service shares ownership. Every other form materializes
+  // into a service-owned CSR copy.
+  std::shared_ptr<const CsrMatrix> Csr;
+  if (auto *Shared = std::get_if<std::shared_ptr<const CsrMatrix>>(&Input)) {
+    if (!*Shared)
+      return Status::invalidArgument("null shared matrix pointer");
+    std::string Why;
+    if (!(*Shared)->verify(&Why))
+      return Status::invalidArgument("invalid CSR input: " + Why);
+    Csr = std::move(*Shared);
+  } else {
+    Expected<CsrMatrix> Materialized = materializeMatrixInput(std::move(Input));
+    if (!Materialized)
+      return Materialized.status();
+    Csr = std::make_shared<const CsrMatrix>(std::move(*Materialized));
+  }
+
+  auto NewReg = std::make_shared<Registration>();
+  NewReg->Owner = &Server;
+  NewReg->R = Server.registerMatrix(std::move(Csr));
+
+  MatrixHandle Handle;
+  {
+    std::lock_guard<std::mutex> Lock(HandlesMutex);
+    Handle.Id = NextHandleId++;
+    Handles.emplace(Handle.Id, std::move(NewReg));
+  }
+  return Handle;
+}
+
+Status SeerService::release(MatrixHandle Handle) {
+  std::shared_ptr<Registration> Dropped;
+  {
+    std::lock_guard<std::mutex> Lock(HandlesMutex);
+    const auto It = Handles.find(Handle.Id);
+    if (It == Handles.end())
+      return Status::notFound("unknown or already released matrix handle " +
+                              std::to_string(Handle.Id));
+    // Move the registration out so its destructor (and the cache unpin)
+    // runs outside the session lock — possibly later, if async requests
+    // still share it.
+    Dropped = std::move(It->second);
+    Handles.erase(It);
+  }
+  return Status::okStatus();
+}
+
+Expected<std::shared_ptr<SeerService::Registration>>
+SeerService::resolve(MatrixHandle Handle, const Request &R) const {
+  if (!Handle.valid())
+    return Status::invalidArgument("null matrix handle");
+  std::shared_ptr<Registration> Reg;
+  {
+    std::lock_guard<std::mutex> Lock(HandlesMutex);
+    const auto It = Handles.find(Handle.Id);
+    if (It == Handles.end())
+      return Status::notFound("unknown or released matrix handle " +
+                              std::to_string(Handle.Id));
+    Reg = It->second;
+  }
+  if (R.Iterations == 0)
+    return Status::invalidArgument("iteration count must be >= 1");
+  if (!R.Operand.empty() &&
+      R.Operand.size() != Reg->R.Matrix->numCols())
+    return Status::invalidArgument(
+        "operand has " + std::to_string(R.Operand.size()) +
+        " elements, matrix has " + std::to_string(Reg->R.Matrix->numCols()) +
+        " columns");
+  return Reg;
+}
+
+Expected<ServeResponse> SeerService::serve(const Request &R) {
+  auto Reg = resolve(R.Handle, R);
+  if (!Reg)
+    return Reg.status();
+  ServeOptions Options;
+  Options.Iterations = R.Iterations;
+  Options.Execute = R.Execute;
+  Options.VerifyOracle = R.VerifyOracle;
+  Options.Operand = R.Operand.empty() ? nullptr : &R.Operand;
+  return Server.handleRegistered((*Reg)->R, Options);
+}
+
+Expected<ServeResponse> SeerService::select(MatrixHandle Handle,
+                                            uint32_t Iterations) {
+  Request R;
+  R.Handle = Handle;
+  R.Iterations = Iterations;
+  return serve(R);
+}
+
+Expected<ServeResponse> SeerService::execute(MatrixHandle Handle,
+                                             uint32_t Iterations,
+                                             bool VerifyOracle) {
+  Request R;
+  R.Handle = Handle;
+  R.Iterations = Iterations;
+  R.Execute = true;
+  R.VerifyOracle = VerifyOracle;
+  return serve(R);
+}
+
+Expected<std::future<ServeResponse>> SeerService::submit(Request R) {
+  auto Reg = resolve(R.Handle, R);
+  if (!Reg)
+    return Reg.status();
+
+  // Admission control: bounded in-flight count, rejected (not blocked)
+  // when full so a client-side burst cannot wedge its own threads.
+  {
+    std::lock_guard<std::mutex> Lock(AsyncMutex);
+    if (InFlight >= AsyncCapacity) {
+      AsyncRejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::resourceExhausted(
+          "async queue full (" + std::to_string(AsyncCapacity) +
+          " submissions in flight); back off and resubmit");
+    }
+    ++InFlight;
+  }
+  AsyncAccepted.fetch_add(1, std::memory_order_relaxed);
+
+  // The task owns everything it needs: the registration (so a release()
+  // between admission and execution is harmless) and the request with
+  // its operand. Validation already happened, so the future always
+  // resolves to a response.
+  auto Promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> Future = Promise->get_future();
+  ThreadPool::shared().submit(
+      [this, Promise, Reg = std::move(*Reg), R = std::move(R)]() mutable {
+        ServeOptions Options;
+        Options.Iterations = R.Iterations;
+        Options.Execute = R.Execute;
+        Options.VerifyOracle = R.VerifyOracle;
+        Options.Operand = R.Operand.empty() ? nullptr : &R.Operand;
+        Promise->set_value(Server.handleRegistered(Reg->R, Options));
+        Reg.reset(); // return the pin before signaling idle
+        std::lock_guard<std::mutex> Lock(AsyncMutex);
+        if (--InFlight == 0)
+          AsyncIdle.notify_all();
+      });
+  return Future;
+}
+
+void SeerService::drain() {
+  std::unique_lock<std::mutex> Lock(AsyncMutex);
+  AsyncIdle.wait(Lock, [&] { return InFlight == 0; });
+}
+
+Expected<HandleInfo> SeerService::describe(MatrixHandle Handle) const {
+  Request Empty;
+  auto Reg = resolve(Handle, Empty);
+  if (!Reg)
+    return Reg.status();
+  const RegisteredMatrix &R = (*Reg)->R;
+  HandleInfo Info;
+  Info.Fingerprint = R.Fingerprint;
+  Info.NumRows = R.Matrix->numRows();
+  Info.NumCols = R.Matrix->numCols();
+  Info.Nnz = R.Matrix->nnz();
+  Info.AnalysisReused = R.AnalysisReused;
+  return Info;
+}
+
+ServerStats SeerService::stats() const {
+  ServerStats S = Server.stats();
+  S.AsyncAccepted = AsyncAccepted.load(std::memory_order_relaxed);
+  S.AsyncRejected = AsyncRejected.load(std::memory_order_relaxed);
+  return S;
+}
+
+void SeerService::resetStats() { Server.resetStats(); }

@@ -1,0 +1,213 @@
+//===- api/SeerService.h - Session-based public serving API ---------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public facade of the Seer serving layer (serving API v2). Where
+/// the PR 2 prototype made every request carry a raw `const CsrMatrix *`
+/// that had to outlive the call — and re-fingerprinted the full CSR
+/// arrays each time — a `SeerService` session works in three steps:
+///
+///   1. `registerMatrix(MatrixInput) -> Expected<MatrixHandle>`
+///      Ingests the matrix in whatever form the client holds it (CSR,
+///      COO, ELL, a .mtx file, a generator spec), converts it to
+///      canonical CSR, fingerprints it and runs the single-pass analysis
+///      — each paid exactly once. The backing cache entry is pinned by
+///      refcount: eviction cannot drop it while the handle is live.
+///   2. `serve(Request)` / `select(h)` / `execute(h)` — synchronous
+///      handle-based requests with none of the per-request hashing — or
+///      `submit(Request) -> Expected<std::future<ServeResponse>>`, the
+///      asynchronous path over a bounded admission queue on the
+///      process-wide ThreadPool; a full queue rejects the submission
+///      with RESOURCE_EXHAUSTED (backpressure), never blocks.
+///   3. `release(MatrixHandle)` — ends the handle's lifetime. Requests
+///      already admitted keep their registration alive (shared
+///      ownership), so release() is always safe to call; *new* requests
+///      on a released handle get a typed NOT_FOUND, never a crash.
+///
+/// All failures are reported as `Status` / `Expected<T>` (api/Status.h);
+/// the service never exits the process and never returns a response for
+/// a request it could not validate.
+///
+/// Thread safety: every method may be called concurrently from any
+/// number of client threads, including register/release races on the
+/// same content; the session map is a small mutex-guarded table and all
+/// heavy state sits behind the server's sharded cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_API_SEERSERVICE_H
+#define SEER_API_SEERSERVICE_H
+
+#include "api/MatrixInput.h"
+#include "api/Status.h"
+#include "serve/SeerServer.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace seer {
+
+/// An opaque handle to a registered matrix. Cheap to copy; valid from the
+/// registerMatrix() that issued it until the matching release(). Handle
+/// ids are never reused within a service.
+struct MatrixHandle {
+  uint64_t Id = 0;
+  bool valid() const { return Id != 0; }
+};
+
+/// Construction parameters of a SeerService.
+struct ServiceConfig {
+  /// The wrapped server's configuration (device, cache shards, budget).
+  ServerConfig Server;
+  /// Maximum async submissions in flight (admitted but not yet finished)
+  /// before submit() applies backpressure with RESOURCE_EXHAUSTED.
+  size_t AsyncQueueCapacity = 256;
+};
+
+/// One handle-based request. Owns its operand (unlike the deprecated
+/// pointer API), so an async submission has no lifetime strings attached:
+/// once admitted, the request is self-contained.
+struct Request {
+  MatrixHandle Handle;
+  /// Expected SpMV iteration count (Sec. IV-E break-even axis).
+  uint32_t Iterations = 1;
+  /// Also execute the chosen kernel (preprocess + run) and return Y.
+  bool Execute = false;
+  /// With Execute: verify the selection against the cached oracle.
+  bool VerifyOracle = false;
+  /// SpMV operand; empty means an all-ones vector of the matrix's column
+  /// count. Must otherwise match the column count (INVALID_ARGUMENT).
+  std::vector<double> Operand;
+};
+
+/// Facts about a registered matrix, for tools and telemetry.
+struct HandleInfo {
+  uint64_t Fingerprint = 0;
+  uint32_t NumRows = 0;
+  uint32_t NumCols = 0;
+  uint64_t Nnz = 0;
+  /// True when registration found the analysis already cached.
+  bool AnalysisReused = false;
+};
+
+/// A session-based kernel-selection service over one trained model
+/// triple. See the file comment for the lifecycle.
+class SeerService {
+public:
+  explicit SeerService(SeerModels Models,
+                       ServiceConfig Config = ServiceConfig());
+
+  SeerService(const SeerService &) = delete;
+  SeerService &operator=(const SeerService &) = delete;
+
+  /// Drains in-flight async submissions before tearing anything down, so
+  /// a future obtained from submit() is always safe to wait on.
+  ~SeerService();
+
+  /// Registers a matrix: materializes \p Input (format conversion paid
+  /// here, once), fingerprints it, runs or reuses the single-pass
+  /// analysis, and pins the cache entry. A
+  /// `std::shared_ptr<const CsrMatrix>` input is adopted without copying
+  /// (shared ownership) — use it for large client-held matrices. Errors
+  /// propagate from ingestion: NOT_FOUND for an unreadable file,
+  /// INVALID_ARGUMENT for malformed contents, a bad generator spec, an
+  /// invalid matrix, or a null shared pointer.
+  Expected<MatrixHandle> registerMatrix(MatrixInput Input);
+
+  /// Releases \p Handle. NOT_FOUND if it was never issued or was already
+  /// released. In-flight async requests admitted before this call finish
+  /// normally (they share ownership of the registration).
+  Status release(MatrixHandle Handle);
+
+  /// Serves one handle-based request synchronously. NOT_FOUND for an
+  /// unknown/released handle, INVALID_ARGUMENT for a zero iteration
+  /// count or an operand whose length does not match the matrix.
+  Expected<ServeResponse> serve(const Request &R);
+
+  /// Selection-only convenience over serve().
+  Expected<ServeResponse> select(MatrixHandle Handle,
+                                 uint32_t Iterations = 1);
+
+  /// Select-and-execute convenience over serve() (all-ones operand).
+  Expected<ServeResponse> execute(MatrixHandle Handle,
+                                  uint32_t Iterations = 1,
+                                  bool VerifyOracle = false);
+
+  /// Submits a request for asynchronous execution on the process-wide
+  /// ThreadPool. Validation (handle, iterations, operand) happens here,
+  /// synchronously — an admitted future never fails, it always yields
+  /// the ServeResponse. RESOURCE_EXHAUSTED when AsyncQueueCapacity
+  /// submissions are already in flight: the caller should back off and
+  /// resubmit. The returned future may outlive release() of the handle
+  /// but not the service itself.
+  Expected<std::future<ServeResponse>> submit(Request R);
+
+  /// Blocks until every admitted async submission has completed.
+  void drain();
+
+  /// Facts about a live handle (NOT_FOUND after release).
+  Expected<HandleInfo> describe(MatrixHandle Handle) const;
+
+  /// Telemetry: the wrapped server's snapshot plus the session-layer
+  /// counters (registrations, active handles, async accepted/rejected).
+  ServerStats stats() const;
+
+  /// Zeroes the request telemetry (not the cache, not the session
+  /// gauges). See SeerServer::resetStats().
+  void resetStats();
+
+  const KernelRegistry &registry() const { return Server.registry(); }
+
+  /// The wrapped server. Exposed for the deprecated pointer-based path
+  /// (bit-identity gates replay old traces through it) and for tests;
+  /// new clients should not need it.
+  SeerServer &server() { return Server; }
+
+private:
+  /// One live registration. Async tasks share ownership, so a released
+  /// handle's registration survives until the last admitted request
+  /// finishes; the cache pin is returned exactly once, on destruction.
+  struct Registration {
+    SeerServer *Owner = nullptr;
+    RegisteredMatrix R;
+    ~Registration() {
+      if (Owner)
+        Owner->releaseMatrix(R);
+    }
+  };
+
+  /// Looks up \p Handle (NOT_FOUND when absent) and validates the
+  /// request knobs against it (INVALID_ARGUMENT).
+  Expected<std::shared_ptr<Registration>> resolve(MatrixHandle Handle,
+                                                  const Request &R) const;
+
+  /// Declaration order is load-bearing: Handles (and the Registrations
+  /// it owns) must be destroyed before Server, whose cache their
+  /// destructors unpin — and the destructor drains async work first.
+  SeerServer Server;
+
+  mutable std::mutex HandlesMutex;
+  std::unordered_map<uint64_t, std::shared_ptr<Registration>> Handles;
+  uint64_t NextHandleId = 1;
+
+  /// Async admission accounting. InFlight is guarded by AsyncMutex so
+  /// drain() can wait on it without missed wakeups.
+  const size_t AsyncCapacity;
+  mutable std::mutex AsyncMutex;
+  std::condition_variable AsyncIdle;
+  size_t InFlight = 0;
+  std::atomic<uint64_t> AsyncAccepted{0};
+  std::atomic<uint64_t> AsyncRejected{0};
+};
+
+} // namespace seer
+
+#endif // SEER_API_SEERSERVICE_H

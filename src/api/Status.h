@@ -1,0 +1,172 @@
+//===- api/Status.h - Error model of the public Seer API ------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error model of the public serving API: a small `Status` (code +
+/// human-readable message) and an `Expected<T>` that carries either a
+/// value or the Status explaining its absence.
+///
+/// Library-facing entry points return `Status` / `Expected<T>` instead of
+/// the bool / std::optional / out-parameter mix the prototype used, and
+/// never call std::exit: a long-running service must be able to reject one
+/// bad request (unknown handle, malformed file, full queue) and keep
+/// serving the rest. Process exit is a policy decision that belongs to
+/// each tool's main().
+///
+/// The code vocabulary follows the familiar canonical set (OK,
+/// INVALID_ARGUMENT, NOT_FOUND, ...) so callers can branch on the class of
+/// failure — retry on RESOURCE_EXHAUSTED, fix the request on
+/// INVALID_ARGUMENT — without parsing message text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_API_STATUS_H
+#define SEER_API_STATUS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace seer {
+
+/// Canonical failure classes of the public API.
+enum class StatusCode : int {
+  Ok = 0,
+  /// The request itself is malformed (bad flag, zero iterations, operand
+  /// length mismatch, unparseable file contents).
+  InvalidArgument,
+  /// The named thing does not exist (file, model bundle member, matrix
+  /// handle that was never issued or has been released).
+  NotFound,
+  /// The operation conflicts with current state (duplicate name, handle
+  /// registered twice where that is not allowed).
+  AlreadyExists,
+  /// The operation is valid but the object is in the wrong state for it
+  /// (e.g. a trace command outside its section).
+  FailedPrecondition,
+  /// A bounded resource is full; retrying later may succeed (async
+  /// admission queue backpressure).
+  ResourceExhausted,
+  /// Environment-level failure outside the request's control (I/O error
+  /// writing a file).
+  Unavailable,
+  /// A bug: an invariant the library promised to hold did not.
+  Internal,
+};
+
+/// Stable upper-case name of \p Code (e.g. "INVALID_ARGUMENT"), used by
+/// the protocol's error lines and diagnostics.
+inline const char *statusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "OK";
+  case StatusCode::InvalidArgument:
+    return "INVALID_ARGUMENT";
+  case StatusCode::NotFound:
+    return "NOT_FOUND";
+  case StatusCode::AlreadyExists:
+    return "ALREADY_EXISTS";
+  case StatusCode::FailedPrecondition:
+    return "FAILED_PRECONDITION";
+  case StatusCode::ResourceExhausted:
+    return "RESOURCE_EXHAUSTED";
+  case StatusCode::Unavailable:
+    return "UNAVAILABLE";
+  case StatusCode::Internal:
+    return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// An operation outcome: OK, or a failure code plus a message meant for
+/// humans (logs, protocol error lines), not for branching.
+class Status {
+public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode Code, std::string Message)
+      : Code(Code), Message(std::move(Message)) {}
+
+  static Status okStatus() { return Status(); }
+  static Status invalidArgument(std::string Message) {
+    return Status(StatusCode::InvalidArgument, std::move(Message));
+  }
+  static Status notFound(std::string Message) {
+    return Status(StatusCode::NotFound, std::move(Message));
+  }
+  static Status alreadyExists(std::string Message) {
+    return Status(StatusCode::AlreadyExists, std::move(Message));
+  }
+  static Status failedPrecondition(std::string Message) {
+    return Status(StatusCode::FailedPrecondition, std::move(Message));
+  }
+  static Status resourceExhausted(std::string Message) {
+    return Status(StatusCode::ResourceExhausted, std::move(Message));
+  }
+  static Status unavailable(std::string Message) {
+    return Status(StatusCode::Unavailable, std::move(Message));
+  }
+  static Status internal(std::string Message) {
+    return Status(StatusCode::Internal, std::move(Message));
+  }
+
+  bool ok() const { return Code == StatusCode::Ok; }
+  StatusCode code() const { return Code; }
+  const std::string &message() const { return Message; }
+
+  /// `CODE: message` (or just `OK`), for diagnostics.
+  std::string toString() const {
+    if (ok())
+      return "OK";
+    return std::string(statusCodeName(Code)) + ": " + Message;
+  }
+
+private:
+  StatusCode Code = StatusCode::Ok;
+  std::string Message;
+};
+
+/// Either a value of type \p T or the Status explaining why there is none.
+/// The Status alternative is never OK (asserted): an OK Expected holds a
+/// value by definition.
+template <typename T> class Expected {
+public:
+  /// Implicit from a value — `return SomeT;` just works.
+  Expected(T Value) : Storage(std::in_place_index<1>, std::move(Value)) {}
+  /// Implicit from a non-OK Status — `return Status::notFound(...);`.
+  Expected(Status Error) : Storage(std::in_place_index<0>, std::move(Error)) {
+    assert(!std::get<0>(Storage).ok() &&
+           "Expected constructed from an OK status");
+  }
+
+  bool ok() const { return Storage.index() == 1; }
+  explicit operator bool() const { return ok(); }
+
+  /// The failure; OK when a value is held (so callers can log
+  /// `E.status()` unconditionally).
+  Status status() const { return ok() ? Status() : std::get<0>(Storage); }
+
+  T &value() {
+    assert(ok() && "value() on a failed Expected");
+    return std::get<1>(Storage);
+  }
+  const T &value() const {
+    assert(ok() && "value() on a failed Expected");
+    return std::get<1>(Storage);
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+private:
+  std::variant<Status, T> Storage;
+};
+
+} // namespace seer
+
+#endif // SEER_API_STATUS_H

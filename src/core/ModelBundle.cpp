@@ -15,16 +15,9 @@ std::vector<std::string> seer::modelBundleFileNames() {
   return {"seer_known.tree", "seer_gathered.tree", "seer_selector.tree"};
 }
 
-std::optional<SeerModels>
+Expected<SeerModels>
 seer::loadModelBundle(const std::string &Directory,
-                      std::vector<std::string> KernelNames,
-                      std::string *ErrorMessage) {
-  const auto Fail = [&](const std::string &Message) -> std::optional<SeerModels> {
-    if (ErrorMessage)
-      *ErrorMessage = Message;
-    return std::nullopt;
-  };
-
+                      std::vector<std::string> KernelNames) {
   SeerModels Models;
   DecisionTree *const Trees[] = {&Models.Known, &Models.Gathered,
                                  &Models.Selector};
@@ -33,37 +26,54 @@ seer::loadModelBundle(const std::string &Directory,
     const std::string Path = Directory + "/" + Names[I];
     std::ifstream Stream(Path);
     if (!Stream)
-      return Fail("cannot open model file '" + Path + "'");
+      return Status::notFound("cannot open model file '" + Path + "'");
     std::ostringstream Buffer;
     Buffer << Stream.rdbuf();
     std::string ParseError;
     if (!DecisionTree::parse(Buffer.str(), *Trees[I], &ParseError))
-      return Fail("malformed model '" + Path + "': " + ParseError);
+      return Status::invalidArgument("malformed model '" + Path +
+                                     "': " + ParseError);
   }
   Models.KernelNames = std::move(KernelNames);
   return Models;
 }
 
-bool seer::storeModelBundle(const SeerModels &Models,
-                            const std::string &Directory,
-                            std::string *ErrorMessage) {
+std::optional<SeerModels>
+seer::loadModelBundle(const std::string &Directory,
+                      std::vector<std::string> KernelNames,
+                      std::string *ErrorMessage) {
+  auto Models = loadModelBundle(Directory, std::move(KernelNames));
+  if (Models)
+    return std::move(*Models);
+  if (ErrorMessage)
+    *ErrorMessage = Models.status().message();
+  return std::nullopt;
+}
+
+Status seer::storeModelBundle(const SeerModels &Models,
+                              const std::string &Directory) {
   const DecisionTree *const Trees[] = {&Models.Known, &Models.Gathered,
                                        &Models.Selector};
   const std::vector<std::string> Names = modelBundleFileNames();
   for (size_t I = 0; I < Names.size(); ++I) {
     const std::string Path = Directory + "/" + Names[I];
     std::ofstream Stream(Path);
-    if (!Stream) {
-      if (ErrorMessage)
-        *ErrorMessage = "cannot write model file '" + Path + "'";
-      return false;
-    }
+    if (!Stream)
+      return Status::unavailable("cannot write model file '" + Path + "'");
     Stream << Trees[I]->serialize();
-    if (!Stream) {
-      if (ErrorMessage)
-        *ErrorMessage = "short write to model file '" + Path + "'";
-      return false;
-    }
+    if (!Stream)
+      return Status::unavailable("short write to model file '" + Path + "'");
   }
-  return true;
+  return Status::okStatus();
+}
+
+bool seer::storeModelBundle(const SeerModels &Models,
+                            const std::string &Directory,
+                            std::string *ErrorMessage) {
+  const Status S = storeModelBundle(Models, Directory);
+  if (S.ok())
+    return true;
+  if (ErrorMessage)
+    *ErrorMessage = S.message();
+  return false;
 }

@@ -17,6 +17,7 @@
 #ifndef SEER_CORE_MODELBUNDLE_H
 #define SEER_CORE_MODELBUNDLE_H
 
+#include "api/Status.h"
 #include "core/SeerTrainer.h"
 
 #include <optional>
@@ -30,14 +31,24 @@ std::vector<std::string> modelBundleFileNames();
 
 /// Loads the `.tree` triple from \p Directory. \p KernelNames becomes the
 /// label vocabulary of the returned models and must match the registry the
-/// models were trained for (SeerRuntime asserts this). \returns
-/// std::nullopt and fills \p ErrorMessage on a missing or malformed file.
+/// models were trained for (SeerRuntime asserts this). NOT_FOUND on a
+/// missing file, INVALID_ARGUMENT on a malformed one.
+Expected<SeerModels> loadModelBundle(const std::string &Directory,
+                                     std::vector<std::string> KernelNames);
+
+/// Writes the `.tree` triple into \p Directory (which must exist).
+/// UNAVAILABLE on I/O failure.
+Status storeModelBundle(const SeerModels &Models,
+                        const std::string &Directory);
+
+/// \deprecated Pre-Status form of loadModelBundle: \returns std::nullopt
+/// and fills \p ErrorMessage on failure. Prefer the Expected overload.
 std::optional<SeerModels> loadModelBundle(const std::string &Directory,
                                           std::vector<std::string> KernelNames,
                                           std::string *ErrorMessage);
 
-/// Writes the `.tree` triple into \p Directory (which must exist).
-/// \returns false and fills \p ErrorMessage on I/O failure.
+/// \deprecated Pre-Status form of storeModelBundle: \returns false and
+/// fills \p ErrorMessage on I/O failure. Prefer the Status overload.
 bool storeModelBundle(const SeerModels &Models, const std::string &Directory,
                       std::string *ErrorMessage);
 

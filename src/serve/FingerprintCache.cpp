@@ -87,15 +87,28 @@ FingerprintCache::FingerprintCache(size_t NumShards, size_t BudgetBytes)
     ShardBudget = 1;
 }
 
+namespace {
+
+/// Adds one pin to \p E. Caller holds the owning shard's lock; bumps the
+/// shard's pinned-entry gauge on the 0 -> 1 transition.
+void pinLocked(FingerprintCache::Entry &E, size_t &PinnedCount) {
+  if (E.Pins.fetch_add(1, std::memory_order_relaxed) == 0)
+    ++PinnedCount;
+}
+
+} // namespace
+
 std::pair<std::shared_ptr<FingerprintCache::Entry>, bool>
 FingerprintCache::lookupOrAnalyze(uint64_t Fingerprint, const CsrMatrix &M,
-                                  size_t NumKernels) {
+                                  size_t NumKernels, bool Pin) {
   Shard &S = shardFor(Fingerprint);
   {
     std::lock_guard<std::mutex> Lock(S.Mutex);
     const auto It = S.Index.find(Fingerprint);
     if (It != S.Index.end()) {
       touch(S, It->second);
+      if (Pin)
+        pinLocked(*It->second->E, S.PinnedCount);
       return {It->second->E, true};
     }
   }
@@ -115,16 +128,40 @@ FingerprintCache::lookupOrAnalyze(uint64_t Fingerprint, const CsrMatrix &M,
     // analysis is deterministic), so adopt it. This request still did the
     // work itself: report a miss.
     touch(S, It->second);
+    if (Pin)
+      pinLocked(*It->second->E, S.PinnedCount);
     return {It->second->E, false};
   }
   if (!S.EvictedFingerprints.empty() &&
       S.EvictedFingerprints[evictedSlot(Fingerprint)] == Fingerprint)
     ++S.Reanalyses;
+  if (Pin)
+    pinLocked(*Fresh, S.PinnedCount); // before policing, so it survives it
   S.Probation.push_front(Node{Fresh, FreshBytes, /*InProtected=*/false});
   S.Index.emplace(Fingerprint, S.Probation.begin());
   S.UsedBytes += FreshBytes;
   enforceBudget(S, /*AlreadyLocked=*/nullptr);
   return {std::move(Fresh), false};
+}
+
+void FingerprintCache::unpin(const std::shared_ptr<Entry> &E) {
+  assert(E && "unpin without an entry");
+  Shard &S = shardFor(E->Fingerprint);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  assert(E->Pins.load(std::memory_order_relaxed) > 0 && "unbalanced unpin");
+  if (E->Pins.fetch_sub(1, std::memory_order_relaxed) != 1)
+    return;
+  // Last pin gone. The gauge only tracks *resident* pinned entries; an
+  // entry can outlive its residency through the handle's shared_ptr after
+  // a racing re-registration replaced it, in which case it was already
+  // uncounted.
+  const auto It = S.Index.find(E->Fingerprint);
+  if (It == S.Index.end() || It->second->E != E)
+    return;
+  --S.PinnedCount;
+  // The entry is evictable again; an over-budget shard (pinned bytes can
+  // exceed the slice) is re-policed right away.
+  enforceBudget(S, /*AlreadyLocked=*/nullptr);
 }
 
 void FingerprintCache::noteMutation(const std::shared_ptr<Entry> &E) {
@@ -207,26 +244,36 @@ void FingerprintCache::enforceBudget(Shard &S, Entry *AlreadyLocked) {
   }
 
   // Stage 2: drop whole entries, probation tail first, protected tail
-  // last. Removal needs no entry lock — in-flight holders keep the entry
-  // alive through their shared_ptr; it just stops being findable, and its
-  // next visit re-analyzes (and re-charges preprocessing) for the new
-  // residency.
-  while (S.UsedBytes > ShardBudget) {
-    std::list<Node> &From = S.Probation.empty() ? S.Protected : S.Probation;
-    if (From.empty())
-      break; // nothing resident; a lone oversized entry was never kept
-    const auto Victim = std::prev(From.end());
-    S.UsedBytes -= Victim->AccountedBytes;
-    if (Victim->InProtected)
-      S.ProtectedBytes -= Victim->AccountedBytes;
-    S.BytesEvicted += Victim->AccountedBytes;
-    ++S.Evictions;
-    if (S.EvictedFingerprints.empty())
-      S.EvictedFingerprints.resize(EvictedTableSlots, 0);
-    S.EvictedFingerprints[evictedSlot(Victim->E->Fingerprint)] =
-        Victim->E->Fingerprint;
-    S.Index.erase(Victim->E->Fingerprint);
-    From.erase(Victim);
+  // last. Entries pinned by live registration handles are skipped — the
+  // session layer promised their analysis stays resident — so a shard
+  // whose remaining bytes are all pinned stays over budget until handles
+  // are released. Removal needs no entry lock — in-flight holders keep
+  // the entry alive through their shared_ptr; it just stops being
+  // findable, and its next visit re-analyzes (and re-charges
+  // preprocessing) for the new residency.
+  // One reverse walk per list: evicting mid-walk keeps the position, so
+  // a run of cold pinned entries at the tail is skipped once, not
+  // re-scanned per victim.
+  for (auto *List : {&S.Probation, &S.Protected}) {
+    auto It = List->end();
+    while (S.UsedBytes > ShardBudget && It != List->begin()) {
+      --It;
+      if (It->E->Pins.load(std::memory_order_relaxed) > 0)
+        continue; // pinned by a live registration; never whole-evicted
+      S.UsedBytes -= It->AccountedBytes;
+      if (It->InProtected)
+        S.ProtectedBytes -= It->AccountedBytes;
+      S.BytesEvicted += It->AccountedBytes;
+      ++S.Evictions;
+      if (S.EvictedFingerprints.empty())
+        S.EvictedFingerprints.resize(EvictedTableSlots, 0);
+      S.EvictedFingerprints[evictedSlot(It->E->Fingerprint)] =
+          It->E->Fingerprint;
+      S.Index.erase(It->E->Fingerprint);
+      It = List->erase(It); // resumes just tailward of the victim
+    }
+    if (S.UsedBytes <= ShardBudget)
+      return;
   }
 }
 
@@ -240,6 +287,7 @@ FingerprintCache::Stats FingerprintCache::stats() const {
     Total.PartialEvictions += S.PartialEvictions;
     Total.BytesEvicted += S.BytesEvicted;
     Total.Reanalyses += S.Reanalyses;
+    Total.PinnedEntries += S.PinnedCount;
   }
   return Total;
 }

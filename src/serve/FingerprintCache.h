@@ -45,6 +45,12 @@
 /// evicted matrix returns, its deterministic analysis is recomputed
 /// bit-identically and its preprocessing is charged afresh.
 ///
+/// Entries backing live registration handles (serving API v2) are
+/// *pinned*: whole-entry eviction skips them, so the analysis a handle
+/// paid for at registration can never silently disappear underneath it.
+/// Pinned bytes still count against the budget; only their recomputable
+/// parts may be shed under pressure.
+///
 /// The map is sharded by fingerprint; each shard has its own mutex, and
 /// per-entry lazy fields are guarded by a per-entry mutex. Expensive work
 /// (analysis, preprocessing, oracle sweeps) always runs *outside* the
@@ -68,6 +74,7 @@
 #include "kernels/SpmvKernel.h"
 #include "sparse/MatrixStats.h"
 
+#include <atomic>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -112,6 +119,11 @@ public:
     /// empty until the first VerifyOracle request. Guarded by Mutex.
     std::vector<KernelMeasurement> Oracle;
     std::mutex Mutex;
+    /// Live registration handles pinning this entry (see pin()/unpin()).
+    /// While nonzero, whole-entry eviction skips the entry; shedding its
+    /// recomputable bytes remains allowed. Mutated only under the owning
+    /// shard's lock; atomic so the eviction scan can read it lock-free.
+    std::atomic<uint32_t> Pins{0};
   };
 
   /// Residency counters, all monotone except the byte/entry gauges.
@@ -131,6 +143,8 @@ public:
     /// overcounts; may undercount under extreme churn because the
     /// evicted-fingerprint table is bounded (see Shard).
     uint64_t Reanalyses = 0;
+    /// Resident entries currently pinned by live registrations.
+    uint64_t PinnedEntries = 0;
   };
 
   /// \p BudgetBytes caps the accounted resident bytes (0 = unbounded, the
@@ -147,8 +161,22 @@ public:
   /// a budget the returned entry may already have been evicted again (it
   /// is larger than the shard slice, or the shard is churning); the
   /// caller's shared_ptr keeps it alive for the request either way.
+  /// With \p Pin, the returned entry is additionally pinned (see unpin()):
+  /// the session layer registers a matrix handle this way, and a pinned
+  /// entry is never whole-entry evicted, so the analysis a live handle
+  /// relies on survives budget pressure. Pinned bytes still count against
+  /// the budget — a working set of pinned entries larger than the budget
+  /// keeps the shard over it until handles are released; only the
+  /// recomputable bytes (oracle sweeps, unpaid kernel states) of pinned
+  /// entries can be shed meanwhile.
   std::pair<std::shared_ptr<Entry>, bool>
-  lookupOrAnalyze(uint64_t Fingerprint, const CsrMatrix &M, size_t NumKernels);
+  lookupOrAnalyze(uint64_t Fingerprint, const CsrMatrix &M, size_t NumKernels,
+                  bool Pin = false);
+
+  /// Releases one pin on \p E (registration handle closed). When the last
+  /// pin drops, the entry becomes an ordinary eviction candidate again and
+  /// an over-budget shard is re-policed immediately.
+  void unpin(const std::shared_ptr<Entry> &E);
 
   /// Re-accounts \p E after the caller grew or shrank it (filled a ledger
   /// slot, stashed oracle data) and evicts if the shard is over budget.
@@ -193,6 +221,9 @@ private:
     uint64_t PartialEvictions = 0;
     uint64_t BytesEvicted = 0;
     uint64_t Reanalyses = 0;
+    /// Resident entries with Pins > 0, maintained on the 0 <-> 1 pin
+    /// transitions so stats() stays O(1) per shard.
+    size_t PinnedCount = 0;
   };
 
   Shard &shardFor(uint64_t Fingerprint) {

@@ -6,13 +6,13 @@
 
 #include "serve/RequestTrace.h"
 
+#include "api/MatrixInput.h"
 #include "kernels/KernelRegistry.h"
-#include "sparse/Generators.h"
 #include "sparse/MatrixMarket.h"
 #include "support/StringUtils.h"
 
+#include <cassert>
 #include <cinttypes>
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -20,12 +20,6 @@
 using namespace seer;
 
 namespace {
-
-bool fail(std::string *ErrorMessage, const std::string &Message) {
-  if (ErrorMessage)
-    *ErrorMessage = Message;
-  return false;
-}
 
 /// Splits a line into whitespace-separated tokens, dropping `#` comments.
 std::vector<std::string> tokenize(const std::string &Line) {
@@ -40,178 +34,108 @@ std::vector<std::string> tokenize(const std::string &Line) {
   return Tokens;
 }
 
-bool parseIterations(const std::string &Token, uint32_t &Out,
-                     std::string *ErrorMessage) {
+Status parseIterations(const std::string &Token, uint32_t &Out) {
   int64_t Value = 0;
   if (!parseInt(Token, Value) || Value < 1)
-    return fail(ErrorMessage, "bad iteration count '" + Token + "'");
+    return Status::invalidArgument("bad iteration count '" + Token + "'");
   Out = static_cast<uint32_t>(Value);
-  return true;
+  return Status::okStatus();
 }
 
 } // namespace
 
-bool seer::parseTraceLine(const std::string &Line, TraceCommand &Out,
-                          std::string *ErrorMessage) {
+Status seer::parseTraceLine(const std::string &Line, TraceCommand &Out) {
+  const auto Fail = [](const std::string &Message) {
+    return Status::invalidArgument(Message);
+  };
   Out = TraceCommand();
   const std::vector<std::string> Tokens = tokenize(Line);
   if (Tokens.empty())
-    return true; // blank or comment
+    return Status::okStatus(); // blank or comment
 
   const std::string &Verb = Tokens[0];
+  if (Verb == "seer-trace") {
+    if (Tokens.size() != 2 || Tokens[1] != "v2")
+      return Fail("unsupported trace version (only 'seer-trace v2')");
+    Out.Command = TraceCommand::Kind::Version;
+    Out.Version = 2;
+    return Status::okStatus();
+  }
+
   if (Verb == "stats" || Verb == "quit") {
     if (Tokens.size() != 1)
-      return fail(ErrorMessage, "'" + Verb + "' takes no arguments");
+      return Fail("'" + Verb + "' takes no arguments");
     Out.Command = Verb == "stats" ? TraceCommand::Kind::Stats
                                   : TraceCommand::Kind::Quit;
-    return true;
+    return Status::okStatus();
   }
 
   if (Verb == "load") {
     if (Tokens.size() != 3)
-      return fail(ErrorMessage, "usage: load NAME PATH");
+      return Fail("usage: load NAME PATH");
     Out.Command = TraceCommand::Kind::Load;
     Out.Name = Tokens[1];
     Out.Path = Tokens[2];
-    return true;
+    return Status::okStatus();
   }
 
   if (Verb == "gen") {
     if (Tokens.size() < 3)
-      return fail(ErrorMessage, "usage: gen NAME FAMILY ARGS...");
+      return Fail("usage: gen NAME FAMILY ARGS...");
     Out.Command = TraceCommand::Kind::Gen;
     Out.Name = Tokens[1];
     Out.GenFamily = Tokens[2];
     for (size_t I = 3; I < Tokens.size(); ++I) {
       double Value = 0.0;
       if (!parseDouble(Tokens[I], Value))
-        return fail(ErrorMessage,
-                    "bad gen argument '" + Tokens[I] + "'");
+        return Fail("bad gen argument '" + Tokens[I] + "'");
       Out.GenArgs.push_back(Value);
     }
-    return true;
+    return Status::okStatus();
+  }
+
+  if (Verb == "open" || Verb == "close") {
+    if (Tokens.size() != 2)
+      return Fail("usage: " + Verb + " NAME");
+    Out.Command = Verb == "open" ? TraceCommand::Kind::Open
+                                 : TraceCommand::Kind::Close;
+    Out.Name = Tokens[1];
+    return Status::okStatus();
   }
 
   if (Verb == "select" || Verb == "execute") {
     if (Tokens.size() < 2)
-      return fail(ErrorMessage, "usage: " + Verb + " NAME [ITERATIONS]");
+      return Fail("usage: " + Verb + " NAME [ITERATIONS]");
     Out.Command = Verb == "select" ? TraceCommand::Kind::Select
                                    : TraceCommand::Kind::Execute;
     Out.Name = Tokens[1];
     size_t Next = 2;
     if (Next < Tokens.size() && Tokens[Next] != "verify") {
-      if (!parseIterations(Tokens[Next], Out.Iterations, ErrorMessage))
-        return false;
+      if (const Status S = parseIterations(Tokens[Next], Out.Iterations);
+          !S.ok())
+        return S;
       ++Next;
     }
     if (Next < Tokens.size()) {
       if (Tokens[Next] != "verify" || Out.Command != TraceCommand::Kind::Execute)
-        return fail(ErrorMessage, "unexpected token '" + Tokens[Next] + "'");
+        return Fail("unexpected token '" + Tokens[Next] + "'");
       Out.Verify = true;
       ++Next;
     }
     if (Next != Tokens.size())
-      return fail(ErrorMessage, "trailing tokens after '" + Verb + "'");
-    return true;
+      return Fail("trailing tokens after '" + Verb + "'");
+    return Status::okStatus();
   }
 
-  return fail(ErrorMessage, "unknown command '" + Verb + "'");
+  return Fail("unknown command '" + Verb + "'");
 }
 
-namespace {
-
-/// Largest matrix dimension the protocol will generate: the server is
-/// long-running, so one malformed or hostile `gen` line must not be able
-/// to request a multi-gigabyte allocation.
-constexpr double MaxGenDimension = 1 << 24;
-
-/// Converts a protocol argument to an integral value in [Min, Max];
-/// rejects non-integral, out-of-range and NaN inputs (casting those would
-/// be undefined behavior).
-bool genIntArg(double Value, double Min, double Max, uint64_t &Out) {
-  if (!(Value >= Min && Value <= Max) || Value != std::floor(Value))
-    return false;
-  Out = static_cast<uint64_t>(Value);
-  return true;
-}
-
-} // namespace
-
-std::optional<CsrMatrix> seer::buildTraceMatrix(const TraceCommand &Command,
-                                                std::string *ErrorMessage) {
-  const auto Fail = [&](const std::string &Message) -> std::optional<CsrMatrix> {
-    if (ErrorMessage)
-      *ErrorMessage = Message;
-    return std::nullopt;
-  };
-  const std::vector<double> &A = Command.GenArgs;
-  for (double Value : A)
-    if (!std::isfinite(Value))
-      return Fail("gen arguments must be finite");
-
-  // Validates the dimension-like arguments at Positions (rows, cols,
-  // band, row lengths) and the trailing seed before any cast — casting a
-  // negative or out-of-range double is undefined behavior, and a
-  // long-running server must not allocate gigabytes off one bad line.
-  // Real-valued arguments (fill, exponent, jitter) pass through as-is.
-  std::vector<uint64_t> Dims;
-  uint64_t Seed = 0;
-  std::string Why;
-  const auto ArgsOk = [&](std::initializer_list<size_t> Positions) {
-    for (size_t Position : Positions) {
-      // The first listed position is always ROWS, which must be positive;
-      // later ones (half-band, min row length) may be 0.
-      const double Min = Dims.empty() ? 1 : 0;
-      uint64_t Value = 0;
-      if (!genIntArg(A[Position], Min, MaxGenDimension, Value)) {
-        Why = "argument " + std::to_string(Position + 1) +
-              " must be an integer in [" + std::to_string(int(Min)) +
-              ", 2^24]";
-        return false;
-      }
-      Dims.push_back(Value);
-    }
-    if (!genIntArg(A.back(), 0, /*2^53*/ 9007199254740992.0, Seed)) {
-      Why = "seed must be a non-negative integer";
-      return false;
-    }
-    return true;
-  };
-
-  if (Command.GenFamily == "banded") {
-    if (A.size() != 4)
-      return Fail("gen banded needs ROWS HALFBAND FILL SEED");
-    if (!ArgsOk({0, 1}))
-      return Fail("gen banded: " + Why);
-    return genBanded(static_cast<uint32_t>(Dims[0]),
-                     static_cast<uint32_t>(Dims[1]), A[2], Seed);
-  }
-  if (Command.GenFamily == "powerlaw") {
-    if (A.size() != 5)
-      return Fail("gen powerlaw needs ROWS EXPONENT MINROW MAXROW SEED");
-    if (!ArgsOk({0, 2, 3}))
-      return Fail("gen powerlaw: " + Why);
-    return genPowerLaw(static_cast<uint32_t>(Dims[0]),
-                       static_cast<uint32_t>(Dims[0]), A[1],
-                       static_cast<uint32_t>(Dims[1]),
-                       static_cast<uint32_t>(Dims[2]), Seed);
-  }
-  if (Command.GenFamily == "uniform") {
-    if (A.size() != 5)
-      return Fail("gen uniform needs ROWS COLS MEANROW JITTER SEED");
-    if (!ArgsOk({0, 1}))
-      return Fail("gen uniform: " + Why);
-    return genUniformRandom(static_cast<uint32_t>(Dims[0]),
-                            static_cast<uint32_t>(Dims[1]), A[2], A[3], Seed);
-  }
-  if (Command.GenFamily == "diagonal") {
-    if (A.size() != 2)
-      return Fail("gen diagonal needs ROWS SEED");
-    if (!ArgsOk({0}))
-      return Fail("gen diagonal: " + Why);
-    return genDiagonal(static_cast<uint32_t>(Dims[0]), Seed);
-  }
-  return Fail("unknown generator family '" + Command.GenFamily + "'");
+Expected<CsrMatrix> seer::buildTraceMatrix(const TraceCommand &Command) {
+  // The gen validation (dimension caps, integral checks, seed range) is
+  // shared with the registration API: a protocol line and a GeneratorSpec
+  // are the same thing.
+  return buildGeneratorMatrix(GeneratorSpec{Command.GenFamily,
+                                            Command.GenArgs});
 }
 
 size_t TraceScript::matrixIndex(const std::string &Name) const {
@@ -221,25 +145,31 @@ size_t TraceScript::matrixIndex(const std::string &Name) const {
   return npos;
 }
 
-std::optional<TraceScript> seer::parseTrace(const std::string &Text,
-                                            std::string *ErrorMessage) {
-  const auto Fail =
-      [&](size_t LineNo, const std::string &Message) -> std::optional<TraceScript> {
-    if (ErrorMessage)
-      *ErrorMessage = "trace line " + std::to_string(LineNo) + ": " + Message;
-    return std::nullopt;
+Expected<TraceScript> seer::parseTrace(const std::string &Text) {
+  const auto Fail = [](size_t LineNo, const std::string &Message) {
+    return Status::invalidArgument("trace line " + std::to_string(LineNo) +
+                                   ": " + Message);
   };
 
   TraceScript Script;
+  bool SawCommand = false;
   const std::vector<std::string> Lines = splitString(Text, '\n');
   for (size_t LineNo = 1; LineNo <= Lines.size(); ++LineNo) {
     TraceCommand Command;
-    std::string Error;
-    if (!parseTraceLine(Lines[LineNo - 1], Command, &Error))
-      return Fail(LineNo, Error);
+    if (const Status S = parseTraceLine(Lines[LineNo - 1], Command); !S.ok())
+      return Fail(LineNo, S.message());
+
+    const auto RequireDefined = [&]() -> size_t {
+      return Script.matrixIndex(Command.Name);
+    };
 
     switch (Command.Command) {
     case TraceCommand::Kind::Blank:
+      continue;
+    case TraceCommand::Kind::Version:
+      if (SawCommand)
+        return Fail(LineNo, "'seer-trace v2' must be the first command");
+      Script.Version = Command.Version;
       break;
     case TraceCommand::Kind::Stats:
     case TraceCommand::Kind::Quit:
@@ -247,51 +177,118 @@ std::optional<TraceScript> seer::parseTrace(const std::string &Text,
     case TraceCommand::Kind::Load: {
       if (Script.matrixIndex(Command.Name) != TraceScript::npos)
         return Fail(LineNo, "duplicate matrix name '" + Command.Name + "'");
-      auto M = readMatrixMarketFile(Command.Path, &Error);
+      auto M = readMatrixMarketFile(Command.Path);
       if (!M)
-        return Fail(LineNo, Error);
+        return Fail(LineNo, M.status().message());
       Script.Matrices.emplace_back(Command.Name, std::move(*M));
       break;
     }
     case TraceCommand::Kind::Gen: {
       if (Script.matrixIndex(Command.Name) != TraceScript::npos)
         return Fail(LineNo, "duplicate matrix name '" + Command.Name + "'");
-      auto M = buildTraceMatrix(Command, &Error);
+      auto M = buildTraceMatrix(Command);
       if (!M)
-        return Fail(LineNo, Error);
+        return Fail(LineNo, M.status().message());
       Script.Matrices.emplace_back(Command.Name, std::move(*M));
+      break;
+    }
+    case TraceCommand::Kind::Open:
+    case TraceCommand::Kind::Close: {
+      if (Script.Version < 2)
+        return Fail(LineNo, "'" +
+                                std::string(Command.Command ==
+                                                    TraceCommand::Kind::Open
+                                                ? "open"
+                                                : "close") +
+                                "' requires a 'seer-trace v2' header");
+      const size_t Index = RequireDefined();
+      if (Index == TraceScript::npos)
+        return Fail(LineNo, "unknown matrix '" + Command.Name + "'");
+      TraceScript::Op Op;
+      Op.Command = Command.Command == TraceCommand::Kind::Open
+                       ? TraceScript::Op::Kind::Open
+                       : TraceScript::Op::Kind::Close;
+      Op.MatrixIndex = Index;
+      Script.Ops.push_back(Op);
       break;
     }
     case TraceCommand::Kind::Select:
     case TraceCommand::Kind::Execute: {
-      const size_t Index = Script.matrixIndex(Command.Name);
+      const size_t Index = RequireDefined();
       if (Index == TraceScript::npos)
         return Fail(LineNo, "unknown matrix '" + Command.Name + "'");
-      TraceScript::Request Request;
-      Request.MatrixIndex = Index;
-      Request.Iterations = Command.Iterations;
-      Request.Execute = Command.Command == TraceCommand::Kind::Execute;
-      Request.Verify = Command.Verify;
-      Script.Requests.push_back(Request);
+      TraceScript::Op Op;
+      Op.Command = Command.Command == TraceCommand::Kind::Select
+                       ? TraceScript::Op::Kind::Select
+                       : TraceScript::Op::Kind::Execute;
+      Op.MatrixIndex = Index;
+      Op.Iterations = Command.Iterations;
+      Op.Verify = Command.Verify;
+      Script.Ops.push_back(Op);
       break;
     }
     }
+    SawCommand = true;
   }
   return Script;
 }
 
-std::optional<TraceScript> seer::readTraceFile(const std::string &Path,
-                                               std::string *ErrorMessage) {
+Expected<TraceScript> seer::readTraceFile(const std::string &Path) {
   std::ifstream Stream(Path);
-  if (!Stream) {
-    if (ErrorMessage)
-      *ErrorMessage = "cannot open trace file '" + Path + "'";
-    return std::nullopt;
-  }
+  if (!Stream)
+    return Status::notFound("cannot open trace file '" + Path + "'");
   std::ostringstream Buffer;
   Buffer << Stream.rdbuf();
-  return parseTrace(Buffer.str(), ErrorMessage);
+  return parseTrace(Buffer.str());
 }
+
+//===----------------------------------------------------------------------===//
+// Deprecated pre-Status wrappers
+//===----------------------------------------------------------------------===//
+
+bool seer::parseTraceLine(const std::string &Line, TraceCommand &Out,
+                          std::string *ErrorMessage) {
+  const Status S = parseTraceLine(Line, Out);
+  if (S.ok())
+    return true;
+  if (ErrorMessage)
+    *ErrorMessage = S.message();
+  return false;
+}
+
+std::optional<CsrMatrix> seer::buildTraceMatrix(const TraceCommand &Command,
+                                                std::string *ErrorMessage) {
+  auto M = buildTraceMatrix(Command);
+  if (M)
+    return std::move(*M);
+  if (ErrorMessage)
+    *ErrorMessage = M.status().message();
+  return std::nullopt;
+}
+
+std::optional<TraceScript> seer::parseTrace(const std::string &Text,
+                                            std::string *ErrorMessage) {
+  auto Script = parseTrace(Text);
+  if (Script)
+    return std::move(*Script);
+  if (ErrorMessage)
+    *ErrorMessage = Script.status().message();
+  return std::nullopt;
+}
+
+std::optional<TraceScript> seer::readTraceFile(const std::string &Path,
+                                               std::string *ErrorMessage) {
+  auto Script = readTraceFile(Path);
+  if (Script)
+    return std::move(*Script);
+  if (ErrorMessage)
+    *ErrorMessage = Script.status().message();
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Output formatting
+//===----------------------------------------------------------------------===//
 
 std::string seer::formatResponseLine(const std::string &Name,
                                      const ServeResponse &Response,
@@ -325,10 +322,12 @@ std::string seer::formatResponseLine(const std::string &Name,
 }
 
 std::string seer::formatStatsLines(const ServerStats &Stats) {
-  char Buffer[2048];
+  char Buffer[3072];
   const int Written = std::snprintf(
       Buffer, sizeof(Buffer),
       "stat requests %" PRIu64 "\n"
+      "stat registrations %" PRIu64 "\n"
+      "stat active_handles %" PRIu64 "\n"
       "stat cache_hits %" PRIu64 "\n"
       "stat cache_misses %" PRIu64 "\n"
       "stat hit_rate %.4f\n"
@@ -343,23 +342,34 @@ std::string seer::formatStatsLines(const ServerStats &Stats) {
       "stat saved_collection_ms %.6f\n"
       "stat saved_preprocess_ms %.6f\n"
       "stat cached_matrices %" PRIu64 "\n"
+      "stat pinned_matrices %" PRIu64 "\n"
       "stat cache_budget_bytes %" PRIu64 "\n"
       "stat bytes_cached %" PRIu64 "\n"
       "stat bytes_evicted %" PRIu64 "\n"
       "stat evictions %" PRIu64 "\n"
       "stat partial_evictions %" PRIu64 "\n"
       "stat reanalyses %" PRIu64 "\n"
+      "stat async_accepted %" PRIu64 "\n"
+      "stat async_rejected %" PRIu64 "\n"
       "stat latency_samples %" PRIu64 "\n"
       "stat latency_mean_us %.3f\n"
       "stat latency_p50_us %.3f\n"
       "stat latency_p99_us %.3f\n",
-      Stats.Requests, Stats.CacheHits, Stats.CacheMisses, Stats.hitRate(),
-      Stats.KnownRoutes, Stats.GatheredRoutes, Stats.Executions,
-      Stats.PaidPreprocesses, Stats.AmortizedPreprocesses, Stats.OracleChecks,
-      Stats.Mispredictions, Stats.mispredictRate(), Stats.SavedCollectionMs,
-      Stats.SavedPreprocessMs, Stats.CachedMatrices, Stats.CacheBudgetBytes,
-      Stats.BytesCached, Stats.BytesEvicted, Stats.Evictions,
-      Stats.PartialEvictions, Stats.Reanalyses, Stats.LatencySamples,
+      Stats.Requests, Stats.Registrations, Stats.ActiveHandles,
+      Stats.CacheHits, Stats.CacheMisses, Stats.hitRate(), Stats.KnownRoutes,
+      Stats.GatheredRoutes, Stats.Executions, Stats.PaidPreprocesses,
+      Stats.AmortizedPreprocesses, Stats.OracleChecks, Stats.Mispredictions,
+      Stats.mispredictRate(), Stats.SavedCollectionMs,
+      Stats.SavedPreprocessMs, Stats.CachedMatrices, Stats.PinnedMatrices,
+      Stats.CacheBudgetBytes, Stats.BytesCached, Stats.BytesEvicted,
+      Stats.Evictions, Stats.PartialEvictions, Stats.Reanalyses,
+      Stats.AsyncAccepted, Stats.AsyncRejected, Stats.LatencySamples,
       Stats.MeanLatencyUs, Stats.P50LatencyUs, Stats.P99LatencyUs);
   return std::string(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
+}
+
+std::string seer::formatErrorLine(const Status &Error) {
+  assert(!Error.ok() && "error line for an OK status");
+  return std::string("error ") + statusCodeName(Error.code()) + " " +
+         Error.message();
 }

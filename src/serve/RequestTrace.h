@@ -9,7 +9,28 @@
 /// and the interactive stdin mode. One command per line; `#` starts a
 /// comment; blank lines are ignored.
 ///
-/// Setup commands (register a named matrix):
+/// ## Protocol v2
+///
+/// A trace (or interactive session) may declare protocol v2 with a
+/// versioned header as its first command line:
+///
+///   seer-trace v2
+///
+/// v2 maps onto the session-based serving API (api/SeerService.h):
+/// defining a matrix registers it (a handle is opened for it), and the
+/// handle lifecycle is scriptable:
+///
+///   open NAME                        re-register NAME after a close
+///   close NAME                       release NAME's handle
+///
+/// Requests against a closed name are answered with a typed error line
+/// (see below) instead of a response line; the replay continues. Traces
+/// without the header parse as v1, which has no open/close and is served
+/// through the deprecated pointer-based path — bit-identity between the
+/// two replays of the same trace is asserted in serve_test and gated in
+/// BENCH_serving.json.
+///
+/// Setup commands (define a named matrix; in v2 this also opens it):
 ///   load NAME PATH                   Matrix Market file
 ///   gen NAME banded ROWS HALFBAND FILL SEED
 ///   gen NAME powerlaw ROWS EXPONENT MINROW MAXROW SEED
@@ -22,19 +43,26 @@
 ///                                    also run the kernel; `verify` turns
 ///                                    on the oracle comparison
 ///
-/// Control commands (interactive mode):
+/// Control commands (interactive mode only):
 ///   stats                            print the telemetry snapshot
 ///   quit                             exit
+///
+/// Output lines are `NAME key=value...` response lines, `stat NAME VALUE`
+/// telemetry lines, `ok ...` acknowledgements, and error lines of the form
+///
+///   error CODE message...            e.g. `error NOT_FOUND no handle ...`
+///
+/// where CODE is the upper-case StatusCode name (api/Status.h).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEER_SERVE_REQUESTTRACE_H
 #define SEER_SERVE_REQUESTTRACE_H
 
+#include "api/Status.h"
 #include "serve/ServeTypes.h"
 #include "sparse/CsrMatrix.h"
 
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -45,9 +73,22 @@ class KernelRegistry;
 
 /// One parsed protocol line.
 struct TraceCommand {
-  enum class Kind { Blank, Load, Gen, Select, Execute, Stats, Quit };
+  enum class Kind {
+    Blank,
+    Version, // the `seer-trace vN` header (v2 trace declaration)
+    Load,
+    Gen,
+    Open,
+    Close,
+    Select,
+    Execute,
+    Stats,
+    Quit
+  };
   Kind Command = Kind::Blank;
-  /// Matrix name (Load/Gen/Select/Execute).
+  /// Declared protocol version (Version).
+  int Version = 1;
+  /// Matrix name (Load/Gen/Open/Close/Select/Execute).
   std::string Name;
   /// File path (Load).
   std::string Path;
@@ -59,44 +100,47 @@ struct TraceCommand {
   bool Verify = false;
 };
 
-/// Parses one protocol line. \returns false and fills \p ErrorMessage on a
-/// malformed line; blank/comment lines parse as Kind::Blank.
-bool parseTraceLine(const std::string &Line, TraceCommand &Out,
-                    std::string *ErrorMessage);
+/// Parses one protocol line. INVALID_ARGUMENT on a malformed line;
+/// blank/comment lines parse as Kind::Blank.
+Status parseTraceLine(const std::string &Line, TraceCommand &Out);
 
-/// Materializes a Gen command into a matrix. \returns std::nullopt and
-/// fills \p ErrorMessage on an unknown family or bad arguments.
-std::optional<CsrMatrix> buildTraceMatrix(const TraceCommand &Command,
-                                          std::string *ErrorMessage);
+/// Materializes a Gen command into a matrix. INVALID_ARGUMENT on an
+/// unknown family or bad arguments.
+Expected<CsrMatrix> buildTraceMatrix(const TraceCommand &Command);
 
-/// A fully parsed trace: the named matrices (setup section, in file
-/// order) and the request sequence.
+/// A fully parsed trace: the declared protocol version, the named
+/// matrices (in definition order) and the operation sequence.
 struct TraceScript {
-  struct Request {
+  /// One replayable operation. v1 traces only contain Select/Execute;
+  /// Open/Close appear in v2 traces.
+  struct Op {
+    enum class Kind { Open, Close, Select, Execute };
+    Kind Command = Kind::Select;
     /// Index into Matrices.
     size_t MatrixIndex = 0;
+    /// Request parameters (Select/Execute).
     uint32_t Iterations = 1;
-    bool Execute = false;
     bool Verify = false;
   };
 
+  /// Declared protocol version (1 without a header line).
+  int Version = 1;
   std::vector<std::pair<std::string, CsrMatrix>> Matrices;
-  std::vector<Request> Requests;
+  std::vector<Op> Ops;
 
   /// Index of the matrix named \p Name, or npos.
   static constexpr size_t npos = static_cast<size_t>(-1);
   size_t matrixIndex(const std::string &Name) const;
 };
 
-/// Parses a whole trace (setup + requests). Control commands are rejected
-/// in traces. \returns std::nullopt and fills \p ErrorMessage (with a
-/// 1-based line number) on the first bad line.
-std::optional<TraceScript> parseTrace(const std::string &Text,
-                                      std::string *ErrorMessage);
+/// Parses a whole trace (header + setup + operations). Control commands
+/// are rejected in traces, open/close require a v2 header, and every
+/// referenced name must be defined. INVALID_ARGUMENT with a 1-based line
+/// number on the first bad line.
+Expected<TraceScript> parseTrace(const std::string &Text);
 
-/// Reads and parses a trace file.
-std::optional<TraceScript> readTraceFile(const std::string &Path,
-                                         std::string *ErrorMessage);
+/// Reads and parses a trace file (NOT_FOUND / INVALID_ARGUMENT).
+Expected<TraceScript> readTraceFile(const std::string &Path);
 
 /// Formats one response as a single protocol output line, e.g.
 ///   `web1 kernel=CSR,WO route=gathered cache=hit overhead_ms=0 ...`.
@@ -106,6 +150,30 @@ std::string formatResponseLine(const std::string &Name,
 
 /// Formats a stats snapshot as `stat NAME VALUE` lines.
 std::string formatStatsLines(const ServerStats &Stats);
+
+/// Formats a failure as a protocol error line: `error CODE message`.
+/// \p Error must not be OK.
+std::string formatErrorLine(const Status &Error);
+
+/// \deprecated Pre-Status form of parseTraceLine: \returns false and
+/// fills \p ErrorMessage on a malformed line. Prefer the Status overload.
+bool parseTraceLine(const std::string &Line, TraceCommand &Out,
+                    std::string *ErrorMessage);
+
+/// \deprecated Pre-Status form of buildTraceMatrix. Prefer the Expected
+/// overload.
+std::optional<CsrMatrix> buildTraceMatrix(const TraceCommand &Command,
+                                          std::string *ErrorMessage);
+
+/// \deprecated Pre-Status form of parseTrace. Prefer the Expected
+/// overload.
+std::optional<TraceScript> parseTrace(const std::string &Text,
+                                      std::string *ErrorMessage);
+
+/// \deprecated Pre-Status form of readTraceFile. Prefer the Expected
+/// overload.
+std::optional<TraceScript> readTraceFile(const std::string &Path,
+                                         std::string *ErrorMessage);
 
 } // namespace seer
 

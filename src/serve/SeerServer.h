@@ -22,10 +22,21 @@
 ///    oracle on demand and aggregates mispredictions, hit rates and
 ///    latency percentiles into a `ServerStats` snapshot.
 ///
-/// Thread safety: handle() may be called concurrently from any number of
-/// threads. All shared state is behind the sharded cache's locks or
-/// atomics; model inference itself is read-only. handleBatch() fans a
-/// request vector out over the process-wide ThreadPool.
+/// Serving API v2 moves clients from per-request matrix pointers to
+/// *registered matrices*: registerMatrix() pays fingerprinting and
+/// analysis once and pins the cache entry for the registration's
+/// lifetime; handleRegistered() then serves selection/execution with no
+/// per-request hashing or cache lookup at all. The PR 2 pointer-based
+/// handle() remains as a deprecated shim so old traces can be replayed
+/// and compared bit-for-bit against the new path. The ergonomic,
+/// Status-typed client surface over this (sessions, opaque handles,
+/// async submission) lives in api/SeerService.h.
+///
+/// Thread safety: every request entry point may be called concurrently
+/// from any number of threads. All shared state is behind the sharded
+/// cache's locks or atomics; model inference itself is read-only.
+/// handleBatch() fans a request vector out over the process-wide
+/// ThreadPool.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,7 +49,9 @@
 #include "sim/GpuSimulator.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace seer {
@@ -56,6 +69,22 @@ struct ServerConfig {
   size_t CacheBudgetBytes = 0;
 };
 
+/// One matrix registered with a SeerServer (serving API v2): the owned
+/// matrix storage, its content fingerprint, and the pinned cache entry
+/// whose analysis registration paid for. Obtained from registerMatrix(),
+/// returned through releaseMatrix(). Copyable — every copy shares the
+/// same pin, which is released exactly once, by releaseMatrix.
+struct RegisteredMatrix {
+  std::shared_ptr<const CsrMatrix> Matrix;
+  uint64_t Fingerprint = 0;
+  std::shared_ptr<FingerprintCache::Entry> Entry;
+  /// True when registration found the analysis already cached (a repeat
+  /// matrix registered by an earlier or concurrent client).
+  bool AnalysisReused = false;
+
+  bool valid() const { return Matrix && Entry; }
+};
+
 /// A concurrent kernel-selection service over one trained model triple.
 class SeerServer {
 public:
@@ -67,12 +96,37 @@ public:
   SeerServer(const SeerServer &) = delete;
   SeerServer &operator=(const SeerServer &) = delete;
 
-  /// Serves one request. Thread-safe; see the file comment.
+  /// Registers \p Matrix for handle-based serving: fingerprints it and
+  /// runs (or reuses) the single-pass analysis exactly once, and pins the
+  /// cache entry so eviction cannot drop it while the registration is
+  /// live. Thread-safe. The returned RegisteredMatrix must eventually be
+  /// given back to releaseMatrix().
+  RegisteredMatrix registerMatrix(std::shared_ptr<const CsrMatrix> Matrix);
+
+  /// Releases \p Registered's pin. Requests already in flight against it
+  /// are unaffected (they hold the entry alive); the entry just becomes an
+  /// ordinary eviction candidate again.
+  void releaseMatrix(const RegisteredMatrix &Registered);
+
+  /// Serves one request against a registered matrix. No fingerprinting,
+  /// no cache lookup — the per-request cost registration amortized away.
+  /// Feature collection is never re-charged (the analysis was paid at
+  /// registration, so CacheHit is always true in the response).
+  /// Thread-safe, like handle().
+  ServeResponse handleRegistered(const RegisteredMatrix &Registered,
+                                 const ServeOptions &Options);
+
+  /// \deprecated Serves one pointer-based request (the PR 2 API): the
+  /// matrix is re-fingerprinted and looked up on every call and must stay
+  /// alive for the duration of handle(). Kept as a shim so the
+  /// bit-identity gates can compare this path against handleRegistered()
+  /// on the same trace; new code should use api/SeerService.h.
   ServeResponse handle(const ServeRequest &Request);
 
-  /// Serves a batch, fanning out over the process-wide pool with the
-  /// pipeline's parallelism convention (0 = hardware threads, 1 = serial).
-  /// Responses are in request order.
+  /// \deprecated Serves a batch of pointer-based requests, fanning out
+  /// over the process-wide pool with the pipeline's parallelism
+  /// convention (0 = hardware threads, 1 = serial). Responses are in
+  /// request order. Same migration note as handle().
   std::vector<ServeResponse> handleBatch(const std::vector<ServeRequest> &Batch,
                                          unsigned Parallelism);
 
@@ -91,6 +145,16 @@ public:
   const GpuSimulator &simulator() const { return Sim; }
 
 private:
+  /// The shared request path: selection (and optional execution + oracle
+  /// verification) against an already-resolved cache entry. \p Start is
+  /// when the request entered the server (before fingerprinting on the
+  /// deprecated path), so latency telemetry reflects what each API
+  /// actually costs per request.
+  ServeResponse serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
+                           const std::shared_ptr<FingerprintCache::Entry> &E,
+                           bool CacheHit, const ServeOptions &Options,
+                           std::chrono::steady_clock::time_point Start);
+
   /// Declaration order is load-bearing: Runtime holds references to
   /// Models, Registry and Sim.
   SeerModels Models;
@@ -102,6 +166,8 @@ private:
   // Telemetry. Plain counters are relaxed atomics; each request's
   // increments are committed before handle() returns.
   std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> Registrations{0};
+  std::atomic<uint64_t> Releases{0};
   std::atomic<uint64_t> CacheHits{0};
   std::atomic<uint64_t> GatheredRoutes{0};
   std::atomic<uint64_t> Executions{0};

@@ -34,11 +34,10 @@
 
 namespace seer {
 
-/// One client request against a SeerServer.
-struct ServeRequest {
-  /// The input matrix. Must stay alive for the duration of handle();
-  /// the server never stores the pointer (only a content fingerprint).
-  const CsrMatrix *Matrix = nullptr;
+/// Per-request knobs shared by every serving entry point (the matrix
+/// itself is supplied separately: as a raw pointer by the deprecated
+/// ServeRequest path, or as a registered handle by the v2 session API).
+struct ServeOptions {
   /// Expected SpMV iteration count (Sec. IV-E break-even axis).
   uint32_t Iterations = 1;
   /// Also execute the chosen kernel (preprocess + run) and return Y.
@@ -49,8 +48,34 @@ struct ServeRequest {
   /// verify for free.
   bool VerifyOracle = false;
   /// SpMV operand; when null the server uses an all-ones vector of the
+  /// matrix's column count. Borrowed for the duration of the call only.
+  const std::vector<double> *Operand = nullptr;
+};
+
+/// \deprecated One client request against SeerServer::handle(), the PR 2
+/// pointer-based API: the caller keeps \p Matrix alive for the duration of
+/// the call and every request re-fingerprints the full CSR arrays. Kept so
+/// the bit-identity gates can replay old traces against the v2 session
+/// path; new code registers the matrix once (api/SeerService.h) and issues
+/// handle-based requests instead.
+struct ServeRequest {
+  /// The input matrix. Must stay alive for the duration of handle();
+  /// the server never stores the pointer (only a content fingerprint).
+  const CsrMatrix *Matrix = nullptr;
+  /// Expected SpMV iteration count (Sec. IV-E break-even axis).
+  uint32_t Iterations = 1;
+  /// Also execute the chosen kernel (preprocess + run) and return Y.
+  bool Execute = false;
+  /// With Execute: verify the selection against the cached oracle.
+  bool VerifyOracle = false;
+  /// SpMV operand; when null the server uses an all-ones vector of the
   /// matrix's column count.
   const std::vector<double> *Operand = nullptr;
+
+  /// The per-request knobs in ServeOptions form.
+  ServeOptions options() const {
+    return ServeOptions{Iterations, Execute, VerifyOracle, Operand};
+  }
 };
 
 /// The server's answer. Cost fields are *charged* costs for this request,
@@ -176,6 +201,16 @@ struct ServerStats {
   /// Misses on matrices that were cached before (deterministic, hence
   /// bit-identical, re-analysis).
   uint64_t Reanalyses = 0;
+  /// Entries pinned by live registrations (serving API v2): whole-entry
+  /// eviction skips them until their handles are released.
+  uint64_t PinnedMatrices = 0;
+  /// Session-layer counters (zero when serving through the deprecated
+  /// pointer API): matrices registered, handles currently open, async
+  /// submissions accepted and rejected by admission-queue backpressure.
+  uint64_t Registrations = 0;
+  uint64_t ActiveHandles = 0;
+  uint64_t AsyncAccepted = 0;
+  uint64_t AsyncRejected = 0;
   /// Service-latency summary, microseconds.
   uint64_t LatencySamples = 0;
   double MeanLatencyUs = 0.0;

@@ -24,6 +24,19 @@ CooMatrix CooMatrix::fromCsr(const CsrMatrix &Csr) {
   return M;
 }
 
+CsrMatrix CooMatrix::toCsr() const {
+  assert(verify() && "toCsr on an invalid COO matrix");
+  std::vector<uint64_t> RowOffsets(NumRows + 1, 0);
+  for (uint32_t Row : RowIndices)
+    ++RowOffsets[Row + 1];
+  for (uint32_t Row = 0; Row < NumRows; ++Row)
+    RowOffsets[Row + 1] += RowOffsets[Row];
+  // Entries are sorted row-major, so the parallel arrays are already in
+  // CSR order and adopt verbatim.
+  return CsrMatrix::fromArrays(NumRows, NumCols, std::move(RowOffsets),
+                               ColIndices, Values);
+}
+
 std::vector<double> CooMatrix::multiply(const std::vector<double> &X) const {
   assert(X.size() == NumCols && "operand size mismatch");
   std::vector<double> Y(NumRows, 0.0);

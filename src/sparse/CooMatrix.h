@@ -31,6 +31,12 @@ public:
   /// Expands a CSR matrix into sorted COO.
   static CooMatrix fromCsr(const CsrMatrix &Csr);
 
+  /// Rebuilds the CSR form. Exact inverse of fromCsr: values and
+  /// within-row ordering are preserved bit-for-bit, so the CSR round trip
+  /// is fingerprint-stable (the serving layer registers COO inputs
+  /// through this). The matrix must verify().
+  CsrMatrix toCsr() const;
+
   uint32_t numRows() const { return NumRows; }
   uint32_t numCols() const { return NumCols; }
   uint64_t nnz() const { return RowIndices.size(); }

@@ -40,6 +40,31 @@ EllMatrix EllMatrix::fromCsr(const CsrMatrix &Csr, uint64_t MaxCells) {
   return M;
 }
 
+CsrMatrix EllMatrix::toCsr() const {
+  assert(verify() && "toCsr on an invalid ELL matrix");
+  if (!Materialized)
+    // The virtual view *is* the CSR arrays.
+    return CsrMatrix::fromArrays(NumRows, NumCols, RowOffsets, CompactColumns,
+                                 CompactValues);
+  std::vector<uint64_t> Offsets(NumRows + 1, 0);
+  std::vector<uint32_t> Columns;
+  std::vector<double> Compact;
+  Columns.reserve(Nnz);
+  Compact.reserve(Nnz);
+  for (uint32_t Row = 0; Row < NumRows; ++Row) {
+    for (uint32_t K = 0; K < Width; ++K) {
+      const uint32_t Col = entryColumn(Row, K);
+      if (Col == PaddingColumn)
+        break; // Entries are stored densely from slot 0, padding after.
+      Columns.push_back(Col);
+      Compact.push_back(entryValue(Row, K));
+    }
+    Offsets[Row + 1] = Columns.size();
+  }
+  return CsrMatrix::fromArrays(NumRows, NumCols, std::move(Offsets),
+                               std::move(Columns), std::move(Compact));
+}
+
 uint32_t EllMatrix::rowLength(uint32_t Row) const {
   assert(Row < NumRows && "row out of range");
   if (!Materialized)

@@ -49,6 +49,13 @@ public:
   static EllMatrix fromCsr(const CsrMatrix &Csr,
                            uint64_t MaxCells = DefaultMaxMaterializedCells);
 
+  /// Rebuilds the CSR form (dropping the padding). Exact inverse of
+  /// fromCsr for either representation: values and within-row ordering
+  /// are preserved bit-for-bit, so the round trip is fingerprint-stable
+  /// (the serving layer registers ELL inputs through this). The matrix
+  /// must verify().
+  CsrMatrix toCsr() const;
+
   uint32_t numRows() const { return NumRows; }
   uint32_t numCols() const { return NumCols; }
   /// Padded row width (the longest row of the source matrix).

@@ -137,6 +137,22 @@ seer::readMatrixMarketFile(const std::string &Path,
   return parseMatrixMarket(Buffer.str(), ErrorMessage);
 }
 
+Expected<CsrMatrix> seer::parseMatrixMarket(const std::string &Text) {
+  std::string Error;
+  if (auto M = parseMatrixMarket(Text, &Error))
+    return std::move(*M);
+  return Status::invalidArgument(Error);
+}
+
+Expected<CsrMatrix> seer::readMatrixMarketFile(const std::string &Path) {
+  std::ifstream Stream(Path);
+  if (!Stream)
+    return Status::notFound("cannot open '" + Path + "' for reading");
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  return parseMatrixMarket(Buffer.str());
+}
+
 std::string seer::writeMatrixMarket(const CsrMatrix &M) {
   std::ostringstream Out;
   // max_digits10 makes the write -> parse round trip bit-exact: the
@@ -170,4 +186,12 @@ bool seer::writeMatrixMarketFile(const CsrMatrix &M, const std::string &Path,
     return false;
   }
   return true;
+}
+
+Status seer::writeMatrixMarketFile(const CsrMatrix &M,
+                                   const std::string &Path) {
+  std::string Error;
+  if (!writeMatrixMarketFile(M, Path, &Error))
+    return Status::unavailable(Error);
+  return Status::okStatus();
 }

@@ -24,6 +24,7 @@
 #ifndef SEER_SPARSE_MATRIXMARKET_H
 #define SEER_SPARSE_MATRIXMARKET_H
 
+#include "api/Status.h"
 #include "sparse/CsrMatrix.h"
 
 #include <optional>
@@ -31,20 +32,33 @@
 
 namespace seer {
 
-/// Parses Matrix Market text into CSR. \returns std::nullopt and fills
-/// \p ErrorMessage on malformed input.
-std::optional<CsrMatrix> parseMatrixMarket(const std::string &Text,
-                                           std::string *ErrorMessage);
+/// Parses Matrix Market text into CSR. Malformed input is
+/// INVALID_ARGUMENT with a line-numbered diagnostic.
+Expected<CsrMatrix> parseMatrixMarket(const std::string &Text);
 
-/// Reads a .mtx file.
-std::optional<CsrMatrix> readMatrixMarketFile(const std::string &Path,
-                                              std::string *ErrorMessage);
+/// Reads a .mtx file: NOT_FOUND when the file cannot be opened,
+/// INVALID_ARGUMENT when its contents do not parse.
+Expected<CsrMatrix> readMatrixMarketFile(const std::string &Path);
 
 /// Serializes \p M as `matrix coordinate real general` text.
 std::string writeMatrixMarket(const CsrMatrix &M);
 
-/// Writes \p M to \p Path; \returns false and fills \p ErrorMessage on I/O
-/// failure.
+/// Writes \p M to \p Path; UNAVAILABLE on I/O failure.
+Status writeMatrixMarketFile(const CsrMatrix &M, const std::string &Path);
+
+/// \deprecated Pre-Status form of parseMatrixMarket: \returns std::nullopt
+/// and fills \p ErrorMessage on malformed input. Prefer the Expected
+/// overload.
+std::optional<CsrMatrix> parseMatrixMarket(const std::string &Text,
+                                           std::string *ErrorMessage);
+
+/// \deprecated Pre-Status form of readMatrixMarketFile. Prefer the
+/// Expected overload.
+std::optional<CsrMatrix> readMatrixMarketFile(const std::string &Path,
+                                              std::string *ErrorMessage);
+
+/// \deprecated Pre-Status form of writeMatrixMarketFile: \returns false
+/// and fills \p ErrorMessage on I/O failure. Prefer the Status overload.
 bool writeMatrixMarketFile(const CsrMatrix &M, const std::string &Path,
                            std::string *ErrorMessage);
 

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/SeerService.h"
 #include "core/ModelBundle.h"
 #include "core/Seer.h"
 #include "serve/RequestTrace.h"
@@ -650,26 +651,61 @@ TEST(RequestTraceTest, ParsesWholeTraceAndServesIt) {
   std::string Error;
   const auto Script = parseTrace(Text, &Error);
   ASSERT_TRUE(Script) << Error;
+  EXPECT_EQ(Script->Version, 1);
   EXPECT_EQ(Script->Matrices.size(), 2u);
-  ASSERT_EQ(Script->Requests.size(), 3u);
-  EXPECT_EQ(Script->Requests[0].MatrixIndex, 0u);
-  EXPECT_FALSE(Script->Requests[0].Execute);
-  EXPECT_TRUE(Script->Requests[1].Execute);
-  EXPECT_EQ(Script->Requests[1].Iterations, 19u);
+  ASSERT_EQ(Script->Ops.size(), 3u);
+  EXPECT_EQ(Script->Ops[0].MatrixIndex, 0u);
+  EXPECT_EQ(Script->Ops[0].Command, TraceScript::Op::Kind::Select);
+  EXPECT_EQ(Script->Ops[1].Command, TraceScript::Op::Kind::Execute);
+  EXPECT_EQ(Script->Ops[1].Iterations, 19u);
 
   SeerServer Server(tinyModels());
-  for (const TraceScript::Request &Spec : Script->Requests) {
+  for (const TraceScript::Op &Op : Script->Ops) {
     ServeRequest Request;
-    Request.Matrix = &Script->Matrices[Spec.MatrixIndex].second;
-    Request.Iterations = Spec.Iterations;
-    Request.Execute = Spec.Execute;
+    Request.Matrix = &Script->Matrices[Op.MatrixIndex].second;
+    Request.Iterations = Op.Iterations;
+    Request.Execute = Op.Command == TraceScript::Op::Kind::Execute;
     const ServeResponse Response = Server.handle(Request);
     const std::string Line = formatResponseLine(
-        Script->Matrices[Spec.MatrixIndex].first, Response,
+        Script->Matrices[Op.MatrixIndex].first, Response,
         Server.registry());
     EXPECT_NE(Line.find("kernel="), std::string::npos);
   }
   EXPECT_EQ(Server.stats().Requests, 3u);
+}
+
+TEST(RequestTraceTest, ParsesV2HeaderAndHandleCommands) {
+  const std::string Text = "seer-trace v2\n"
+                           "gen a banded 256 4 0.9 1\n"
+                           "select a 1\n"
+                           "close a\n"
+                           "select a 1\n"
+                           "open a\n"
+                           "execute a 5\n";
+  const auto Script = parseTrace(Text);
+  ASSERT_TRUE(Script) << Script.status().toString();
+  EXPECT_EQ(Script->Version, 2);
+  ASSERT_EQ(Script->Ops.size(), 5u);
+  EXPECT_EQ(Script->Ops[1].Command, TraceScript::Op::Kind::Close);
+  EXPECT_EQ(Script->Ops[3].Command, TraceScript::Op::Kind::Open);
+
+  // open/close without the header are parse errors...
+  const auto V1 = parseTrace("gen a banded 256 4 0.9 1\nclose a\n");
+  ASSERT_FALSE(V1);
+  EXPECT_EQ(V1.status().code(), StatusCode::InvalidArgument);
+  EXPECT_NE(V1.status().message().find("seer-trace v2"), std::string::npos);
+  // ...and the header must come first.
+  EXPECT_FALSE(parseTrace("gen a banded 256 4 0.9 1\nseer-trace v2\n"));
+  // Unknown versions are rejected.
+  EXPECT_FALSE(parseTrace("seer-trace v3\n"));
+}
+
+TEST(RequestTraceTest, ErrorLinesCarryStatusCodes) {
+  const std::string Line =
+      formatErrorLine(Status::notFound("no handle for 'web'"));
+  EXPECT_EQ(Line, "error NOT_FOUND no handle for 'web'");
+  EXPECT_EQ(formatErrorLine(Status::resourceExhausted("queue full")),
+            "error RESOURCE_EXHAUSTED queue full");
 }
 
 TEST(RequestTraceTest, StatsLinesCarryResidencyCounters) {
@@ -687,6 +723,81 @@ TEST(RequestTraceTest, StatsLinesCarryResidencyCounters) {
   EXPECT_NE(Lines.find("stat evictions 9"), std::string::npos);
   EXPECT_NE(Lines.find("stat partial_evictions 2"), std::string::npos);
   EXPECT_NE(Lines.find("stat reanalyses 4"), std::string::npos);
+}
+
+TEST(RequestTraceTest, HandlePathBitIdenticalToPointerPathOnSameTrace) {
+  // The acceptance gate of the v2 redesign: replaying one trace through
+  // the deprecated pointer-based handle() and through session handles
+  // must produce the same kernel choices, routing, charged preprocessing
+  // and product vectors, request by request.
+  const std::string Text = "gen a banded 512 4 0.9 1\n"
+                           "gen b powerlaw 512 1.8 1 64 2\n"
+                           "gen c uniform 256 256 12 0.5 3\n"
+                           "select a 1\n"
+                           "execute b 19\n"
+                           "select a 5\n"
+                           "execute b 19\n" // amortized on both paths
+                           "execute c 5 verify\n"
+                           "select b 19\n";
+  const auto Script = parseTrace(Text);
+  ASSERT_TRUE(Script) << Script.status().toString();
+
+  // Old path: one server, pointer requests.
+  SeerServer Old(tinyModels());
+  std::vector<ServeResponse> OldResponses;
+  for (const TraceScript::Op &Op : Script->Ops) {
+    ServeRequest Request;
+    Request.Matrix = &Script->Matrices[Op.MatrixIndex].second;
+    Request.Iterations = Op.Iterations;
+    Request.Execute = Op.Command == TraceScript::Op::Kind::Execute;
+    Request.VerifyOracle = Op.Verify;
+    OldResponses.push_back(Old.handle(Request));
+  }
+
+  // New path: one service, matrices registered once, handle requests.
+  SeerService Service(tinyModels());
+  std::vector<MatrixHandle> Handles;
+  for (const auto &[Name, M] : Script->Matrices) {
+    auto Handle = Service.registerMatrix(M);
+    ASSERT_TRUE(Handle) << Handle.status().toString();
+    Handles.push_back(*Handle);
+  }
+  std::vector<ServeResponse> NewResponses;
+  for (const TraceScript::Op &Op : Script->Ops) {
+    Request R;
+    R.Handle = Handles[Op.MatrixIndex];
+    R.Iterations = Op.Iterations;
+    R.Execute = Op.Command == TraceScript::Op::Kind::Execute;
+    R.VerifyOracle = Op.Verify;
+    const auto Response = Service.serve(R);
+    ASSERT_TRUE(Response) << Response.status().toString();
+    NewResponses.push_back(*Response);
+  }
+
+  ASSERT_EQ(OldResponses.size(), NewResponses.size());
+  for (size_t I = 0; I < OldResponses.size(); ++I) {
+    const ServeResponse &A = OldResponses[I];
+    const ServeResponse &B = NewResponses[I];
+    EXPECT_EQ(A.Fingerprint, B.Fingerprint) << "op " << I;
+    EXPECT_EQ(A.Selection.KernelIndex, B.Selection.KernelIndex) << "op " << I;
+    EXPECT_EQ(A.Selection.UsedGatheredModel, B.Selection.UsedGatheredModel)
+        << "op " << I;
+    EXPECT_EQ(A.Executed, B.Executed) << "op " << I;
+    EXPECT_EQ(A.PreprocessAmortized, B.PreprocessAmortized) << "op " << I;
+    EXPECT_EQ(A.PreprocessMs, B.PreprocessMs) << "op " << I;
+    EXPECT_EQ(A.IterationMs, B.IterationMs) << "op " << I;
+    EXPECT_EQ(A.Y, B.Y) << "op " << I;
+    EXPECT_EQ(A.OracleChecked, B.OracleChecked) << "op " << I;
+    EXPECT_EQ(A.OracleKernelIndex, B.OracleKernelIndex) << "op " << I;
+    EXPECT_EQ(A.Mispredicted, B.Mispredicted) << "op " << I;
+    EXPECT_EQ(A.RegretMs, B.RegretMs) << "op " << I;
+    // Registration pays the analysis, so every handle request is a hit;
+    // the pointer path pays it on first touch of each matrix instead.
+    EXPECT_TRUE(B.CacheHit) << "op " << I;
+  }
+
+  for (MatrixHandle Handle : Handles)
+    EXPECT_TRUE(Service.release(Handle).ok());
 }
 
 TEST(RequestTraceTest, RejectsBadTraces) {

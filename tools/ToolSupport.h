@@ -9,11 +9,19 @@
 /// tools. Flags are `--name value` or `--name=value`; anything else is a
 /// positional argument.
 ///
+/// Each tool declares its flag vocabulary up front (string-, integer- and
+/// boolean-valued), and the parser validates against it: unknown flags,
+/// missing values and unparseable integers are reported as a `Status`
+/// through status() instead of exiting from inside the parser. Tests can
+/// therefore exercise bad-flag paths, and each tool's main() decides what
+/// an error or `--help` is worth — typically `return *Cmd.earlyExit()`.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEER_TOOLS_TOOLSUPPORT_H
 #define SEER_TOOLS_TOOLSUPPORT_H
 
+#include "api/Status.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -21,23 +29,38 @@
 #include <cstdlib>
 #include <initializer_list>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace seer::tools {
 
-/// Parsed command line: flag map + positional arguments. Flags named in
-/// \p BoolFlags are valueless switches (`--execute file.mtx` leaves the
-/// file positional); all other flags consume the next argument.
+/// The flag vocabulary of one tool.
+struct FlagSpec {
+  /// Flags taking a string value (`--out DIR`).
+  std::vector<std::string> Value;
+  /// Flags taking an integer value (`--clients 4`); validated at parse
+  /// time, queried with intFlag().
+  std::vector<std::string> Int;
+  /// Valueless switches (`--execute file.mtx` leaves the file
+  /// positional).
+  std::vector<std::string> Bool;
+};
+
+/// Parsed command line: flag map + positional arguments, validated
+/// against a declared FlagSpec. Never exits: parse problems surface in
+/// status(), `--help` in helpRequested().
 class CommandLine {
 public:
-  CommandLine(int Argc, char **Argv, const char *Usage,
-              std::initializer_list<const char *> BoolFlags = {})
+  CommandLine(int Argc, char **Argv, const char *Usage, FlagSpec Spec)
       : Usage(Usage) {
-    const auto IsBool = [&](const std::string &Name) {
-      return std::find_if(BoolFlags.begin(), BoolFlags.end(),
-                          [&](const char *Flag) { return Name == Flag; }) !=
-             BoolFlags.end();
+    const auto In = [](const std::vector<std::string> &List,
+                       const std::string &Name) {
+      return std::find(List.begin(), List.end(), Name) != List.end();
+    };
+    const auto Fail = [&](Status S) {
+      if (ParseStatus.ok()) // keep the first diagnostic
+        ParseStatus = std::move(S);
     };
     for (int I = 1; I < Argc; ++I) {
       std::string Arg = Argv[I];
@@ -46,20 +69,64 @@ public:
         continue;
       }
       Arg = Arg.substr(2);
-      if (Arg == "help")
-        exitWithUsage(0);
-      const size_t Eq = Arg.find('=');
-      if (Eq != std::string::npos) {
-        Flags[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
-      } else if (IsBool(Arg)) {
-        Flags[Arg] = "1";
-      } else if (I + 1 < Argc) {
-        Flags[Arg] = Argv[++I];
-      } else {
-        std::fprintf(stderr, "error: flag --%s needs a value\n", Arg.c_str());
-        exitWithUsage(1);
+      if (Arg == "help") {
+        HelpRequested = true;
+        continue;
       }
+      const size_t Eq = Arg.find('=');
+      std::string Name = Eq == std::string::npos ? Arg : Arg.substr(0, Eq);
+      const bool IsValue = In(Spec.Value, Name);
+      const bool IsInt = In(Spec.Int, Name);
+      const bool IsBool = In(Spec.Bool, Name);
+      if (!IsValue && !IsInt && !IsBool) {
+        Fail(Status::invalidArgument("unknown flag --" + Name));
+        continue;
+      }
+      std::string Value;
+      if (Eq != std::string::npos) {
+        Value = Arg.substr(Eq + 1);
+      } else if (IsBool) {
+        Value = "1";
+      } else if (I + 1 < Argc) {
+        Value = Argv[++I];
+      } else {
+        Fail(Status::invalidArgument("flag --" + Name + " needs a value"));
+        continue;
+      }
+      if (IsInt) {
+        int64_t Parsed = 0;
+        if (!parseInt(Value, Parsed)) {
+          Fail(Status::invalidArgument("flag --" + Name +
+                                       " expects an integer, got '" + Value +
+                                       "'"));
+          continue;
+        }
+      }
+      Flags[std::move(Name)] = std::move(Value);
     }
+  }
+
+  /// OK when every flag was declared and well-formed; otherwise the first
+  /// diagnostic.
+  const Status &status() const { return ParseStatus; }
+
+  /// True when `--help` was given.
+  bool helpRequested() const { return HelpRequested; }
+
+  /// The standard main() prologue: the exit code this command line has
+  /// already decided, if any — 0 for `--help` (usage on stdout), 1 for a
+  /// parse error (diagnostic + usage on stderr), nullopt to proceed.
+  std::optional<int> earlyExit() const {
+    if (HelpRequested) {
+      std::fprintf(stdout, "%s", Usage);
+      return 0;
+    }
+    if (!ParseStatus.ok()) {
+      std::fprintf(stderr, "error: %s\n%s", ParseStatus.message().c_str(),
+                   Usage);
+      return 1;
+    }
+    return std::nullopt;
   }
 
   const std::vector<std::string> &positional() const { return Positional; }
@@ -70,16 +137,15 @@ public:
     return It == Flags.end() ? Default : It->second;
   }
 
+  /// Value of a declared integer flag (validated at parse time), or
+  /// \p Default when absent.
   int64_t intFlag(const std::string &Name, int64_t Default) const {
     const auto It = Flags.find(Name);
     if (It == Flags.end())
       return Default;
     int64_t Value = 0;
-    if (!parseInt(It->second, Value)) {
-      std::fprintf(stderr, "error: flag --%s expects an integer, got '%s'\n",
-                   Name.c_str(), It->second.c_str());
-      exitWithUsage(1);
-    }
+    if (!parseInt(It->second, Value))
+      return Default; // unreachable for declared Int flags
     return Value;
   }
 
@@ -88,6 +154,8 @@ public:
     return It != Flags.end() && It->second != "0" && It->second != "false";
   }
 
+  /// Prints the usage text and exits — for main()-level policy like a
+  /// missing required flag. Never called by the parser itself.
   [[noreturn]] void exitWithUsage(int Code) const {
     std::fprintf(Code == 0 ? stdout : stderr, "%s", Usage);
     std::exit(Code);
@@ -95,14 +163,22 @@ public:
 
 private:
   const char *Usage;
+  Status ParseStatus;
+  bool HelpRequested = false;
   std::map<std::string, std::string> Flags;
   std::vector<std::string> Positional;
 };
 
-/// Prints `error: <message>` and exits 1.
+/// Prints `error: <message>` and exits 1. main()-level policy only; the
+/// library reports Status values instead.
 [[noreturn]] inline void fatal(const std::string &Message) {
   std::fprintf(stderr, "error: %s\n", Message.c_str());
   std::exit(1);
+}
+
+/// Prints a Status diagnostic (`error: CODE: message`) and exits 1.
+[[noreturn]] inline void fatal(const Status &Error) {
+  fatal(Error.toString());
 }
 
 } // namespace seer::tools

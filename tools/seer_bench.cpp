@@ -47,7 +47,13 @@ constexpr const char *Usage =
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const CommandLine Cmd(Argc, Argv, Usage, {"small-gpu"});
+  FlagSpec Spec;
+  Spec.Value = {"out"};
+  Spec.Int = {"parallelism", "variants", "max-rows", "seed"};
+  Spec.Bool = {"small-gpu"};
+  const CommandLine Cmd(Argc, Argv, Usage, Spec);
+  if (const auto Early = Cmd.earlyExit())
+    return *Early;
   const std::string OutDir = Cmd.flag("out");
   if (OutDir.empty())
     Cmd.exitWithUsage(1);
@@ -85,10 +91,9 @@ int main(int Argc, char **Argv) {
         });
   } else {
     for (const std::string &Path : Cmd.positional()) {
-      std::string Error;
-      const auto M = readMatrixMarketFile(Path, &Error);
+      const auto M = readMatrixMarketFile(Path);
       if (!M)
-        fatal(Error);
+        fatal(M.status());
       const std::string Name =
           std::filesystem::path(Path).stem().string();
       std::fprintf(stderr, "benchmarking %s (%u x %u, %llu nnz)...\n",

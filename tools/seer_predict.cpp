@@ -116,7 +116,13 @@ void printJson(const FileResult &R, uint32_t Iterations) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const CommandLine Cmd(Argc, Argv, Usage, {"execute", "json"});
+  FlagSpec Spec;
+  Spec.Value = {"models"};
+  Spec.Int = {"iterations", "parallelism"};
+  Spec.Bool = {"execute", "json"};
+  const CommandLine Cmd(Argc, Argv, Usage, Spec);
+  if (const auto Early = Cmd.earlyExit())
+    return *Early;
   const std::string ModelDir = Cmd.flag("models");
   if (ModelDir.empty() || Cmd.positional().empty())
     Cmd.exitWithUsage(1);
@@ -129,10 +135,9 @@ int main(int Argc, char **Argv) {
 
   const KernelRegistry Registry;
   const GpuSimulator Sim(DeviceModel::mi100());
-  std::string Error;
-  const auto Models = loadModelBundle(ModelDir, Registry.names(), &Error);
+  const auto Models = loadModelBundle(ModelDir, Registry.names());
   if (!Models)
-    fatal(Error);
+    fatal(Models.status());
   const SeerRuntime Runtime(*Models, Registry, Sim);
 
   // Files are independent: read + analyze + select (and optionally
@@ -142,10 +147,9 @@ int main(int Argc, char **Argv) {
   parallelFor(Parallelism, Paths.size(), [&](size_t I) {
     FileResult &R = Results[I];
     R.Name = std::filesystem::path(Paths[I]).stem().string();
-    std::string ReadError;
-    const auto M = readMatrixMarketFile(Paths[I], &ReadError);
+    const auto M = readMatrixMarketFile(Paths[I]);
     if (!M) {
-      R.Error = ReadError;
+      R.Error = M.status().toString();
       return;
     }
     R.Rows = M->numRows();

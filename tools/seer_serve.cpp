@@ -5,18 +5,27 @@
 //===----------------------------------------------------------------------===//
 //
 // Long-running counterpart of seer-predict: loads the trained model
-// bundle once into a SeerServer and serves selection/execution requests.
-// Two modes:
+// bundle once into a SeerService (serving API v2) and serves
+// selection/execution requests through session handles. Two modes:
 //
 //   seer-serve --models DIR                     line protocol on stdin
 //   seer-serve --models DIR --trace FILE        replay a scripted trace
 //              [--clients N] [--repeat K]
 //
-// In trace mode, N client threads each replay the trace's request
-// sequence K times concurrently against the shared server, then the
-// telemetry snapshot and a throughput summary are printed. With a single
-// client the per-request response lines are printed too (in order), so a
-// trace doubles as a readable demo.
+// Defining a matrix (load/gen) registers it with the service — the
+// fingerprint and single-pass analysis are paid exactly once, there —
+// and `close`/`open` script the handle lifecycle. Requests against a
+// closed name are answered with a typed `error CODE ...` line and the
+// session continues; nothing short of EOF/quit stops a server.
+//
+// In trace mode, N client threads each replay the trace's operation
+// sequence K times concurrently against the shared service, each thread
+// with its own handles (concurrent registrations of the same content
+// share one pinned cache entry), then the telemetry snapshot and a
+// throughput summary are printed. With a single client the per-request
+// response lines are printed too (in order), so a trace doubles as a
+// readable demo. Traces without a `seer-trace v2` header replay through
+// the deprecated pointer-based path, exactly as PR 2 served them.
 //
 // The protocol grammar is documented in serve/RequestTrace.h and the
 // README's "Serving" section.
@@ -25,10 +34,9 @@
 
 #include "ToolSupport.h"
 
+#include "api/SeerService.h"
 #include "core/ModelBundle.h"
 #include "serve/RequestTrace.h"
-#include "serve/SeerServer.h"
-#include "sparse/MatrixMarket.h"
 
 #include <chrono>
 #include <iostream>
@@ -45,7 +53,10 @@ constexpr const char *Usage =
     "Serves Fig. 3 kernel selection from the .tree models in DIR. Without\n"
     "--trace, reads the line protocol from stdin (try 'gen m banded 1000 8\n"
     "0.9 1' then 'select m 5', 'stats', 'quit'). With --trace, replays the\n"
-    "scripted request trace and prints telemetry.\n"
+    "scripted request trace and prints telemetry. Traces with a\n"
+    "'seer-trace v2' header replay through session handles (open/close\n"
+    "scriptable); headerless traces replay through the deprecated\n"
+    "pointer-based path.\n"
     "\n"
     "options:\n"
     "  --models DIR        directory with seer_{known,gathered,selector}.tree\n"
@@ -55,42 +66,125 @@ constexpr const char *Usage =
     "  --cache-budget B    fingerprint-cache byte budget (default 0 =\n"
     "                      unbounded); under pressure the server evicts\n"
     "                      oracle data and unpaid kernel states first,\n"
-    "                      then whole entries (see 'stats' counters)\n";
+    "                      then whole entries — entries pinned by open\n"
+    "                      handles always survive (see 'stats' counters)\n";
 
-void runTrace(SeerServer &Server, const TraceScript &Script, unsigned Clients,
-              unsigned Repeat) {
-  // Pre-resolve the per-request inputs once; clients share them read-only.
-  std::vector<ServeRequest> Requests;
-  Requests.reserve(Script.Requests.size());
-  for (const TraceScript::Request &Spec : Script.Requests) {
-    ServeRequest Request;
-    Request.Matrix = &Script.Matrices[Spec.MatrixIndex].second;
-    Request.Iterations = Spec.Iterations;
-    Request.Execute = Spec.Execute;
-    Request.VerifyOracle = Spec.Verify;
-    Requests.push_back(Request);
+/// One client's replay of a v2 trace: registers its own handles for the
+/// trace's matrices and walks the operation sequence. Response/error
+/// lines are printed only when \p Print (single-client mode).
+void replayV2(SeerService &Service, const TraceScript &Script, unsigned Repeat,
+              bool Print) {
+  // Zero-copy registration: the parsed script outlives the service (and
+  // every registration is released before this function returns), so
+  // each client shares the parser's matrix instead of copying it.
+  const auto Register = [&](size_t MatrixIndex) {
+    return Service.registerMatrix(std::shared_ptr<const CsrMatrix>(
+        std::shared_ptr<void>(), &Script.Matrices[MatrixIndex].second));
+  };
+
+  // Matrices auto-open at definition; open/close ops toggle from there.
+  std::vector<MatrixHandle> Handles(Script.Matrices.size());
+  for (size_t I = 0; I < Script.Matrices.size(); ++I) {
+    auto Handle = Register(I);
+    if (!Handle) { // cannot happen for a parsed trace; surface anyway
+      if (Print)
+        std::printf("%s\n", formatErrorLine(Handle.status()).c_str());
+      continue;
+    }
+    Handles[I] = *Handle;
   }
 
-  const auto Start = std::chrono::steady_clock::now();
-  if (Clients <= 1) {
-    for (unsigned K = 0; K < Repeat; ++K)
-      for (size_t I = 0; I < Requests.size(); ++I) {
-        const ServeResponse Response = Server.handle(Requests[I]);
-        std::printf("%s\n",
-                    formatResponseLine(
-                        Script.Matrices[Script.Requests[I].MatrixIndex].first,
-                        Response, Server.registry())
-                        .c_str());
+  for (unsigned K = 0; K < Repeat; ++K)
+    for (const TraceScript::Op &Op : Script.Ops) {
+      const std::string &Name = Script.Matrices[Op.MatrixIndex].first;
+      switch (Op.Command) {
+      case TraceScript::Op::Kind::Open: {
+        if (Handles[Op.MatrixIndex].valid())
+          break; // already open; idempotent in replay
+        auto Handle = Register(Op.MatrixIndex);
+        if (Handle)
+          Handles[Op.MatrixIndex] = *Handle;
+        else if (Print)
+          std::printf("%s\n", formatErrorLine(Handle.status()).c_str());
+        break;
       }
+      case TraceScript::Op::Kind::Close: {
+        const Status S = Service.release(Handles[Op.MatrixIndex]);
+        Handles[Op.MatrixIndex] = MatrixHandle();
+        if (!S.ok() && Print)
+          std::printf("%s\n", formatErrorLine(S).c_str());
+        break;
+      }
+      case TraceScript::Op::Kind::Select:
+      case TraceScript::Op::Kind::Execute: {
+        if (!Handles[Op.MatrixIndex].valid()) {
+          if (Print)
+            std::printf("%s\n",
+                        formatErrorLine(Status::failedPrecondition(
+                                            "matrix '" + Name +
+                                            "' is closed (open it first)"))
+                            .c_str());
+          break;
+        }
+        Request R;
+        R.Handle = Handles[Op.MatrixIndex];
+        R.Iterations = Op.Iterations;
+        R.Execute = Op.Command == TraceScript::Op::Kind::Execute;
+        R.VerifyOracle = Op.Verify;
+        const auto Response = Service.serve(R);
+        if (Print)
+          std::printf("%s\n",
+                      Response
+                          ? formatResponseLine(Name, *Response,
+                                               Service.registry())
+                                .c_str()
+                          : formatErrorLine(Response.status()).c_str());
+        break;
+      }
+      }
+    }
+
+  for (MatrixHandle Handle : Handles)
+    if (Handle.valid())
+      Service.release(Handle);
+}
+
+/// One client's replay of a headerless (v1) trace through the deprecated
+/// pointer-based server path, exactly as PR 2 served it.
+void replayV1(SeerServer &Server, const TraceScript &Script, unsigned Repeat,
+              bool Print, const KernelRegistry &Registry) {
+  for (unsigned K = 0; K < Repeat; ++K)
+    for (const TraceScript::Op &Op : Script.Ops) {
+      ServeRequest Request;
+      Request.Matrix = &Script.Matrices[Op.MatrixIndex].second;
+      Request.Iterations = Op.Iterations;
+      Request.Execute = Op.Command == TraceScript::Op::Kind::Execute;
+      Request.VerifyOracle = Op.Verify;
+      const ServeResponse Response = Server.handle(Request);
+      if (Print)
+        std::printf("%s\n",
+                    formatResponseLine(Script.Matrices[Op.MatrixIndex].first,
+                                       Response, Registry)
+                        .c_str());
+    }
+}
+
+void runTrace(SeerService &Service, const TraceScript &Script,
+              unsigned Clients, unsigned Repeat) {
+  const auto Start = std::chrono::steady_clock::now();
+  const auto RunClient = [&](bool Print) {
+    if (Script.Version >= 2)
+      replayV2(Service, Script, Repeat, Print);
+    else
+      replayV1(Service.server(), Script, Repeat, Print, Service.registry());
+  };
+  if (Clients <= 1) {
+    RunClient(/*Print=*/true);
   } else {
     std::vector<std::thread> Threads;
     Threads.reserve(Clients);
     for (unsigned C = 0; C < Clients; ++C)
-      Threads.emplace_back([&] {
-        for (unsigned K = 0; K < Repeat; ++K)
-          for (const ServeRequest &Request : Requests)
-            Server.handle(Request);
-      });
+      Threads.emplace_back([&] { RunClient(/*Print=*/false); });
     for (std::thread &T : Threads)
       T.join();
   }
@@ -98,80 +192,140 @@ void runTrace(SeerServer &Server, const TraceScript &Script, unsigned Clients,
                                  std::chrono::steady_clock::now() - Start)
                                  .count();
 
-  const ServerStats Stats = Server.stats();
+  const ServerStats Stats = Service.stats();
   std::printf("%s", formatStatsLines(Stats).c_str());
-  std::printf("replayed %zu requests x %u clients x %u in %.3fs "
+  std::printf("replayed %zu ops x %u clients x %u in %.3fs "
               "(%.0f req/s)\n",
-              Requests.size(), Clients, Repeat, WallSeconds,
+              Script.Ops.size(), Clients, Repeat, WallSeconds,
               WallSeconds > 0 ? static_cast<double>(Stats.Requests) /
                                     WallSeconds
                               : 0.0);
 }
 
-int runStdin(SeerServer &Server) {
-  std::vector<std::pair<std::string, CsrMatrix>> Matrices;
-  const auto Find = [&](const std::string &Name) -> const CsrMatrix * {
-    for (const auto &[N, M] : Matrices)
-      if (N == Name)
+int runStdin(SeerService &Service) {
+  /// Session state per name: how to rebuild the matrix (so `open` after
+  /// `close` can re-register without keeping a second CSR copy) and the
+  /// current handle (invalid while closed).
+  struct NamedMatrix {
+    std::string Name;
+    MatrixInput Source;
+    MatrixHandle Handle;
+  };
+  std::vector<NamedMatrix> Matrices;
+  const auto Find = [&](const std::string &Name) -> NamedMatrix * {
+    for (NamedMatrix &M : Matrices)
+      if (M.Name == Name)
         return &M;
     return nullptr;
+  };
+  const auto PrintError = [](const Status &S) {
+    std::printf("%s\n", formatErrorLine(S).c_str());
+  };
+  const auto OpenAndAck = [&](NamedMatrix &M) {
+    auto Handle = Service.registerMatrix(M.Source);
+    if (!Handle) {
+      PrintError(Handle.status());
+      return;
+    }
+    M.Handle = *Handle;
+    const auto Info = Service.describe(M.Handle);
+    std::printf("ok %s %ux%u %llu nnz handle=%llu\n", M.Name.c_str(),
+                Info->NumRows, Info->NumCols,
+                static_cast<unsigned long long>(Info->Nnz),
+                static_cast<unsigned long long>(M.Handle.Id));
   };
 
   std::string Line;
   while (std::getline(std::cin, Line)) {
     TraceCommand Command;
-    std::string Error;
-    if (!parseTraceLine(Line, Command, &Error)) {
-      std::printf("error %s\n", Error.c_str());
+    if (const Status S = parseTraceLine(Line, Command); !S.ok()) {
+      PrintError(S);
+      std::fflush(stdout);
       continue;
     }
     switch (Command.Command) {
     case TraceCommand::Kind::Blank:
       break;
+    case TraceCommand::Kind::Version:
+      std::printf("ok seer-trace v2\n"); // the session API is always v2
+      break;
     case TraceCommand::Kind::Quit:
       return 0;
     case TraceCommand::Kind::Stats:
-      std::printf("%s", formatStatsLines(Server.stats()).c_str());
+      std::printf("%s", formatStatsLines(Service.stats()).c_str());
       break;
     case TraceCommand::Kind::Load:
     case TraceCommand::Kind::Gen: {
       if (Find(Command.Name)) {
-        std::printf("error duplicate matrix name '%s'\n",
-                    Command.Name.c_str());
+        PrintError(Status::alreadyExists("duplicate matrix name '" +
+                                         Command.Name + "'"));
         break;
       }
-      auto M = Command.Command == TraceCommand::Kind::Load
-                   ? readMatrixMarketFile(Command.Path, &Error)
-                   : buildTraceMatrix(Command, &Error);
+      MatrixInput Source =
+          Command.Command == TraceCommand::Kind::Load
+              ? MatrixInput(MatrixMarketSource{Command.Path})
+              : MatrixInput(GeneratorSpec{Command.GenFamily, Command.GenArgs});
+      Matrices.push_back(
+          NamedMatrix{Command.Name, std::move(Source), MatrixHandle()});
+      OpenAndAck(Matrices.back());
+      if (!Matrices.back().Handle.valid())
+        Matrices.pop_back(); // registration failed; forget the name
+      break;
+    }
+    case TraceCommand::Kind::Open: {
+      NamedMatrix *M = Find(Command.Name);
       if (!M) {
-        std::printf("error %s\n", Error.c_str());
+        PrintError(Status::notFound("unknown matrix '" + Command.Name + "'"));
         break;
       }
-      Matrices.emplace_back(Command.Name, std::move(*M));
-      std::printf("ok %s %ux%u %llu nnz\n", Command.Name.c_str(),
-                  Matrices.back().second.numRows(),
-                  Matrices.back().second.numCols(),
-                  static_cast<unsigned long long>(
-                      Matrices.back().second.nnz()));
+      if (M->Handle.valid()) {
+        PrintError(Status::alreadyExists("matrix '" + Command.Name +
+                                         "' is already open"));
+        break;
+      }
+      OpenAndAck(*M);
+      break;
+    }
+    case TraceCommand::Kind::Close: {
+      NamedMatrix *M = Find(Command.Name);
+      if (!M) {
+        PrintError(Status::notFound("unknown matrix '" + Command.Name + "'"));
+        break;
+      }
+      const Status S = Service.release(M->Handle);
+      M->Handle = MatrixHandle();
+      if (!S.ok()) {
+        PrintError(S);
+        break;
+      }
+      std::printf("ok closed %s\n", Command.Name.c_str());
       break;
     }
     case TraceCommand::Kind::Select:
     case TraceCommand::Kind::Execute: {
-      const CsrMatrix *M = Find(Command.Name);
+      NamedMatrix *M = Find(Command.Name);
       if (!M) {
-        std::printf("error unknown matrix '%s'\n", Command.Name.c_str());
+        PrintError(Status::notFound("unknown matrix '" + Command.Name + "'"));
         break;
       }
-      ServeRequest Request;
-      Request.Matrix = M;
-      Request.Iterations = Command.Iterations;
-      Request.Execute = Command.Command == TraceCommand::Kind::Execute;
-      Request.VerifyOracle = Command.Verify;
-      const ServeResponse Response = Server.handle(Request);
-      std::printf("%s\n",
-                  formatResponseLine(Command.Name, Response,
-                                     Server.registry())
-                      .c_str());
+      if (!M->Handle.valid()) {
+        PrintError(Status::failedPrecondition(
+            "matrix '" + Command.Name + "' is closed (open it first)"));
+        break;
+      }
+      Request R;
+      R.Handle = M->Handle;
+      R.Iterations = Command.Iterations;
+      R.Execute = Command.Command == TraceCommand::Kind::Execute;
+      R.VerifyOracle = Command.Verify;
+      const auto Response = Service.serve(R);
+      if (!Response) {
+        PrintError(Response.status());
+        break;
+      }
+      std::printf("%s\n", formatResponseLine(Command.Name, *Response,
+                                             Service.registry())
+                              .c_str());
       break;
     }
     }
@@ -183,30 +337,34 @@ int runStdin(SeerServer &Server) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const CommandLine Cmd(Argc, Argv, Usage);
+  FlagSpec Spec;
+  Spec.Value = {"models", "trace"};
+  Spec.Int = {"clients", "repeat", "cache-budget"};
+  const CommandLine Cmd(Argc, Argv, Usage, Spec);
+  if (const auto Early = Cmd.earlyExit())
+    return *Early;
   const std::string ModelDir = Cmd.flag("models");
   if (ModelDir.empty())
     Cmd.exitWithUsage(1);
 
   const KernelRegistry Registry;
-  std::string Error;
-  auto Models = loadModelBundle(ModelDir, Registry.names(), &Error);
+  auto Models = loadModelBundle(ModelDir, Registry.names());
   if (!Models)
-    fatal(Error);
+    fatal(Models.status());
   const int64_t BudgetArg = Cmd.intFlag("cache-budget", 0);
   if (BudgetArg < 0)
     fatal("--cache-budget must be >= 0 (0 = unbounded)");
-  ServerConfig Config;
-  Config.CacheBudgetBytes = static_cast<size_t>(BudgetArg);
-  SeerServer Server(std::move(*Models), Config);
+  ServiceConfig Config;
+  Config.Server.CacheBudgetBytes = static_cast<size_t>(BudgetArg);
+  SeerService Service(std::move(*Models), Config);
 
   const std::string TracePath = Cmd.flag("trace");
   if (TracePath.empty())
-    return runStdin(Server);
+    return runStdin(Service);
 
-  const auto Script = readTraceFile(TracePath, &Error);
+  const auto Script = readTraceFile(TracePath);
   if (!Script)
-    fatal(Error);
+    fatal(Script.status());
   const int64_t ClientsArg = Cmd.intFlag("clients", 1);
   const int64_t RepeatArg = Cmd.intFlag("repeat", 1);
   if (ClientsArg < 1 || ClientsArg > 4096 || RepeatArg < 1 ||
@@ -214,6 +372,6 @@ int main(int Argc, char **Argv) {
     fatal("--clients must be in [1, 4096] and --repeat in [1, 1000000]");
   const unsigned Clients = static_cast<unsigned>(ClientsArg);
   const unsigned Repeat = static_cast<unsigned>(RepeatArg);
-  runTrace(Server, *Script, Clients, Repeat);
+  runTrace(Service, *Script, Clients, Repeat);
   return 0;
 }

@@ -55,7 +55,12 @@ CsvTable readCsvOrDie(const std::string &Path) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  const CommandLine Cmd(Argc, Argv, Usage);
+  FlagSpec Spec;
+  Spec.Value = {"data", "out", "iterations"};
+  Spec.Int = {"parallelism", "max-depth"};
+  const CommandLine Cmd(Argc, Argv, Usage, Spec);
+  if (const auto Early = Cmd.earlyExit())
+    return *Early;
   const std::string DataDir = Cmd.flag("data");
   const std::string OutDir = Cmd.flag("out");
   if (DataDir.empty() || OutDir.empty())
@@ -95,8 +100,8 @@ int main(int Argc, char **Argv) {
 
   if (!emitModelHeaders(*Models, OutDir, &Error))
     fatal(Error);
-  if (!storeModelBundle(*Models, OutDir, &Error))
-    fatal(Error);
+  if (const Status Stored = storeModelBundle(*Models, OutDir); !Stored.ok())
+    fatal(Stored);
 
   // Training report.
   const auto Benchmarks =
