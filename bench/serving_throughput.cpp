@@ -37,6 +37,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <future>
 #include <map>
 #include <string>
@@ -108,6 +109,18 @@ struct RunRecord {
   size_t BudgetBytes = 0;
   uint64_t MaxBytesCached = 0;
   bool BudgetRespected = true;
+  /// batch-execute runs only: mean per-operand host cost (informational;
+  /// noisy on shared hosts) and mean per-operand *charged* modeled cost
+  /// (deterministic — the repo's cost currency) of the same operand
+  /// stream served one request at a time vs. through executeBatch. The
+  /// gate compares the charged means: a batch charges selection overhead
+  /// and preprocessing once, so its per-operand mean is strictly below
+  /// the single-execute mean whenever a batch has more than one operand.
+  double SingleMeanUs = 0.0;
+  double BatchMeanUs = 0.0;
+  double SingleChargedMsPerOp = 0.0;
+  double BatchChargedMsPerOp = 0.0;
+  bool BatchFaster = true;
 };
 
 /// Expected answers from the one-shot runtime, memoized per
@@ -399,6 +412,166 @@ int main(int Argc, char **Argv) {
                  Record.BitIdentical ? "ok" : "MISMATCH");
   }
 
+  // Batched execution runs: at the highest hit ratio, the same total
+  // operand count is served twice through one service — one request at a
+  // time (the per-request selection/ledger/telemetry cost paid N times)
+  // and as one executeBatch per matrix (one ExecutionPlan, charged once,
+  // N operand runs). Both streams are gated bit-identical against the
+  // one-shot runtime; the headline gate is the batched per-operand mean
+  // cost sitting below the single-execute mean.
+  for (const unsigned C : Clients) {
+    const double Ratio = HitRatios.back();
+    const size_t Unique = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(Requests) *
+                               (1.0 - Ratio)));
+    const size_t PerMatrix = std::max<size_t>(1, Requests / Unique);
+    const uint32_t BatchIterations = 5;
+
+    // All-ones operands, prebuilt outside both timed windows (the single
+    // path uses the server's implicit all-ones operand).
+    std::vector<std::vector<std::vector<double>>> Operands(Unique);
+    for (size_t I = 0; I < Unique; ++I)
+      Operands[I].assign(PerMatrix,
+                         std::vector<double>(Pool[I].numCols(), 1.0));
+
+    // Warm the one-shot reference memo serially: the timed loops below
+    // consult it from worker threads, and the memo map is not
+    // thread-safe (same discipline as the churn section).
+    for (size_t I = 0; I < Unique; ++I)
+      ExpectedFor(I, BatchIterations, true);
+
+    RunRecord Record;
+    Record.Mode = "batch-execute";
+    Record.Clients = C;
+    Record.Execute = true;
+    Record.TargetHitRatio = Ratio;
+    Record.UniqueMatrices = Unique;
+    Record.Requests = Unique * PerMatrix;
+
+    // Each phase gets its own service, so both pay preprocessing exactly
+    // once per matrix and the comparison isolates the per-request
+    // overhead batching removes. Best-of-N absorbs scheduler noise, and
+    // the gated single-client comparison uses process CPU time — on a
+    // busy few-core host, wall clock noise (preemption, other tenants)
+    // dwarfs the per-request overhead being measured; CPU time counts
+    // exactly the work the two paths actually do.
+    constexpr int Reps = 5;
+    const auto CpuSeconds = [] {
+      return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+    };
+    double SingleWall = 0.0, BatchWall = 0.0;
+    // Charged modeled cost, summed over the stream (deterministic:
+    // identical every rep, so the last rep's sums are the values).
+    double SingleChargedMs = 0.0, BatchChargedMs = 0.0;
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      // (a) Single-execute baseline: PerMatrix serve() calls per matrix.
+      {
+        SeerService Service(Models);
+        std::vector<MatrixHandle> Handles;
+        Record.RegistrationSeconds = RegisterPool(Service, Unique, Handles);
+        std::vector<char> Identical(Unique, 1);
+        std::vector<double> ChargedMs(Unique, 0.0);
+        const double CpuStart = CpuSeconds();
+        const auto Start = std::chrono::steady_clock::now();
+        parallelFor(C, Unique, [&](size_t I) {
+          for (size_t K = 0; K < PerMatrix; ++K) {
+            // One self-contained request per operand: the request owns
+            // its operand (copied in), selection and the ledger are
+            // charged per call — exactly what batching pays once.
+            Request R;
+            R.Handle = Handles[I];
+            R.Iterations = BatchIterations;
+            R.Execute = true;
+            R.Operand = Operands[I][K];
+            const auto Response = Service.serve(R);
+            const ExpectedAnswer &E = ExpectedFor(I, BatchIterations, true);
+            if (!Response ||
+                Response->Selection.KernelIndex != E.Selection.KernelIndex ||
+                Response->Y != E.Y)
+              Identical[I] = 0;
+            else
+              ChargedMs[I] += Response->totalMs();
+          }
+        });
+        const double Wall =
+            C == 1 ? CpuSeconds() - CpuStart
+                   : std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+        SingleWall = Rep == 0 ? Wall : std::min(SingleWall, Wall);
+        SingleChargedMs = 0.0;
+        for (size_t I = 0; I < Unique; ++I) {
+          Record.BitIdentical = Record.BitIdentical && Identical[I];
+          SingleChargedMs += ChargedMs[I];
+        }
+      }
+      // (b) Batched: one executeBatch per matrix over the same operands.
+      {
+        SeerService Service(Models);
+        std::vector<MatrixHandle> Handles;
+        RegisterPool(Service, Unique, Handles);
+        std::vector<char> Identical(Unique, 1);
+        std::vector<double> ChargedMs(Unique, 0.0);
+        const double CpuStart = CpuSeconds();
+        const auto Start = std::chrono::steady_clock::now();
+        parallelFor(C, Unique, [&](size_t I) {
+          const auto Response =
+              Service.executeBatch(Handles[I], Operands[I], BatchIterations);
+          const ExpectedAnswer &E = ExpectedFor(I, BatchIterations, true);
+          if (!Response ||
+              Response->Selection.KernelIndex != E.Selection.KernelIndex ||
+              Response->operands() != PerMatrix) {
+            Identical[I] = 0;
+            return;
+          }
+          for (const std::vector<double> &Y : Response->Y)
+            if (Y != E.Y)
+              Identical[I] = 0;
+          ChargedMs[I] = Response->totalMs();
+        });
+        const double Wall =
+            C == 1 ? CpuSeconds() - CpuStart
+                   : std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+        BatchWall = Rep == 0 ? Wall : std::min(BatchWall, Wall);
+        BatchChargedMs = 0.0;
+        for (size_t I = 0; I < Unique; ++I) {
+          Record.BitIdentical = Record.BitIdentical && Identical[I];
+          BatchChargedMs += ChargedMs[I];
+        }
+        if (Rep == Reps - 1)
+          Record.Stats = Service.stats();
+      }
+    }
+
+    const double TotalOperands =
+        static_cast<double>(Unique) * static_cast<double>(PerMatrix);
+    Record.SingleMeanUs = SingleWall * 1e6 / TotalOperands;
+    Record.BatchMeanUs = BatchWall * 1e6 / TotalOperands;
+    Record.SingleChargedMsPerOp = SingleChargedMs / TotalOperands;
+    Record.BatchChargedMsPerOp = BatchChargedMs / TotalOperands;
+    // The gate compares the charged modeled cost per operand — the
+    // repo's cost currency, deterministic on any host. (The host-time
+    // means are reported too, but a ~1us/op effect cannot be gated on a
+    // busy shared machine.) Strict improvement requires more than one
+    // operand per batch (a 1-operand batch charges exactly what a
+    // single request charges); degenerate ratios gate on equality.
+    Record.BatchFaster =
+        PerMatrix > 1
+            ? Record.BatchChargedMsPerOp < Record.SingleChargedMsPerOp
+            : Record.BatchChargedMsPerOp <= Record.SingleChargedMsPerOp;
+    Record.WallSeconds = BatchWall;
+    Records.push_back(Record);
+    std::fprintf(stderr,
+                 "  batch-execute clients=%u hit=%.1f  charged %.6f -> "
+                 "%.6f ms/op  host %.2f -> %.2f us/op  %s%s\n",
+                 C, Ratio, Record.SingleChargedMsPerOp,
+                 Record.BatchChargedMsPerOp, Record.SingleMeanUs,
+                 Record.BatchMeanUs, Record.BitIdentical ? "ok" : "MISMATCH",
+                 Record.BatchFaster ? "" : " BATCH-NOT-CHEAPER");
+  }
+
   // Churn scenario: a working set several times the cache budget cycles
   // through the server for multiple passes. The unbounded working-set
   // size is measured first so the budget scales with the request pool
@@ -543,9 +716,12 @@ int main(int Argc, char **Argv) {
 
   bool AllIdentical = true;
   bool AllWithinBudget = true;
+  bool AllBatchFaster = true;
   for (const RunRecord &R : Records) {
     AllIdentical = AllIdentical && R.BitIdentical;
     AllWithinBudget = AllWithinBudget && R.BudgetRespected;
+    if (R.Mode == "batch-execute")
+      AllBatchFaster = AllBatchFaster && R.BatchFaster;
   }
 
   std::FILE *Out = std::fopen(OutPath.c_str(), "w");
@@ -559,6 +735,24 @@ int main(int Argc, char **Argv) {
                AllIdentical ? "true" : "false");
   std::fprintf(Out, "  \"budget_respected\": %s,\n",
                AllWithinBudget ? "true" : "false");
+  std::fprintf(Out, "  \"batch_faster\": %s,\n",
+               AllBatchFaster ? "true" : "false");
+  // The batching headline: mean per-operand execute cost on the
+  // repeat-heavy stream, one request at a time vs. one plan per batch
+  // (single client). Charged modeled cost is the gated pair; host CPU
+  // time rides along as an informational measurement.
+  for (const RunRecord &R : Records)
+    if (R.Mode == "batch-execute" && R.Clients == 1) {
+      std::fprintf(Out, "  \"execute_charged_ms_per_op_single\": %.6f,\n",
+                   R.SingleChargedMsPerOp);
+      std::fprintf(Out, "  \"execute_charged_ms_per_op_batched\": %.6f,\n",
+                   R.BatchChargedMsPerOp);
+      std::fprintf(Out, "  \"execute_mean_us_single\": %.3f,\n",
+                   R.SingleMeanUs);
+      std::fprintf(Out, "  \"execute_mean_us_batched\": %.3f,\n",
+                   R.BatchMeanUs);
+      break;
+    }
   // The redesign's headline number: mean per-request select cost on a
   // repeat-heavy stream (highest hit ratio, single client) with the
   // per-request fingerprint+lookup (v1) vs registered handles (v2).
@@ -590,6 +784,12 @@ int main(int Argc, char **Argv) {
         "\"budget_bytes\": %zu, \"max_bytes_cached\": %llu, "
         "\"bytes_evicted\": %llu, \"evictions\": %llu, "
         "\"partial_evictions\": %llu, \"reanalyses\": %llu, "
+        "\"plans_built\": %llu, \"plans_reused\": %llu, "
+        "\"batch_requests\": %llu, \"batched_operands\": %llu, "
+        "\"single_mean_us\": %.3f, \"batch_mean_us\": %.3f, "
+        "\"single_charged_ms_per_op\": %.6f, "
+        "\"batch_charged_ms_per_op\": %.6f, "
+        "\"batch_faster\": %s, "
         "\"budget_respected\": %s, \"bit_identical\": %s}%s\n",
         R.Mode.c_str(), R.Clients, R.TargetHitRatio,
         R.UniqueMatrices, R.WallSeconds,
@@ -606,6 +806,12 @@ int main(int Argc, char **Argv) {
         static_cast<unsigned long long>(R.Stats.Evictions),
         static_cast<unsigned long long>(R.Stats.PartialEvictions),
         static_cast<unsigned long long>(R.Stats.Reanalyses),
+        static_cast<unsigned long long>(R.Stats.PlansBuilt),
+        static_cast<unsigned long long>(R.Stats.PlansReused),
+        static_cast<unsigned long long>(R.Stats.BatchRequests),
+        static_cast<unsigned long long>(R.Stats.BatchedOperands),
+        R.SingleMeanUs, R.BatchMeanUs, R.SingleChargedMsPerOp,
+        R.BatchChargedMsPerOp, R.BatchFaster ? "true" : "false",
         R.BudgetRespected ? "true" : "false",
         R.BitIdentical ? "true" : "false",
         I + 1 < Records.size() ? "," : "");
@@ -613,9 +819,11 @@ int main(int Argc, char **Argv) {
   std::fprintf(Out, "  ]\n}\n");
   std::fclose(Out);
 
-  std::printf("wrote %s (%zu runs, bit_identical=%s, budget_respected=%s)\n",
+  std::printf("wrote %s (%zu runs, bit_identical=%s, budget_respected=%s, "
+              "batch_faster=%s)\n",
               OutPath.c_str(), Records.size(),
               AllIdentical ? "true" : "false",
-              AllWithinBudget ? "true" : "false");
-  return AllIdentical && AllWithinBudget ? 0 : 1;
+              AllWithinBudget ? "true" : "false",
+              AllBatchFaster ? "true" : "false");
+  return AllIdentical && AllWithinBudget && AllBatchFaster ? 0 : 1;
 }

@@ -10,10 +10,13 @@
 // writes seer_known.h / seer_gathered.h / seer_selector.h to a scratch
 // directory, prints one of them, and demonstrates the explainability
 // artifacts the paper emphasizes (the tree-as-code dump and the Gini
-// feature importances).
+// feature importances). It then closes the deployment loop: the portable
+// .tree bundle is stored, re-loaded, and served through a SeerService
+// session handle (serving API v2) — the same path seer-serve runs.
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/SeerService.h"
 #include "core/Seer.h"
 
 #include <cstdio>
@@ -62,5 +65,40 @@ int main() {
   PrintImportance("known model", Models.Known);
   PrintImportance("gathered model", Models.Gathered);
   PrintImportance("selector model", Models.Selector);
+
+  // -- Deployment round trip: store the portable .tree bundle, load it
+  //    back, and serve one handle-based request through the session API —
+  //    exactly what a production embedder (or seer-serve) does.
+  if (const Status S = storeModelBundle(Models, Dir); !S.ok()) {
+    std::fprintf(stderr, "error: %s\n", S.toString().c_str());
+    return 1;
+  }
+  auto Reloaded = loadModelBundle(Dir, Registry.names());
+  if (!Reloaded) {
+    std::fprintf(stderr, "error: %s\n",
+                 Reloaded.status().toString().c_str());
+    return 1;
+  }
+  SeerService Service(std::move(*Reloaded));
+  auto Handle = Service.registerMatrix(
+      GeneratorSpec{"powerlaw", {20000, 1.6, 1, 400, 77}});
+  if (!Handle) {
+    std::fprintf(stderr, "error: %s\n", Handle.status().toString().c_str());
+    return 1;
+  }
+  const auto Response = Service.select(*Handle, /*Iterations=*/19);
+  if (!Response) {
+    std::fprintf(stderr, "error: %s\n",
+                 Response.status().toString().c_str());
+    return 1;
+  }
+  std::printf("\nreloaded bundle serves: kernel %s via the %s model "
+              "(handle-based, analysis paid at registration)\n",
+              Service.registry()
+                  .kernel(Response->Selection.KernelIndex)
+                  .name()
+                  .c_str(),
+              Response->Selection.UsedGatheredModel ? "gathered" : "known");
+  Service.release(*Handle);
   return 0;
 }

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/SeerService.h"
 #include "core/Seer.h"
 
 #include <cmath>
@@ -41,37 +42,56 @@ CsrMatrix transitionMatrix(const CsrMatrix &Adjacency) {
                                  std::move(Entries));
 }
 
-void runPageRank(const char *Label, const CsrMatrix &P,
-                 const SeerRuntime &Runtime, const KernelRegistry &Registry,
-                 const GpuSimulator &Sim) {
+void runPageRank(const char *Label, const CsrMatrix &P, SeerService &Service,
+                 const KernelRegistry &Registry) {
   const uint32_t Iterations = 25;
-  const SelectionResult Pick = Runtime.select(P, Iterations);
+  // Register the graph once (fingerprint + analysis paid here); every
+  // power iteration below is a handle-based ExecutionPlan request.
+  auto Handle = Service.registerMatrix(std::shared_ptr<const CsrMatrix>(
+      std::shared_ptr<void>(), &P)); // zero-copy: P outlives the service
+  if (!Handle) {
+    std::fprintf(stderr, "error: %s\n", Handle.status().toString().c_str());
+    return;
+  }
+  const auto Pick = Service.select(*Handle, Iterations);
+  if (!Pick) {
+    std::fprintf(stderr, "error: %s\n", Pick.status().toString().c_str());
+    return;
+  }
   std::printf("\n%s: %u vertices, %lu edges\n", Label, P.numRows(),
               static_cast<unsigned long>(P.nnz()));
   std::printf("  Seer picked %s via the %s model\n",
-              Registry.kernel(Pick.KernelIndex).name().c_str(),
-              Pick.UsedGatheredModel ? "gathered" : "known");
-
-  const MatrixStats Stats = computeMatrixStats(P);
-  const SpmvKernel &Kernel = Registry.kernel(Pick.KernelIndex);
-  const PreprocessResult Prep = Kernel.preprocess(P, Stats, Sim);
+              Registry.kernel(Pick->Selection.KernelIndex).name().c_str(),
+              Pick->Selection.UsedGatheredModel ? "gathered" : "known");
 
   const uint32_t N = P.numRows();
   const double Damping = 0.85;
   std::vector<double> Rank(N, 1.0 / N);
-  double SimulatedMs = Pick.overheadMs() + Prep.TimeMs;
+  double SimulatedMs = Pick->ModeledCollectionMs + Pick->Selection.InferenceMs;
   for (uint32_t Iter = 0; Iter < Iterations; ++Iter) {
-    const SpmvRun Step = Kernel.run(P, Stats, Prep.State.get(), Rank, Sim);
-    SimulatedMs += Step.Timing.TotalMs;
+    Request Power;
+    Power.Handle = *Handle;
+    Power.Iterations = 1;
+    Power.Execute = true;
+    Power.Operand = Rank;
+    const auto Step = Service.serve(Power);
+    if (!Step) {
+      std::fprintf(stderr, "error: %s\n", Step.status().toString().c_str());
+      return;
+    }
+    // Preprocessing is charged on the first iteration only; the session's
+    // plan cache amortizes it afterwards.
+    SimulatedMs += Step->PreprocessMs + Step->IterationMs;
     double Sum = 0.0;
     for (uint32_t I = 0; I < N; ++I) {
-      Rank[I] = Damping * Step.Y[I] + (1.0 - Damping) / N;
+      Rank[I] = Damping * Step->Y[I] + (1.0 - Damping) / N;
       Sum += Rank[I];
     }
     // Renormalize mass lost to dangling vertices.
     for (double &V : Rank)
       V /= Sum;
   }
+  Service.release(*Handle);
 
   // Report the top-3 ranked vertices and the simulated cost.
   uint32_t Top[3] = {0, 0, 0};
@@ -97,19 +117,17 @@ void runPageRank(const char *Label, const CsrMatrix &P,
 
 int main() {
   const KernelRegistry Registry;
-  const GpuSimulator Sim(DeviceModel::mi100());
   const std::vector<MatrixBenchmark> Measurements = benchmarkCollectionCached(
       CollectionConfig(), BenchmarkConfig(), DeviceModel::mi100(),
       "/tmp/seer_cache", /*Verbose=*/true);
-  const SeerModels Models = trainSeerModels(Measurements, Registry.names());
-  const SeerRuntime Runtime(Models, Registry, Sim);
+  SeerService Service(trainSeerModels(Measurements, Registry.names()));
 
   // A social-network-like graph: R-MAT, heavy-tailed degrees.
   const CsrMatrix Social = transitionMatrix(genRmat(17, 12, 99));
   // A road-network-like graph: banded, near-constant small degree.
   const CsrMatrix Road = transitionMatrix(genBanded(131072, 2, 0.9, 98));
 
-  runPageRank("social network (R-MAT)", Social, Runtime, Registry, Sim);
-  runPageRank("road network (banded)", Road, Runtime, Registry, Sim);
+  runPageRank("social network (R-MAT)", Social, Service, Registry);
+  runPageRank("road network (banded)", Road, Service, Registry);
   return 0;
 }

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/SeerService.h"
 #include "core/Seer.h"
 
 #include <cmath>
@@ -56,32 +57,42 @@ int main() {
   const KernelRegistry Registry;
   const GpuSimulator Sim(DeviceModel::mi100());
 
-  // Train on the standard collection (cached across bench/example runs).
+  // Train on the standard collection (cached across bench/example runs),
+  // then serve the models through the session API.
   const std::vector<MatrixBenchmark> Measurements = benchmarkCollectionCached(
       CollectionConfig(), BenchmarkConfig(), DeviceModel::mi100(),
       "/tmp/seer_cache", /*Verbose=*/true);
-  const SeerModels Models = trainSeerModels(Measurements, Registry.names());
-  const SeerRuntime Runtime(Models, Registry, Sim);
+  SeerService Service(trainSeerModels(Measurements, Registry.names()));
 
-  // The solver's system matrix.
+  // The solver's system matrix, registered once: fingerprint + analysis
+  // are paid here, every CG iteration below is a handle-based request.
   const CsrMatrix A = buildSpdSystem(120000, 6, 7);
   std::printf("system: %u unknowns, %lu nonzeros\n", A.numRows(),
               static_cast<unsigned long>(A.nnz()));
+  auto Handle = Service.registerMatrix(std::shared_ptr<const CsrMatrix>(
+      std::shared_ptr<void>(), &A)); // zero-copy: A outlives the service
+  if (!Handle) {
+    std::fprintf(stderr, "error: %s\n", Handle.status().toString().c_str());
+    return 1;
+  }
 
   const uint32_t ExpectedIterations = 40;
-  const SelectionResult Pick = Runtime.select(A, ExpectedIterations);
+  const auto Pick = Service.select(*Handle, ExpectedIterations);
+  if (!Pick) {
+    std::fprintf(stderr, "error: %s\n", Pick.status().toString().c_str());
+    return 1;
+  }
   std::printf("Seer picked %s for ~%u iterations (%s features, overhead "
               "%.4f ms)\n",
-              Registry.kernel(Pick.KernelIndex).name().c_str(),
+              Registry.kernel(Pick->Selection.KernelIndex).name().c_str(),
               ExpectedIterations,
-              Pick.UsedGatheredModel ? "gathered" : "known",
-              Pick.overheadMs());
+              Pick->Selection.UsedGatheredModel ? "gathered" : "known",
+              Pick->ModeledCollectionMs + Pick->Selection.InferenceMs);
 
-  // Run CG with the chosen kernel, accounting simulated SpMV time.
-  const MatrixStats Stats = computeMatrixStats(A);
-  const SpmvKernel &Kernel = Registry.kernel(Pick.KernelIndex);
-  const PreprocessResult Prep = Kernel.preprocess(A, Stats, Sim);
-
+  // Run CG through the service: each iteration executes one SpMV against
+  // the handle with the evolving direction vector as the operand. The
+  // first execution pays kernel preprocessing; the session's plan cache
+  // amortizes it for every later iteration.
   const uint32_t N = A.numRows();
   std::vector<double> XTrue(N);
   for (uint32_t I = 0; I < N; ++I)
@@ -91,15 +102,24 @@ int main() {
   std::vector<double> X(N, 0.0), R = B, P = B;
   double RDotR = dot(R, R);
   const double Tolerance = 1e-10 * std::sqrt(RDotR);
-  double SpmvMs = Pick.overheadMs() + Prep.TimeMs;
+  double SpmvMs = Pick->ModeledCollectionMs + Pick->Selection.InferenceMs;
   uint32_t Iteration = 0;
   for (; Iteration < ExpectedIterations; ++Iteration) {
-    const SpmvRun Ap = Kernel.run(A, Stats, Prep.State.get(), P, Sim);
-    SpmvMs += Ap.Timing.TotalMs;
-    const double Alpha = RDotR / dot(P, Ap.Y);
+    Request Step;
+    Step.Handle = *Handle;
+    Step.Iterations = 1;
+    Step.Execute = true;
+    Step.Operand = P;
+    const auto Ap = Service.serve(Step);
+    if (!Ap) {
+      std::fprintf(stderr, "error: %s\n", Ap.status().toString().c_str());
+      return 1;
+    }
+    SpmvMs += Ap->PreprocessMs + Ap->IterationMs; // preprocess charged once
+    const double Alpha = RDotR / dot(P, Ap->Y);
     for (uint32_t I = 0; I < N; ++I) {
       X[I] += Alpha * P[I];
-      R[I] -= Alpha * Ap.Y[I];
+      R[I] -= Alpha * Ap->Y[I];
     }
     const double NewRDotR = dot(R, R);
     if (std::sqrt(NewRDotR) < Tolerance) {
@@ -120,14 +140,20 @@ int main() {
               Iteration, MaxError, SpmvMs);
 
   // What would single-kernel policies have cost for the same SpMV count?
+  // The counterfactual probes are per-kernel ExecutionPlans from a
+  // model-less Planner — the same stage the benchmarking sweep uses.
+  const Planner Probe(Registry, Sim);
+  const AnalyzedMatrix Analyzed = Probe.analyze(A);
   std::printf("\nalternative fixed-kernel policies (%u SpMVs):\n", Iteration);
   for (size_t K = 0; K < Registry.size(); ++K) {
-    const SpmvKernel &Alt = Registry.kernel(K);
-    const PreprocessResult AltPrep = Alt.preprocess(A, Stats, Sim);
-    const SpmvRun One = Alt.run(A, Stats, AltPrep.State.get(), B, Sim);
-    const double Total = AltPrep.TimeMs + Iteration * One.Timing.TotalMs;
-    std::printf("  %-10s %8.3f ms%s\n", Alt.name().c_str(), Total,
-                K == Pick.KernelIndex ? "  <- Seer's pick" : "");
+    const ExecutionPlan AltPlan = Probe.planForKernel(Analyzed, K);
+    const SpmvRun One = Probe.run(AltPlan, Analyzed, B);
+    const double Total =
+        AltPlan.ModeledPreprocessMs + Iteration * One.Timing.TotalMs;
+    std::printf("  %-10s %8.3f ms%s\n", Registry.kernel(K).name().c_str(),
+                Total,
+                K == Pick->Selection.KernelIndex ? "  <- Seer's pick" : "");
   }
+  Service.release(*Handle);
   return 0;
 }

@@ -122,6 +122,28 @@ Expected<ServeResponse> SeerService::execute(MatrixHandle Handle,
   return serve(R);
 }
 
+Expected<BatchResponse>
+SeerService::executeBatch(MatrixHandle Handle,
+                          const std::vector<std::vector<double>> &Operands,
+                          uint32_t Iterations) {
+  Request Probe;
+  Probe.Handle = Handle;
+  Probe.Iterations = Iterations;
+  auto Reg = resolve(Handle, Probe);
+  if (!Reg)
+    return Reg.status();
+  if (Operands.empty())
+    return Status::invalidArgument("empty batch (no operands)");
+  const uint32_t Cols = (*Reg)->R.Matrix->numCols();
+  for (size_t I = 0; I < Operands.size(); ++I)
+    if (Operands[I].size() != Cols)
+      return Status::invalidArgument(
+          "batch operand " + std::to_string(I) + " has " +
+          std::to_string(Operands[I].size()) + " elements, matrix has " +
+          std::to_string(Cols) + " columns");
+  return Server.executeBatchRegistered((*Reg)->R, Iterations, Operands);
+}
+
 Expected<std::future<ServeResponse>> SeerService::submit(Request R) {
   auto Reg = resolve(R.Handle, R);
   if (!Reg)

@@ -141,6 +141,18 @@ public:
                                   uint32_t Iterations = 1,
                                   bool VerifyOracle = false);
 
+  /// Batched execution: one ExecutionPlan — routing, selection and
+  /// preprocessing charged once — run over every operand in \p Operands
+  /// (each a numCols()-element vector; INVALID_ARGUMENT on a length
+  /// mismatch or an empty batch, NOT_FOUND on an unknown/released
+  /// handle). Per operand, the result is bit-identical to issuing the
+  /// same execution through serve(); the batch just skips the
+  /// per-request selection, ledger and telemetry costs N-1 times.
+  Expected<BatchResponse>
+  executeBatch(MatrixHandle Handle,
+               const std::vector<std::vector<double>> &Operands,
+               uint32_t Iterations = 1);
+
   /// Submits a request for asynchronous execution on the process-wide
   /// ThreadPool. Validation (handle, iterations, operand) happens here,
   /// synchronously — an admitted future never fails, it always yields

@@ -31,7 +31,7 @@ size_t MatrixBenchmark::fastestKernel(double Iterations) const {
 
 Benchmarker::Benchmarker(const KernelRegistry &Registry,
                          const GpuSimulator &Sim, BenchmarkConfig Config)
-    : Registry(Registry), Sim(Sim), Config(Config) {}
+    : Registry(Registry), Sim(Sim), Pipeline(Registry, Sim), Config(Config) {}
 
 namespace {
 
@@ -75,13 +75,12 @@ MatrixBenchmark Benchmarker::benchmarkMatrix(const std::string &Name,
   // One shared single-pass analysis feeds everything downstream: the known
   // features, the simulator's memory model, every kernel's schedule, and
   // the feature-collection result (which no longer re-walks the rows).
-  const MatrixStats Stats = computeMatrixStats(M);
-  Bench.Known = Stats.Known;
+  const AnalyzedMatrix Analyzed = Pipeline.analyze(M);
+  Bench.Known = Analyzed.Stats.Known;
 
   // Feature collection: the GPU kernels return the same statistics the
   // shared analysis already computed, plus their simulated cost.
-  const FeatureCollectionResult Collection =
-      collectGatheredFeatures(M, Sim, Stats.Gathered);
+  const FeatureCollectionResult Collection = Pipeline.collect(Analyzed);
   Bench.Gathered = Collection.Features;
   Bench.FeatureCollectionMs = Collection.CollectionMs;
 
@@ -97,9 +96,10 @@ MatrixBenchmark Benchmarker::benchmarkMatrix(const std::string &Name,
 
   Bench.PerKernel.resize(Registry.size());
   parallelFor(Config.Parallelism, Registry.size(), [&](size_t K) {
-    const SpmvKernel &Kernel = Registry.kernel(K);
-    const PreprocessResult Prep = Kernel.preprocess(M, Stats, Sim);
-    const SpmvRun Run = Kernel.run(M, Stats, Prep.State.get(), X, Sim);
+    // One prepared plan per kernel; its state serves the verification run
+    // and the timed measurements alike.
+    const ExecutionPlan Plan = Pipeline.planForKernel(Analyzed, K);
+    const SpmvRun Run = Pipeline.run(Plan, Analyzed, X);
 
     if (Config.VerifyResults) {
       assert(Run.Y.size() == Reference.size() && "result length mismatch");
@@ -109,13 +109,14 @@ MatrixBenchmark Benchmarker::benchmarkMatrix(const std::string &Name,
         const double Tolerance =
             1e-9 * std::max({std::abs(Got), std::abs(Want), 1.0});
         if (std::abs(Got - Want) > Tolerance)
-          reportVerificationFailure(Name, Kernel.name(), Row, Got, Want);
+          reportVerificationFailure(Name, Registry.kernel(K).name(), Row, Got,
+                                    Want);
       }
     }
 
     Rng Noise(noiseSeed(Config.NoiseSeed, Name, K));
-    Bench.PerKernel[K].PreprocessMs =
-        averageNoisy(Prep.TimeMs, Config.NoiseSigma, Config.TimedRuns, Noise);
+    Bench.PerKernel[K].PreprocessMs = averageNoisy(
+        Plan.ModeledPreprocessMs, Config.NoiseSigma, Config.TimedRuns, Noise);
     Bench.PerKernel[K].IterationMs = averageNoisy(
         Run.Timing.TotalMs, Config.NoiseSigma, Config.TimedRuns, Noise);
   });

@@ -26,6 +26,7 @@
 #ifndef SEER_CORE_BENCHMARKER_H
 #define SEER_CORE_BENCHMARKER_H
 
+#include "core/ExecutionPlan.h"
 #include "kernels/KernelRegistry.h"
 #include "sparse/Collection.h"
 #include "sparse/MatrixStats.h"
@@ -129,6 +130,10 @@ public:
 private:
   const KernelRegistry &Registry;
   const GpuSimulator &Sim;
+  /// The shared pipeline's model-less stages (analyze/collect/prepare/
+  /// run): the sweep builds one per-kernel ExecutionPlan per matrix and
+  /// reuses its prepared state for verification and the timed runs.
+  Planner Pipeline;
   BenchmarkConfig Config;
 };
 

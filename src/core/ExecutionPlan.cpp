@@ -1,0 +1,208 @@
+//===- core/ExecutionPlan.cpp ----------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ExecutionPlan.h"
+
+#include "core/Features.h"
+#include "core/SeerTrainer.h"
+#include "support/Fnv.h"
+
+#include <utility>
+
+using namespace seer;
+
+uint64_t seer::matrixFingerprint(const CsrMatrix &M) {
+  Fnv1a F;
+  F.add(static_cast<uint64_t>(M.numRows()));
+  F.add(static_cast<uint64_t>(M.numCols()));
+  F.add(M.nnz());
+  for (uint64_t Offset : M.rowOffsets())
+    F.add(Offset);
+  for (uint32_t Col : M.columnIndices())
+    F.add(static_cast<uint64_t>(Col));
+  for (double Value : M.values())
+    F.add(Value);
+  return F.value();
+}
+
+Planner::Planner(const KernelRegistry &Registry, const GpuSimulator &Sim)
+    : Registry(Registry), Sim(Sim) {}
+
+Planner::Planner(const SeerModels &Models, const KernelRegistry &Registry,
+                 const GpuSimulator &Sim)
+    : Models(&Models), Registry(Registry), Sim(Sim) {
+  assert(Models.KernelNames.size() == Registry.size() &&
+         "models were trained for a different kernel registry");
+}
+
+namespace {
+
+/// The trivially known features of \p M (they ship with the input).
+KnownFeatures knownOf(const CsrMatrix &M) {
+  KnownFeatures Known;
+  Known.NumRows = M.numRows();
+  Known.NumCols = M.numCols();
+  Known.Nnz = M.nnz();
+  return Known;
+}
+
+/// Shared body of the selection entry points; \p Collect produces the
+/// gathered features (and their modeled cost) only when the selector
+/// routes to the gathered path. Templated so the common known path stays
+/// allocation-free — selection is the overhead the paper models as
+/// negligible, so it must not pay for a std::function it never calls.
+/// \p Charge decides whether the gathered route's modeled collection
+/// cost is charged to the result; \p ModeledOut (may be null) receives
+/// the intrinsic cost either way.
+template <typename CollectFn>
+SelectionResult selectImpl(const SeerModels &Models,
+                           const KernelRegistry &Registry,
+                           const KnownFeatures &Known, uint32_t Iterations,
+                           const CollectFn &Collect, bool Charge,
+                           double *ModeledOut) {
+  SelectionResult Result;
+  // Trivially known features are free: they ship with the input.
+  const std::vector<double> KnownVec =
+      features::knownVector(Known, Iterations);
+
+  const uint32_t Choice = Models.Selector.predict(KnownVec);
+  Result.InferenceMs = Planner::InferenceOverheadUs * 1e-3;
+
+  if (Choice == SeerModels::SelectGathered) {
+    // Pay for the collection kernels, then ask the gathered model.
+    const FeatureCollectionResult Collection = Collect();
+    Result.UsedGatheredModel = true;
+    if (ModeledOut)
+      *ModeledOut = Collection.CollectionMs;
+    Result.FeatureCollectionMs = Charge ? Collection.CollectionMs : 0.0;
+    Result.InferenceMs += Planner::InferenceOverheadUs * 1e-3;
+    Result.KernelIndex = Models.Gathered.predict(features::gatheredVector(
+        Known, Collection.Features, Iterations));
+  } else {
+    Result.InferenceMs += Planner::InferenceOverheadUs * 1e-3;
+    Result.KernelIndex = Models.Known.predict(KnownVec);
+  }
+  assert(Result.KernelIndex < Registry.size() &&
+         "model predicted an out-of-range kernel");
+  (void)Registry;
+  return Result;
+}
+
+} // namespace
+
+AnalyzedMatrix Planner::analyze(const CsrMatrix &M,
+                                bool WithFingerprint) const {
+  AnalyzedMatrix A;
+  A.Matrix = &M;
+  A.Stats = computeMatrixStats(M);
+  if (WithFingerprint)
+    A.Fingerprint = matrixFingerprint(M);
+  return A;
+}
+
+AnalyzedMatrix Planner::adopt(const CsrMatrix &M, const MatrixStats &Stats,
+                              uint64_t Fingerprint) {
+  AnalyzedMatrix A;
+  A.Matrix = &M;
+  A.Stats = Stats;
+  A.Fingerprint = Fingerprint;
+  return A;
+}
+
+RouteDecision Planner::route(const KnownFeatures &Known,
+                             uint32_t Iterations) const {
+  assert(Models && "route() needs a trained model triple");
+  RouteDecision R;
+  R.InferenceMs = InferenceOverheadUs * 1e-3;
+  R.UseGathered =
+      Models->Selector.predict(features::knownVector(Known, Iterations)) ==
+      SeerModels::SelectGathered;
+  return R;
+}
+
+FeatureCollectionResult Planner::collect(const AnalyzedMatrix &A) const {
+  return collectGatheredFeatures(A.matrix(), Sim, A.Stats.Gathered);
+}
+
+ExecutionPlan Planner::plan(const AnalyzedMatrix &A, uint32_t Iterations,
+                            CollectionCharging Charging) const {
+  assert(Models && "plan() needs a trained model triple");
+  ExecutionPlan Plan;
+  Plan.Iterations = Iterations;
+  Plan.Selection = selectImpl(*Models, Registry, A.Stats.Known, Iterations,
+                              [&] { return collect(A); },
+                              Charging == CollectionCharging::Charged,
+                              &Plan.ModeledCollectionMs);
+  return Plan;
+}
+
+SelectionResult Planner::select(const CsrMatrix &M,
+                                uint32_t Iterations) const {
+  assert(Models && "select() needs a trained model triple");
+  return selectImpl(*Models, Registry, knownOf(M), Iterations,
+                    [&] { return collectGatheredFeatures(M, Sim); },
+                    /*Charge=*/true, /*ModeledOut=*/nullptr);
+}
+
+SelectionResult
+Planner::selectPrecollected(const KnownFeatures &Known,
+                            const GatheredFeatures &Gathered,
+                            uint32_t Iterations) const {
+  assert(Models && "selectPrecollected() needs a trained model triple");
+  return selectImpl(*Models, Registry, Known, Iterations,
+                    [&] {
+                      FeatureCollectionResult Collection;
+                      Collection.Features = Gathered;
+                      Collection.CollectionMs = 0.0; // paid earlier
+                      return Collection;
+                    },
+                    /*Charge=*/false, /*ModeledOut=*/nullptr);
+}
+
+ExecutionPlan Planner::planForKernel(const AnalyzedMatrix &A,
+                                     size_t KernelIndex) const {
+  assert(KernelIndex < Registry.size() && "kernel index out of range");
+  ExecutionPlan Plan;
+  Plan.Selection.KernelIndex = KernelIndex;
+  prepare(Plan, A);
+  return Plan;
+}
+
+void Planner::prepare(ExecutionPlan &Plan, const AnalyzedMatrix &A) const {
+  const SpmvKernel &Kernel = Registry.kernel(Plan.kernelIndex());
+  PreprocessResult Prep = Kernel.preprocess(A.matrix(), A.Stats, Sim);
+  Plan.State = std::move(Prep.State);
+  Plan.Prepared = true;
+  Plan.PreprocessAmortized = false;
+  Plan.PreprocessMs = Prep.TimeMs;
+  Plan.ModeledPreprocessMs = Prep.TimeMs;
+}
+
+void Planner::reusePrepared(ExecutionPlan &Plan,
+                            const PreparedKernel &Prepared,
+                            bool AlreadyPaid) const {
+  Plan.State = Prepared.State;
+  Plan.Prepared = true;
+  Plan.PreprocessAmortized = AlreadyPaid;
+  Plan.PreprocessMs = AlreadyPaid ? 0.0 : Prepared.PreprocessMs;
+  Plan.ModeledPreprocessMs = Prepared.PreprocessMs;
+}
+
+PreparedKernel Planner::exportPrepared(const ExecutionPlan &Plan) const {
+  assert(Plan.Prepared && "exporting an unprepared plan");
+  PreparedKernel Prepared;
+  Prepared.State = Plan.State;
+  Prepared.PreprocessMs = Plan.ModeledPreprocessMs;
+  Prepared.Paid = true;
+  return Prepared;
+}
+
+SpmvRun Planner::run(const ExecutionPlan &Plan, const AnalyzedMatrix &A,
+                     const std::vector<double> &X) const {
+  assert(Plan.Prepared && "running an unprepared plan");
+  return Registry.kernel(Plan.kernelIndex())
+      .run(A.matrix(), A.Stats, Plan.State.get(), X, Sim);
+}

@@ -27,6 +27,7 @@
 #include "core/BenchmarkCache.h"
 #include "core/Benchmarker.h"
 #include "core/Evaluation.h"
+#include "core/ExecutionPlan.h"
 #include "core/ModelBundle.h"
 #include "core/SeerRuntime.h"
 #include "core/SeerTrainer.h"

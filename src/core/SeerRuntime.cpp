@@ -6,8 +6,6 @@
 
 #include "core/SeerRuntime.h"
 
-#include "kernels/FeatureKernels.h"
-
 #include <cassert>
 
 using namespace seer;
@@ -15,100 +13,42 @@ using namespace seer;
 SeerRuntime::SeerRuntime(const SeerModels &Models,
                          const KernelRegistry &Registry,
                          const GpuSimulator &Sim)
-    : Models(Models), Registry(Registry), Sim(Sim) {
-  assert(Models.KernelNames.size() == Registry.size() &&
-         "models were trained for a different kernel registry");
-}
-
-namespace {
-
-/// Shared body of the two select() overloads; \p Collect produces the
-/// gathered features (and their modeled cost) only when the selector
-/// routes to the gathered path. Templated so the common known path stays
-/// allocation-free — selection is the overhead the paper models as
-/// negligible, so it must not pay for a std::function it never calls.
-template <typename CollectFn>
-SelectionResult selectImpl(const SeerModels &Models,
-                           const KernelRegistry &Registry,
-                           const KnownFeatures &Known, uint32_t Iterations,
-                           const CollectFn &Collect) {
-  SelectionResult Result;
-  // Trivially known features are free: they ship with the input.
-  const std::vector<double> KnownVec =
-      features::knownVector(Known, Iterations);
-
-  const uint32_t Choice = Models.Selector.predict(KnownVec);
-  Result.InferenceMs = SeerRuntime::InferenceOverheadUs * 1e-3;
-
-  if (Choice == SeerModels::SelectGathered) {
-    // Pay for the collection kernels, then ask the gathered model.
-    const FeatureCollectionResult Collection = Collect();
-    Result.UsedGatheredModel = true;
-    Result.FeatureCollectionMs = Collection.CollectionMs;
-    Result.InferenceMs += SeerRuntime::InferenceOverheadUs * 1e-3;
-    Result.KernelIndex = Models.Gathered.predict(features::gatheredVector(
-        Known, Collection.Features, Iterations));
-  } else {
-    Result.InferenceMs += SeerRuntime::InferenceOverheadUs * 1e-3;
-    Result.KernelIndex = Models.Known.predict(KnownVec);
-  }
-  assert(Result.KernelIndex < Registry.size() &&
-         "model predicted an out-of-range kernel");
-  (void)Registry;
-  return Result;
-}
-
-/// The trivially known features of \p M (they ship with the input).
-KnownFeatures knownOf(const CsrMatrix &M) {
-  KnownFeatures Known;
-  Known.NumRows = M.numRows();
-  Known.NumCols = M.numCols();
-  Known.Nnz = M.nnz();
-  return Known;
-}
-
-} // namespace
+    : Pipeline(Models, Registry, Sim) {}
 
 SelectionResult SeerRuntime::select(const CsrMatrix &M,
                                     uint32_t Iterations) const {
-  return selectImpl(Models, Registry, knownOf(M), Iterations,
-                    [&] { return collectGatheredFeatures(M, Sim); });
+  return Pipeline.select(M, Iterations);
 }
 
 SelectionResult SeerRuntime::select(const CsrMatrix &M, uint32_t Iterations,
                                     const MatrixStats &Stats) const {
-  return selectImpl(Models, Registry, knownOf(M), Iterations, [&] {
-    return collectGatheredFeatures(M, Sim, Stats.Gathered);
-  });
+  return Pipeline.plan(Planner::adopt(M, Stats), Iterations,
+                       CollectionCharging::Charged)
+      .Selection;
 }
 
 SelectionResult
 SeerRuntime::selectPrecollected(const KnownFeatures &Known,
                                 const GatheredFeatures &Gathered,
                                 uint32_t Iterations) const {
-  return selectImpl(Models, Registry, Known, Iterations, [&] {
-    FeatureCollectionResult Collection;
-    Collection.Features = Gathered;
-    Collection.CollectionMs = 0.0; // already paid on a previous request
-    return Collection;
-  });
+  return Pipeline.selectPrecollected(Known, Gathered, Iterations);
 }
 
 ExecutionReport SeerRuntime::execute(const CsrMatrix &M,
                                      const std::vector<double> &X,
                                      uint32_t Iterations) const {
   assert(Iterations > 0 && "execute needs at least one iteration");
-  ExecutionReport Report;
   // One analysis pass serves selection, preprocessing and the run.
-  const MatrixStats Stats = computeMatrixStats(M);
-  Report.Selection = select(M, Iterations, Stats);
+  const AnalyzedMatrix A = Pipeline.analyze(M);
+  ExecutionPlan Plan =
+      Pipeline.plan(A, Iterations, CollectionCharging::Charged);
+  Pipeline.prepare(Plan, A);
+  const SpmvRun Run = Pipeline.run(Plan, A, X);
+
+  ExecutionReport Report;
+  Report.Selection = Plan.Selection;
   Report.Iterations = Iterations;
-
-  const SpmvKernel &Kernel = Registry.kernel(Report.Selection.KernelIndex);
-  const PreprocessResult Prep = Kernel.preprocess(M, Stats, Sim);
-  Report.PreprocessMs = Prep.TimeMs;
-
-  const SpmvRun Run = Kernel.run(M, Stats, Prep.State.get(), X, Sim);
+  Report.PreprocessMs = Plan.PreprocessMs;
   Report.IterationMs = Run.Timing.TotalMs;
   Report.Y = Run.Y;
   return Report;

@@ -1,30 +1,24 @@
-//===- core/SeerRuntime.h - Runtime inference flow of Fig. 3 --------------===//
+//===- core/SeerRuntime.h - One-shot adapter over the Planner -------------===//
 //
 // Part of the Seer reproduction (CGO 2024).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The runtime inference path of Fig. 3. Given an input matrix and an
-/// iteration count:
-///
-///   1. consult the classifier-selector on the trivially known features;
-///   2. if it says "known": predict the kernel from the known-feature
-///      model at zero overhead;
-///   3. if it says "gathered": run the feature-collection kernels (paying
-///      their simulated cost), then predict from the gathered-feature
-///      model;
-///   4. run the chosen kernel: preprocessing once, then the iterations.
-///
-/// Decision-tree inference is a handful of compares; its cost is modeled
-/// as InferenceOverheadUs (the paper: "the cost of inference is negligible
-/// but accounted for in our predictor").
+/// The one-shot form of the Fig. 3 inference flow: a thin adapter over
+/// core/ExecutionPlan.h's `Planner`, which owns the actual
+/// route -> collect -> select -> prepare -> run pipeline (shared with the
+/// Benchmarker and the serving layer, so the semantics exist once).
+/// `select()` runs the selection stages with one-shot charging;
+/// `execute()` additionally prepares the chosen kernel and runs the
+/// iterations.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SEER_CORE_SEERRUNTIME_H
 #define SEER_CORE_SEERRUNTIME_H
 
+#include "core/ExecutionPlan.h"
 #include "core/SeerTrainer.h"
 #include "kernels/KernelRegistry.h"
 
@@ -33,21 +27,6 @@
 #include <vector>
 
 namespace seer {
-
-/// Outcome of the selection stage alone.
-struct SelectionResult {
-  /// Registry index of the chosen kernel.
-  size_t KernelIndex = 0;
-  /// True when the selector routed to the gathered-feature model.
-  bool UsedGatheredModel = false;
-  /// Cost paid for feature collection (0 on the known path).
-  double FeatureCollectionMs = 0.0;
-  /// Modeled decision-tree inference cost.
-  double InferenceMs = 0.0;
-
-  /// Total selection overhead.
-  double overheadMs() const { return FeatureCollectionMs + InferenceMs; }
-};
 
 /// Full end-to-end execution report.
 struct ExecutionReport {
@@ -67,17 +46,17 @@ struct ExecutionReport {
   }
 };
 
-/// Drives trained models against new inputs.
+/// Drives trained models against new inputs (one-shot, no caching).
 class SeerRuntime {
 public:
-  /// Per-inference decision-tree cost in microseconds (a few dozen
-  /// compares on the host).
-  static constexpr double InferenceOverheadUs = 0.5;
+  /// Per-inference decision-tree cost in microseconds.
+  static constexpr double InferenceOverheadUs = Planner::InferenceOverheadUs;
 
   SeerRuntime(const SeerModels &Models, const KernelRegistry &Registry,
               const GpuSimulator &Sim);
 
-  /// Runs the Fig. 3 selection flow for \p M at \p Iterations.
+  /// Runs the Fig. 3 selection flow for \p M at \p Iterations. Feature
+  /// collection walks the matrix only when the selector routes gathered.
   SelectionResult select(const CsrMatrix &M, uint32_t Iterations) const;
 
   /// Fused variant: reuses an already-computed analysis of \p M for the
@@ -97,17 +76,19 @@ public:
                                      const GatheredFeatures &Gathered,
                                      uint32_t Iterations) const;
 
-  /// Selection + execution: preprocesses the chosen kernel once and runs
-  /// \p Iterations SpMVs with the given operand.
+  /// Selection + execution: analyzes once, plans, preprocesses the chosen
+  /// kernel and runs \p Iterations SpMVs with the given operand.
   ExecutionReport execute(const CsrMatrix &M, const std::vector<double> &X,
                           uint32_t Iterations) const;
 
-  const SeerModels &models() const { return Models; }
+  const SeerModels &models() const { return Pipeline.models(); }
+
+  /// The underlying pipeline, for callers that drive the stages
+  /// explicitly (the serving layer).
+  const Planner &planner() const { return Pipeline; }
 
 private:
-  const SeerModels &Models;
-  const KernelRegistry &Registry;
-  const GpuSimulator &Sim;
+  Planner Pipeline;
 };
 
 } // namespace seer

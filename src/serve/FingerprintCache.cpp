@@ -6,25 +6,9 @@
 
 #include "serve/FingerprintCache.h"
 
-#include "support/Fnv.h"
-
 #include <cassert>
 
 using namespace seer;
-
-uint64_t seer::matrixFingerprint(const CsrMatrix &M) {
-  Fnv1a F;
-  F.add(static_cast<uint64_t>(M.numRows()));
-  F.add(static_cast<uint64_t>(M.numCols()));
-  F.add(M.nnz());
-  for (uint64_t Offset : M.rowOffsets())
-    F.add(Offset);
-  for (uint32_t Col : M.columnIndices())
-    F.add(static_cast<uint64_t>(Col));
-  for (double Value : M.values())
-    F.add(Value);
-  return F.value();
-}
 
 namespace {
 

@@ -71,6 +71,7 @@
 #define SEER_SERVE_FINGERPRINTCACHE_H
 
 #include "core/Benchmarker.h"
+#include "core/ExecutionPlan.h"
 #include "kernels/SpmvKernel.h"
 #include "sparse/MatrixStats.h"
 
@@ -83,27 +84,17 @@
 
 namespace seer {
 
-/// Content fingerprint of \p M: FNV-1a over dimensions, row offsets,
-/// column indices and values. O(nnz), but a plain streaming hash — far
-/// cheaper than the analysis and preprocessing passes it deduplicates.
-uint64_t matrixFingerprint(const CsrMatrix &M);
-
-/// Sharded fingerprint -> per-matrix serving state.
+/// Sharded fingerprint -> per-matrix serving state. The content
+/// fingerprint itself (`matrixFingerprint`) lives in core/ExecutionPlan.h
+/// with the rest of the shared pipeline.
 class FingerprintCache {
 public:
-  /// One kernel's amortization-ledger slot.
-  struct KernelSlot {
-    /// Preprocessed state, shared with every request that runs the kernel.
-    std::shared_ptr<KernelState> State;
-    /// Modeled one-time cost; valid whenever State is set. Charged to the
-    /// first request that executes this kernel (which flips Paid).
-    double PreprocessMs = 0.0;
-    /// True once some request was charged this kernel's preprocessing
-    /// during the current residency. A stashed state with Paid == false
-    /// (e.g. left behind by an oracle sweep) is reusable but still owes
-    /// its one-time cost, and is the cheapest thing to evict.
-    bool Paid = false;
-  };
+  /// One kernel's amortization-ledger slot: a prepared plan fragment
+  /// (core/ExecutionPlan.h) cached per (matrix, kernel). `Paid == false`
+  /// marks a state stashed by an oracle sweep but never charged — it is
+  /// reusable, still owes its one-time cost, and is the cheapest thing
+  /// to evict.
+  using KernelSlot = PreparedKernel;
 
   /// Cached state for one distinct matrix.
   struct Entry {

@@ -9,8 +9,10 @@
 #include "api/MatrixInput.h"
 #include "kernels/KernelRegistry.h"
 #include "sparse/MatrixMarket.h"
+#include "support/Random.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cinttypes>
 #include <cstdio>
@@ -100,6 +102,23 @@ Status seer::parseTraceLine(const std::string &Line, TraceCommand &Out) {
     Out.Command = Verb == "open" ? TraceCommand::Kind::Open
                                  : TraceCommand::Kind::Close;
     Out.Name = Tokens[1];
+    return Status::okStatus();
+  }
+
+  if (Verb == "batch") {
+    if (Tokens.size() < 3 || Tokens.size() > 4)
+      return Fail("usage: batch NAME COUNT [ITERATIONS]");
+    Out.Command = TraceCommand::Kind::Batch;
+    Out.Name = Tokens[1];
+    int64_t Count = 0;
+    if (!parseInt(Tokens[2], Count) || Count < 1 || Count > 4096)
+      return Fail("bad batch operand count '" + Tokens[2] +
+                  "' (must be in [1, 4096])");
+    Out.BatchCount = static_cast<uint32_t>(Count);
+    if (Tokens.size() == 4)
+      if (const Status S = parseIterations(Tokens[3], Out.Iterations);
+          !S.ok())
+        return S;
     return Status::okStatus();
   }
 
@@ -193,13 +212,15 @@ Expected<TraceScript> seer::parseTrace(const std::string &Text) {
       break;
     }
     case TraceCommand::Kind::Open:
-    case TraceCommand::Kind::Close: {
+    case TraceCommand::Kind::Close:
+    case TraceCommand::Kind::Batch: {
+      const char *Verb = Command.Command == TraceCommand::Kind::Open
+                             ? "open"
+                             : Command.Command == TraceCommand::Kind::Close
+                                   ? "close"
+                                   : "batch";
       if (Script.Version < 2)
-        return Fail(LineNo, "'" +
-                                std::string(Command.Command ==
-                                                    TraceCommand::Kind::Open
-                                                ? "open"
-                                                : "close") +
+        return Fail(LineNo, "'" + std::string(Verb) +
                                 "' requires a 'seer-trace v2' header");
       const size_t Index = RequireDefined();
       if (Index == TraceScript::npos)
@@ -207,8 +228,12 @@ Expected<TraceScript> seer::parseTrace(const std::string &Text) {
       TraceScript::Op Op;
       Op.Command = Command.Command == TraceCommand::Kind::Open
                        ? TraceScript::Op::Kind::Open
-                       : TraceScript::Op::Kind::Close;
+                       : Command.Command == TraceCommand::Kind::Close
+                             ? TraceScript::Op::Kind::Close
+                             : TraceScript::Op::Kind::Batch;
       Op.MatrixIndex = Index;
+      Op.Iterations = Command.Iterations;
+      Op.BatchCount = Command.BatchCount;
       Script.Ops.push_back(Op);
       break;
     }
@@ -290,10 +315,53 @@ std::optional<TraceScript> seer::readTraceFile(const std::string &Path,
 // Output formatting
 //===----------------------------------------------------------------------===//
 
+std::vector<std::vector<double>> seer::buildBatchOperands(uint32_t Count,
+                                                          uint32_t Cols) {
+  std::vector<std::vector<double>> Operands(Count);
+  for (uint32_t K = 0; K < Count; ++K) {
+    Rng OpRng(K);
+    Operands[K].resize(Cols);
+    for (double &V : Operands[K])
+      V = OpRng.uniform(-1.0, 1.0);
+  }
+  return Operands;
+}
+
+std::string seer::formatBatchResponseLine(const std::string &Name,
+                                          const BatchResponse &Response,
+                                          const KernelRegistry &Registry) {
+  char Buffer[512];
+  const int Written = std::snprintf(
+      Buffer, sizeof(Buffer),
+      "%s kernel=%s route=%s cache=%s iterations=%u batch=%zu "
+      "overhead_ms=%.6f preprocess_ms=%.6f amortized=%d iteration_ms=%.6f "
+      "total_ms=%.6f",
+      Name.c_str(),
+      Registry.kernel(Response.Selection.KernelIndex).name().c_str(),
+      Response.Selection.UsedGatheredModel ? "gathered" : "known",
+      Response.CacheHit ? "hit" : "miss", Response.Iterations,
+      Response.operands(), Response.Selection.overheadMs(),
+      Response.PreprocessMs, Response.PreprocessAmortized ? 1 : 0,
+      Response.IterationMs, Response.totalMs());
+  // snprintf returns the untruncated would-be length: clamp so an
+  // oversized NAME yields a truncated line, not an out-of-bounds read.
+  const size_t Length =
+      Written > 0 ? std::min(static_cast<size_t>(Written), sizeof(Buffer) - 1)
+                  : 0;
+  return std::string(Buffer, Length);
+}
+
 std::string seer::formatResponseLine(const std::string &Name,
                                      const ServeResponse &Response,
                                      const KernelRegistry &Registry) {
   char Buffer[512];
+  // As in formatBatchResponseLine: snprintf reports the untruncated
+  // length, so clamp every chunk to what actually fits in the buffer.
+  const auto Fitted = [&Buffer](int Written) {
+    return Written > 0
+               ? std::min(static_cast<size_t>(Written), sizeof(Buffer) - 1)
+               : 0;
+  };
   int Written = std::snprintf(
       Buffer, sizeof(Buffer),
       "%s kernel=%s route=%s cache=%s iterations=%u overhead_ms=%.6f",
@@ -302,21 +370,21 @@ std::string seer::formatResponseLine(const std::string &Name,
       Response.Selection.UsedGatheredModel ? "gathered" : "known",
       Response.CacheHit ? "hit" : "miss", Response.Iterations,
       Response.Selection.overheadMs());
-  std::string Line(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
+  std::string Line(Buffer, Fitted(Written));
   if (Response.Executed) {
     Written = std::snprintf(
         Buffer, sizeof(Buffer),
         " preprocess_ms=%.6f amortized=%d iteration_ms=%.6f total_ms=%.6f",
         Response.PreprocessMs, Response.PreprocessAmortized ? 1 : 0,
         Response.IterationMs, Response.totalMs());
-    Line.append(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
+    Line.append(Buffer, Fitted(Written));
   }
   if (Response.OracleChecked) {
     Written = std::snprintf(
         Buffer, sizeof(Buffer), " oracle=%s mispredict=%d regret_ms=%.6f",
         Registry.kernel(Response.OracleKernelIndex).name().c_str(),
         Response.Mispredicted ? 1 : 0, Response.RegretMs);
-    Line.append(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
+    Line.append(Buffer, Fitted(Written));
   }
   return Line;
 }
@@ -336,6 +404,10 @@ std::string seer::formatStatsLines(const ServerStats &Stats) {
       "stat executions %" PRIu64 "\n"
       "stat paid_preprocesses %" PRIu64 "\n"
       "stat amortized_preprocesses %" PRIu64 "\n"
+      "stat plans_built %" PRIu64 "\n"
+      "stat plans_reused %" PRIu64 "\n"
+      "stat batch_requests %" PRIu64 "\n"
+      "stat batched_operands %" PRIu64 "\n"
       "stat oracle_checks %" PRIu64 "\n"
       "stat mispredictions %" PRIu64 "\n"
       "stat mispredict_rate %.4f\n"
@@ -358,7 +430,9 @@ std::string seer::formatStatsLines(const ServerStats &Stats) {
       Stats.Requests, Stats.Registrations, Stats.ActiveHandles,
       Stats.CacheHits, Stats.CacheMisses, Stats.hitRate(), Stats.KnownRoutes,
       Stats.GatheredRoutes, Stats.Executions, Stats.PaidPreprocesses,
-      Stats.AmortizedPreprocesses, Stats.OracleChecks, Stats.Mispredictions,
+      Stats.AmortizedPreprocesses, Stats.PlansBuilt, Stats.PlansReused,
+      Stats.BatchRequests, Stats.BatchedOperands, Stats.OracleChecks,
+      Stats.Mispredictions,
       Stats.mispredictRate(), Stats.SavedCollectionMs,
       Stats.SavedPreprocessMs, Stats.CachedMatrices, Stats.PinnedMatrices,
       Stats.CacheBudgetBytes, Stats.BytesCached, Stats.BytesEvicted,

@@ -42,6 +42,13 @@
 ///   execute NAME [ITERATIONS] [verify]
 ///                                    also run the kernel; `verify` turns
 ///                                    on the oracle comparison
+///   batch NAME COUNT [ITERATIONS]    v2 only: one ExecutionPlan (routing,
+///                                    selection and preprocessing charged
+///                                    once) executed over COUNT operands;
+///                                    operand k is the deterministic
+///                                    uniform(-1, 1) vector seeded with k
+///                                    (buildBatchOperands), so replays are
+///                                    reproducible
 ///
 /// Control commands (interactive mode only):
 ///   stats                            print the telemetry snapshot
@@ -82,22 +89,25 @@ struct TraceCommand {
     Close,
     Select,
     Execute,
+    Batch,
     Stats,
     Quit
   };
   Kind Command = Kind::Blank;
   /// Declared protocol version (Version).
   int Version = 1;
-  /// Matrix name (Load/Gen/Open/Close/Select/Execute).
+  /// Matrix name (Load/Gen/Open/Close/Select/Execute/Batch).
   std::string Name;
   /// File path (Load).
   std::string Path;
   /// Generator family and numeric arguments (Gen).
   std::string GenFamily;
   std::vector<double> GenArgs;
-  /// Request parameters (Select/Execute).
+  /// Request parameters (Select/Execute/Batch).
   uint32_t Iterations = 1;
   bool Verify = false;
+  /// Operand count (Batch).
+  uint32_t BatchCount = 0;
 };
 
 /// Parses one protocol line. INVALID_ARGUMENT on a malformed line;
@@ -112,15 +122,17 @@ Expected<CsrMatrix> buildTraceMatrix(const TraceCommand &Command);
 /// matrices (in definition order) and the operation sequence.
 struct TraceScript {
   /// One replayable operation. v1 traces only contain Select/Execute;
-  /// Open/Close appear in v2 traces.
+  /// Open/Close/Batch appear in v2 traces.
   struct Op {
-    enum class Kind { Open, Close, Select, Execute };
+    enum class Kind { Open, Close, Select, Execute, Batch };
     Kind Command = Kind::Select;
     /// Index into Matrices.
     size_t MatrixIndex = 0;
-    /// Request parameters (Select/Execute).
+    /// Request parameters (Select/Execute/Batch).
     uint32_t Iterations = 1;
     bool Verify = false;
+    /// Operand count (Batch).
+    uint32_t BatchCount = 0;
   };
 
   /// Declared protocol version (1 without a header line).
@@ -142,11 +154,25 @@ Expected<TraceScript> parseTrace(const std::string &Text);
 /// Reads and parses a trace file (NOT_FOUND / INVALID_ARGUMENT).
 Expected<TraceScript> readTraceFile(const std::string &Path);
 
+/// The deterministic operand set of a `batch NAME COUNT` command:
+/// operand k (0-based) has \p Cols elements drawn uniform(-1, 1) from a
+/// generator seeded with k, so every replay of a trace executes the
+/// identical batch.
+std::vector<std::vector<double>> buildBatchOperands(uint32_t Count,
+                                                    uint32_t Cols);
+
 /// Formats one response as a single protocol output line, e.g.
 ///   `web1 kernel=CSR,WO route=gathered cache=hit overhead_ms=0 ...`.
 std::string formatResponseLine(const std::string &Name,
                                const ServeResponse &Response,
                                const KernelRegistry &Registry);
+
+/// Formats a batched-execution response as a single protocol output
+/// line: the per-batch charges plus the operand count, e.g.
+///   `web kernel=CSR,WO route=known cache=hit iterations=5 batch=32 ...`.
+std::string formatBatchResponseLine(const std::string &Name,
+                                    const BatchResponse &Response,
+                                    const KernelRegistry &Registry);
 
 /// Formats a stats snapshot as `stat NAME VALUE` lines.
 std::string formatStatsLines(const ServerStats &Stats);
@@ -157,21 +183,25 @@ std::string formatErrorLine(const Status &Error);
 
 /// \deprecated Pre-Status form of parseTraceLine: \returns false and
 /// fills \p ErrorMessage on a malformed line. Prefer the Status overload.
+[[deprecated("use the Status-returning parseTraceLine overload")]]
 bool parseTraceLine(const std::string &Line, TraceCommand &Out,
                     std::string *ErrorMessage);
 
 /// \deprecated Pre-Status form of buildTraceMatrix. Prefer the Expected
 /// overload.
+[[deprecated("use the Expected-returning buildTraceMatrix overload")]]
 std::optional<CsrMatrix> buildTraceMatrix(const TraceCommand &Command,
                                           std::string *ErrorMessage);
 
 /// \deprecated Pre-Status form of parseTrace. Prefer the Expected
 /// overload.
+[[deprecated("use the Expected-returning parseTrace overload")]]
 std::optional<TraceScript> parseTrace(const std::string &Text,
                                       std::string *ErrorMessage);
 
 /// \deprecated Pre-Status form of readTraceFile. Prefer the Expected
 /// overload.
+[[deprecated("use the Expected-returning readTraceFile overload")]]
 std::optional<TraceScript> readTraceFile(const std::string &Path,
                                          std::string *ErrorMessage);
 

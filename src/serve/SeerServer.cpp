@@ -6,7 +6,6 @@
 
 #include "serve/SeerServer.h"
 
-#include "kernels/FeatureKernels.h"
 #include "support/ThreadPool.h"
 
 #include <cassert>
@@ -73,90 +72,93 @@ ServeResponse SeerServer::handle(const ServeRequest &Request) {
   return serveEntry(M, Fingerprint, Entry, Hit, Request.options(), Start);
 }
 
+bool SeerServer::preparePlan(
+    ExecutionPlan &Plan, const AnalyzedMatrix &A,
+    const std::shared_ptr<FingerprintCache::Entry> &Entry) {
+  const Planner &Pipeline = Runtime.planner();
+
+  // Plan reuse: rebuild the plan around the cached prepared fragment if
+  // one exists. Check under the entry lock, do fresh work outside it,
+  // and let the first finisher publish. Charge-once-per-residency:
+  // eviction resets the fragments along with the entry.
+  {
+    std::lock_guard<std::mutex> Lock(Entry->Mutex);
+    FingerprintCache::KernelSlot &Slot = Entry->Kernels[Plan.kernelIndex()];
+    if (Slot.Paid) {
+      Pipeline.reusePrepared(Plan, Slot, /*AlreadyPaid=*/true);
+      return true;
+    }
+    if (Slot.State) {
+      // A fragment stashed by an oracle sweep but never charged: reuse
+      // the (deterministic) state, but this plan owes the one-time cost —
+      // the modeled charge is identical to recomputing preprocess().
+      Pipeline.reusePrepared(Plan, Slot, /*AlreadyPaid=*/false);
+      Slot.Paid = true;
+      return true;
+    }
+  }
+
+  Pipeline.prepare(Plan, A); // fresh, outside the entry lock
+  bool Grew = false;
+  bool Reused = false;
+  {
+    std::lock_guard<std::mutex> Lock(Entry->Mutex);
+    FingerprintCache::KernelSlot &Slot = Entry->Kernels[Plan.kernelIndex()];
+    if (!Slot.Paid) {
+      Slot = Pipeline.exportPrepared(Plan);
+      Grew = true;
+    } else {
+      // A racing request published its plan first; this one rides along.
+      Pipeline.reusePrepared(Plan, Slot, /*AlreadyPaid=*/true);
+      Reused = true;
+    }
+  }
+  if (Grew)
+    Cache.noteMutation(Entry);
+  return Reused;
+}
+
 ServeResponse
 SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
                        const std::shared_ptr<FingerprintCache::Entry> &Entry,
                        bool CacheHit, const ServeOptions &Request,
                        std::chrono::steady_clock::time_point Start) {
+  const Planner &Pipeline = Runtime.planner();
+  const AnalyzedMatrix A = Planner::adopt(M, Entry->Stats, Fingerprint);
+
   ServeResponse R;
   R.Iterations = Request.Iterations ? Request.Iterations : 1;
   R.Fingerprint = Fingerprint;
   R.CacheHit = CacheHit;
 
-  if (CacheHit) {
-    // Features come from the cache: zero collection cost is charged, and
-    // the chosen kernel is bit-identical to the uncached path because the
-    // cached gathered features are exactly what collection recomputes.
-    R.Selection = Runtime.selectPrecollected(Entry->Stats.Known,
-                                             Entry->Stats.Gathered,
-                                             R.Iterations);
-    if (R.Selection.UsedGatheredModel) {
-      // Telemetry: the modeled collection cost this hit skipped. The fused
-      // overload only evaluates the simulator's cost formula — no matrix
-      // walk happens here.
-      const double Skipped =
-          collectGatheredFeatures(M, Sim, Entry->Stats.Gathered).CollectionMs;
-      SavedCollectionNs.fetch_add(msToNanos(Skipped),
-                                  std::memory_order_relaxed);
-    }
-  } else {
-    R.Selection = Runtime.select(M, R.Iterations, Entry->Stats);
+  // Route + collect + select, with the collection charged only on a
+  // miss: on a hit the features come from the cache and the chosen
+  // kernel is bit-identical to the uncached path, because the cached
+  // gathered features are exactly what collection recomputes.
+  ExecutionPlan Plan =
+      Pipeline.plan(A, R.Iterations,
+                    CacheHit ? CollectionCharging::Precollected
+                             : CollectionCharging::Charged);
+  R.Selection = Plan.Selection;
+  R.ModeledCollectionMs = Plan.ModeledCollectionMs;
+  if (CacheHit && Plan.Selection.UsedGatheredModel) {
+    // Telemetry: the modeled collection cost this hit skipped (the
+    // plan's collect stage evaluated only the cost formula — no matrix
+    // walk happens on the precollected path).
+    SavedCollectionNs.fetch_add(msToNanos(Plan.ModeledCollectionMs),
+                                std::memory_order_relaxed);
   }
 
+  bool PlanReused = false;
   if (Request.Execute) {
     R.Executed = true;
-    const SpmvKernel &Kernel = Registry.kernel(R.Selection.KernelIndex);
-
-    // Amortization ledger: preprocessing for this (matrix, kernel) pair is
-    // charged once per residency (eviction resets the ledger along with
-    // the entry). Check under the entry lock, do the work outside it, and
-    // let the first finisher record the payment.
-    std::shared_ptr<KernelState> State;
-    bool NeedPreprocess = false;
-    {
-      std::lock_guard<std::mutex> Lock(Entry->Mutex);
-      FingerprintCache::KernelSlot &Slot =
-          Entry->Kernels[R.Selection.KernelIndex];
-      if (Slot.Paid) {
-        State = Slot.State;
-        R.PreprocessAmortized = true;
-        SavedPreprocessNs.fetch_add(msToNanos(Slot.PreprocessMs),
-                                    std::memory_order_relaxed);
-      } else if (Slot.State) {
-        // A state stashed by an oracle sweep but never charged: reuse the
-        // (deterministic) state, but this request owes the one-time cost —
-        // the modeled charge is identical to recomputing preprocess().
-        State = Slot.State;
-        Slot.Paid = true;
-        R.PreprocessMs = Slot.PreprocessMs;
-      } else {
-        NeedPreprocess = true;
-      }
-    }
-    if (NeedPreprocess) {
-      PreprocessResult Prep = Kernel.preprocess(M, Entry->Stats, Sim);
-      bool Grew = false;
-      {
-        std::lock_guard<std::mutex> Lock(Entry->Mutex);
-        FingerprintCache::KernelSlot &Slot =
-            Entry->Kernels[R.Selection.KernelIndex];
-        if (!Slot.Paid) {
-          Slot.State = std::move(Prep.State);
-          Slot.PreprocessMs = Prep.TimeMs;
-          Slot.Paid = true;
-          R.PreprocessMs = Prep.TimeMs;
-          Grew = true;
-        } else {
-          // A racing request paid first; this one rides along.
-          R.PreprocessAmortized = true;
-          SavedPreprocessNs.fetch_add(msToNanos(Slot.PreprocessMs),
-                                      std::memory_order_relaxed);
-        }
-        State = Slot.State;
-      }
-      if (Grew)
-        Cache.noteMutation(Entry);
-    }
+    PlanReused = preparePlan(Plan, A, Entry);
+    R.PreprocessAmortized = Plan.PreprocessAmortized;
+    R.PreprocessMs = Plan.PreprocessMs;
+    R.ModeledPreprocessMs = Plan.ModeledPreprocessMs;
+    if (Plan.PreprocessAmortized)
+      SavedPreprocessNs.fetch_add(msToNanos(Plan.ModeledPreprocessMs),
+                                  std::memory_order_relaxed);
 
     const std::vector<double> Ones =
         Request.Operand ? std::vector<double>()
@@ -164,7 +166,7 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
     const std::vector<double> &X = Request.Operand ? *Request.Operand : Ones;
     assert(X.size() == M.numCols() && "operand length mismatch");
 
-    SpmvRun Run = Kernel.run(M, Entry->Stats, State.get(), X, Sim);
+    SpmvRun Run = Pipeline.run(Plan, A, X);
     R.IterationMs = Run.Timing.TotalMs;
     R.Y = std::move(Run.Y);
 
@@ -177,14 +179,15 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
         Oracle = Entry->Oracle;
       }
       if (Oracle.empty()) {
+        // The oracle sweep is the planner's per-kernel plan path, one
+        // prepared plan per registry kernel.
         Oracle.resize(Registry.size());
-        std::vector<PreprocessResult> Preps(Registry.size());
+        std::vector<ExecutionPlan> Probes;
+        Probes.reserve(Registry.size());
         for (size_t K = 0; K < Registry.size(); ++K) {
-          const SpmvKernel &Candidate = Registry.kernel(K);
-          Preps[K] = Candidate.preprocess(M, Entry->Stats, Sim);
-          const SpmvRun Probe =
-              Candidate.run(M, Entry->Stats, Preps[K].State.get(), X, Sim);
-          Oracle[K].PreprocessMs = Preps[K].TimeMs;
+          Probes.push_back(Pipeline.planForKernel(A, K));
+          const SpmvRun Probe = Pipeline.run(Probes[K], A, X);
+          Oracle[K].PreprocessMs = Probes[K].ModeledPreprocessMs;
           Oracle[K].IterationMs = Probe.Timing.TotalMs;
         }
         bool Grew = false;
@@ -194,15 +197,15 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
             Entry->Oracle = Oracle;
             Grew = true;
           }
-          // Stash the sweep's by-product states into empty ledger slots,
+          // Stash the sweep's by-product plans into empty ledger slots,
           // unpaid: a later execution of that kernel reuses the state but
           // still gets charged its one-time cost, and the byte-budgeted
           // cache sheds these first under pressure.
-          for (size_t K = 0; K < Preps.size(); ++K) {
+          for (size_t K = 0; K < Probes.size(); ++K) {
             FingerprintCache::KernelSlot &Slot = Entry->Kernels[K];
-            if (!Slot.State && !Slot.Paid && Preps[K].State) {
-              Slot.State = std::move(Preps[K].State);
-              Slot.PreprocessMs = Preps[K].TimeMs;
+            if (!Slot.State && !Slot.Paid && Probes[K].State) {
+              Slot.State = std::move(Probes[K].State);
+              Slot.PreprocessMs = Probes[K].ModeledPreprocessMs;
               Grew = true;
             }
           }
@@ -237,6 +240,8 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
     Executions.fetch_add(1, std::memory_order_relaxed);
     (R.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses)
         .fetch_add(1, std::memory_order_relaxed);
+    (PlanReused ? PlansReused : PlansBuilt)
+        .fetch_add(1, std::memory_order_relaxed);
   }
   if (R.OracleChecked) {
     OracleChecks.fetch_add(1, std::memory_order_relaxed);
@@ -245,6 +250,69 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
   }
   Latency.record(R.ServiceMicros);
   return R;
+}
+
+BatchResponse SeerServer::executeBatchRegistered(
+    const RegisteredMatrix &Registered, uint32_t Iterations,
+    const std::vector<std::vector<double>> &Operands) {
+  assert(Registered.valid() && "batch against an empty registration");
+  assert(!Operands.empty() && "empty batch");
+  const auto Start = std::chrono::steady_clock::now();
+  const CsrMatrix &M = *Registered.Matrix;
+  const Planner &Pipeline = Runtime.planner();
+  const AnalyzedMatrix A = Planner::adopt(M, Registered.Entry->Stats,
+                                          Registered.Fingerprint);
+
+  BatchResponse B;
+  B.Iterations = Iterations ? Iterations : 1;
+  B.Fingerprint = Registered.Fingerprint;
+  B.CacheHit = true; // registration paid the analysis
+
+  // One plan for the whole batch: routing, selection and preprocessing
+  // are charged once; each operand pays only its iterations.
+  ExecutionPlan Plan =
+      Pipeline.plan(A, B.Iterations, CollectionCharging::Precollected);
+  B.Selection = Plan.Selection;
+  B.ModeledCollectionMs = Plan.ModeledCollectionMs;
+  if (Plan.Selection.UsedGatheredModel)
+    SavedCollectionNs.fetch_add(msToNanos(Plan.ModeledCollectionMs),
+                                std::memory_order_relaxed);
+
+  const bool PlanReused = preparePlan(Plan, A, Registered.Entry);
+  B.PreprocessAmortized = Plan.PreprocessAmortized;
+  B.PreprocessMs = Plan.PreprocessMs;
+  B.ModeledPreprocessMs = Plan.ModeledPreprocessMs;
+  if (Plan.PreprocessAmortized)
+    SavedPreprocessNs.fetch_add(msToNanos(Plan.ModeledPreprocessMs),
+                                std::memory_order_relaxed);
+
+  B.Y.reserve(Operands.size());
+  for (const std::vector<double> &X : Operands) {
+    assert(X.size() == M.numCols() && "operand length mismatch");
+    SpmvRun Run = Pipeline.run(Plan, A, X);
+    B.IterationMs = Run.Timing.TotalMs;
+    B.Y.push_back(std::move(Run.Y));
+  }
+
+  B.ServiceMicros = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+
+  // Telemetry: a batch is one request (one hit, one route, one
+  // preprocessing charge, one plan) executing N operands.
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  CacheHits.fetch_add(1, std::memory_order_relaxed);
+  if (B.Selection.UsedGatheredModel)
+    GatheredRoutes.fetch_add(1, std::memory_order_relaxed);
+  Executions.fetch_add(Operands.size(), std::memory_order_relaxed);
+  (B.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses)
+      .fetch_add(1, std::memory_order_relaxed);
+  (PlanReused ? PlansReused : PlansBuilt)
+      .fetch_add(1, std::memory_order_relaxed);
+  BatchRequests.fetch_add(1, std::memory_order_relaxed);
+  BatchedOperands.fetch_add(Operands.size(), std::memory_order_relaxed);
+  Latency.record(B.ServiceMicros);
+  return B;
 }
 
 std::vector<ServeResponse>
@@ -267,6 +335,10 @@ ServerStats SeerServer::stats() const {
   S.PaidPreprocesses = PaidPreprocesses.load(std::memory_order_relaxed);
   S.AmortizedPreprocesses =
       AmortizedPreprocesses.load(std::memory_order_relaxed);
+  S.PlansBuilt = PlansBuilt.load(std::memory_order_relaxed);
+  S.PlansReused = PlansReused.load(std::memory_order_relaxed);
+  S.BatchRequests = BatchRequests.load(std::memory_order_relaxed);
+  S.BatchedOperands = BatchedOperands.load(std::memory_order_relaxed);
   S.OracleChecks = OracleChecks.load(std::memory_order_relaxed);
   S.Mispredictions = Mispredictions.load(std::memory_order_relaxed);
   S.SavedCollectionMs =
@@ -307,6 +379,10 @@ void SeerServer::resetStats() {
   Executions.store(0, std::memory_order_relaxed);
   PaidPreprocesses.store(0, std::memory_order_relaxed);
   AmortizedPreprocesses.store(0, std::memory_order_relaxed);
+  PlansBuilt.store(0, std::memory_order_relaxed);
+  PlansReused.store(0, std::memory_order_relaxed);
+  BatchRequests.store(0, std::memory_order_relaxed);
+  BatchedOperands.store(0, std::memory_order_relaxed);
   OracleChecks.store(0, std::memory_order_relaxed);
   Mispredictions.store(0, std::memory_order_relaxed);
   SavedCollectionNs.store(0, std::memory_order_relaxed);

@@ -7,9 +7,11 @@
 /// \file
 /// The long-running form of the Fig. 3 runtime: a `SeerServer` loads the
 /// trained model triple once and answers selection/execution requests
-/// from any number of concurrent client threads. Where the one-shot
-/// `SeerRuntime` pays feature collection and kernel preprocessing on
-/// every call, the server amortizes both across a session:
+/// from any number of concurrent client threads. Every request is served
+/// by the shared `Planner` pipeline (core/ExecutionPlan.h) — the same
+/// stages the one-shot `SeerRuntime` drives — but where the one-shot
+/// path pays feature collection and kernel preprocessing on every call,
+/// the server caches prepared plans and amortizes both across a session:
 ///
 ///  - a content-addressed fingerprint cache recognizes repeat matrices
 ///    and serves their selection from cached features at zero collection
@@ -116,6 +118,18 @@ public:
   ServeResponse handleRegistered(const RegisteredMatrix &Registered,
                                  const ServeOptions &Options);
 
+  /// Executes one ExecutionPlan over \p Operands: routing, selection and
+  /// preprocessing are charged once for the batch, then every operand
+  /// runs \p Iterations SpMVs against the shared prepared plan. Each
+  /// operand must have numCols() elements; Operands must be non-empty.
+  /// Bit-identical per operand to issuing the same executions one by one
+  /// (the plan the single path rebuilds per request is this one).
+  /// Thread-safe; concurrent batches share the cached plan through the
+  /// same ledger as single requests.
+  BatchResponse executeBatchRegistered(
+      const RegisteredMatrix &Registered, uint32_t Iterations,
+      const std::vector<std::vector<double>> &Operands);
+
   /// \deprecated Serves one pointer-based request (the PR 2 API): the
   /// matrix is re-fingerprinted and looked up on every call and must stay
   /// alive for the duration of handle(). Kept as a shim so the
@@ -145,15 +159,25 @@ public:
   const GpuSimulator &simulator() const { return Sim; }
 
 private:
-  /// The shared request path: selection (and optional execution + oracle
-  /// verification) against an already-resolved cache entry. \p Start is
-  /// when the request entered the server (before fingerprinting on the
-  /// deprecated path), so latency telemetry reflects what each API
-  /// actually costs per request.
+  /// The shared request path: one Planner-built ExecutionPlan (selection,
+  /// optional preparation + execution + oracle verification) against an
+  /// already-resolved cache entry. \p Start is when the request entered
+  /// the server (before fingerprinting on the deprecated path), so
+  /// latency telemetry reflects what each API actually costs per request.
   ServeResponse serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
                            const std::shared_ptr<FingerprintCache::Entry> &E,
                            bool CacheHit, const ServeOptions &Options,
                            std::chrono::steady_clock::time_point Start);
+
+  /// The prepare() stage against the entry's plan cache: rebuilds \p Plan
+  /// around the cached prepared fragment for its kernel (charging the
+  /// plan only if the fragment was never paid), or prepares fresh outside
+  /// the entry lock and publishes the fragment. \returns true when the
+  /// plan was rebuilt around a cached state (plan reuse), false when this
+  /// request built it. Preserves charge-once-per-residency: eviction
+  /// drops fragments with the entry, and the next residency re-pays.
+  bool preparePlan(ExecutionPlan &Plan, const AnalyzedMatrix &A,
+                   const std::shared_ptr<FingerprintCache::Entry> &E);
 
   /// Declaration order is load-bearing: Runtime holds references to
   /// Models, Registry and Sim.
@@ -173,6 +197,10 @@ private:
   std::atomic<uint64_t> Executions{0};
   std::atomic<uint64_t> PaidPreprocesses{0};
   std::atomic<uint64_t> AmortizedPreprocesses{0};
+  std::atomic<uint64_t> PlansBuilt{0};
+  std::atomic<uint64_t> PlansReused{0};
+  std::atomic<uint64_t> BatchRequests{0};
+  std::atomic<uint64_t> BatchedOperands{0};
   std::atomic<uint64_t> OracleChecks{0};
   std::atomic<uint64_t> Mispredictions{0};
   /// Saved modeled milliseconds, accumulated as integer nanoseconds so the

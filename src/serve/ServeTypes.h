@@ -79,11 +79,17 @@ struct ServeRequest {
 };
 
 /// The server's answer. Cost fields are *charged* costs for this request,
-/// not intrinsic ones: cached work is charged at zero.
+/// not intrinsic ones: cached work is charged at zero. The Modeled*
+/// fields carry the intrinsic one-shot costs regardless of charging, so
+/// clients (seer-predict, the examples) can report the Fig. 3 breakdown
+/// even when the serving layer amortized everything away.
 struct ServeResponse {
   /// Selection outcome. On a cache hit FeatureCollectionMs is 0 even when
   /// the gathered model was used — the features came from the cache.
   SelectionResult Selection;
+  /// Intrinsic modeled collection cost of the gathered route (0 on the
+  /// known route), whether or not this request was charged for it.
+  double ModeledCollectionMs = 0.0;
   /// Content fingerprint of the request matrix.
   uint64_t Fingerprint = 0;
   /// True when the matrix's features were already cached.
@@ -98,6 +104,9 @@ struct ServeResponse {
   bool PreprocessAmortized = false;
   /// Charged one-time preprocessing cost of the chosen kernel.
   double PreprocessMs = 0.0;
+  /// Intrinsic modeled preprocessing cost (equal to PreprocessMs unless
+  /// amortized; 0 when not executed).
+  double ModeledPreprocessMs = 0.0;
   /// Per-iteration runtime of the chosen kernel.
   double IterationMs = 0.0;
   /// The product vector (one iteration's y = A * x).
@@ -118,6 +127,49 @@ struct ServeResponse {
   /// Charged end-to-end cost at the quoted iteration count.
   double totalMs() const {
     return Selection.overheadMs() + PreprocessMs + Iterations * IterationMs;
+  }
+};
+
+/// The server's answer to a batched execution: one ExecutionPlan —
+/// routing, selection and preprocessing charged once — run over N
+/// independent operands. Per-operand work is only the SpMV iterations,
+/// which is the point of batching (the batched-charge rule:
+/// selection overhead and preprocessing per batch, iterations per
+/// operand).
+struct BatchResponse {
+  /// Selection outcome, charged once for the whole batch.
+  SelectionResult Selection;
+  /// Intrinsic modeled collection cost (see ServeResponse).
+  double ModeledCollectionMs = 0.0;
+  /// Content fingerprint of the batch's matrix.
+  uint64_t Fingerprint = 0;
+  /// True when the matrix's features were already cached (always, on the
+  /// registered-handle path that batches require).
+  bool CacheHit = false;
+  /// Iterations each operand was executed for.
+  uint32_t Iterations = 1;
+  /// True when preprocessing was paid by an earlier plan; charged once
+  /// for the batch otherwise.
+  bool PreprocessAmortized = false;
+  /// Charged one-time preprocessing cost (once per batch).
+  double PreprocessMs = 0.0;
+  /// Intrinsic modeled preprocessing cost.
+  double ModeledPreprocessMs = 0.0;
+  /// Per-iteration runtime of the chosen kernel (identical across
+  /// operands: the schedule depends on the matrix, not the operand).
+  double IterationMs = 0.0;
+  /// One product vector per operand, in operand order.
+  std::vector<std::vector<double>> Y;
+  /// Host wall-clock time spent serving the whole batch, microseconds.
+  double ServiceMicros = 0.0;
+
+  size_t operands() const { return Y.size(); }
+
+  /// Charged end-to-end cost of the batch: overhead + preprocessing once,
+  /// iterations per operand.
+  double totalMs() const {
+    return Selection.overheadMs() + PreprocessMs +
+           static_cast<double>(operands()) * Iterations * IterationMs;
   }
 };
 
@@ -173,11 +225,21 @@ struct ServerStats {
   /// Requests answered from the known-feature model / the gathered model.
   uint64_t KnownRoutes = 0;
   uint64_t GatheredRoutes = 0;
-  /// Requests that also executed the kernel.
+  /// Operand executions (a batch of N operands counts N).
   uint64_t Executions = 0;
-  /// Executions that paid preprocessing / reused an earlier payment.
+  /// Executions that paid preprocessing / reused an earlier payment
+  /// (counted once per request or batch, not per operand).
   uint64_t PaidPreprocesses = 0;
   uint64_t AmortizedPreprocesses = 0;
+  /// Plan-cache behavior: execution plans whose prepare() stage ran
+  /// fresh for the request/batch, vs. plans rebuilt around a prepared
+  /// state already cached per (fingerprint, kernel). Selection-only
+  /// requests build no prepared plan and move neither counter.
+  uint64_t PlansBuilt = 0;
+  uint64_t PlansReused = 0;
+  /// Batched execution: batches served and operands executed in them.
+  uint64_t BatchRequests = 0;
+  uint64_t BatchedOperands = 0;
   /// Online feedback: oracle comparisons run and mispredictions seen.
   uint64_t OracleChecks = 0;
   uint64_t Mispredictions = 0;

@@ -40,10 +40,10 @@ std::optional<Banner> parseBanner(std::string_view Line,
   return Banner{Tokens[2], Tokens[3], Tokens[4]};
 }
 
-} // namespace
-
-std::optional<CsrMatrix> seer::parseMatrixMarket(const std::string &Text,
-                                                 std::string *ErrorMessage) {
+/// The parser body, shared by the Expected entry point and the
+/// deprecated optional wrapper.
+std::optional<CsrMatrix> parseImpl(const std::string &Text,
+                                   std::string *ErrorMessage) {
   const auto Fail = [&](const std::string &Message) -> std::optional<CsrMatrix> {
     if (ErrorMessage)
       *ErrorMessage = Message;
@@ -123,23 +123,11 @@ std::optional<CsrMatrix> seer::parseMatrixMarket(const std::string &Text,
                                  std::move(Entries));
 }
 
-std::optional<CsrMatrix>
-seer::readMatrixMarketFile(const std::string &Path,
-                           std::string *ErrorMessage) {
-  std::ifstream Stream(Path);
-  if (!Stream) {
-    if (ErrorMessage)
-      *ErrorMessage = "cannot open '" + Path + "' for reading";
-    return std::nullopt;
-  }
-  std::ostringstream Buffer;
-  Buffer << Stream.rdbuf();
-  return parseMatrixMarket(Buffer.str(), ErrorMessage);
-}
+} // namespace
 
 Expected<CsrMatrix> seer::parseMatrixMarket(const std::string &Text) {
   std::string Error;
-  if (auto M = parseMatrixMarket(Text, &Error))
+  if (auto M = parseImpl(Text, &Error))
     return std::move(*M);
   return Status::invalidArgument(Error);
 }
@@ -151,6 +139,22 @@ Expected<CsrMatrix> seer::readMatrixMarketFile(const std::string &Path) {
   std::ostringstream Buffer;
   Buffer << Stream.rdbuf();
   return parseMatrixMarket(Buffer.str());
+}
+
+std::optional<CsrMatrix> seer::parseMatrixMarket(const std::string &Text,
+                                                 std::string *ErrorMessage) {
+  return parseImpl(Text, ErrorMessage);
+}
+
+std::optional<CsrMatrix>
+seer::readMatrixMarketFile(const std::string &Path,
+                           std::string *ErrorMessage) {
+  auto M = readMatrixMarketFile(Path);
+  if (M)
+    return std::move(*M);
+  if (ErrorMessage)
+    *ErrorMessage = M.status().message();
+  return std::nullopt;
 }
 
 std::string seer::writeMatrixMarket(const CsrMatrix &M) {
@@ -170,28 +174,24 @@ std::string seer::writeMatrixMarket(const CsrMatrix &M) {
   return Out.str();
 }
 
-bool seer::writeMatrixMarketFile(const CsrMatrix &M, const std::string &Path,
-                                 std::string *ErrorMessage) {
-  std::ofstream Stream(Path);
-  if (!Stream) {
-    if (ErrorMessage)
-      *ErrorMessage = "cannot open '" + Path + "' for writing";
-    return false;
-  }
-  Stream << writeMatrixMarket(M);
-  Stream.flush();
-  if (!Stream) {
-    if (ErrorMessage)
-      *ErrorMessage = "write to '" + Path + "' failed";
-    return false;
-  }
-  return true;
-}
-
 Status seer::writeMatrixMarketFile(const CsrMatrix &M,
                                    const std::string &Path) {
-  std::string Error;
-  if (!writeMatrixMarketFile(M, Path, &Error))
-    return Status::unavailable(Error);
+  std::ofstream Stream(Path);
+  if (!Stream)
+    return Status::unavailable("cannot open '" + Path + "' for writing");
+  Stream << writeMatrixMarket(M);
+  Stream.flush();
+  if (!Stream)
+    return Status::unavailable("write to '" + Path + "' failed");
   return Status::okStatus();
+}
+
+bool seer::writeMatrixMarketFile(const CsrMatrix &M, const std::string &Path,
+                                 std::string *ErrorMessage) {
+  const Status S = writeMatrixMarketFile(M, Path);
+  if (S.ok())
+    return true;
+  if (ErrorMessage)
+    *ErrorMessage = S.message();
+  return false;
 }

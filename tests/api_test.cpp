@@ -17,6 +17,7 @@
 
 #include "api/SeerService.h"
 #include "core/Seer.h"
+#include "serve/RequestTrace.h"
 #include "sparse/MatrixMarket.h"
 #include "support/ThreadPool.h"
 
@@ -556,6 +557,140 @@ TEST(SeerServiceTest, AsyncReleaseAfterSubmitStillCompletes) {
   EXPECT_EQ(Response.Selection.KernelIndex, Expected->Selection.KernelIndex);
   Service.drain();
   EXPECT_EQ(Service.stats().PinnedMatrices, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batched execution
+//===----------------------------------------------------------------------===//
+
+TEST(SeerServiceTest, ExecuteBatchMatchesSerialServe) {
+  SeerService Service(tinyModels());
+  const CsrMatrix &M = requestPool()[1];
+  auto Handle = Service.registerMatrix(M);
+  ASSERT_TRUE(Handle);
+  const auto Operands = buildBatchOperands(5, M.numCols());
+
+  // Serial reference: one self-contained request per operand.
+  std::vector<ServeResponse> Serial;
+  for (const std::vector<double> &X : Operands) {
+    Request R;
+    R.Handle = *Handle;
+    R.Iterations = 7;
+    R.Execute = true;
+    R.Operand = X;
+    const auto Response = Service.serve(R);
+    ASSERT_TRUE(Response) << Response.status().toString();
+    Serial.push_back(*Response);
+  }
+
+  const auto B = Service.executeBatch(*Handle, Operands, 7);
+  ASSERT_TRUE(B) << B.status().toString();
+  ASSERT_EQ(B->operands(), Operands.size());
+  EXPECT_EQ(B->Selection.KernelIndex, Serial[0].Selection.KernelIndex);
+  EXPECT_EQ(B->Selection.UsedGatheredModel,
+            Serial[0].Selection.UsedGatheredModel);
+  EXPECT_EQ(B->IterationMs, Serial[0].IterationMs);
+  for (size_t K = 0; K < Operands.size(); ++K)
+    EXPECT_EQ(B->Y[K], Serial[K].Y) << "operand " << K;
+  // The serial stream paid preprocessing on its first request; the batch
+  // reuses that plan, amortized.
+  EXPECT_TRUE(B->PreprocessAmortized);
+  EXPECT_EQ(B->PreprocessMs, 0.0);
+  EXPECT_TRUE(Service.release(*Handle).ok());
+}
+
+TEST(SeerServiceTest, ExecuteBatchErrorsAreTyped) {
+  SeerService Service(tinyModels());
+  const CsrMatrix &M = requestPool()[0];
+  auto Handle = Service.registerMatrix(M);
+  ASSERT_TRUE(Handle);
+  const auto Operands = buildBatchOperands(2, M.numCols());
+
+  // Unknown handle, empty batch, mismatched operand, zero iterations.
+  EXPECT_EQ(Service.executeBatch(MatrixHandle{999}, Operands).status().code(),
+            StatusCode::NotFound);
+  EXPECT_EQ(Service.executeBatch(*Handle, {}).status().code(),
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(Service
+                .executeBatch(*Handle,
+                              {std::vector<double>(M.numCols() + 1, 1.0)})
+                .status()
+                .code(),
+            StatusCode::InvalidArgument);
+  EXPECT_EQ(Service.executeBatch(*Handle, Operands, 0).status().code(),
+            StatusCode::InvalidArgument);
+
+  // Use-after-release is NOT_FOUND, never a crash.
+  EXPECT_TRUE(Service.release(*Handle).ok());
+  EXPECT_EQ(Service.executeBatch(*Handle, Operands).status().code(),
+            StatusCode::NotFound);
+}
+
+TEST(SeerServiceTest, ConcurrentExecuteBatchBitIdenticalToSerial) {
+  // 8 threads issue batches against shared handles concurrently; every
+  // batch must equal the serial answer bit for bit, and the plan cache
+  // must have built each (matrix, kernel) plan exactly once.
+  SeerService Serial(tinyModels());
+  SeerService Concurrent(tinyModels());
+  const std::vector<CsrMatrix> &Pool = requestPool();
+  std::vector<MatrixHandle> SerialHandles, Handles;
+  for (const CsrMatrix &M : Pool) {
+    auto H1 = Serial.registerMatrix(M);
+    auto H2 = Concurrent.registerMatrix(M);
+    ASSERT_TRUE(H1);
+    ASSERT_TRUE(H2);
+    SerialHandles.push_back(*H1);
+    Handles.push_back(*H2);
+  }
+  std::vector<std::vector<std::vector<double>>> Operands;
+  std::vector<BatchResponse> Expected;
+  for (size_t I = 0; I < Pool.size(); ++I) {
+    Operands.push_back(buildBatchOperands(4, Pool[I].numCols()));
+    const auto B = Serial.executeBatch(SerialHandles[I], Operands[I], 5);
+    ASSERT_TRUE(B) << B.status().toString();
+    Expected.push_back(*B);
+  }
+
+  constexpr size_t NumClients = 8;
+  constexpr size_t BatchesPerClient = 12;
+  std::vector<std::string> Failures(NumClients);
+  std::vector<std::thread> Clients;
+  for (size_t C = 0; C < NumClients; ++C)
+    Clients.emplace_back([&, C] {
+      for (size_t R = 0; R < BatchesPerClient; ++R) {
+        const size_t I = (C + R) % Pool.size();
+        const auto B = Concurrent.executeBatch(Handles[I], Operands[I], 5);
+        if (!B) {
+          Failures[C] = "batch failed: " + B.status().toString();
+          return;
+        }
+        if (B->Selection.KernelIndex != Expected[I].Selection.KernelIndex ||
+            B->Y != Expected[I].Y) {
+          Failures[C] = "client " + std::to_string(C) + " batch " +
+                        std::to_string(R) + " diverged from serial";
+          return;
+        }
+      }
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  for (const std::string &Failure : Failures)
+    EXPECT_TRUE(Failure.empty()) << Failure;
+
+  const ServerStats Stats = Concurrent.stats();
+  EXPECT_EQ(Stats.BatchRequests, NumClients * BatchesPerClient);
+  EXPECT_EQ(Stats.BatchedOperands, NumClients * BatchesPerClient * 4);
+  EXPECT_EQ(Stats.Executions, NumClients * BatchesPerClient * 4);
+  // Every (matrix, kernel) plan was built exactly once; all other
+  // batches reused it (racing builders may both prepare, but only the
+  // published plan counts as built).
+  EXPECT_EQ(Stats.PlansBuilt + Stats.PlansReused,
+            NumClients * BatchesPerClient);
+  EXPECT_EQ(Stats.PlansBuilt, Pool.size());
+  for (MatrixHandle H : SerialHandles)
+    EXPECT_TRUE(Serial.release(H).ok());
+  for (MatrixHandle H : Handles)
+    EXPECT_TRUE(Concurrent.release(H).ok());
 }
 
 TEST(SeerServiceTest, AsyncQueueAppliesBackpressure) {

@@ -128,6 +128,49 @@ TEST(MultiStageTest, NoWorseThanAlwaysFullOnTrainingSet) {
   EXPECT_LE(MultiMs, AlwaysFullMs * 1.02);
 }
 
+TEST(MultiStageTest, RoutingBoundariesFlipWithIterationCount) {
+  // The tier selector weighs collection cost against per-iteration
+  // gains (Sec. IV-E), so its routing must depend on the iteration
+  // count: scanning it, at least one training case crosses a tier
+  // boundary, and every crossing re-invoices consistently.
+  const Fixture &F = fixture();
+  size_t Flips = 0;
+  for (const MultiStageBenchmark &Bench : F.Benchmarks) {
+    uint32_t Previous = evaluateMultiStageCase(F.Models, Bench, 1).Tier;
+    for (uint32_t Iterations = 2; Iterations <= 64; ++Iterations) {
+      const MultiStageOutcome Outcome =
+          evaluateMultiStageCase(F.Models, Bench, Iterations);
+      if (Outcome.Tier != Previous) {
+        ++Flips;
+        // The boundary is deterministic: the same evaluation lands on
+        // the same side both times, and just below it the old tier (and
+        // its invoice) still holds.
+        EXPECT_EQ(evaluateMultiStageCase(F.Models, Bench, Iterations).Tier,
+                  Outcome.Tier);
+        EXPECT_EQ(evaluateMultiStageCase(F.Models, Bench, Iterations - 1)
+                      .Tier,
+                  Previous);
+      }
+      // The invoice always matches the tier, on both sides of every
+      // boundary.
+      switch (Outcome.Tier) {
+      case MultiStageModels::TierKnown:
+        EXPECT_DOUBLE_EQ(Outcome.OverheadMs, 0.0);
+        break;
+      case MultiStageModels::TierCheap:
+        EXPECT_DOUBLE_EQ(Outcome.OverheadMs, Bench.CheapCollectionMs);
+        break;
+      default:
+        EXPECT_DOUBLE_EQ(Outcome.OverheadMs,
+                         Bench.Base.FeatureCollectionMs);
+        break;
+      }
+      Previous = Outcome.Tier;
+    }
+  }
+  EXPECT_GT(Flips, 0u) << "no tier boundary in 1..64 iterations";
+}
+
 TEST(MultiStageTest, DeterministicTraining) {
   const Fixture &F = fixture();
   const MultiStageModels Again =

@@ -95,6 +95,68 @@ TEST(ParallelForTest, ResolveParallelismConvention) {
 // Serial-vs-parallel bit-identity of the sweep
 //===----------------------------------------------------------------------===//
 
+TEST(ParallelSweepTest, PlannerDrivenSweepMatchesManualReference) {
+  // The Benchmarker now drives the shared Planner pipeline
+  // (core/ExecutionPlan.h); this test inlines the pre-refactor
+  // implementation — stats walk, fused collection, per-kernel
+  // preprocess/run, per-(matrix, kernel) noise streams — as the old
+  // reference. Every measurement must stay bit-identical.
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const Benchmarker Runner(Registry, Sim);
+  const CsrMatrix M = genPowerLaw(1500, 1500, 1.7, 1, 128, 3);
+  const std::string Name = "probe";
+  const MatrixBenchmark New = Runner.benchmarkMatrix(Name, M);
+
+  const BenchmarkConfig Config; // the defaults Runner was built with
+  const auto NoiseSeedOf = [](uint64_t Base, const std::string &Matrix,
+                              size_t Kernel) {
+    uint64_t Hash = Base;
+    for (char C : Matrix)
+      Hash = Hash * 1099511628211ull + static_cast<unsigned char>(C);
+    return Hash * 1099511628211ull + Kernel;
+  };
+  const auto AverageNoisy = [](double TrueMs, double Sigma, uint32_t Runs,
+                               Rng &R) {
+    double Sum = 0.0;
+    for (uint32_t I = 0; I < Runs; ++I)
+      Sum += TrueMs * R.logNormal(-0.5 * Sigma * Sigma, Sigma);
+    return Sum / Runs;
+  };
+
+  const MatrixStats Stats = computeMatrixStats(M);
+  EXPECT_EQ(New.Known.NumRows, Stats.Known.NumRows);
+  EXPECT_EQ(New.Known.NumCols, Stats.Known.NumCols);
+  EXPECT_EQ(New.Known.Nnz, Stats.Known.Nnz);
+  const FeatureCollectionResult Collection =
+      collectGatheredFeatures(M, Sim, Stats.Gathered);
+  EXPECT_EQ(New.FeatureCollectionMs, Collection.CollectionMs);
+  EXPECT_EQ(New.Gathered.MaxRowDensity, Collection.Features.MaxRowDensity);
+  EXPECT_EQ(New.Gathered.MinRowDensity, Collection.Features.MinRowDensity);
+  EXPECT_EQ(New.Gathered.MeanRowDensity, Collection.Features.MeanRowDensity);
+  EXPECT_EQ(New.Gathered.VarRowDensity, Collection.Features.VarRowDensity);
+
+  std::vector<double> X(M.numCols());
+  Rng XRng(NoiseSeedOf(0x5eedf00dull, Name, 0));
+  for (double &V : X)
+    V = XRng.uniform(-1.0, 1.0);
+  ASSERT_EQ(New.PerKernel.size(), Registry.size());
+  for (size_t K = 0; K < Registry.size(); ++K) {
+    const SpmvKernel &Kernel = Registry.kernel(K);
+    const PreprocessResult Prep = Kernel.preprocess(M, Stats, Sim);
+    const SpmvRun Run = Kernel.run(M, Stats, Prep.State.get(), X, Sim);
+    Rng Noise(NoiseSeedOf(Config.NoiseSeed, Name, K));
+    EXPECT_EQ(New.PerKernel[K].PreprocessMs,
+              AverageNoisy(Prep.TimeMs, Config.NoiseSigma, Config.TimedRuns,
+                           Noise))
+        << "kernel " << K;
+    EXPECT_EQ(New.PerKernel[K].IterationMs,
+              AverageNoisy(Run.Timing.TotalMs, Config.NoiseSigma,
+                           Config.TimedRuns, Noise))
+        << "kernel " << K;
+  }
+}
+
 TEST(ParallelSweepTest, BitIdenticalAcrossThreadCounts) {
   const KernelRegistry Registry;
   const GpuSimulator Sim(DeviceModel::smallGpu());

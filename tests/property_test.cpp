@@ -72,9 +72,8 @@ TEST_P(FormatRoundTripProperty, MatrixMarketRoundTrip) {
       static_cast<uint32_t>(2 + R.bounded(200)),
       static_cast<uint32_t>(2 + R.bounded(200)), 1.0 + R.uniform() * 8.0,
       0.3, GetParam());
-  std::string Error;
-  const auto Parsed = parseMatrixMarket(writeMatrixMarket(M), &Error);
-  ASSERT_TRUE(Parsed.has_value()) << Error;
+  const auto Parsed = parseMatrixMarket(writeMatrixMarket(M));
+  ASSERT_TRUE(Parsed.ok()) << Parsed.status().message();
   EXPECT_EQ(Parsed->numRows(), M.numRows());
   EXPECT_EQ(Parsed->numCols(), M.numCols());
   EXPECT_EQ(Parsed->rowOffsets(), M.rowOffsets());

@@ -333,6 +333,225 @@ TEST(SeerServerTest, StatsResetZeroesTelemetryButKeepsCache) {
 }
 
 //===----------------------------------------------------------------------===//
+// The Planner pipeline (core/ExecutionPlan.h)
+//===----------------------------------------------------------------------===//
+
+TEST(PlannerTest, StagesComposeToOneShotAnswers) {
+  // The one pipeline every adapter drives: its explicit stages
+  // (analyze/route/collect/select/prepare/run) must compose to exactly
+  // what the one-shot SeerRuntime answers — same kernel, same route,
+  // same charges, same product bits.
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const SeerRuntime Runtime(tinyModels(), Registry, Sim);
+  const Planner &P = Runtime.planner();
+  for (const CsrMatrix &M : requestPool())
+    for (const uint32_t Iterations : {1u, 5u, 19u}) {
+      const SelectionResult Direct = Runtime.select(M, Iterations);
+      const AnalyzedMatrix A = P.analyze(M, /*WithFingerprint=*/true);
+      EXPECT_EQ(A.Fingerprint, matrixFingerprint(M));
+
+      // route() is the selection's first stage.
+      const RouteDecision Route = P.route(A.Stats.Known, Iterations);
+      EXPECT_EQ(Route.UseGathered, Direct.UsedGatheredModel);
+
+      // plan() fuses route+collect+select, bit-identical to the lazy
+      // one-shot path.
+      ExecutionPlan Plan =
+          P.plan(A, Iterations, CollectionCharging::Charged);
+      EXPECT_EQ(Plan.Iterations, Iterations);
+      EXPECT_EQ(Plan.Selection.KernelIndex, Direct.KernelIndex);
+      EXPECT_EQ(Plan.Selection.UsedGatheredModel, Direct.UsedGatheredModel);
+      EXPECT_EQ(Plan.Selection.FeatureCollectionMs,
+                Direct.FeatureCollectionMs);
+      EXPECT_EQ(Plan.Selection.InferenceMs, Direct.InferenceMs);
+      EXPECT_EQ(Plan.ModeledCollectionMs,
+                Direct.UsedGatheredModel ? Direct.FeatureCollectionMs : 0.0);
+
+      // Precollected charging zeroes the charge, never the decision or
+      // the modeled cost.
+      const ExecutionPlan Cached =
+          P.plan(A, Iterations, CollectionCharging::Precollected);
+      EXPECT_EQ(Cached.Selection.KernelIndex, Direct.KernelIndex);
+      EXPECT_EQ(Cached.Selection.UsedGatheredModel,
+                Direct.UsedGatheredModel);
+      EXPECT_EQ(Cached.Selection.FeatureCollectionMs, 0.0);
+      EXPECT_EQ(Cached.ModeledCollectionMs, Plan.ModeledCollectionMs);
+
+      // prepare + run compose to the one-shot execute().
+      const std::vector<double> X(M.numCols(), 1.0);
+      const ExecutionReport Report = Runtime.execute(M, X, Iterations);
+      P.prepare(Plan, A);
+      const SpmvRun Run = P.run(Plan, A, X);
+      EXPECT_EQ(Plan.PreprocessMs, Report.PreprocessMs);
+      EXPECT_EQ(Plan.ModeledPreprocessMs, Report.PreprocessMs);
+      EXPECT_FALSE(Plan.PreprocessAmortized);
+      EXPECT_EQ(Run.Timing.TotalMs, Report.IterationMs);
+      EXPECT_EQ(Run.Y, Report.Y);
+    }
+}
+
+TEST(PlannerTest, PreparedPlanReuseChargesPerPayment) {
+  // exportPrepared/reusePrepared are the serving layer's plan cache in
+  // miniature: an exported fragment is Paid, reusing it amortized
+  // charges zero; an unpaid stash is reusable but still owes the
+  // one-time cost.
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const SeerRuntime Runtime(tinyModels(), Registry, Sim);
+  const Planner &P = Runtime.planner();
+  const CsrMatrix &M = requestPool()[1]; // power-law: needs preprocessing
+  const AnalyzedMatrix A = P.analyze(M);
+
+  ExecutionPlan Fresh = P.plan(A, 19, CollectionCharging::Charged);
+  P.prepare(Fresh, A);
+  const PreparedKernel Fragment = P.exportPrepared(Fresh);
+  EXPECT_TRUE(Fragment.Paid);
+  EXPECT_EQ(Fragment.PreprocessMs, Fresh.PreprocessMs);
+  EXPECT_EQ(Fragment.State, Fresh.State);
+
+  // Amortized reuse: zero charge, shared state, identical product.
+  ExecutionPlan Reused = P.plan(A, 19, CollectionCharging::Precollected);
+  P.reusePrepared(Reused, Fragment, /*AlreadyPaid=*/true);
+  EXPECT_TRUE(Reused.PreprocessAmortized);
+  EXPECT_EQ(Reused.PreprocessMs, 0.0);
+  EXPECT_EQ(Reused.ModeledPreprocessMs, Fresh.PreprocessMs);
+  const std::vector<double> X(M.numCols(), 1.0);
+  EXPECT_EQ(P.run(Reused, A, X).Y, P.run(Fresh, A, X).Y);
+
+  // Unpaid stash: the state is reused, the charge is not waived.
+  PreparedKernel Stash = Fragment;
+  Stash.Paid = false;
+  ExecutionPlan Charged = P.plan(A, 19, CollectionCharging::Precollected);
+  P.reusePrepared(Charged, Stash, /*AlreadyPaid=*/false);
+  EXPECT_FALSE(Charged.PreprocessAmortized);
+  EXPECT_EQ(Charged.PreprocessMs, Fresh.PreprocessMs);
+
+  // The batched-charge rule: overhead and preprocessing once per plan,
+  // iterations per operand.
+  EXPECT_EQ(Fresh.chargedTotalMs(0.25, 4),
+            Fresh.Selection.overheadMs() + Fresh.PreprocessMs +
+                4.0 * 19 * 0.25);
+}
+
+TEST(PlannerTest, RouteFlipsWithIterationCount) {
+  // Sec. IV-E: collection cost amortizes over iterations, so the
+  // classifier-selector's routing depends on the iteration count. Scan
+  // it: the per-iteration route must always agree with the full
+  // selection flow, and somewhere in the pool the route actually flips.
+  const KernelRegistry Registry;
+  const GpuSimulator Sim(DeviceModel::mi100());
+  const SeerRuntime Runtime(tinyModels(), Registry, Sim);
+  const Planner &P = Runtime.planner();
+  // The pool plus larger/denser probes: the boundary region sits at
+  // higher row/nnz scales than the small request pool covers.
+  std::vector<CsrMatrix> Scan = requestPool();
+  Scan.push_back(genUniformRandom(4096, 4096, 12.0, 0.5, 29));
+  Scan.push_back(genPowerLaw(4096, 4096, 1.8, 1, 512, 31));
+  Scan.push_back(genBanded(8192, 6, 0.9, 37));
+  size_t Flips = 0;
+  for (const CsrMatrix &M : Scan) {
+    const AnalyzedMatrix A = P.analyze(M);
+    bool Previous = P.route(A.Stats.Known, 1).UseGathered;
+    EXPECT_EQ(P.select(M, 1).UsedGatheredModel, Previous);
+    for (uint32_t Iterations = 2; Iterations <= 64; ++Iterations) {
+      const bool Gathered = P.route(A.Stats.Known, Iterations).UseGathered;
+      if (Gathered != Previous) {
+        ++Flips;
+        // Both sides of the boundary agree with the full pipeline (and
+        // with the fused-analysis overload).
+        EXPECT_EQ(P.select(M, Iterations - 1).UsedGatheredModel, Previous);
+        EXPECT_EQ(P.select(M, Iterations).UsedGatheredModel, Gathered);
+        EXPECT_EQ(P.plan(A, Iterations, CollectionCharging::Charged)
+                      .Selection.UsedGatheredModel,
+                  Gathered);
+      }
+      Previous = Gathered;
+    }
+  }
+  EXPECT_GT(Flips, 0u)
+      << "no known-vs-gathered routing boundary in 1..64 iterations";
+}
+
+//===----------------------------------------------------------------------===//
+// Batched execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Zero-copy registration of a pool matrix (the pool outlives servers).
+RegisteredMatrix registerAliased(SeerServer &Server, const CsrMatrix &M) {
+  return Server.registerMatrix(
+      std::shared_ptr<const CsrMatrix>(std::shared_ptr<void>(), &M));
+}
+
+} // namespace
+
+TEST(SeerServerTest, BatchExecutionBitIdenticalToSingleRequests) {
+  const CsrMatrix &M = requestPool()[1];
+  const auto Operands = buildBatchOperands(6, M.numCols());
+
+  // Reference: the same operands as one self-contained request each.
+  SeerServer Single(tinyModels());
+  const RegisteredMatrix RegSingle = registerAliased(Single, M);
+  std::vector<ServeResponse> Singles;
+  for (const std::vector<double> &X : Operands) {
+    ServeOptions Options;
+    Options.Iterations = 5;
+    Options.Execute = true;
+    Options.Operand = &X;
+    Singles.push_back(Single.handleRegistered(RegSingle, Options));
+  }
+  Single.releaseMatrix(RegSingle);
+
+  // One plan, one batch.
+  SeerServer Batched(tinyModels());
+  const RegisteredMatrix Reg = registerAliased(Batched, M);
+  const BatchResponse B = Batched.executeBatchRegistered(Reg, 5, Operands);
+
+  ASSERT_EQ(B.operands(), Operands.size());
+  EXPECT_EQ(B.Selection.KernelIndex, Singles[0].Selection.KernelIndex);
+  EXPECT_EQ(B.Selection.UsedGatheredModel,
+            Singles[0].Selection.UsedGatheredModel);
+  EXPECT_EQ(B.Fingerprint, Singles[0].Fingerprint);
+  EXPECT_EQ(B.PreprocessMs, Singles[0].PreprocessMs);
+  EXPECT_EQ(B.IterationMs, Singles[0].IterationMs);
+  for (size_t K = 0; K < Operands.size(); ++K)
+    EXPECT_EQ(B.Y[K], Singles[K].Y) << "operand " << K;
+
+  // The batched-charge rule makes the batch strictly cheaper than the
+  // request-per-operand stream: selection overhead is charged once
+  // instead of N times (preprocessing amortizes on both paths).
+  double SingleTotalMs = 0.0;
+  for (const ServeResponse &R : Singles)
+    SingleTotalMs += R.totalMs();
+  EXPECT_LT(B.totalMs(), SingleTotalMs);
+
+  // Telemetry: one request, one route, one preprocessing charge, one
+  // plan — N operand executions.
+  const ServerStats Stats = Batched.stats();
+  EXPECT_EQ(Stats.Requests, 1u);
+  EXPECT_EQ(Stats.CacheHits, 1u);
+  EXPECT_EQ(Stats.Executions, Operands.size());
+  EXPECT_EQ(Stats.PaidPreprocesses, 1u);
+  EXPECT_EQ(Stats.AmortizedPreprocesses, 0u);
+  EXPECT_EQ(Stats.PlansBuilt, 1u);
+  EXPECT_EQ(Stats.PlansReused, 0u);
+  EXPECT_EQ(Stats.BatchRequests, 1u);
+  EXPECT_EQ(Stats.BatchedOperands, Operands.size());
+
+  // The same plan served a second time is reused and amortized,
+  // bit-identically.
+  const BatchResponse Again = Batched.executeBatchRegistered(Reg, 5, Operands);
+  EXPECT_TRUE(Again.PreprocessAmortized);
+  EXPECT_EQ(Again.PreprocessMs, 0.0);
+  EXPECT_EQ(Again.Y, B.Y);
+  EXPECT_EQ(Batched.stats().PlansReused, 1u);
+  EXPECT_EQ(Batched.stats().PlansBuilt, 1u);
+  Batched.releaseMatrix(Reg);
+}
+
+//===----------------------------------------------------------------------===//
 // Byte-budgeted eviction
 //===----------------------------------------------------------------------===//
 
@@ -450,6 +669,71 @@ TEST(CacheBudgetTest, EvictionRechargesPreprocessingPerResidency) {
   EXPECT_GE(Stats.Evictions, 1u);
   EXPECT_GE(Stats.Reanalyses, 1u);
   EXPECT_EQ(Stats.PaidPreprocesses, 3u); // A, B, then A's second residency
+}
+
+TEST(CacheBudgetTest, PlanReuseAcrossEvictionRebuildsBitIdentically) {
+  // The plan cache obeys charge-once-per-residency: within a residency a
+  // batch's plan is reused (amortized); after eviction the next
+  // registration re-analyzes and the plan is rebuilt — charged afresh,
+  // bit-identical output.
+  const CsrMatrix &A = requestPool()[1]; // power-law: needs preprocessing
+  const CsrMatrix &B = requestPool()[4];
+  const auto Operands = buildBatchOperands(4, A.numCols());
+
+  uint64_t OneEntryBytes = 0;
+  {
+    SeerServer Unbounded(tinyModels());
+    ServeRequest Request;
+    Request.Matrix = &A;
+    Request.Iterations = 19;
+    Request.Execute = true;
+    Unbounded.handle(Request);
+    OneEntryBytes = Unbounded.stats().BytesCached;
+  }
+
+  ServerConfig Config;
+  Config.CacheShards = 1;
+  Config.CacheBudgetBytes = static_cast<size_t>(OneEntryBytes);
+  SeerServer Server(tinyModels(), Config);
+
+  const RegisteredMatrix First = registerAliased(Server, A);
+  const BatchResponse Built = Server.executeBatchRegistered(First, 19,
+                                                            Operands);
+  EXPECT_FALSE(Built.PreprocessAmortized);
+  const BatchResponse Reused = Server.executeBatchRegistered(First, 19,
+                                                             Operands);
+  EXPECT_TRUE(Reused.PreprocessAmortized);
+  EXPECT_EQ(Reused.Y, Built.Y);
+  Server.releaseMatrix(First);
+
+  // B's executed entry overflows the one-entry budget; A (no longer
+  // pinned) is the victim.
+  ServeRequest ExecB;
+  ExecB.Matrix = &B;
+  ExecB.Iterations = 19;
+  ExecB.Execute = true;
+  Server.handle(ExecB);
+
+  // A's return is a new residency: deterministic re-analysis, plan
+  // rebuilt and re-charged, identical bits.
+  const RegisteredMatrix Second = registerAliased(Server, A);
+  EXPECT_FALSE(Second.AnalysisReused);
+  const BatchResponse Rebuilt = Server.executeBatchRegistered(Second, 19,
+                                                              Operands);
+  EXPECT_FALSE(Rebuilt.PreprocessAmortized);
+  EXPECT_EQ(Rebuilt.PreprocessMs, Built.PreprocessMs);
+  EXPECT_EQ(Rebuilt.Selection.KernelIndex, Built.Selection.KernelIndex);
+  EXPECT_EQ(Rebuilt.IterationMs, Built.IterationMs);
+  EXPECT_EQ(Rebuilt.Y, Built.Y);
+  Server.releaseMatrix(Second);
+
+  const ServerStats Stats = Server.stats();
+  EXPECT_GE(Stats.Evictions, 1u);
+  EXPECT_GE(Stats.Reanalyses, 1u);
+  EXPECT_EQ(Stats.PlansBuilt, 3u);  // A's first batch, B, A rebuilt
+  EXPECT_EQ(Stats.PlansReused, 1u); // A's second batch
+  EXPECT_EQ(Stats.BatchRequests, 3u);
+  EXPECT_EQ(Stats.BatchedOperands, 3 * Operands.size());
 }
 
 TEST(CacheBudgetTest, OracleShedsBeforeWholeEntries) {
@@ -613,32 +897,79 @@ TEST(LatencyHistogramTest, RejectsNonFiniteAndNegativeSamples) {
 
 TEST(RequestTraceTest, ParsesCommandsAndRejectsGarbage) {
   TraceCommand Command;
-  std::string Error;
-  EXPECT_TRUE(parseTraceLine("", Command, &Error));
+  EXPECT_TRUE(parseTraceLine("", Command).ok());
   EXPECT_EQ(Command.Command, TraceCommand::Kind::Blank);
-  EXPECT_TRUE(parseTraceLine("  # just a comment", Command, &Error));
+  EXPECT_TRUE(parseTraceLine("  # just a comment", Command).ok());
   EXPECT_EQ(Command.Command, TraceCommand::Kind::Blank);
 
-  ASSERT_TRUE(parseTraceLine("gen web banded 1000 8 0.9 42", Command, &Error));
+  ASSERT_TRUE(parseTraceLine("gen web banded 1000 8 0.9 42", Command).ok());
   EXPECT_EQ(Command.Command, TraceCommand::Kind::Gen);
   EXPECT_EQ(Command.Name, "web");
   EXPECT_EQ(Command.GenFamily, "banded");
   EXPECT_EQ(Command.GenArgs.size(), 4u);
 
-  ASSERT_TRUE(parseTraceLine("select web 19", Command, &Error));
+  ASSERT_TRUE(parseTraceLine("select web 19", Command).ok());
   EXPECT_EQ(Command.Command, TraceCommand::Kind::Select);
   EXPECT_EQ(Command.Iterations, 19u);
   EXPECT_FALSE(Command.Verify);
 
-  ASSERT_TRUE(parseTraceLine("execute web 5 verify", Command, &Error));
+  ASSERT_TRUE(parseTraceLine("execute web 5 verify", Command).ok());
   EXPECT_EQ(Command.Command, TraceCommand::Kind::Execute);
   EXPECT_TRUE(Command.Verify);
 
-  EXPECT_FALSE(parseTraceLine("select", Command, &Error));
-  EXPECT_FALSE(parseTraceLine("select web 0", Command, &Error));
-  EXPECT_FALSE(parseTraceLine("select web 5 verify", Command, &Error));
-  EXPECT_FALSE(parseTraceLine("frobnicate web", Command, &Error));
-  EXPECT_FALSE(parseTraceLine("gen web banded ten 8 0.9 42", Command, &Error));
+  EXPECT_FALSE(parseTraceLine("select", Command).ok());
+  EXPECT_FALSE(parseTraceLine("select web 0", Command).ok());
+  EXPECT_FALSE(parseTraceLine("select web 5 verify", Command).ok());
+  EXPECT_FALSE(parseTraceLine("frobnicate web", Command).ok());
+  EXPECT_FALSE(parseTraceLine("gen web banded ten 8 0.9 42", Command).ok());
+}
+
+TEST(RequestTraceTest, ParsesBatchCommands) {
+  TraceCommand Command;
+  ASSERT_TRUE(parseTraceLine("batch web 32", Command).ok());
+  EXPECT_EQ(Command.Command, TraceCommand::Kind::Batch);
+  EXPECT_EQ(Command.Name, "web");
+  EXPECT_EQ(Command.BatchCount, 32u);
+  EXPECT_EQ(Command.Iterations, 1u);
+
+  ASSERT_TRUE(parseTraceLine("batch web 8 19", Command).ok());
+  EXPECT_EQ(Command.BatchCount, 8u);
+  EXPECT_EQ(Command.Iterations, 19u);
+
+  // Malformed counts and arities are typed errors.
+  EXPECT_FALSE(parseTraceLine("batch web", Command).ok());
+  EXPECT_FALSE(parseTraceLine("batch web 0", Command).ok());
+  EXPECT_FALSE(parseTraceLine("batch web 5000", Command).ok());
+  EXPECT_FALSE(parseTraceLine("batch web many", Command).ok());
+  EXPECT_FALSE(parseTraceLine("batch web 4 5 verify", Command).ok());
+
+  // In a trace, batch is a v2 command (like open/close)...
+  const auto V1 = parseTrace("gen a banded 256 4 0.9 1\nbatch a 4\n");
+  ASSERT_FALSE(V1);
+  EXPECT_NE(V1.status().message().find("seer-trace v2"), std::string::npos);
+  // ...and parses into a Batch op with its operand count under v2.
+  const auto V2 = parseTrace("seer-trace v2\n"
+                             "gen a banded 256 4 0.9 1\n"
+                             "batch a 4 5\n");
+  ASSERT_TRUE(V2) << V2.status().toString();
+  ASSERT_EQ(V2->Ops.size(), 1u);
+  EXPECT_EQ(V2->Ops[0].Command, TraceScript::Op::Kind::Batch);
+  EXPECT_EQ(V2->Ops[0].BatchCount, 4u);
+  EXPECT_EQ(V2->Ops[0].Iterations, 5u);
+}
+
+TEST(RequestTraceTest, BatchOperandsAreDeterministic) {
+  const auto A = buildBatchOperands(3, 64);
+  const auto B = buildBatchOperands(3, 64);
+  ASSERT_EQ(A.size(), 3u);
+  EXPECT_EQ(A, B); // bit-identical replays
+  EXPECT_EQ(A[0].size(), 64u);
+  EXPECT_NE(A[0], A[1]); // distinct operands per index
+  for (const auto &Operand : A)
+    for (double V : Operand) {
+      EXPECT_GE(V, -1.0);
+      EXPECT_LT(V, 1.0);
+    }
 }
 
 TEST(RequestTraceTest, ParsesWholeTraceAndServesIt) {
@@ -648,9 +979,8 @@ TEST(RequestTraceTest, ParsesWholeTraceAndServesIt) {
                            "select a 1\n"
                            "execute b 19\n"
                            "select a 5\n";
-  std::string Error;
-  const auto Script = parseTrace(Text, &Error);
-  ASSERT_TRUE(Script) << Error;
+  const auto Script = parseTrace(Text);
+  ASSERT_TRUE(Script) << Script.status().toString();
   EXPECT_EQ(Script->Version, 1);
   EXPECT_EQ(Script->Matrices.size(), 2u);
   ASSERT_EQ(Script->Ops.size(), 3u);
@@ -716,6 +1046,10 @@ TEST(RequestTraceTest, StatsLinesCarryResidencyCounters) {
   Stats.Evictions = 9;
   Stats.PartialEvictions = 2;
   Stats.Reanalyses = 4;
+  Stats.PlansBuilt = 7;
+  Stats.PlansReused = 11;
+  Stats.BatchRequests = 3;
+  Stats.BatchedOperands = 96;
   const std::string Lines = formatStatsLines(Stats);
   EXPECT_NE(Lines.find("stat cache_budget_bytes 1048576"), std::string::npos);
   EXPECT_NE(Lines.find("stat bytes_cached 12345"), std::string::npos);
@@ -723,6 +1057,27 @@ TEST(RequestTraceTest, StatsLinesCarryResidencyCounters) {
   EXPECT_NE(Lines.find("stat evictions 9"), std::string::npos);
   EXPECT_NE(Lines.find("stat partial_evictions 2"), std::string::npos);
   EXPECT_NE(Lines.find("stat reanalyses 4"), std::string::npos);
+  EXPECT_NE(Lines.find("stat plans_built 7"), std::string::npos);
+  EXPECT_NE(Lines.find("stat plans_reused 11"), std::string::npos);
+  EXPECT_NE(Lines.find("stat batch_requests 3"), std::string::npos);
+  EXPECT_NE(Lines.find("stat batched_operands 96"), std::string::npos);
+}
+
+TEST(RequestTraceTest, BatchResponseLinesCarryPerBatchCharges) {
+  SeerServer Server(tinyModels());
+  const CsrMatrix &M = requestPool()[0];
+  const RegisteredMatrix Reg = registerAliased(Server, M);
+  const BatchResponse B = Server.executeBatchRegistered(
+      Reg, 5, buildBatchOperands(3, M.numCols()));
+  const std::string Line = formatBatchResponseLine("web", B,
+                                                   Server.registry());
+  EXPECT_EQ(Line.find("web kernel="), 0u);
+  EXPECT_NE(Line.find(" batch=3"), std::string::npos);
+  EXPECT_NE(Line.find(" iterations=5"), std::string::npos);
+  EXPECT_NE(Line.find(" cache=hit"), std::string::npos);
+  EXPECT_NE(Line.find(" preprocess_ms="), std::string::npos);
+  EXPECT_NE(Line.find(" total_ms="), std::string::npos);
+  Server.releaseMatrix(Reg);
 }
 
 TEST(RequestTraceTest, HandlePathBitIdenticalToPointerPathOnSameTrace) {
@@ -801,14 +1156,17 @@ TEST(RequestTraceTest, HandlePathBitIdenticalToPointerPathOnSameTrace) {
 }
 
 TEST(RequestTraceTest, RejectsBadTraces) {
-  std::string Error;
-  EXPECT_FALSE(parseTrace("select nosuch 1\n", &Error));
-  EXPECT_NE(Error.find("unknown matrix"), std::string::npos);
-  EXPECT_FALSE(parseTrace("gen a banded 10 2 0.5 1\ngen a diagonal 10 1\n",
-                          &Error));
-  EXPECT_NE(Error.find("duplicate"), std::string::npos);
-  EXPECT_FALSE(parseTrace("stats\n", &Error));
-  EXPECT_FALSE(parseTrace("gen a warp 10 1\n", &Error));
+  const auto Unknown = parseTrace("select nosuch 1\n");
+  ASSERT_FALSE(Unknown);
+  EXPECT_NE(Unknown.status().message().find("unknown matrix"),
+            std::string::npos);
+  const auto Duplicate =
+      parseTrace("gen a banded 10 2 0.5 1\ngen a diagonal 10 1\n");
+  ASSERT_FALSE(Duplicate);
+  EXPECT_NE(Duplicate.status().message().find("duplicate"),
+            std::string::npos);
+  EXPECT_FALSE(parseTrace("stats\n"));
+  EXPECT_FALSE(parseTrace("gen a warp 10 1\n"));
 }
 
 TEST(RequestTraceTest, GenArgumentsAreRangeChecked) {
@@ -816,7 +1174,6 @@ TEST(RequestTraceTest, GenArgumentsAreRangeChecked) {
   // hostile line could otherwise make a long-running server allocate
   // gigabytes): all must fail cleanly.
   TraceCommand Command;
-  std::string Error;
   for (const char *Line : {
            "gen a banded -1 8 0.9 7",      // negative rows
            "gen a banded 1e9 8 0.9 7",     // rows above the 2^24 cap
@@ -826,15 +1183,16 @@ TEST(RequestTraceTest, GenArgumentsAreRangeChecked) {
            "gen a diagonal nan 1",         // non-finite (parse or build)
            "gen a powerlaw 100 1.8 1 1e30 7", // huge max row length
        }) {
-    ASSERT_TRUE(parseTraceLine(Line, Command, &Error) ||
+    ASSERT_TRUE(parseTraceLine(Line, Command).ok() ||
                 Command.Command == TraceCommand::Kind::Blank)
         << Line; // "nan" fails at parse time; the rest parse fine
     if (Command.Command == TraceCommand::Kind::Gen)
-      EXPECT_FALSE(buildTraceMatrix(Command, &Error)) << Line;
+      EXPECT_FALSE(buildTraceMatrix(Command)) << Line;
   }
   // Half-band 0 stays legal (a pure diagonal band).
-  ASSERT_TRUE(parseTraceLine("gen a banded 64 0 0.9 7", Command, &Error));
-  EXPECT_TRUE(buildTraceMatrix(Command, &Error)) << Error;
+  ASSERT_TRUE(parseTraceLine("gen a banded 64 0 0.9 7", Command).ok());
+  const auto Built = buildTraceMatrix(Command);
+  EXPECT_TRUE(Built) << Built.status().toString();
 }
 
 //===----------------------------------------------------------------------===//
@@ -846,11 +1204,10 @@ TEST(ModelBundleTest, RoundTripsThroughDisk) {
       (std::filesystem::temp_directory_path() / "seer_bundle_test").string();
   std::filesystem::create_directories(Dir);
   const SeerModels &Models = tinyModels();
-  std::string Error;
-  ASSERT_TRUE(storeModelBundle(Models, Dir, &Error)) << Error;
+  ASSERT_TRUE(storeModelBundle(Models, Dir).ok());
   const KernelRegistry Registry;
-  const auto Loaded = loadModelBundle(Dir, Registry.names(), &Error);
-  ASSERT_TRUE(Loaded) << Error;
+  const auto Loaded = loadModelBundle(Dir, Registry.names());
+  ASSERT_TRUE(Loaded) << Loaded.status().toString();
   EXPECT_EQ(Loaded->Known.serialize(), Models.Known.serialize());
   EXPECT_EQ(Loaded->Gathered.serialize(), Models.Gathered.serialize());
   EXPECT_EQ(Loaded->Selector.serialize(), Models.Selector.serialize());
@@ -864,13 +1221,45 @@ TEST(ModelBundleTest, MissingAndMalformedFilesAreErrors) {
   std::filesystem::remove_all(Dir);
   std::filesystem::create_directories(Dir);
   const KernelRegistry Registry;
+  const auto Missing = loadModelBundle(Dir, Registry.names());
+  ASSERT_FALSE(Missing);
+  EXPECT_EQ(Missing.status().code(), StatusCode::NotFound);
+  EXPECT_NE(Missing.status().message().find("cannot open"),
+            std::string::npos);
+
+  ASSERT_TRUE(storeModelBundle(tinyModels(), Dir).ok());
+  std::ofstream(Dir + "/seer_selector.tree") << "not a tree\n";
+  const auto Malformed = loadModelBundle(Dir, Registry.names());
+  ASSERT_FALSE(Malformed);
+  EXPECT_NE(Malformed.status().message().find("malformed"),
+            std::string::npos);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ModelBundleTest, DeprecatedWrappersStillDelegate) {
+  // The pre-Status wrappers are kept (and marked [[deprecated]]) for
+  // embedders mid-migration; this is their one intentional use. They
+  // must surface exactly what the Status forms report.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const std::string Dir =
+      (std::filesystem::temp_directory_path() / "seer_bundle_deprecated")
+          .string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  const KernelRegistry Registry;
   std::string Error;
   EXPECT_FALSE(loadModelBundle(Dir, Registry.names(), &Error));
   EXPECT_NE(Error.find("cannot open"), std::string::npos);
-
   ASSERT_TRUE(storeModelBundle(tinyModels(), Dir, &Error)) << Error;
-  std::ofstream(Dir + "/seer_selector.tree") << "not a tree\n";
-  EXPECT_FALSE(loadModelBundle(Dir, Registry.names(), &Error));
-  EXPECT_NE(Error.find("malformed"), std::string::npos);
+  EXPECT_TRUE(loadModelBundle(Dir, Registry.names(), &Error).has_value());
+
+  TraceCommand Command;
+  EXPECT_TRUE(parseTraceLine("select web 5", Command, &Error));
+  EXPECT_FALSE(parseTraceLine("select web 0", Command, &Error));
+  EXPECT_NE(Error.find("iteration count"), std::string::npos);
+  EXPECT_FALSE(parseTrace("select nosuch 1\n", &Error).has_value());
+  EXPECT_NE(Error.find("unknown matrix"), std::string::npos);
   std::filesystem::remove_all(Dir);
+#pragma GCC diagnostic pop
 }

@@ -331,9 +331,8 @@ TEST(GeneratorsTest, DifferentSeedDifferentMatrix) {
 
 TEST(MatrixMarketTest, RoundTrip) {
   const CsrMatrix M = exampleMatrix();
-  std::string Error;
-  const auto Parsed = parseMatrixMarket(writeMatrixMarket(M), &Error);
-  ASSERT_TRUE(Parsed.has_value()) << Error;
+  const auto Parsed = parseMatrixMarket(writeMatrixMarket(M));
+  ASSERT_TRUE(Parsed.ok()) << Parsed.status().message();
   EXPECT_EQ(Parsed->numRows(), M.numRows());
   EXPECT_EQ(Parsed->nnz(), M.nnz());
   EXPECT_EQ(Parsed->columnIndices(), M.columnIndices());
@@ -343,9 +342,8 @@ TEST(MatrixMarketTest, RoundTrip) {
 TEST(MatrixMarketTest, PatternEntriesGetUnitValues) {
   const std::string Text = "%%MatrixMarket matrix coordinate pattern general\n"
                            "2 2 2\n1 1\n2 2\n";
-  std::string Error;
-  const auto M = parseMatrixMarket(Text, &Error);
-  ASSERT_TRUE(M.has_value()) << Error;
+  const auto M = parseMatrixMarket(Text);
+  ASSERT_TRUE(M.ok()) << M.status().message();
   EXPECT_DOUBLE_EQ(M->values()[0], 1.0);
   EXPECT_DOUBLE_EQ(M->values()[1], 1.0);
 }
@@ -353,9 +351,8 @@ TEST(MatrixMarketTest, PatternEntriesGetUnitValues) {
 TEST(MatrixMarketTest, SymmetricExpansion) {
   const std::string Text = "%%MatrixMarket matrix coordinate real symmetric\n"
                            "3 3 2\n2 1 5.0\n3 3 7.0\n";
-  std::string Error;
-  const auto M = parseMatrixMarket(Text, &Error);
-  ASSERT_TRUE(M.has_value()) << Error;
+  const auto M = parseMatrixMarket(Text);
+  ASSERT_TRUE(M.ok()) << M.status().message();
   EXPECT_EQ(M->nnz(), 3u); // (2,1), (1,2), (3,3)
   const auto Y = M->multiply({1.0, 1.0, 1.0});
   EXPECT_DOUBLE_EQ(Y[0], 5.0);
@@ -367,8 +364,8 @@ TEST(MatrixMarketTest, SkewSymmetricNegation) {
   const std::string Text =
       "%%MatrixMarket matrix coordinate real skew-symmetric\n"
       "2 2 1\n2 1 3.0\n";
-  const auto M = parseMatrixMarket(Text, nullptr);
-  ASSERT_TRUE(M.has_value());
+  const auto M = parseMatrixMarket(Text);
+  ASSERT_TRUE(M.ok());
   EXPECT_EQ(M->nnz(), 2u);
   const auto Y = M->multiply({1.0, 0.0});
   EXPECT_DOUBLE_EQ(Y[1], 3.0);
@@ -382,69 +379,66 @@ TEST(MatrixMarketTest, CommentsAreSkipped) {
                            "2 2 1\n"
                            "% another\n"
                            "1 2 4.5\n";
-  const auto M = parseMatrixMarket(Text, nullptr);
-  ASSERT_TRUE(M.has_value());
+  const auto M = parseMatrixMarket(Text);
+  ASSERT_TRUE(M.ok());
   EXPECT_EQ(M->nnz(), 1u);
 }
 
 TEST(MatrixMarketTest, RejectsMalformedBanner) {
-  std::string Error;
-  EXPECT_FALSE(parseMatrixMarket("%%NotMM\n1 1 0\n", &Error).has_value());
+  const auto M = parseMatrixMarket("%%NotMM\n1 1 0\n");
+  ASSERT_FALSE(M.ok());
+  EXPECT_EQ(M.status().code(), StatusCode::InvalidArgument);
 }
 
 TEST(MatrixMarketTest, RejectsArrayFormat) {
-  std::string Error;
-  EXPECT_FALSE(parseMatrixMarket("%%MatrixMarket matrix array real general\n",
-                                 &Error)
-                   .has_value());
-  EXPECT_NE(Error.find("coordinate"), std::string::npos);
+  const auto M =
+      parseMatrixMarket("%%MatrixMarket matrix array real general\n");
+  ASSERT_FALSE(M.ok());
+  EXPECT_NE(M.status().message().find("coordinate"), std::string::npos);
 }
 
 TEST(MatrixMarketTest, RejectsComplexField) {
-  std::string Error;
   EXPECT_FALSE(
       parseMatrixMarket(
-          "%%MatrixMarket matrix coordinate complex general\n1 1 1\n", &Error)
-          .has_value());
+          "%%MatrixMarket matrix coordinate complex general\n1 1 1\n")
+          .ok());
 }
 
 TEST(MatrixMarketTest, RejectsOutOfBoundsIndex) {
-  std::string Error;
   EXPECT_FALSE(parseMatrixMarket("%%MatrixMarket matrix coordinate real "
-                                 "general\n2 2 1\n3 1 1.0\n",
-                                 &Error)
-                   .has_value());
+                                 "general\n2 2 1\n3 1 1.0\n")
+                   .ok());
 }
 
 TEST(MatrixMarketTest, FileRoundTrip) {
   const CsrMatrix M = genUniformRandom(20, 20, 3.0, 0.2, 55);
   const std::string Path = testing::TempDir() + "/seer_mm_test.mtx";
-  std::string Error;
-  ASSERT_TRUE(writeMatrixMarketFile(M, Path, &Error)) << Error;
-  const auto Read = readMatrixMarketFile(Path, &Error);
-  ASSERT_TRUE(Read.has_value()) << Error;
+  ASSERT_TRUE(writeMatrixMarketFile(M, Path).ok());
+  const auto Read = readMatrixMarketFile(Path);
+  ASSERT_TRUE(Read.ok()) << Read.status().message();
   EXPECT_EQ(Read->nnz(), M.nnz());
 }
 
 TEST(MatrixMarketTest, RejectsSurplusEntries) {
   // The size line declares exactly one coordinate line; a second must be
   // rejected, not silently folded into the matrix.
-  std::string Error;
-  EXPECT_FALSE(parseMatrixMarket("%%MatrixMarket matrix coordinate real "
-                                 "general\n2 2 1\n1 1 1.0\n2 2 2.0\n",
-                                 &Error)
-                   .has_value());
-  EXPECT_NE(Error.find("expected 1 entries"), std::string::npos) << Error;
+  const auto Surplus =
+      parseMatrixMarket("%%MatrixMarket matrix coordinate real "
+                        "general\n2 2 1\n1 1 1.0\n2 2 2.0\n");
+  ASSERT_FALSE(Surplus.ok());
+  EXPECT_NE(Surplus.status().message().find("expected 1 entries"),
+            std::string::npos)
+      << Surplus.status().message();
 }
 
 TEST(MatrixMarketTest, RejectsDeficitEntries) {
-  std::string Error;
-  EXPECT_FALSE(parseMatrixMarket("%%MatrixMarket matrix coordinate real "
-                                 "general\n2 2 3\n1 1 1.0\n2 2 2.0\n",
-                                 &Error)
-                   .has_value());
-  EXPECT_NE(Error.find("expected 3 entries, got 2"), std::string::npos)
-      << Error;
+  const auto Deficit =
+      parseMatrixMarket("%%MatrixMarket matrix coordinate real "
+                        "general\n2 2 3\n1 1 1.0\n2 2 2.0\n");
+  ASSERT_FALSE(Deficit.ok());
+  EXPECT_NE(Deficit.status().message().find("expected 3 entries, got 2"),
+            std::string::npos)
+      << Deficit.status().message();
 }
 
 TEST(MatrixMarketTest, SymmetricCountsDeclaredLinesNotExpandedEntries) {
@@ -453,28 +447,26 @@ TEST(MatrixMarketTest, SymmetricCountsDeclaredLinesNotExpandedEntries) {
   // refers to the lines, so this parses; one line more or less does not.
   const std::string Good = "%%MatrixMarket matrix coordinate real symmetric\n"
                            "3 3 3\n1 1 1.0\n2 2 2.0\n3 1 4.0\n";
-  std::string Error;
-  const auto M = parseMatrixMarket(Good, &Error);
-  ASSERT_TRUE(M.has_value()) << Error;
+  const auto M = parseMatrixMarket(Good);
+  ASSERT_TRUE(M.ok()) << M.status().message();
   EXPECT_EQ(M->nnz(), 4u);
 
   const std::string Surplus =
       "%%MatrixMarket matrix coordinate real symmetric\n"
       "3 3 2\n1 1 1.0\n2 2 2.0\n3 1 4.0\n";
-  EXPECT_FALSE(parseMatrixMarket(Surplus, &Error).has_value());
+  EXPECT_FALSE(parseMatrixMarket(Surplus).ok());
   const std::string Deficit =
       "%%MatrixMarket matrix coordinate real symmetric\n"
       "3 3 4\n1 1 1.0\n2 2 2.0\n3 1 4.0\n";
-  EXPECT_FALSE(parseMatrixMarket(Deficit, &Error).has_value());
+  EXPECT_FALSE(parseMatrixMarket(Deficit).ok());
 }
 
 TEST(MatrixMarketTest, SymmetricPatternExpands) {
   const std::string Text =
       "%%MatrixMarket matrix coordinate pattern symmetric\n"
       "3 3 2\n2 1\n3 3\n";
-  std::string Error;
-  const auto M = parseMatrixMarket(Text, &Error);
-  ASSERT_TRUE(M.has_value()) << Error;
+  const auto M = parseMatrixMarket(Text);
+  ASSERT_TRUE(M.ok()) << M.status().message();
   EXPECT_EQ(M->nnz(), 3u); // (2,1) mirrors to (1,2); (3,3) does not
   const auto Y = M->multiply({1.0, 1.0, 1.0});
   EXPECT_DOUBLE_EQ(Y[0], 1.0);
@@ -486,9 +478,8 @@ TEST(MatrixMarketTest, SkewSymmetricPatternNegatesTheMirror) {
   const std::string Text =
       "%%MatrixMarket matrix coordinate pattern skew-symmetric\n"
       "2 2 1\n2 1\n";
-  std::string Error;
-  const auto M = parseMatrixMarket(Text, &Error);
-  ASSERT_TRUE(M.has_value()) << Error;
+  const auto M = parseMatrixMarket(Text);
+  ASSERT_TRUE(M.ok()) << M.status().message();
   EXPECT_EQ(M->nnz(), 2u);
   const auto Y = M->multiply({0.0, 1.0});
   EXPECT_DOUBLE_EQ(Y[0], -1.0); // the implied (1,2) entry is -1
@@ -502,9 +493,8 @@ TEST(MatrixMarketTest, CrlfLineEndingsParse) {
                            "2 2 2\r\n"
                            "1 1 1.5\r\n"
                            "2 2 2.5\r\n";
-  std::string Error;
-  const auto M = parseMatrixMarket(Text, &Error);
-  ASSERT_TRUE(M.has_value()) << Error;
+  const auto M = parseMatrixMarket(Text);
+  ASSERT_TRUE(M.ok()) << M.status().message();
   EXPECT_EQ(M->nnz(), 2u);
   EXPECT_DOUBLE_EQ(M->values()[0], 1.5);
   EXPECT_DOUBLE_EQ(M->values()[1], 2.5);
@@ -521,15 +511,14 @@ TEST(MatrixMarketTest, RoundTripIsBitExactAndFingerprintStable) {
        {0, 2, std::sqrt(2.0)},
        {1, 1, -1.0e-17},
        {2, 2, 6.02214076e23}});
-  std::string Error;
-  const auto Parsed = parseMatrixMarket(writeMatrixMarket(M), &Error);
-  ASSERT_TRUE(Parsed.has_value()) << Error;
+  const auto Parsed = parseMatrixMarket(writeMatrixMarket(M));
+  ASSERT_TRUE(Parsed.ok()) << Parsed.status().message();
   EXPECT_EQ(Parsed->values(), M.values());
   EXPECT_EQ(matrixFingerprint(*Parsed), matrixFingerprint(M));
 
   const CsrMatrix Random = genUniformRandom(64, 64, 6.0, 0.4, 99);
-  const auto Reparsed = parseMatrixMarket(writeMatrixMarket(Random), &Error);
-  ASSERT_TRUE(Reparsed.has_value()) << Error;
+  const auto Reparsed = parseMatrixMarket(writeMatrixMarket(Random));
+  ASSERT_TRUE(Reparsed.ok()) << Reparsed.status().message();
   EXPECT_EQ(Reparsed->values(), Random.values());
   EXPECT_EQ(Reparsed->columnIndices(), Random.columnIndices());
   EXPECT_EQ(matrixFingerprint(*Reparsed), matrixFingerprint(Random));

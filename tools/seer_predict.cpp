@@ -8,17 +8,21 @@
 //
 //   seer-predict --models DIR [--iterations N] file.mtx [file.mtx ...]
 //
-// Loads the .tree bundle written by seer-train, runs the classifier
-// selector (collecting features only when it says to), and prints the
-// selected kernel for each matrix with the full cost breakdown —
-// human-readable by default, one JSON object per matrix with --json.
+// Loads the .tree bundle written by seer-train into a SeerService
+// (serving API v2) and, per input file, registers the matrix, serves one
+// handle-based selection (or execution with --execute), and releases the
+// handle. The report quotes the *modeled* one-shot costs from the
+// response (ModeledCollectionMs / ModeledPreprocessMs), so the numbers
+// are the Fig. 3 breakdown even though the service charges registration
+// work only once — human-readable by default, one JSON object per matrix
+// with --json.
 //
 //===----------------------------------------------------------------------===//
 
 #include "ToolSupport.h"
 
+#include "api/SeerService.h"
 #include "core/ModelBundle.h"
-#include "core/Seer.h"
 #include "support/ThreadPool.h"
 
 #include <filesystem>
@@ -53,11 +57,21 @@ struct FileResult {
   std::string Error; // non-empty on failure
   uint32_t Rows = 0, Cols = 0;
   uint64_t Nnz = 0;
-  SelectionResult Selection;
+  ServeResponse Response;
   std::string KernelName;
-  bool Executed = false;
-  ExecutionReport Report;
 };
+
+/// The modeled one-shot selection overhead of \p R: collection (whether
+/// or not the service charged it to this request) plus inference.
+double modeledOverheadMs(const ServeResponse &R) {
+  return R.ModeledCollectionMs + R.Selection.InferenceMs;
+}
+
+/// The modeled one-shot end-to-end cost of \p R at its iteration count.
+double modeledTotalMs(const ServeResponse &R) {
+  return modeledOverheadMs(R) + R.ModeledPreprocessMs +
+         R.Iterations * R.IterationMs;
+}
 
 /// Escapes a string for a JSON literal (names come from file paths).
 std::string jsonEscape(const std::string &Text) {
@@ -82,17 +96,17 @@ void printHuman(const FileResult &R, uint32_t Iterations) {
               R.Rows, R.Cols, static_cast<unsigned long long>(R.Nnz),
               Iterations, Iterations == 1 ? "" : "s");
   std::printf("  route:  %s features (selector)\n",
-              R.Selection.UsedGatheredModel ? "gathered" : "known");
+              R.Response.Selection.UsedGatheredModel ? "gathered" : "known");
   std::printf("  kernel: %s\n", R.KernelName.c_str());
   std::printf("  selection overhead: %.4f ms (collection %.4f + "
               "inference %.4f)\n",
-              R.Selection.overheadMs(), R.Selection.FeatureCollectionMs,
-              R.Selection.InferenceMs);
-  if (R.Executed)
+              modeledOverheadMs(R.Response), R.Response.ModeledCollectionMs,
+              R.Response.Selection.InferenceMs);
+  if (R.Response.Executed)
     std::printf("  simulated: preprocess %.4f ms + %u x %.4f ms = %.4f "
                 "ms end to end\n",
-                R.Report.PreprocessMs, R.Report.Iterations,
-                R.Report.IterationMs, R.Report.totalMs());
+                R.Response.ModeledPreprocessMs, R.Response.Iterations,
+                R.Response.IterationMs, modeledTotalMs(R.Response));
 }
 
 void printJson(const FileResult &R, uint32_t Iterations) {
@@ -102,14 +116,14 @@ void printJson(const FileResult &R, uint32_t Iterations) {
               "\"inference_ms\": %.6f",
               jsonEscape(R.Name).c_str(), R.Rows, R.Cols,
               static_cast<unsigned long long>(R.Nnz), Iterations,
-              R.Selection.UsedGatheredModel ? "gathered" : "known",
-              jsonEscape(R.KernelName).c_str(), R.Selection.overheadMs(),
-              R.Selection.FeatureCollectionMs, R.Selection.InferenceMs);
-  if (R.Executed)
+              R.Response.Selection.UsedGatheredModel ? "gathered" : "known",
+              jsonEscape(R.KernelName).c_str(), modeledOverheadMs(R.Response),
+              R.Response.ModeledCollectionMs, R.Response.Selection.InferenceMs);
+  if (R.Response.Executed)
     std::printf(", \"preprocess_ms\": %.6f, \"iteration_ms\": %.6f, "
                 "\"total_ms\": %.6f",
-                R.Report.PreprocessMs, R.Report.IterationMs,
-                R.Report.totalMs());
+                R.Response.ModeledPreprocessMs, R.Response.IterationMs,
+                modeledTotalMs(R.Response));
   std::printf("}\n");
 }
 
@@ -134,36 +148,40 @@ int main(int Argc, char **Argv) {
   const bool Json = Cmd.boolFlag("json");
 
   const KernelRegistry Registry;
-  const GpuSimulator Sim(DeviceModel::mi100());
-  const auto Models = loadModelBundle(ModelDir, Registry.names());
+  auto Models = loadModelBundle(ModelDir, Registry.names());
   if (!Models)
     fatal(Models.status());
-  const SeerRuntime Runtime(*Models, Registry, Sim);
+  SeerService Service(std::move(*Models));
 
-  // Files are independent: read + analyze + select (and optionally
-  // execute) on workers, then print in input order.
+  // Files are independent: register + serve (and release) on workers,
+  // then print in input order. The session API is thread-safe, and
+  // repeat files share one cache entry (analysis paid once).
   const std::vector<std::string> &Paths = Cmd.positional();
   std::vector<FileResult> Results(Paths.size());
   parallelFor(Parallelism, Paths.size(), [&](size_t I) {
     FileResult &R = Results[I];
     R.Name = std::filesystem::path(Paths[I]).stem().string();
-    const auto M = readMatrixMarketFile(Paths[I]);
-    if (!M) {
-      R.Error = M.status().toString();
+    auto Handle = Service.registerMatrix(MatrixMarketSource{Paths[I]});
+    if (!Handle) {
+      R.Error = Handle.status().toString();
       return;
     }
-    R.Rows = M->numRows();
-    R.Cols = M->numCols();
-    R.Nnz = M->nnz();
-    if (Execute) {
-      std::vector<double> X(M->numCols(), 1.0);
-      R.Report = Runtime.execute(*M, X, Iterations);
-      R.Selection = R.Report.Selection;
-      R.Executed = true;
-    } else {
-      R.Selection = Runtime.select(*M, Iterations);
+    const auto Info = Service.describe(*Handle);
+    if (Info) {
+      R.Rows = Info->NumRows;
+      R.Cols = Info->NumCols;
+      R.Nnz = Info->Nnz;
     }
-    R.KernelName = Registry.kernel(R.Selection.KernelIndex).name();
+    const auto Response = Execute ? Service.execute(*Handle, Iterations)
+                                  : Service.select(*Handle, Iterations);
+    if (!Response) {
+      R.Error = Response.status().toString();
+    } else {
+      R.Response = *Response;
+      R.KernelName =
+          Service.registry().kernel(R.Response.Selection.KernelIndex).name();
+    }
+    Service.release(*Handle);
   });
 
   for (const FileResult &R : Results) {

@@ -55,8 +55,9 @@ constexpr const char *Usage =
     "0.9 1' then 'select m 5', 'stats', 'quit'). With --trace, replays the\n"
     "scripted request trace and prints telemetry. Traces with a\n"
     "'seer-trace v2' header replay through session handles (open/close\n"
-    "scriptable); headerless traces replay through the deprecated\n"
-    "pointer-based path.\n"
+    "scriptable, 'batch NAME COUNT [ITERATIONS]' runs one execution plan\n"
+    "over COUNT deterministic operands); headerless traces replay through\n"
+    "the deprecated pointer-based path.\n"
     "\n"
     "options:\n"
     "  --models DIR        directory with seer_{known,gathered,selector}.tree\n"
@@ -113,6 +114,30 @@ void replayV2(SeerService &Service, const TraceScript &Script, unsigned Repeat,
         Handles[Op.MatrixIndex] = MatrixHandle();
         if (!S.ok() && Print)
           std::printf("%s\n", formatErrorLine(S).c_str());
+        break;
+      }
+      case TraceScript::Op::Kind::Batch: {
+        if (!Handles[Op.MatrixIndex].valid()) {
+          if (Print)
+            std::printf("%s\n",
+                        formatErrorLine(Status::failedPrecondition(
+                                            "matrix '" + Name +
+                                            "' is closed (open it first)"))
+                            .c_str());
+          break;
+        }
+        const auto Operands = buildBatchOperands(
+            Op.BatchCount,
+            Script.Matrices[Op.MatrixIndex].second.numCols());
+        const auto Response = Service.executeBatch(Handles[Op.MatrixIndex],
+                                                   Operands, Op.Iterations);
+        if (Print)
+          std::printf("%s\n",
+                      Response
+                          ? formatBatchResponseLine(Name, *Response,
+                                                    Service.registry())
+                                .c_str()
+                          : formatErrorLine(Response.status()).c_str());
         break;
       }
       case TraceScript::Op::Kind::Select:
@@ -299,6 +324,34 @@ int runStdin(SeerService &Service) {
         break;
       }
       std::printf("ok closed %s\n", Command.Name.c_str());
+      break;
+    }
+    case TraceCommand::Kind::Batch: {
+      NamedMatrix *M = Find(Command.Name);
+      if (!M) {
+        PrintError(Status::notFound("unknown matrix '" + Command.Name + "'"));
+        break;
+      }
+      if (!M->Handle.valid()) {
+        PrintError(Status::failedPrecondition(
+            "matrix '" + Command.Name + "' is closed (open it first)"));
+        break;
+      }
+      const auto Info = Service.describe(M->Handle);
+      if (!Info) {
+        PrintError(Info.status());
+        break;
+      }
+      const auto Response = Service.executeBatch(
+          M->Handle, buildBatchOperands(Command.BatchCount, Info->NumCols),
+          Command.Iterations);
+      if (!Response) {
+        PrintError(Response.status());
+        break;
+      }
+      std::printf("%s\n", formatBatchResponseLine(Command.Name, *Response,
+                                                  Service.registry())
+                              .c_str());
       break;
     }
     case TraceCommand::Kind::Select:
