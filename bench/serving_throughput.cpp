@@ -22,14 +22,24 @@
 // the accounted cache bytes must never exceed the budget — and to
 // bit-identity of every selection despite the eviction/re-analysis churn.
 //
+// A chaos scenario arms deterministic fault plans (support/FaultInjector.h)
+// against live services and gates the fault-tolerance contract: every
+// operation returns a typed response (zero crashes), each injected
+// transient fault is recovered by exactly one retry, terminal faults
+// degrade to the baseline kernel with Y bit-identical to running that
+// kernel directly, cache-insert failures serve uncached but bit-identical,
+// and expired deadlines surface DEADLINE_EXCEEDED.
+//
 //   serving_throughput [--out FILE] [--clients LIST] [--requests N]
 //                      [--hit-ratios LIST] [--variants N] [--max-rows N]
 //
 //===----------------------------------------------------------------------===//
 
 #include "api/SeerService.h"
+#include "core/ExecutionPlan.h"
 #include "core/Seer.h"
 #include "serve/SeerServer.h"
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 #include "../tools/ToolSupport.h"
@@ -354,7 +364,7 @@ int main(int Argc, char **Argv) {
     std::vector<MatrixHandle> Handles;
     const double RegistrationSeconds = RegisterPool(Service, Unique, Handles);
 
-    std::vector<std::future<ServeResponse>> Futures;
+    std::vector<std::future<Expected<ServeResponse>>> Futures;
     Futures.reserve(Requests);
     const auto Start = std::chrono::steady_clock::now();
     for (size_t I = 0; I < Requests; ++I) {
@@ -376,8 +386,12 @@ int main(int Argc, char **Argv) {
     }
     std::vector<ServeResponse> Responses;
     Responses.reserve(Requests);
-    for (std::future<ServeResponse> &Future : Futures)
-      Responses.push_back(Future.get());
+    for (std::future<Expected<ServeResponse>> &Future : Futures) {
+      Expected<ServeResponse> Got = Future.get();
+      if (!Got)
+        fatal(Got.status());
+      Responses.push_back(std::move(*Got));
+    }
     const double Wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - Start)
                             .count();
@@ -714,6 +728,210 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Chaos scenario: deterministic fault plans against live services, one
+  // sub-run per failure class. All expected answers (planned and baseline)
+  // are computed before any plan is armed — the reference runtime walks
+  // the same process-wide fault sites as the server.
+  bool ChaosOk = true;
+  uint64_t ChaosFaults = 0, ChaosRetries = 0, ChaosExhausted = 0,
+           ChaosDegraded = 0, ChaosDeadline = 0;
+  {
+    struct ChaosDisarm {
+      ~ChaosDisarm() { FaultInjector::instance().disarm(); }
+    } Disarm;
+    const size_t ChaosUnique = std::min<size_t>(Requests, 12);
+    const uint32_t ChaosIterations = 5;
+    const size_t PerMatrix = 4;
+
+    for (size_t I = 0; I < ChaosUnique; ++I)
+      ExpectedFor(I, ChaosIterations, true);
+    std::vector<std::vector<double>> BaselineY(ChaosUnique);
+    {
+      const Planner Pipeline(Registry, Sim);
+      SeerService Probe(Models);
+      const size_t BaselineKernel = Probe.server().baselineKernel();
+      for (size_t I = 0; I < ChaosUnique; ++I) {
+        const AnalyzedMatrix A = Pipeline.analyze(Pool[I]);
+        const std::vector<double> Ones(Pool[I].numCols(), 1.0);
+        BaselineY[I] = Registry.kernel(BaselineKernel)
+                           .run(Pool[I], A.Stats, /*State=*/nullptr, Ones, Sim)
+                           .Y;
+      }
+    }
+
+    const auto Arm = [](const char *PlanText) {
+      const auto Plan = FaultPlan::parse(PlanText);
+      if (!Plan)
+        fatal(Plan.status());
+      if (const Status S = FaultInjector::instance().arm(*Plan); !S.ok())
+        fatal(S);
+    };
+    const auto InjectedNow = [] {
+      return FaultInjector::instance().injectedCount();
+    };
+
+    // (a) Transient: UNAVAILABLE on every 4th kernel preparation. Every
+    // request must succeed undegraded and bit-identical, and every
+    // injected fault must be recovered by exactly one retry (consecutive
+    // hits of an every=4 schedule cannot both fire, so the retried
+    // attempt always lands clean).
+    {
+      SeerService Service(Models);
+      std::vector<MatrixHandle> Handles;
+      RegisterPool(Service, ChaosUnique, Handles);
+      Arm("seed 9\nkernel.prepare every=4 status=UNAVAILABLE transient\n");
+      const uint64_t FaultsBefore = InjectedNow();
+      bool Ok = true;
+      for (size_t K = 0; K < PerMatrix; ++K)
+        for (size_t I = 0; I < ChaosUnique; ++I) {
+          Request R;
+          R.Handle = Handles[I];
+          R.Iterations = ChaosIterations;
+          R.Execute = true;
+          const auto Response = Service.serve(R);
+          const ExpectedAnswer &E = ExpectedFor(I, ChaosIterations, true);
+          Ok = Ok && Response && !Response->Degraded &&
+               Response->Selection.KernelIndex == E.Selection.KernelIndex &&
+               Response->Y == E.Y;
+        }
+      FaultInjector::instance().disarm();
+      const uint64_t Faults = InjectedNow() - FaultsBefore;
+      const ServerStats Stats = Service.stats();
+      Ok = Ok && Faults > 0 && Stats.Retries == Faults &&
+           Stats.RetriesExhausted == 0 && Stats.DegradedServes == 0;
+      ChaosFaults += Faults;
+      ChaosRetries += Stats.Retries;
+      ChaosExhausted += Stats.RetriesExhausted;
+      ChaosOk = ChaosOk && Ok;
+      std::fprintf(stderr,
+                   "  chaos-transient  faults=%llu retries=%llu "
+                   "exhausted=%llu  %s\n",
+                   static_cast<unsigned long long>(Faults),
+                   static_cast<unsigned long long>(Stats.Retries),
+                   static_cast<unsigned long long>(Stats.RetriesExhausted),
+                   Ok ? "ok" : "CHAOS-FAIL");
+    }
+
+    // (b) Terminal: INTERNAL on every 3rd selection. Affected requests
+    // must degrade to the baseline kernel — Y bit-identical to the
+    // direct baseline run — while unaffected requests stay bit-identical
+    // to the planned answer. Nothing may surface as an error.
+    {
+      SeerService Service(Models);
+      std::vector<MatrixHandle> Handles;
+      RegisterPool(Service, ChaosUnique, Handles);
+      const size_t BaselineKernel = Service.server().baselineKernel();
+      Arm("seed 5\nplan.select every=3 status=INTERNAL model crashed\n");
+      const uint64_t FaultsBefore = InjectedNow();
+      bool Ok = true;
+      uint64_t DegradedSeen = 0;
+      for (size_t K = 0; K < PerMatrix; ++K)
+        for (size_t I = 0; I < ChaosUnique; ++I) {
+          Request R;
+          R.Handle = Handles[I];
+          R.Iterations = ChaosIterations;
+          R.Execute = true;
+          const auto Response = Service.serve(R);
+          if (!Response) {
+            Ok = false;
+            continue;
+          }
+          const ExpectedAnswer &E = ExpectedFor(I, ChaosIterations, true);
+          if (Response->Degraded) {
+            ++DegradedSeen;
+            Ok = Ok && Response->Selection.KernelIndex == BaselineKernel &&
+                 Response->Y == BaselineY[I];
+          } else {
+            Ok = Ok &&
+                 Response->Selection.KernelIndex == E.Selection.KernelIndex &&
+                 Response->Y == E.Y;
+          }
+        }
+      FaultInjector::instance().disarm();
+      const ServerStats Stats = Service.stats();
+      Ok = Ok && DegradedSeen > 0 && Stats.DegradedServes == DegradedSeen;
+      ChaosDegraded += Stats.DegradedServes;
+      ChaosFaults += InjectedNow() - FaultsBefore;
+      ChaosOk = ChaosOk && Ok;
+      std::fprintf(stderr, "  chaos-terminal   degraded=%llu/%zu  %s\n",
+                   static_cast<unsigned long long>(DegradedSeen),
+                   ChaosUnique * PerMatrix, Ok ? "ok" : "CHAOS-FAIL");
+    }
+
+    // (c) Cache pressure: RESOURCE_EXHAUSTED on every 2nd cache insert.
+    // Registration must still hand out working handles (the entry is
+    // served uncached) and every answer stays bit-identical.
+    {
+      Arm("cache.insert every=2 status=RESOURCE_EXHAUSTED cache full\n");
+      const uint64_t FaultsBefore = InjectedNow();
+      SeerService Service(Models);
+      bool Ok = true;
+      std::vector<MatrixHandle> Handles(ChaosUnique);
+      for (size_t I = 0; I < ChaosUnique; ++I) {
+        auto Handle = Service.registerMatrix(std::shared_ptr<const CsrMatrix>(
+            std::shared_ptr<void>(), &Pool[I]));
+        Ok = Ok && Handle.operator bool();
+        if (Handle)
+          Handles[I] = *Handle;
+      }
+      for (size_t I = 0; I < ChaosUnique; ++I) {
+        if (!Handles[I].valid())
+          continue;
+        Request R;
+        R.Handle = Handles[I];
+        R.Iterations = ChaosIterations;
+        R.Execute = true;
+        const auto Response = Service.serve(R);
+        const ExpectedAnswer &E = ExpectedFor(I, ChaosIterations, true);
+        Ok = Ok && Response && !Response->Degraded &&
+             Response->Selection.KernelIndex == E.Selection.KernelIndex &&
+             Response->Y == E.Y;
+      }
+      FaultInjector::instance().disarm();
+      const uint64_t Faults = InjectedNow() - FaultsBefore;
+      Ok = Ok && Faults > 0;
+      ChaosFaults += Faults;
+      ChaosOk = ChaosOk && Ok;
+      std::fprintf(stderr, "  chaos-cache      faults=%llu  %s\n",
+                   static_cast<unsigned long long>(Faults),
+                   Ok ? "ok" : "CHAOS-FAIL");
+    }
+
+    // (d) Deadline: a one-shot 50 ms stall in selection against a 5 ms
+    // budget must surface DEADLINE_EXCEEDED (typed, never retried); the
+    // same request without the stall then succeeds bit-identically.
+    {
+      SeerService Service(Models);
+      std::vector<MatrixHandle> Handles;
+      RegisterPool(Service, ChaosUnique, Handles);
+      Arm("plan.select nth=1 latency-ms=50\n");
+      const uint64_t FaultsBefore = InjectedNow();
+      Request R;
+      R.Handle = Handles[0];
+      R.Iterations = ChaosIterations;
+      R.Execute = true;
+      R.DeadlineMs = 5.0;
+      const auto Expired = Service.serve(R);
+      bool Ok = !Expired &&
+                Expired.status().code() == StatusCode::DeadlineExceeded;
+      R.DeadlineMs = 0.0; // the nth rule is spent; retry within no budget
+      const auto Within = Service.serve(R);
+      const ExpectedAnswer &E = ExpectedFor(0, ChaosIterations, true);
+      Ok = Ok && Within && !Within->Degraded && Within->Y == E.Y;
+      FaultInjector::instance().disarm();
+      const ServerStats Stats = Service.stats();
+      Ok = Ok && Stats.DeadlineExceeded == 1 && Stats.Retries == 0;
+      ChaosDeadline += Stats.DeadlineExceeded;
+      ChaosFaults += InjectedNow() - FaultsBefore;
+      ChaosOk = ChaosOk && Ok;
+      std::fprintf(stderr, "  chaos-deadline   expired=%llu  %s\n",
+                   static_cast<unsigned long long>(Stats.DeadlineExceeded),
+                   Ok ? "ok" : "CHAOS-FAIL");
+    }
+
+    ChaosOk = ChaosOk && ChaosDegraded > 0 && ChaosFaults > 0;
+  }
+
   bool AllIdentical = true;
   bool AllWithinBudget = true;
   bool AllBatchFaster = true;
@@ -737,6 +955,17 @@ int main(int Argc, char **Argv) {
                AllWithinBudget ? "true" : "false");
   std::fprintf(Out, "  \"batch_faster\": %s,\n",
                AllBatchFaster ? "true" : "false");
+  std::fprintf(Out, "  \"chaos_ok\": %s,\n", ChaosOk ? "true" : "false");
+  std::fprintf(Out, "  \"chaos_faults_injected\": %llu,\n",
+               static_cast<unsigned long long>(ChaosFaults));
+  std::fprintf(Out, "  \"chaos_retries\": %llu,\n",
+               static_cast<unsigned long long>(ChaosRetries));
+  std::fprintf(Out, "  \"chaos_retries_exhausted\": %llu,\n",
+               static_cast<unsigned long long>(ChaosExhausted));
+  std::fprintf(Out, "  \"chaos_degraded_serves\": %llu,\n",
+               static_cast<unsigned long long>(ChaosDegraded));
+  std::fprintf(Out, "  \"chaos_deadline_exceeded\": %llu,\n",
+               static_cast<unsigned long long>(ChaosDeadline));
   // The batching headline: mean per-operand execute cost on the
   // repeat-heavy stream, one request at a time vs. one plan per batch
   // (single client). Charged modeled cost is the gated pair; host CPU
@@ -820,10 +1049,10 @@ int main(int Argc, char **Argv) {
   std::fclose(Out);
 
   std::printf("wrote %s (%zu runs, bit_identical=%s, budget_respected=%s, "
-              "batch_faster=%s)\n",
+              "batch_faster=%s, chaos_ok=%s)\n",
               OutPath.c_str(), Records.size(),
               AllIdentical ? "true" : "false",
               AllWithinBudget ? "true" : "false",
-              AllBatchFaster ? "true" : "false");
-  return AllIdentical && AllWithinBudget && AllBatchFaster ? 0 : 1;
+              AllBatchFaster ? "true" : "false", ChaosOk ? "true" : "false");
+  return AllIdentical && AllWithinBudget && AllBatchFaster && ChaosOk ? 0 : 1;
 }

@@ -6,19 +6,43 @@
 
 #include "api/SeerService.h"
 
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 using namespace seer;
 
 SeerService::SeerService(SeerModels Models, ServiceConfig Config)
     : Server(std::move(Models), Config.Server),
-      AsyncCapacity(Config.AsyncQueueCapacity) {}
+      AsyncCapacity(Config.AsyncQueueCapacity), Retry(Config.Retry) {}
+
+namespace {
+
+/// The absolute deadline of a request whose budget starts now; min() (no
+/// deadline) when the budget is unset.
+std::chrono::steady_clock::time_point deadlineFor(double DeadlineMs) {
+  if (DeadlineMs <= 0.0)
+    return std::chrono::steady_clock::time_point::min();
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double, std::milli>(DeadlineMs));
+}
+
+void backoffSleep(double Ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(Ms));
+}
+
+} // namespace
 
 SeerService::~SeerService() { drain(); }
 
 Expected<MatrixHandle> SeerService::registerMatrix(MatrixInput Input) {
+  if (Status F = FaultInjector::instance().check(faultsite::ServiceRegister);
+      !F.ok())
+    return F;
   // A shared_ptr input is adopted, not copied: the client keeps its
   // matrix, the service shares ownership. Every other form materializes
   // into a service-owned CSR copy.
@@ -39,7 +63,15 @@ Expected<MatrixHandle> SeerService::registerMatrix(MatrixInput Input) {
 
   auto NewReg = std::make_shared<Registration>();
   NewReg->Owner = &Server;
-  NewReg->R = Server.registerMatrix(std::move(Csr));
+  try {
+    NewReg->R = Server.registerMatrix(std::move(Csr));
+  } catch (const std::bad_alloc &) {
+    // The registration path allocates the analysis and may hit an
+    // injected bad-alloc at the cache.insert site; the caller gets a
+    // typed (retryable) rejection, not a crash.
+    NewReg->Owner = nullptr;
+    return Status::resourceExhausted("out of memory registering matrix");
+  }
 
   MatrixHandle Handle;
   {
@@ -91,6 +123,28 @@ SeerService::resolve(MatrixHandle Handle, const Request &R) const {
   return Reg;
 }
 
+Expected<ServeResponse>
+SeerService::serveWithRetry(const RegisteredMatrix &Registered,
+                            const ServeOptions &Options) {
+  Expected<ServeResponse> Result = Server.handleRegistered(Registered, Options);
+  for (uint32_t Attempt = 1;
+       !Result && Result.status().isRetryable() && Attempt < Retry.MaxAttempts;
+       ++Attempt) {
+    // A retry that cannot finish in budget is not worth starting; the
+    // standing retryable error is more honest than a DEADLINE_EXCEEDED
+    // manufactured by re-issuing doomed work.
+    if (Options.hasDeadline() &&
+        std::chrono::steady_clock::now() >= Options.Deadline)
+      break;
+    backoffSleep(Retry.backoffMs(Attempt));
+    Retries.fetch_add(1, std::memory_order_relaxed);
+    Result = Server.handleRegistered(Registered, Options);
+  }
+  if (!Result && Result.status().isRetryable())
+    RetriesExhausted.fetch_add(1, std::memory_order_relaxed);
+  return Result;
+}
+
 Expected<ServeResponse> SeerService::serve(const Request &R) {
   auto Reg = resolve(R.Handle, R);
   if (!Reg)
@@ -100,7 +154,8 @@ Expected<ServeResponse> SeerService::serve(const Request &R) {
   Options.Execute = R.Execute;
   Options.VerifyOracle = R.VerifyOracle;
   Options.Operand = R.Operand.empty() ? nullptr : &R.Operand;
-  return Server.handleRegistered((*Reg)->R, Options);
+  Options.Deadline = deadlineFor(R.DeadlineMs);
+  return serveWithRetry((*Reg)->R, Options);
 }
 
 Expected<ServeResponse> SeerService::select(MatrixHandle Handle,
@@ -125,7 +180,7 @@ Expected<ServeResponse> SeerService::execute(MatrixHandle Handle,
 Expected<BatchResponse>
 SeerService::executeBatch(MatrixHandle Handle,
                           const std::vector<std::vector<double>> &Operands,
-                          uint32_t Iterations) {
+                          uint32_t Iterations, double DeadlineMs) {
   Request Probe;
   Probe.Handle = Handle;
   Probe.Iterations = Iterations;
@@ -141,42 +196,70 @@ SeerService::executeBatch(MatrixHandle Handle,
           "batch operand " + std::to_string(I) + " has " +
           std::to_string(Operands[I].size()) + " elements, matrix has " +
           std::to_string(Cols) + " columns");
-  return Server.executeBatchRegistered((*Reg)->R, Iterations, Operands);
+  return Server.executeBatchRegistered((*Reg)->R, Iterations, Operands,
+                                       deadlineFor(DeadlineMs));
 }
 
-Expected<std::future<ServeResponse>> SeerService::submit(Request R) {
+Status SeerService::tryAdmit() {
+  if (Status F = FaultInjector::instance().check(faultsite::QueueAdmit);
+      !F.ok())
+    return F;
+  // Admission control: bounded in-flight count, rejected (not blocked)
+  // when full so a client-side burst cannot wedge its own threads.
+  std::lock_guard<std::mutex> Lock(AsyncMutex);
+  if (InFlight >= AsyncCapacity)
+    return Status::resourceExhausted(
+        "async queue full (" + std::to_string(AsyncCapacity) +
+        " submissions in flight); back off and resubmit");
+  ++InFlight;
+  return Status::okStatus();
+}
+
+Expected<std::future<Expected<ServeResponse>>> SeerService::submit(Request R) {
   auto Reg = resolve(R.Handle, R);
   if (!Reg)
     return Reg.status();
 
-  // Admission control: bounded in-flight count, rejected (not blocked)
-  // when full so a client-side burst cannot wedge its own threads.
-  {
-    std::lock_guard<std::mutex> Lock(AsyncMutex);
-    if (InFlight >= AsyncCapacity) {
-      AsyncRejected.fetch_add(1, std::memory_order_relaxed);
-      return Status::resourceExhausted(
-          "async queue full (" + std::to_string(AsyncCapacity) +
-          " submissions in flight); back off and resubmit");
-    }
-    ++InFlight;
+  // The deadline clock starts at submission: time spent fighting for
+  // admission and waiting in the queue is time the caller is waiting.
+  const auto Deadline = deadlineFor(R.DeadlineMs);
+
+  Status Admission = tryAdmit();
+  for (uint32_t Attempt = 1; !Admission.ok() && Admission.isRetryable() &&
+                             Attempt < Retry.MaxAttempts;
+       ++Attempt) {
+    if (Deadline != std::chrono::steady_clock::time_point::min() &&
+        std::chrono::steady_clock::now() >= Deadline)
+      break;
+    backoffSleep(Retry.backoffMs(Attempt));
+    Retries.fetch_add(1, std::memory_order_relaxed);
+    Admission = tryAdmit();
+  }
+  if (!Admission.ok()) {
+    if (Admission.isRetryable())
+      RetriesExhausted.fetch_add(1, std::memory_order_relaxed);
+    AsyncRejected.fetch_add(1, std::memory_order_relaxed);
+    return Admission;
   }
   AsyncAccepted.fetch_add(1, std::memory_order_relaxed);
 
   // The task owns everything it needs: the registration (so a release()
   // between admission and execution is harmless) and the request with
   // its operand. Validation already happened, so the future always
-  // resolves to a response.
-  auto Promise = std::make_shared<std::promise<ServeResponse>>();
-  std::future<ServeResponse> Future = Promise->get_future();
+  // resolves to the request's typed outcome — a response, or
+  // DEADLINE_EXCEEDED / a retry-exhausted transient error.
+  auto Promise = std::make_shared<std::promise<Expected<ServeResponse>>>();
+  std::future<Expected<ServeResponse>> Future = Promise->get_future();
   ThreadPool::shared().submit(
-      [this, Promise, Reg = std::move(*Reg), R = std::move(R)]() mutable {
+      [this, Promise, Deadline, Reg = std::move(*Reg),
+       R = std::move(R)]() mutable {
         ServeOptions Options;
         Options.Iterations = R.Iterations;
         Options.Execute = R.Execute;
         Options.VerifyOracle = R.VerifyOracle;
         Options.Operand = R.Operand.empty() ? nullptr : &R.Operand;
-        Promise->set_value(Server.handleRegistered(Reg->R, Options));
+        Options.Deadline = Deadline;
+        Promise->set_value(serveWithRetry(Reg->R, Options));
         Reg.reset(); // return the pin before signaling idle
         std::lock_guard<std::mutex> Lock(AsyncMutex);
         if (--InFlight == 0)
@@ -209,6 +292,8 @@ ServerStats SeerService::stats() const {
   ServerStats S = Server.stats();
   S.AsyncAccepted = AsyncAccepted.load(std::memory_order_relaxed);
   S.AsyncRejected = AsyncRejected.load(std::memory_order_relaxed);
+  S.Retries = Retries.load(std::memory_order_relaxed);
+  S.RetriesExhausted = RetriesExhausted.load(std::memory_order_relaxed);
   return S;
 }
 

@@ -63,13 +63,38 @@ struct MatrixHandle {
   bool valid() const { return Id != 0; }
 };
 
+/// Deterministic bounded retry for transient failures. Applied by the
+/// serve()/submit() wrappers to *retryable* Status codes only
+/// (Status::isRetryable(): RESOURCE_EXHAUSTED, UNAVAILABLE) — terminal
+/// failures and DEADLINE_EXCEEDED are never retried. The backoff is pure
+/// exponential with no jitter, so a fault plan plus a policy yields the
+/// same attempt sequence on every run.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retry.
+  uint32_t MaxAttempts = 3;
+  /// Backoff before the k-th retry (1-based): BackoffBaseMs * 2^(k-1),
+  /// capped at BackoffMaxMs.
+  double BackoffBaseMs = 0.25;
+  double BackoffMaxMs = 4.0;
+
+  double backoffMs(uint32_t Retry) const {
+    double Ms = BackoffBaseMs;
+    for (uint32_t I = 1; I < Retry && Ms < BackoffMaxMs; ++I)
+      Ms *= 2.0;
+    return Ms < BackoffMaxMs ? Ms : BackoffMaxMs;
+  }
+};
+
 /// Construction parameters of a SeerService.
 struct ServiceConfig {
-  /// The wrapped server's configuration (device, cache shards, budget).
+  /// The wrapped server's configuration (device, cache shards, budget,
+  /// circuit breakers).
   ServerConfig Server;
   /// Maximum async submissions in flight (admitted but not yet finished)
   /// before submit() applies backpressure with RESOURCE_EXHAUSTED.
   size_t AsyncQueueCapacity = 256;
+  /// Retry policy for transient failures (see RetryPolicy).
+  RetryPolicy Retry;
 };
 
 /// One handle-based request. Owns its operand (unlike the deprecated
@@ -86,6 +111,12 @@ struct Request {
   /// SpMV operand; empty means an all-ones vector of the matrix's column
   /// count. Must otherwise match the column count (INVALID_ARGUMENT).
   std::vector<double> Operand;
+  /// Time budget in milliseconds, measured from serve()/submit() entry —
+  /// async queue wait counts against it. 0 means no deadline. Expired
+  /// work is rejected with DEADLINE_EXCEEDED at the admission checkpoint
+  /// and between pipeline stages rather than running to completion;
+  /// DEADLINE_EXCEEDED is terminal (never retried).
+  double DeadlineMs = 0.0;
 };
 
 /// Facts about a registered matrix, for tools and telemetry.
@@ -130,6 +161,10 @@ public:
   /// Serves one handle-based request synchronously. NOT_FOUND for an
   /// unknown/released handle, INVALID_ARGUMENT for a zero iteration
   /// count or an operand whose length does not match the matrix.
+  /// Transient (retryable) server failures are retried in place under
+  /// the configured RetryPolicy; DEADLINE_EXCEEDED when R.DeadlineMs
+  /// expired; a degraded response (terminal pipeline failure answered by
+  /// the baseline kernel) comes back OK with Degraded set.
   Expected<ServeResponse> serve(const Request &R);
 
   /// Selection-only convenience over serve().
@@ -148,19 +183,26 @@ public:
   /// handle). Per operand, the result is bit-identical to issuing the
   /// same execution through serve(); the batch just skips the
   /// per-request selection, ledger and telemetry costs N-1 times.
+  /// \p DeadlineMs (0 = none) bounds the whole batch, checked between
+  /// operands too; batches are not retried (re-running N operands on a
+  /// transient blip is the caller's call, not the service's).
   Expected<BatchResponse>
   executeBatch(MatrixHandle Handle,
                const std::vector<std::vector<double>> &Operands,
-               uint32_t Iterations = 1);
+               uint32_t Iterations = 1, double DeadlineMs = 0.0);
 
   /// Submits a request for asynchronous execution on the process-wide
   /// ThreadPool. Validation (handle, iterations, operand) happens here,
-  /// synchronously — an admitted future never fails, it always yields
-  /// the ServeResponse. RESOURCE_EXHAUSTED when AsyncQueueCapacity
-  /// submissions are already in flight: the caller should back off and
-  /// resubmit. The returned future may outlive release() of the handle
-  /// but not the service itself.
-  Expected<std::future<ServeResponse>> submit(Request R);
+  /// synchronously. Admission itself is retried under the RetryPolicy
+  /// when the queue is full or transiently failing (bounded backoff —
+  /// submit() briefly blocks rather than bouncing a burst back);
+  /// RESOURCE_EXHAUSTED once those attempts are spent: back off and
+  /// resubmit. The admitted future resolves to the request's typed
+  /// outcome — a response (possibly Degraded), or DEADLINE_EXCEEDED /
+  /// a retry-exhausted transient error, with queue wait counted against
+  /// R.DeadlineMs. The future may outlive release() of the handle but
+  /// not the service itself.
+  Expected<std::future<Expected<ServeResponse>>> submit(Request R);
 
   /// Blocks until every admitted async submission has completed.
   void drain();
@@ -201,6 +243,17 @@ private:
   Expected<std::shared_ptr<Registration>> resolve(MatrixHandle Handle,
                                                   const Request &R) const;
 
+  /// One server call under the RetryPolicy: re-issues \p Options against
+  /// \p Registered on retryable failure, with deterministic exponential
+  /// backoff, until the attempts are spent or the deadline expires.
+  /// Moves the Retries/RetriesExhausted counters.
+  Expected<ServeResponse> serveWithRetry(const RegisteredMatrix &Registered,
+                                         const ServeOptions &Options);
+
+  /// One async admission attempt: the queue.admit fault site, then the
+  /// bounded in-flight check. On OK the in-flight slot is held.
+  Status tryAdmit();
+
   /// Declaration order is load-bearing: Handles (and the Registrations
   /// it owns) must be destroyed before Server, whose cache their
   /// destructors unpin — and the destructor drains async work first.
@@ -213,11 +266,14 @@ private:
   /// Async admission accounting. InFlight is guarded by AsyncMutex so
   /// drain() can wait on it without missed wakeups.
   const size_t AsyncCapacity;
+  const RetryPolicy Retry;
   mutable std::mutex AsyncMutex;
   std::condition_variable AsyncIdle;
   size_t InFlight = 0;
   std::atomic<uint64_t> AsyncAccepted{0};
   std::atomic<uint64_t> AsyncRejected{0};
+  std::atomic<uint64_t> Retries{0};
+  std::atomic<uint64_t> RetriesExhausted{0};
 };
 
 } // namespace seer

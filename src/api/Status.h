@@ -56,6 +56,10 @@ enum class StatusCode : int {
   Unavailable,
   /// A bug: an invariant the library promised to hold did not.
   Internal,
+  /// The request's deadline expired before the work completed. Not
+  /// retryable: the caller's time budget is spent; retrying with the
+  /// same deadline would expire again immediately.
+  DeadlineExceeded,
 };
 
 /// Stable upper-case name of \p Code (e.g. "INVALID_ARGUMENT"), used by
@@ -78,8 +82,20 @@ inline const char *statusCodeName(StatusCode Code) {
     return "UNAVAILABLE";
   case StatusCode::Internal:
     return "INTERNAL";
+  case StatusCode::DeadlineExceeded:
+    return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
+}
+
+/// True for failure classes where the same request may succeed if simply
+/// tried again: a transiently full queue or a transiently unreachable
+/// dependency. Everything else is terminal for the request as issued —
+/// retrying a malformed request or an expired deadline cannot help. This
+/// is the classification RetryPolicy (api/SeerService.h) branches on.
+inline bool statusCodeIsRetryable(StatusCode Code) {
+  return Code == StatusCode::ResourceExhausted ||
+         Code == StatusCode::Unavailable;
 }
 
 /// An operation outcome: OK, or a failure code plus a message meant for
@@ -113,8 +129,13 @@ public:
   static Status internal(std::string Message) {
     return Status(StatusCode::Internal, std::move(Message));
   }
+  static Status deadlineExceeded(std::string Message) {
+    return Status(StatusCode::DeadlineExceeded, std::move(Message));
+  }
 
   bool ok() const { return Code == StatusCode::Ok; }
+  /// See statusCodeIsRetryable().
+  bool isRetryable() const { return statusCodeIsRetryable(Code); }
   StatusCode code() const { return Code; }
   const std::string &message() const { return Message; }
 

@@ -8,6 +8,7 @@
 
 #include "core/Features.h"
 #include "core/SeerTrainer.h"
+#include "support/FaultInjector.h"
 #include "support/Fnv.h"
 
 #include <utility>
@@ -172,6 +173,10 @@ ExecutionPlan Planner::planForKernel(const AnalyzedMatrix &A,
 }
 
 void Planner::prepare(ExecutionPlan &Plan, const AnalyzedMatrix &A) const {
+  // prepare() cannot return Status (every adapter threads it through
+  // value-returning stages), so an injected fault propagates as an
+  // InjectedFaultError the serving layer catches at its request boundary.
+  FaultInjector::instance().checkOrThrow(faultsite::KernelPrepare);
   const SpmvKernel &Kernel = Registry.kernel(Plan.kernelIndex());
   PreprocessResult Prep = Kernel.preprocess(A.matrix(), A.Stats, Sim);
   Plan.State = std::move(Prep.State);
@@ -203,6 +208,7 @@ PreparedKernel Planner::exportPrepared(const ExecutionPlan &Plan) const {
 SpmvRun Planner::run(const ExecutionPlan &Plan, const AnalyzedMatrix &A,
                      const std::vector<double> &X) const {
   assert(Plan.Prepared && "running an unprepared plan");
+  FaultInjector::instance().checkOrThrow(faultsite::PlanRun);
   return Registry.kernel(Plan.kernelIndex())
       .run(A.matrix(), A.Stats, Plan.State.get(), X, Sim);
 }

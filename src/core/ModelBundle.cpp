@@ -6,6 +6,9 @@
 
 #include "core/ModelBundle.h"
 
+#include "support/AtomicFile.h"
+#include "support/FaultInjector.h"
+
 #include <fstream>
 #include <sstream>
 
@@ -18,6 +21,9 @@ std::vector<std::string> seer::modelBundleFileNames() {
 Expected<SeerModels>
 seer::loadModelBundle(const std::string &Directory,
                       std::vector<std::string> KernelNames) {
+  if (Status F = FaultInjector::instance().check(faultsite::BundleLoad);
+      !F.ok())
+    return F;
   SeerModels Models;
   DecisionTree *const Trees[] = {&Models.Known, &Models.Gathered,
                                  &Models.Selector};
@@ -52,17 +58,20 @@ seer::loadModelBundle(const std::string &Directory,
 
 Status seer::storeModelBundle(const SeerModels &Models,
                               const std::string &Directory) {
+  if (Status F = FaultInjector::instance().check(faultsite::BundleStore);
+      !F.ok())
+    return F;
   const DecisionTree *const Trees[] = {&Models.Known, &Models.Gathered,
                                        &Models.Selector};
   const std::vector<std::string> Names = modelBundleFileNames();
   for (size_t I = 0; I < Names.size(); ++I) {
+    // Temp-file + rename per member: a crash mid-store leaves either the
+    // old complete tree or the new complete tree, never a truncated one a
+    // later loadModelBundle would reject.
     const std::string Path = Directory + "/" + Names[I];
-    std::ofstream Stream(Path);
-    if (!Stream)
-      return Status::unavailable("cannot write model file '" + Path + "'");
-    Stream << Trees[I]->serialize();
-    if (!Stream)
-      return Status::unavailable("short write to model file '" + Path + "'");
+    if (Status S = atomicWriteFile(Path, Trees[I]->serialize()); !S.ok())
+      return Status::unavailable("cannot write model file '" + Path +
+                                 "': " + S.message());
   }
   return Status::okStatus();
 }

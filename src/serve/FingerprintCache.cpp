@@ -6,6 +6,8 @@
 
 #include "serve/FingerprintCache.h"
 
+#include "support/FaultInjector.h"
+
 #include <cassert>
 
 using namespace seer;
@@ -104,6 +106,18 @@ FingerprintCache::lookupOrAnalyze(uint64_t Fingerprint, const CsrMatrix &M,
   Fresh->Stats = computeMatrixStats(M);
   Fresh->Kernels.resize(NumKernels);
   const size_t FreshBytes = entryResidentBytes(*Fresh);
+
+  // Graceful degradation on insert failure: the analysis just computed is
+  // complete and correct, so the request is served from this un-inserted
+  // entry — bit-identical, merely uncached (the next request re-analyzes).
+  // A pinned un-inserted entry only carries its refcount; unpin() already
+  // tolerates entries that are not resident.
+  if (Status F = FaultInjector::instance().check(faultsite::CacheInsert);
+      !F.ok()) {
+    if (Pin)
+      Fresh->Pins.fetch_add(1, std::memory_order_relaxed);
+    return {std::move(Fresh), false};
+  }
 
   std::lock_guard<std::mutex> Lock(S.Mutex);
   const auto It = S.Index.find(Fingerprint);

@@ -9,6 +9,7 @@
 #include "api/MatrixInput.h"
 #include "kernels/KernelRegistry.h"
 #include "sparse/MatrixMarket.h"
+#include "support/FaultInjector.h"
 #include "support/Random.h"
 #include "support/StringUtils.h"
 
@@ -44,7 +45,43 @@ Status parseIterations(const std::string &Token, uint32_t &Out) {
   return Status::okStatus();
 }
 
+/// Validates a `fault` directive without arming anything: `clear`,
+/// `seed N`, or one FaultPlan rule.
+Status validateFaultSpec(const std::string &Spec) {
+  if (Spec == "clear")
+    return Status::okStatus();
+  const std::vector<std::string> Words = splitString(Spec, ' ');
+  if (!Words.empty() && Words[0] == "seed") {
+    int64_t Seed = 0;
+    if (Words.size() != 2 || !parseInt(Words[1], Seed) || Seed < 0)
+      return Status::invalidArgument("usage: fault seed N");
+    return Status::okStatus();
+  }
+  return FaultPlan::parseRule(Spec).status();
+}
+
 } // namespace
+
+Status seer::applyFaultSpec(const std::string &Spec) {
+  if (const Status S = validateFaultSpec(Spec); !S.ok())
+    return S;
+  FaultInjector &Injector = FaultInjector::instance();
+  if (Spec == "clear") {
+    Injector.disarm();
+    return Status::okStatus();
+  }
+  const std::vector<std::string> Words = splitString(Spec, ' ');
+  if (!Words.empty() && Words[0] == "seed") {
+    int64_t Seed = 0;
+    parseInt(Words[1], Seed);
+    Injector.reseed(static_cast<uint64_t>(Seed));
+    return Status::okStatus();
+  }
+  auto Rule = FaultPlan::parseRule(Spec);
+  assert(Rule && "validated rule failed to parse");
+  Injector.addRule(*Rule);
+  return Status::okStatus();
+}
 
 Status seer::parseTraceLine(const std::string &Line, TraceCommand &Out) {
   const auto Fail = [](const std::string &Message) {
@@ -103,6 +140,16 @@ Status seer::parseTraceLine(const std::string &Line, TraceCommand &Out) {
                                  : TraceCommand::Kind::Close;
     Out.Name = Tokens[1];
     return Status::okStatus();
+  }
+
+  if (Verb == "fault") {
+    if (Tokens.size() < 2)
+      return Fail("usage: fault SITE nth=N|every=K ACTION | fault seed N | "
+                  "fault clear");
+    Out.Command = TraceCommand::Kind::Fault;
+    std::vector<std::string> Rest(Tokens.begin() + 1, Tokens.end());
+    Out.FaultSpec = joinStrings(Rest, " ");
+    return validateFaultSpec(Out.FaultSpec);
   }
 
   if (Verb == "batch") {
@@ -193,6 +240,15 @@ Expected<TraceScript> seer::parseTrace(const std::string &Text) {
     case TraceCommand::Kind::Stats:
     case TraceCommand::Kind::Quit:
       return Fail(LineNo, "control commands are not allowed in traces");
+    case TraceCommand::Kind::Fault: {
+      if (Script.Version < 2)
+        return Fail(LineNo, "'fault' requires a 'seer-trace v2' header");
+      TraceScript::Op Op;
+      Op.Command = TraceScript::Op::Kind::Fault;
+      Op.FaultSpec = Command.FaultSpec;
+      Script.Ops.push_back(Op);
+      break;
+    }
     case TraceCommand::Kind::Load: {
       if (Script.matrixIndex(Command.Name) != TraceScript::npos)
         return Fail(LineNo, "duplicate matrix name '" + Command.Name + "'");
@@ -348,7 +404,10 @@ std::string seer::formatBatchResponseLine(const std::string &Name,
   const size_t Length =
       Written > 0 ? std::min(static_cast<size_t>(Written), sizeof(Buffer) - 1)
                   : 0;
-  return std::string(Buffer, Length);
+  std::string Line(Buffer, Length);
+  if (Response.Degraded)
+    Line += " degraded=1";
+  return Line;
 }
 
 std::string seer::formatResponseLine(const std::string &Name,
@@ -386,6 +445,8 @@ std::string seer::formatResponseLine(const std::string &Name,
         Response.Mispredicted ? 1 : 0, Response.RegretMs);
     Line.append(Buffer, Fitted(Written));
   }
+  if (Response.Degraded)
+    Line += " degraded=1";
   return Line;
 }
 
@@ -423,6 +484,12 @@ std::string seer::formatStatsLines(const ServerStats &Stats) {
       "stat reanalyses %" PRIu64 "\n"
       "stat async_accepted %" PRIu64 "\n"
       "stat async_rejected %" PRIu64 "\n"
+      "stat deadline_exceeded %" PRIu64 "\n"
+      "stat retries %" PRIu64 "\n"
+      "stat retries_exhausted %" PRIu64 "\n"
+      "stat degraded_serves %" PRIu64 "\n"
+      "stat faults_injected %" PRIu64 "\n"
+      "stat breaker_opens %" PRIu64 "\n"
       "stat latency_samples %" PRIu64 "\n"
       "stat latency_mean_us %.3f\n"
       "stat latency_p50_us %.3f\n"
@@ -437,7 +504,9 @@ std::string seer::formatStatsLines(const ServerStats &Stats) {
       Stats.SavedPreprocessMs, Stats.CachedMatrices, Stats.PinnedMatrices,
       Stats.CacheBudgetBytes, Stats.BytesCached, Stats.BytesEvicted,
       Stats.Evictions, Stats.PartialEvictions, Stats.Reanalyses,
-      Stats.AsyncAccepted, Stats.AsyncRejected, Stats.LatencySamples,
+      Stats.AsyncAccepted, Stats.AsyncRejected, Stats.DeadlineExceeded,
+      Stats.Retries, Stats.RetriesExhausted, Stats.DegradedServes,
+      Stats.FaultsInjected, Stats.BreakerOpens, Stats.LatencySamples,
       Stats.MeanLatencyUs, Stats.P50LatencyUs, Stats.P99LatencyUs);
   return std::string(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
 }

@@ -50,12 +50,23 @@
 ///                                    (buildBatchOperands), so replays are
 ///                                    reproducible
 ///
+/// Fault command (v2 only; drives support/FaultInjector.h):
+///   fault SITE nth=N|every=K ACTION  add one fault rule (FaultPlan rule
+///                                    grammar: ACTION is `status=CODE
+///                                    [message...]`, `latency-ms=X`, or
+///                                    `bad-alloc`); hit counters of rules
+///                                    already armed are preserved
+///   fault seed N                     reseed the injector's every-K phases
+///   fault clear                      disarm all fault rules
+///
 /// Control commands (interactive mode only):
 ///   stats                            print the telemetry snapshot
 ///   quit                             exit
 ///
-/// Output lines are `NAME key=value...` response lines, `stat NAME VALUE`
-/// telemetry lines, `ok ...` acknowledgements, and error lines of the form
+/// Output lines are `NAME key=value...` response lines (with a
+/// ` degraded=1` marker when the server answered from the baseline
+/// fallback kernel), `stat NAME VALUE` telemetry lines, `ok ...`
+/// acknowledgements, and error lines of the form
 ///
 ///   error CODE message...            e.g. `error NOT_FOUND no handle ...`
 ///
@@ -90,6 +101,7 @@ struct TraceCommand {
     Select,
     Execute,
     Batch,
+    Fault,
     Stats,
     Quit
   };
@@ -108,6 +120,9 @@ struct TraceCommand {
   bool Verify = false;
   /// Operand count (Batch).
   uint32_t BatchCount = 0;
+  /// Everything after the `fault` verb (Fault): a FaultPlan rule,
+  /// `seed N`, or `clear`. Validated at parse time.
+  std::string FaultSpec;
 };
 
 /// Parses one protocol line. INVALID_ARGUMENT on a malformed line;
@@ -122,17 +137,19 @@ Expected<CsrMatrix> buildTraceMatrix(const TraceCommand &Command);
 /// matrices (in definition order) and the operation sequence.
 struct TraceScript {
   /// One replayable operation. v1 traces only contain Select/Execute;
-  /// Open/Close/Batch appear in v2 traces.
+  /// Open/Close/Batch/Fault appear in v2 traces.
   struct Op {
-    enum class Kind { Open, Close, Select, Execute, Batch };
+    enum class Kind { Open, Close, Select, Execute, Batch, Fault };
     Kind Command = Kind::Select;
-    /// Index into Matrices.
+    /// Index into Matrices (not used by Fault).
     size_t MatrixIndex = 0;
     /// Request parameters (Select/Execute/Batch).
     uint32_t Iterations = 1;
     bool Verify = false;
     /// Operand count (Batch).
     uint32_t BatchCount = 0;
+    /// Fault directive (Fault): a FaultPlan rule, `seed N`, or `clear`.
+    std::string FaultSpec;
   };
 
   /// Declared protocol version (1 without a header line).
@@ -173,6 +190,12 @@ std::string formatResponseLine(const std::string &Name,
 std::string formatBatchResponseLine(const std::string &Name,
                                     const BatchResponse &Response,
                                     const KernelRegistry &Registry);
+
+/// Applies one validated `fault` directive (`clear`, `seed N`, or a
+/// FaultPlan rule line) to the process-wide FaultInjector. The shared
+/// executor of the trace-v2 `fault` command (replay and interactive
+/// mode). INVALID_ARGUMENT on a malformed spec, without arming anything.
+Status applyFaultSpec(const std::string &Spec);
 
 /// Formats a stats snapshot as `stat NAME VALUE` lines.
 std::string formatStatsLines(const ServerStats &Stats);

@@ -6,6 +6,7 @@
 
 #include "serve/SeerServer.h"
 
+#include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
 
 #include <cassert>
@@ -16,12 +17,27 @@ using namespace seer;
 SeerServer::SeerServer(SeerModels Models, ServerConfig Config)
     : Models(std::move(Models)), Registry(), Sim(Config.Device),
       Runtime(this->Models, Registry, Sim),
-      Cache(Config.CacheShards, Config.CacheBudgetBytes) {}
+      Cache(Config.CacheShards, Config.CacheBudgetBytes),
+      Baseline(Registry.indexOf("CSR,TM")),
+      SelectBreaker(Config.BreakerThreshold, Config.BreakerCooldown),
+      PrepareBreaker(Config.BreakerThreshold, Config.BreakerCooldown),
+      RunBreaker(Config.BreakerThreshold, Config.BreakerCooldown) {}
 
 namespace {
 
 uint64_t msToNanos(double Ms) {
   return Ms > 0 ? static_cast<uint64_t>(Ms * 1e6) : 0;
+}
+
+bool deadlineExpired(std::chrono::steady_clock::time_point Deadline) {
+  return Deadline != std::chrono::steady_clock::time_point::min() &&
+         std::chrono::steady_clock::now() >= Deadline;
+}
+
+double microsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
 }
 
 } // namespace
@@ -46,7 +62,7 @@ void SeerServer::releaseMatrix(const RegisteredMatrix &Registered) {
   Releases.fetch_add(1, std::memory_order_relaxed);
 }
 
-ServeResponse
+Expected<ServeResponse>
 SeerServer::handleRegistered(const RegisteredMatrix &Registered,
                              const ServeOptions &Options) {
   assert(Registered.valid() && "request against an empty registration");
@@ -55,7 +71,8 @@ SeerServer::handleRegistered(const RegisteredMatrix &Registered,
   // hit on the deprecated path, and bit-identical to it.
   return serveEntry(*Registered.Matrix, Registered.Fingerprint,
                     Registered.Entry, /*CacheHit=*/true, Options,
-                    std::chrono::steady_clock::now());
+                    std::chrono::steady_clock::now(),
+                    /*DegradeOnError=*/false);
 }
 
 ServeResponse SeerServer::handle(const ServeRequest &Request) {
@@ -67,9 +84,55 @@ ServeResponse SeerServer::handle(const ServeRequest &Request) {
   const auto Start = std::chrono::steady_clock::now();
   const CsrMatrix &M = *Request.Matrix;
   const uint64_t Fingerprint = matrixFingerprint(M);
-  const auto [Entry, Hit] =
-      Cache.lookupOrAnalyze(Fingerprint, M, Registry.size());
-  return serveEntry(M, Fingerprint, Entry, Hit, Request.options(), Start);
+  std::pair<std::shared_ptr<FingerprintCache::Entry>, bool> Looked;
+  try {
+    Looked = Cache.lookupOrAnalyze(Fingerprint, M, Registry.size());
+  } catch (const std::bad_alloc &) {
+    // Allocation failure (injected or real) during analysis: this path
+    // has no error channel, so serve the baseline selection off a
+    // one-shot analysis, fully outside the cache.
+    ServeResponse R;
+    R.Degraded = true;
+    R.Fingerprint = Fingerprint;
+    R.Iterations = Request.Iterations ? Request.Iterations : 1;
+    R.Selection.KernelIndex = Baseline;
+    if (Request.Execute) {
+      const AnalyzedMatrix A =
+          Runtime.planner().analyze(M, /*WithFingerprint=*/false);
+      const std::vector<double> Ones =
+          Request.Operand ? std::vector<double>()
+                          : std::vector<double>(M.numCols(), 1.0);
+      const std::vector<double> &X = Request.Operand ? *Request.Operand : Ones;
+      SpmvRun Run = runBaseline(M, A.Stats, X);
+      R.Executed = true;
+      R.IterationMs = Run.Timing.TotalMs;
+      R.Y = std::move(Run.Y);
+      Executions.fetch_add(1, std::memory_order_relaxed);
+    }
+    R.ServiceMicros = microsSince(Start);
+    Requests.fetch_add(1, std::memory_order_relaxed);
+    DegradedServes.fetch_add(1, std::memory_order_relaxed);
+    Latency.record(R.ServiceMicros);
+    return R;
+  }
+  const auto &[Entry, Hit] = Looked;
+  // This path has no error channel and no deadline field, so every stage
+  // failure degrades (DegradeOnError) and the result is always a
+  // response.
+  Expected<ServeResponse> R = serveEntry(M, Fingerprint, Entry, Hit,
+                                         Request.options(), Start,
+                                         /*DegradeOnError=*/true);
+  assert(R.ok() && "v1 requests carry no deadline and degrade all failures");
+  if (!R) {
+    // Unreachable by construction; answer a degraded selection rather
+    // than crash if it ever is reached in a release build.
+    ServeResponse Fallback;
+    Fallback.Degraded = true;
+    Fallback.Selection.KernelIndex = Baseline;
+    Fallback.Fingerprint = Fingerprint;
+    return Fallback;
+  }
+  return std::move(*R);
 }
 
 bool SeerServer::preparePlan(
@@ -118,116 +181,246 @@ bool SeerServer::preparePlan(
   return Reused;
 }
 
-ServeResponse
+SpmvRun SeerServer::runBaseline(const CsrMatrix &M, const MatrixStats &Stats,
+                                const std::vector<double> &X) const {
+  // Plain thread-mapped CSR: no preprocessing state, no Planner stages,
+  // no fault sites — a failure in the degraded path itself would mean the
+  // kernel registry is broken, which no fallback can paper over.
+  return Registry.kernel(Baseline).run(M, Stats, /*State=*/nullptr, X, Sim);
+}
+
+Status SeerServer::finishError(Status Error,
+                               std::chrono::steady_clock::time_point Start) {
+  assert(!Error.ok() && "finishError on success");
+  if (Error.code() == StatusCode::DeadlineExceeded)
+    DeadlineExceededCount.fetch_add(1, std::memory_order_relaxed);
+  // Failed requests cost service time too; Requests and its derived
+  // invariants (hits + misses, known + gathered) count only answered
+  // requests, so errors move the latency histogram and their own
+  // counters, nothing else.
+  Latency.record(microsSince(Start));
+  return Error;
+}
+
+Expected<ServeResponse>
 SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
                        const std::shared_ptr<FingerprintCache::Entry> &Entry,
                        bool CacheHit, const ServeOptions &Request,
-                       std::chrono::steady_clock::time_point Start) {
+                       std::chrono::steady_clock::time_point Start,
+                       bool DegradeOnError) {
   const Planner &Pipeline = Runtime.planner();
   const AnalyzedMatrix A = Planner::adopt(M, Entry->Stats, Fingerprint);
+  FaultInjector &Faults = FaultInjector::instance();
+
+  // Deadline checkpoint 1 — admission: queue wait (async submission) and
+  // dequeue happen before this point, so an expired request is rejected
+  // before any pipeline work runs on its behalf.
+  if (deadlineExpired(Request.Deadline))
+    return finishError(
+        Status::deadlineExceeded("deadline expired before selection"), Start);
 
   ServeResponse R;
   R.Iterations = Request.Iterations ? Request.Iterations : 1;
   R.Fingerprint = Fingerprint;
   R.CacheHit = CacheHit;
 
-  // Route + collect + select, with the collection charged only on a
-  // miss: on a hit the features come from the cache and the chosen
-  // kernel is bit-identical to the uncached path, because the cached
-  // gathered features are exactly what collection recomputes.
-  ExecutionPlan Plan =
-      Pipeline.plan(A, R.Iterations,
-                    CacheHit ? CollectionCharging::Precollected
-                             : CollectionCharging::Charged);
-  R.Selection = Plan.Selection;
-  R.ModeledCollectionMs = Plan.ModeledCollectionMs;
-  if (CacheHit && Plan.Selection.UsedGatheredModel) {
-    // Telemetry: the modeled collection cost this hit skipped (the
-    // plan's collect stage evaluated only the cost formula — no matrix
-    // walk happens on the precollected path).
-    SavedCollectionNs.fetch_add(msToNanos(Plan.ModeledCollectionMs),
-                                std::memory_order_relaxed);
-  }
-
-  bool PlanReused = false;
-  if (Request.Execute) {
-    R.Executed = true;
-    PlanReused = preparePlan(Plan, A, Entry);
-    R.PreprocessAmortized = Plan.PreprocessAmortized;
-    R.PreprocessMs = Plan.PreprocessMs;
-    R.ModeledPreprocessMs = Plan.ModeledPreprocessMs;
-    if (Plan.PreprocessAmortized)
-      SavedPreprocessNs.fetch_add(msToNanos(Plan.ModeledPreprocessMs),
-                                  std::memory_order_relaxed);
-
-    const std::vector<double> Ones =
-        Request.Operand ? std::vector<double>()
-                        : std::vector<double>(M.numCols(), 1.0);
-    const std::vector<double> &X = Request.Operand ? *Request.Operand : Ones;
-    assert(X.size() == M.numCols() && "operand length mismatch");
-
-    SpmvRun Run = Pipeline.run(Plan, A, X);
-    R.IterationMs = Run.Timing.TotalMs;
-    R.Y = std::move(Run.Y);
-
-    if (Request.VerifyOracle) {
-      // Online feedback: compare against the noise-free oracle, computed
-      // once per fingerprint and cached.
-      std::vector<KernelMeasurement> Oracle;
-      {
-        std::lock_guard<std::mutex> Lock(Entry->Mutex);
-        Oracle = Entry->Oracle;
-      }
-      if (Oracle.empty()) {
-        // The oracle sweep is the planner's per-kernel plan path, one
-        // prepared plan per registry kernel.
-        Oracle.resize(Registry.size());
-        std::vector<ExecutionPlan> Probes;
-        Probes.reserve(Registry.size());
-        for (size_t K = 0; K < Registry.size(); ++K) {
-          Probes.push_back(Pipeline.planForKernel(A, K));
-          const SpmvRun Probe = Pipeline.run(Probes[K], A, X);
-          Oracle[K].PreprocessMs = Probes[K].ModeledPreprocessMs;
-          Oracle[K].IterationMs = Probe.Timing.TotalMs;
-        }
-        bool Grew = false;
-        {
-          std::lock_guard<std::mutex> Lock(Entry->Mutex);
-          if (Entry->Oracle.empty()) {
-            Entry->Oracle = Oracle;
-            Grew = true;
-          }
-          // Stash the sweep's by-product plans into empty ledger slots,
-          // unpaid: a later execution of that kernel reuses the state but
-          // still gets charged its one-time cost, and the byte-budgeted
-          // cache sheds these first under pressure.
-          for (size_t K = 0; K < Probes.size(); ++K) {
-            FingerprintCache::KernelSlot &Slot = Entry->Kernels[K];
-            if (!Slot.State && !Slot.Paid && Probes[K].State) {
-              Slot.State = std::move(Probes[K].State);
-              Slot.PreprocessMs = Probes[K].ModeledPreprocessMs;
-              Grew = true;
-            }
-          }
-        }
-        if (Grew)
-          Cache.noteMutation(Entry);
-      }
-      size_t Best = 0;
-      for (size_t K = 1; K < Oracle.size(); ++K)
-        if (Oracle[K].totalMs(R.Iterations) < Oracle[Best].totalMs(R.Iterations))
-          Best = K;
-      R.OracleChecked = true;
-      R.OracleKernelIndex = Best;
-      R.Mispredicted = Best != R.Selection.KernelIndex;
-      R.RegretMs = Oracle[R.Selection.KernelIndex].totalMs(R.Iterations) -
-                   Oracle[Best].totalMs(R.Iterations);
+  // Stage: route + collect + select, with the collection charged only on
+  // a miss — on a hit the features come from the cache and the chosen
+  // kernel is bit-identical to the uncached path. A retryable failure
+  // propagates typed (the session layer's RetryPolicy re-issues); a
+  // terminal failure or an open breaker degrades to the baseline kernel.
+  bool Degraded = false;
+  ExecutionPlan Plan;
+  if (!SelectBreaker.allow()) {
+    Degraded = true;
+  } else {
+    try {
+      if (Status F = Faults.check(faultsite::PlanSelect); !F.ok())
+        throw InjectedFaultError(std::move(F));
+      Plan = Pipeline.plan(A, R.Iterations,
+                           CacheHit ? CollectionCharging::Precollected
+                                    : CollectionCharging::Charged);
+      SelectBreaker.recordSuccess();
+    } catch (const InjectedFaultError &E) {
+      SelectBreaker.recordFailure();
+      if (!DegradeOnError && E.status().isRetryable())
+        return finishError(E.status(), Start);
+      Degraded = true;
+    } catch (const std::bad_alloc &) {
+      SelectBreaker.recordFailure();
+      Degraded = true;
     }
   }
 
-  R.ServiceMicros = std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - Start)
-                        .count();
+  if (!Degraded) {
+    R.Selection = Plan.Selection;
+    R.ModeledCollectionMs = Plan.ModeledCollectionMs;
+    if (CacheHit && Plan.Selection.UsedGatheredModel) {
+      // Telemetry: the modeled collection cost this hit skipped (the
+      // plan's collect stage evaluated only the cost formula — no matrix
+      // walk happens on the precollected path).
+      SavedCollectionNs.fetch_add(msToNanos(Plan.ModeledCollectionMs),
+                                  std::memory_order_relaxed);
+    }
+  }
+
+  // Deadline checkpoint 2 — between the selection and execution stages:
+  // expired work stops here instead of paying for preparation and runs.
+  if (deadlineExpired(Request.Deadline))
+    return finishError(
+        Status::deadlineExceeded("deadline expired after selection"), Start);
+
+  // The operand is shared by the planned and the degraded execution path.
+  const std::vector<double> Ones =
+      (Request.Execute && !Request.Operand)
+          ? std::vector<double>(M.numCols(), 1.0)
+          : std::vector<double>();
+  const std::vector<double> &X = Request.Operand ? *Request.Operand : Ones;
+
+  bool PlanReused = false;
+  if (!Degraded && Request.Execute) {
+    assert(X.size() == M.numCols() && "operand length mismatch");
+
+    // Stage: prepare (the kernel.prepare fault site lives inside
+    // Planner::prepare and surfaces here as InjectedFaultError).
+    if (!PrepareBreaker.allow()) {
+      Degraded = true;
+    } else {
+      try {
+        PlanReused = preparePlan(Plan, A, Entry);
+        PrepareBreaker.recordSuccess();
+      } catch (const InjectedFaultError &E) {
+        PrepareBreaker.recordFailure();
+        if (!DegradeOnError && E.status().isRetryable())
+          return finishError(E.status(), Start);
+        Degraded = true;
+      } catch (const std::bad_alloc &) {
+        PrepareBreaker.recordFailure();
+        Degraded = true;
+      }
+    }
+
+    if (!Degraded) {
+      R.PreprocessAmortized = Plan.PreprocessAmortized;
+      R.PreprocessMs = Plan.PreprocessMs;
+      R.ModeledPreprocessMs = Plan.ModeledPreprocessMs;
+      if (Plan.PreprocessAmortized)
+        SavedPreprocessNs.fetch_add(msToNanos(Plan.ModeledPreprocessMs),
+                                    std::memory_order_relaxed);
+
+      // Stage: run.
+      if (!RunBreaker.allow()) {
+        Degraded = true;
+      } else {
+        try {
+          SpmvRun Run = Pipeline.run(Plan, A, X);
+          R.IterationMs = Run.Timing.TotalMs;
+          R.Y = std::move(Run.Y);
+          RunBreaker.recordSuccess();
+        } catch (const InjectedFaultError &E) {
+          RunBreaker.recordFailure();
+          if (!DegradeOnError && E.status().isRetryable())
+            return finishError(E.status(), Start);
+          Degraded = true;
+        } catch (const std::bad_alloc &) {
+          RunBreaker.recordFailure();
+          Degraded = true;
+        }
+      }
+    }
+
+    if (!Degraded && Request.VerifyOracle) {
+      // Online feedback: compare against the noise-free oracle, computed
+      // once per fingerprint and cached. Best-effort under injection: a
+      // fault here (the serve.oracle site, or kernel.prepare/plan.run
+      // firing inside the probe sweep) skips verification and serves the
+      // response unverified rather than failing or degrading it.
+      try {
+        if (Status F = Faults.check(faultsite::ServeOracle); !F.ok())
+          throw InjectedFaultError(std::move(F));
+        std::vector<KernelMeasurement> Oracle;
+        {
+          std::lock_guard<std::mutex> Lock(Entry->Mutex);
+          Oracle = Entry->Oracle;
+        }
+        if (Oracle.empty()) {
+          // The oracle sweep is the planner's per-kernel plan path, one
+          // prepared plan per registry kernel.
+          Oracle.resize(Registry.size());
+          std::vector<ExecutionPlan> Probes;
+          Probes.reserve(Registry.size());
+          for (size_t K = 0; K < Registry.size(); ++K) {
+            Probes.push_back(Pipeline.planForKernel(A, K));
+            const SpmvRun Probe = Pipeline.run(Probes[K], A, X);
+            Oracle[K].PreprocessMs = Probes[K].ModeledPreprocessMs;
+            Oracle[K].IterationMs = Probe.Timing.TotalMs;
+          }
+          bool Grew = false;
+          {
+            std::lock_guard<std::mutex> Lock(Entry->Mutex);
+            if (Entry->Oracle.empty()) {
+              Entry->Oracle = Oracle;
+              Grew = true;
+            }
+            // Stash the sweep's by-product plans into empty ledger slots,
+            // unpaid: a later execution of that kernel reuses the state
+            // but still gets charged its one-time cost, and the
+            // byte-budgeted cache sheds these first under pressure.
+            for (size_t K = 0; K < Probes.size(); ++K) {
+              FingerprintCache::KernelSlot &Slot = Entry->Kernels[K];
+              if (!Slot.State && !Slot.Paid && Probes[K].State) {
+                Slot.State = std::move(Probes[K].State);
+                Slot.PreprocessMs = Probes[K].ModeledPreprocessMs;
+                Grew = true;
+              }
+            }
+          }
+          if (Grew)
+            Cache.noteMutation(Entry);
+        }
+        size_t Best = 0;
+        for (size_t K = 1; K < Oracle.size(); ++K)
+          if (Oracle[K].totalMs(R.Iterations) <
+              Oracle[Best].totalMs(R.Iterations))
+            Best = K;
+        R.OracleChecked = true;
+        R.OracleKernelIndex = Best;
+        R.Mispredicted = Best != R.Selection.KernelIndex;
+        R.RegretMs = Oracle[R.Selection.KernelIndex].totalMs(R.Iterations) -
+                     Oracle[Best].totalMs(R.Iterations);
+      } catch (const InjectedFaultError &) {
+        // Verification skipped; the response itself is unaffected.
+      } catch (const std::bad_alloc &) {
+      }
+    }
+  }
+
+  if (Degraded) {
+    // Graceful degradation: answer with the deterministic baseline CSR
+    // kernel. No model, no preprocessing, no cached state — and none of
+    // the fault sites above — so the fallback works precisely when the
+    // pipeline does not. The response is marked and charged as what it
+    // is: a baseline serve (zero selection overhead, zero preprocessing).
+    R.Degraded = true;
+    R.Selection = SelectionResult();
+    R.Selection.KernelIndex = Baseline;
+    R.ModeledCollectionMs = 0.0;
+    R.PreprocessAmortized = false;
+    R.PreprocessMs = 0.0;
+    R.ModeledPreprocessMs = 0.0;
+    R.IterationMs = 0.0;
+    R.Y.clear();
+    R.OracleChecked = false;
+    if (Request.Execute) {
+      assert(X.size() == M.numCols() && "operand length mismatch");
+      SpmvRun Run = runBaseline(M, Entry->Stats, X);
+      R.IterationMs = Run.Timing.TotalMs;
+      R.Y = std::move(Run.Y);
+    }
+  }
+  R.Executed = Request.Execute;
+
+  R.ServiceMicros = microsSince(Start);
 
   // Commit telemetry before returning so stats() is consistent once the
   // caller has its response.
@@ -236,8 +429,11 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
     CacheHits.fetch_add(1, std::memory_order_relaxed);
   if (R.Selection.UsedGatheredModel)
     GatheredRoutes.fetch_add(1, std::memory_order_relaxed);
-  if (R.Executed) {
+  if (R.Executed)
     Executions.fetch_add(1, std::memory_order_relaxed);
+  if (R.Executed && !R.Degraded) {
+    // The degraded path charges no preprocessing and builds no plan, so
+    // it moves neither the amortization nor the plan-cache counters.
     (R.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses)
         .fetch_add(1, std::memory_order_relaxed);
     (PlanReused ? PlansReused : PlansBuilt)
@@ -248,13 +444,16 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
     if (R.Mispredicted)
       Mispredictions.fetch_add(1, std::memory_order_relaxed);
   }
+  if (R.Degraded)
+    DegradedServes.fetch_add(1, std::memory_order_relaxed);
   Latency.record(R.ServiceMicros);
   return R;
 }
 
-BatchResponse SeerServer::executeBatchRegistered(
+Expected<BatchResponse> SeerServer::executeBatchRegistered(
     const RegisteredMatrix &Registered, uint32_t Iterations,
-    const std::vector<std::vector<double>> &Operands) {
+    const std::vector<std::vector<double>> &Operands,
+    std::chrono::steady_clock::time_point Deadline) {
   assert(Registered.valid() && "batch against an empty registration");
   assert(!Operands.empty() && "empty batch");
   const auto Start = std::chrono::steady_clock::now();
@@ -262,41 +461,158 @@ BatchResponse SeerServer::executeBatchRegistered(
   const Planner &Pipeline = Runtime.planner();
   const AnalyzedMatrix A = Planner::adopt(M, Registered.Entry->Stats,
                                           Registered.Fingerprint);
+  FaultInjector &Faults = FaultInjector::instance();
+
+  if (deadlineExpired(Deadline))
+    return finishError(
+        Status::deadlineExceeded("deadline expired at batch admission"),
+        Start);
 
   BatchResponse B;
   B.Iterations = Iterations ? Iterations : 1;
   B.Fingerprint = Registered.Fingerprint;
   B.CacheHit = true; // registration paid the analysis
 
-  // One plan for the whole batch: routing, selection and preprocessing
-  // are charged once; each operand pays only its iterations.
-  ExecutionPlan Plan =
-      Pipeline.plan(A, B.Iterations, CollectionCharging::Precollected);
-  B.Selection = Plan.Selection;
-  B.ModeledCollectionMs = Plan.ModeledCollectionMs;
-  if (Plan.Selection.UsedGatheredModel)
-    SavedCollectionNs.fetch_add(msToNanos(Plan.ModeledCollectionMs),
-                                std::memory_order_relaxed);
-
-  const bool PlanReused = preparePlan(Plan, A, Registered.Entry);
-  B.PreprocessAmortized = Plan.PreprocessAmortized;
-  B.PreprocessMs = Plan.PreprocessMs;
-  B.ModeledPreprocessMs = Plan.ModeledPreprocessMs;
-  if (Plan.PreprocessAmortized)
-    SavedPreprocessNs.fetch_add(msToNanos(Plan.ModeledPreprocessMs),
-                                std::memory_order_relaxed);
-
-  B.Y.reserve(Operands.size());
-  for (const std::vector<double> &X : Operands) {
-    assert(X.size() == M.numCols() && "operand length mismatch");
-    SpmvRun Run = Pipeline.run(Plan, A, X);
-    B.IterationMs = Run.Timing.TotalMs;
-    B.Y.push_back(std::move(Run.Y));
+  bool Degraded = false;
+  try {
+    if (Status F = Faults.check(faultsite::BatchExecute); !F.ok())
+      throw InjectedFaultError(std::move(F));
+  } catch (const InjectedFaultError &E) {
+    if (E.status().isRetryable())
+      return finishError(E.status(), Start);
+    Degraded = true;
+  } catch (const std::bad_alloc &) {
+    Degraded = true;
   }
 
-  B.ServiceMicros = std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - Start)
-                        .count();
+  // One plan for the whole batch: routing, selection and preprocessing
+  // are charged once; each operand pays only its iterations. Stage
+  // failures follow the single-request rules (typed when retryable,
+  // degraded otherwise) applied once per batch.
+  ExecutionPlan Plan;
+  if (!Degraded) {
+    if (!SelectBreaker.allow()) {
+      Degraded = true;
+    } else {
+      try {
+        if (Status F = Faults.check(faultsite::PlanSelect); !F.ok())
+          throw InjectedFaultError(std::move(F));
+        Plan = Pipeline.plan(A, B.Iterations, CollectionCharging::Precollected);
+        SelectBreaker.recordSuccess();
+      } catch (const InjectedFaultError &E) {
+        SelectBreaker.recordFailure();
+        if (E.status().isRetryable())
+          return finishError(E.status(), Start);
+        Degraded = true;
+      } catch (const std::bad_alloc &) {
+        SelectBreaker.recordFailure();
+        Degraded = true;
+      }
+    }
+  }
+
+  if (!Degraded) {
+    B.Selection = Plan.Selection;
+    B.ModeledCollectionMs = Plan.ModeledCollectionMs;
+    if (Plan.Selection.UsedGatheredModel)
+      SavedCollectionNs.fetch_add(msToNanos(Plan.ModeledCollectionMs),
+                                  std::memory_order_relaxed);
+  }
+
+  if (deadlineExpired(Deadline))
+    return finishError(
+        Status::deadlineExceeded("deadline expired after batch selection"),
+        Start);
+
+  bool PlanReused = false;
+  if (!Degraded) {
+    if (!PrepareBreaker.allow()) {
+      Degraded = true;
+    } else {
+      try {
+        PlanReused = preparePlan(Plan, A, Registered.Entry);
+        PrepareBreaker.recordSuccess();
+      } catch (const InjectedFaultError &E) {
+        PrepareBreaker.recordFailure();
+        if (E.status().isRetryable())
+          return finishError(E.status(), Start);
+        Degraded = true;
+      } catch (const std::bad_alloc &) {
+        PrepareBreaker.recordFailure();
+        Degraded = true;
+      }
+    }
+  }
+
+  if (!Degraded) {
+    B.PreprocessAmortized = Plan.PreprocessAmortized;
+    B.PreprocessMs = Plan.PreprocessMs;
+    B.ModeledPreprocessMs = Plan.ModeledPreprocessMs;
+    if (Plan.PreprocessAmortized)
+      SavedPreprocessNs.fetch_add(msToNanos(Plan.ModeledPreprocessMs),
+                                  std::memory_order_relaxed);
+
+    B.Y.reserve(Operands.size());
+    if (!RunBreaker.allow()) {
+      Degraded = true;
+    } else {
+      try {
+        for (const std::vector<double> &X : Operands) {
+          // The per-operand deadline checkpoint: an expired batch stops
+          // here instead of finishing its tail. Work already done is
+          // discarded — the caller asked for the whole batch by a time,
+          // not a prefix of it.
+          if (deadlineExpired(Deadline))
+            return finishError(Status::deadlineExceeded(
+                                   "deadline expired mid-batch after " +
+                                   std::to_string(B.Y.size()) + " of " +
+                                   std::to_string(Operands.size()) +
+                                   " operands"),
+                               Start);
+          assert(X.size() == M.numCols() && "operand length mismatch");
+          SpmvRun Run = Pipeline.run(Plan, A, X);
+          B.IterationMs = Run.Timing.TotalMs;
+          B.Y.push_back(std::move(Run.Y));
+        }
+        RunBreaker.recordSuccess();
+      } catch (const InjectedFaultError &E) {
+        RunBreaker.recordFailure();
+        if (E.status().isRetryable())
+          return finishError(E.status(), Start);
+        Degraded = true;
+      } catch (const std::bad_alloc &) {
+        RunBreaker.recordFailure();
+        Degraded = true;
+      }
+    }
+  }
+
+  if (Degraded) {
+    // The whole batch falls back to the baseline kernel: partial planned
+    // results are discarded so every Y[k] comes from the same kernel
+    // (the per-operand bit-identity contract).
+    B.Degraded = true;
+    B.Selection = SelectionResult();
+    B.Selection.KernelIndex = Baseline;
+    B.ModeledCollectionMs = 0.0;
+    B.PreprocessAmortized = false;
+    B.PreprocessMs = 0.0;
+    B.ModeledPreprocessMs = 0.0;
+    B.Y.clear();
+    B.Y.reserve(Operands.size());
+    for (const std::vector<double> &X : Operands) {
+      if (deadlineExpired(Deadline))
+        return finishError(
+            Status::deadlineExceeded("deadline expired mid-batch (degraded)"),
+            Start);
+      assert(X.size() == M.numCols() && "operand length mismatch");
+      SpmvRun Run = runBaseline(M, Registered.Entry->Stats, X);
+      B.IterationMs = Run.Timing.TotalMs;
+      B.Y.push_back(std::move(Run.Y));
+    }
+  }
+
+  B.ServiceMicros = microsSince(Start);
 
   // Telemetry: a batch is one request (one hit, one route, one
   // preprocessing charge, one plan) executing N operands.
@@ -305,10 +621,14 @@ BatchResponse SeerServer::executeBatchRegistered(
   if (B.Selection.UsedGatheredModel)
     GatheredRoutes.fetch_add(1, std::memory_order_relaxed);
   Executions.fetch_add(Operands.size(), std::memory_order_relaxed);
-  (B.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses)
-      .fetch_add(1, std::memory_order_relaxed);
-  (PlanReused ? PlansReused : PlansBuilt)
-      .fetch_add(1, std::memory_order_relaxed);
+  if (!B.Degraded) {
+    (B.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses)
+        .fetch_add(1, std::memory_order_relaxed);
+    (PlanReused ? PlansReused : PlansBuilt)
+        .fetch_add(1, std::memory_order_relaxed);
+  } else {
+    DegradedServes.fetch_add(1, std::memory_order_relaxed);
+  }
   BatchRequests.fetch_add(1, std::memory_order_relaxed);
   BatchedOperands.fetch_add(Operands.size(), std::memory_order_relaxed);
   Latency.record(B.ServiceMicros);
@@ -347,6 +667,13 @@ ServerStats SeerServer::stats() const {
   S.SavedPreprocessMs =
       static_cast<double>(SavedPreprocessNs.load(std::memory_order_relaxed)) /
       1e6;
+  S.DeadlineExceeded = DeadlineExceededCount.load(std::memory_order_relaxed);
+  S.DegradedServes = DegradedServes.load(std::memory_order_relaxed);
+  S.BreakerOpens =
+      SelectBreaker.opens() + PrepareBreaker.opens() + RunBreaker.opens();
+  // Process-wide cumulative snapshot (the injector predates and outlives
+  // any one server); resetStats() leaves it alone.
+  S.FaultsInjected = FaultInjector::instance().injectedCount();
   const FingerprintCache::Stats Residency = Cache.stats();
   S.CachedMatrices = Residency.Entries;
   S.CacheBudgetBytes = Cache.budgetBytes();
@@ -385,7 +712,12 @@ void SeerServer::resetStats() {
   BatchedOperands.store(0, std::memory_order_relaxed);
   OracleChecks.store(0, std::memory_order_relaxed);
   Mispredictions.store(0, std::memory_order_relaxed);
+  DeadlineExceededCount.store(0, std::memory_order_relaxed);
+  DegradedServes.store(0, std::memory_order_relaxed);
   SavedCollectionNs.store(0, std::memory_order_relaxed);
   SavedPreprocessNs.store(0, std::memory_order_relaxed);
+  // Breaker opens and the process-wide injected-fault counter are
+  // cumulative by design and survive the reset, like the cache residency
+  // counters.
   Latency.reset();
 }

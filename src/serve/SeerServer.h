@@ -45,10 +45,12 @@
 #ifndef SEER_SERVE_SEERSERVER_H
 #define SEER_SERVE_SEERSERVER_H
 
+#include "api/Status.h"
 #include "core/SeerRuntime.h"
 #include "serve/FingerprintCache.h"
 #include "serve/ServeTypes.h"
 #include "sim/GpuSimulator.h"
+#include "support/CircuitBreaker.h"
 
 #include <atomic>
 #include <chrono>
@@ -69,6 +71,14 @@ struct ServerConfig {
   /// budget; see serve/FingerprintCache.h for the eviction policy and
   /// what eviction does to the amortization ledger.
   size_t CacheBudgetBytes = 0;
+  /// Circuit breakers over the pipeline stages (select / prepare / run):
+  /// this many *consecutive* failures open a stage's breaker, after which
+  /// requests skip the stage and degrade immediately until a half-open
+  /// probe succeeds (support/CircuitBreaker.h). 0 disables the breakers.
+  uint32_t BreakerThreshold = 8;
+  /// Denied requests an open breaker absorbs before letting one probe
+  /// through (counted in requests, not wall-clock, for determinism).
+  uint32_t BreakerCooldown = 16;
 };
 
 /// One matrix registered with a SeerServer (serving API v2): the owned
@@ -115,8 +125,16 @@ public:
   /// Feature collection is never re-charged (the analysis was paid at
   /// registration, so CacheHit is always true in the response).
   /// Thread-safe, like handle().
-  ServeResponse handleRegistered(const RegisteredMatrix &Registered,
-                                 const ServeOptions &Options);
+  ///
+  /// Failure semantics (PR 6): DEADLINE_EXCEEDED when Options.Deadline
+  /// expired at admission or between pipeline stages; a *retryable*
+  /// injected/transient stage failure (UNAVAILABLE, RESOURCE_EXHAUSTED)
+  /// propagates typed so the session layer's RetryPolicy can re-issue;
+  /// any *terminal* stage failure (or an open circuit breaker) degrades
+  /// to the deterministic baseline CSR kernel instead — the response
+  /// comes back OK with Degraded set, never a crash.
+  Expected<ServeResponse> handleRegistered(const RegisteredMatrix &Registered,
+                                           const ServeOptions &Options);
 
   /// Executes one ExecutionPlan over \p Operands: routing, selection and
   /// preprocessing are charged once for the batch, then every operand
@@ -125,10 +143,15 @@ public:
   /// Bit-identical per operand to issuing the same executions one by one
   /// (the plan the single path rebuilds per request is this one).
   /// Thread-safe; concurrent batches share the cached plan through the
-  /// same ledger as single requests.
-  BatchResponse executeBatchRegistered(
+  /// same ledger as single requests. Same failure semantics as
+  /// handleRegistered(); \p Deadline (min() = none) is additionally
+  /// checked between operands, so an expired batch stops instead of
+  /// finishing its tail.
+  Expected<BatchResponse> executeBatchRegistered(
       const RegisteredMatrix &Registered, uint32_t Iterations,
-      const std::vector<std::vector<double>> &Operands);
+      const std::vector<std::vector<double>> &Operands,
+      std::chrono::steady_clock::time_point Deadline =
+          std::chrono::steady_clock::time_point::min());
 
   /// \deprecated Serves one pointer-based request (the PR 2 API): the
   /// matrix is re-fingerprinted and looked up on every call and must stay
@@ -158,16 +181,35 @@ public:
   const SeerRuntime &runtime() const { return Runtime; }
   const GpuSimulator &simulator() const { return Sim; }
 
+  /// Registry index of the degraded-fallback kernel: plain thread-mapped
+  /// CSR ("CSR,TM"), which needs no model, no preprocessing and no cached
+  /// state — the deterministic floor every failure can land on.
+  size_t baselineKernel() const { return Baseline; }
+
 private:
   /// The shared request path: one Planner-built ExecutionPlan (selection,
   /// optional preparation + execution + oracle verification) against an
   /// already-resolved cache entry. \p Start is when the request entered
   /// the server (before fingerprinting on the deprecated path), so
   /// latency telemetry reflects what each API actually costs per request.
-  ServeResponse serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
-                           const std::shared_ptr<FingerprintCache::Entry> &E,
-                           bool CacheHit, const ServeOptions &Options,
-                           std::chrono::steady_clock::time_point Start);
+  /// With \p DegradeOnError (the deprecated no-error-channel v1 path),
+  /// retryable stage failures degrade like terminal ones instead of
+  /// propagating typed.
+  Expected<ServeResponse>
+  serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
+             const std::shared_ptr<FingerprintCache::Entry> &E, bool CacheHit,
+             const ServeOptions &Options,
+             std::chrono::steady_clock::time_point Start, bool DegradeOnError);
+
+  /// Runs one baseline-kernel SpMV directly (no Planner stages, no fault
+  /// sites, no preprocessing) — the degraded execution path.
+  SpmvRun runBaseline(const CsrMatrix &M, const MatrixStats &Stats,
+                      const std::vector<double> &X) const;
+
+  /// Finishes a request that failed with \p Error: records latency (and
+  /// the deadline counter when applicable) and returns the typed status.
+  Status finishError(Status Error,
+                     std::chrono::steady_clock::time_point Start);
 
   /// The prepare() stage against the entry's plan cache: rebuilds \p Plan
   /// around the cached prepared fragment for its kernel (charging the
@@ -186,6 +228,13 @@ private:
   GpuSimulator Sim;
   SeerRuntime Runtime;
   FingerprintCache Cache;
+  /// Registry index of the degraded-fallback kernel (see baselineKernel()).
+  size_t Baseline = 0;
+
+  /// Per-stage circuit breakers (see ServerConfig::BreakerThreshold).
+  CircuitBreaker SelectBreaker;
+  CircuitBreaker PrepareBreaker;
+  CircuitBreaker RunBreaker;
 
   // Telemetry. Plain counters are relaxed atomics; each request's
   // increments are committed before handle() returns.
@@ -203,6 +252,8 @@ private:
   std::atomic<uint64_t> BatchedOperands{0};
   std::atomic<uint64_t> OracleChecks{0};
   std::atomic<uint64_t> Mispredictions{0};
+  std::atomic<uint64_t> DeadlineExceededCount{0};
+  std::atomic<uint64_t> DegradedServes{0};
   /// Saved modeled milliseconds, accumulated as integer nanoseconds so the
   /// additions stay atomic without a mutex.
   std::atomic<uint64_t> SavedCollectionNs{0};

@@ -29,6 +29,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +51,18 @@ struct ServeOptions {
   /// SpMV operand; when null the server uses an all-ones vector of the
   /// matrix's column count. Borrowed for the duration of the call only.
   const std::vector<double> *Operand = nullptr;
+  /// Absolute deadline; time_point::min() (the default) means none. The
+  /// server checks it when the request reaches the pipeline (so queue
+  /// wait counts against it) and again between the selection and
+  /// execution stages, answering DEADLINE_EXCEEDED instead of running
+  /// expired work to completion. Computed from Request::DeadlineMs at
+  /// submission time by the session layer.
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::min();
+
+  bool hasDeadline() const {
+    return Deadline != std::chrono::steady_clock::time_point::min();
+  }
 };
 
 /// \deprecated One client request against SeerServer::handle(), the PR 2
@@ -124,6 +137,14 @@ struct ServeResponse {
   /// Host wall-clock time spent inside handle(), microseconds.
   double ServiceMicros = 0.0;
 
+  /// True when a pipeline-stage failure (or an open circuit breaker) was
+  /// absorbed by falling back to the deterministic baseline CSR kernel:
+  /// Selection names the baseline, no preprocessing is charged, and Y —
+  /// when executed — is the baseline kernel's exact product (bit-identical
+  /// across runs, though generally not to the unfaulted selection's Y).
+  /// Costs and oracle fields describe the fallback, not the model's pick.
+  bool Degraded = false;
+
   /// Charged end-to-end cost at the quoted iteration count.
   double totalMs() const {
     return Selection.overheadMs() + PreprocessMs + Iterations * IterationMs;
@@ -162,6 +183,9 @@ struct BatchResponse {
   std::vector<std::vector<double>> Y;
   /// Host wall-clock time spent serving the whole batch, microseconds.
   double ServiceMicros = 0.0;
+  /// True when the whole batch fell back to the baseline CSR kernel after
+  /// a pipeline-stage failure (see ServeResponse::Degraded).
+  bool Degraded = false;
 
   size_t operands() const { return Y.size(); }
 
@@ -273,6 +297,20 @@ struct ServerStats {
   uint64_t ActiveHandles = 0;
   uint64_t AsyncAccepted = 0;
   uint64_t AsyncRejected = 0;
+  /// Failure semantics (PR 6). Requests rejected because their deadline
+  /// expired before or between pipeline stages.
+  uint64_t DeadlineExceeded = 0;
+  /// Session-layer retry accounting: individual retry attempts made, and
+  /// requests whose retry budget ran out with the failure still standing.
+  uint64_t Retries = 0;
+  uint64_t RetriesExhausted = 0;
+  /// Requests answered by the degraded baseline-kernel fallback.
+  uint64_t DegradedServes = 0;
+  /// Process-wide faults fired by the FaultInjector (all actions). A
+  /// cumulative snapshot, never reset by resetStats().
+  uint64_t FaultsInjected = 0;
+  /// Circuit-breaker open transitions across the pipeline stages.
+  uint64_t BreakerOpens = 0;
   /// Service-latency summary, microseconds.
   uint64_t LatencySamples = 0;
   double MeanLatencyUs = 0.0;

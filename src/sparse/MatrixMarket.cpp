@@ -6,6 +6,8 @@
 
 #include "sparse/MatrixMarket.h"
 
+#include "support/AtomicFile.h"
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 
 #include <fstream>
@@ -126,6 +128,8 @@ std::optional<CsrMatrix> parseImpl(const std::string &Text,
 } // namespace
 
 Expected<CsrMatrix> seer::parseMatrixMarket(const std::string &Text) {
+  if (Status F = FaultInjector::instance().check(faultsite::ParseMm); !F.ok())
+    return F;
   std::string Error;
   if (auto M = parseImpl(Text, &Error))
     return std::move(*M);
@@ -176,14 +180,11 @@ std::string seer::writeMatrixMarket(const CsrMatrix &M) {
 
 Status seer::writeMatrixMarketFile(const CsrMatrix &M,
                                    const std::string &Path) {
-  std::ofstream Stream(Path);
-  if (!Stream)
-    return Status::unavailable("cannot open '" + Path + "' for writing");
-  Stream << writeMatrixMarket(M);
-  Stream.flush();
-  if (!Stream)
-    return Status::unavailable("write to '" + Path + "' failed");
-  return Status::okStatus();
+  if (Status F = FaultInjector::instance().check(faultsite::MmWrite); !F.ok())
+    return F;
+  // Temp-file + rename: a crash mid-write can never leave a truncated
+  // .mtx behind for a later load to trip over.
+  return atomicWriteFile(Path, writeMatrixMarket(M));
 }
 
 bool seer::writeMatrixMarketFile(const CsrMatrix &M, const std::string &Path,

@@ -1,0 +1,45 @@
+//===- support/AtomicFile.cpp ----------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include <cstdio>
+#include <fstream>
+
+#ifdef _WIN32
+#include <process.h>
+#define SEER_GETPID _getpid
+#else
+#include <unistd.h>
+#define SEER_GETPID getpid
+#endif
+
+using namespace seer;
+
+Status seer::atomicWriteFile(const std::string &Path,
+                             const std::string &Contents) {
+  const std::string TempPath =
+      Path + ".tmp." + std::to_string(static_cast<long>(SEER_GETPID()));
+  {
+    std::ofstream Stream(TempPath, std::ios::binary | std::ios::trunc);
+    if (!Stream)
+      return Status::unavailable("cannot open '" + TempPath +
+                                 "' for writing");
+    Stream << Contents;
+    Stream.flush();
+    if (!Stream) {
+      Stream.close();
+      std::remove(TempPath.c_str());
+      return Status::unavailable("write to '" + TempPath + "' failed");
+    }
+  }
+  if (std::rename(TempPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TempPath.c_str());
+    return Status::unavailable("cannot rename '" + TempPath + "' to '" +
+                               Path + "'");
+  }
+  return Status::okStatus();
+}

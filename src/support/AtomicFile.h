@@ -1,0 +1,37 @@
+//===- support/AtomicFile.h - Crash-safe whole-file writes ----------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one whole-file write path of the repository: contents go to a
+/// sibling temporary file first and are rename()d into place only after a
+/// successful flush. A crash (or an injected fault) mid-store can
+/// therefore truncate at most the temporary, never the artifact a reader
+/// would open — model bundles, benchmark-cache CSVs and generated .mtx
+/// files are either the old complete version or the new complete version.
+///
+/// The temporary lives in the target's directory (rename across
+/// filesystems is not atomic) and carries the process id, so concurrent
+/// writers of the same path cannot clobber each other's scratch space;
+/// last rename wins, which is the plain-ofstream behavior too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SUPPORT_ATOMICFILE_H
+#define SEER_SUPPORT_ATOMICFILE_H
+
+#include "api/Status.h"
+
+#include <string>
+
+namespace seer {
+
+/// Writes \p Contents to \p Path via temp-file + rename. UNAVAILABLE on
+/// any I/O failure; the temporary is removed on every failure path.
+Status atomicWriteFile(const std::string &Path, const std::string &Contents);
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_ATOMICFILE_H

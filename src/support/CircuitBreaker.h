@@ -1,0 +1,121 @@
+//===- support/CircuitBreaker.h - Counter-based circuit breaker -----------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-dependency circuit breaker for the serving layer's pipeline
+/// stages. Classic three-state design, except that the open->half-open
+/// transition is counted in *denied requests*, not wall-clock time, so
+/// breaker behavior is as deterministic as the fault schedules that trip
+/// it (support/FaultInjector.h) and testable without sleeping:
+///
+///   Closed    everything flows; Threshold consecutive failures open it.
+///   Open      allow() denies; after Cooldown denials the next caller
+///             becomes the half-open probe.
+///   HalfOpen  exactly one probe is in flight; its success closes the
+///             breaker, its failure re-opens (and restarts the cooldown).
+///
+/// Thread safety: all transitions are lock-free atomics; exactly one
+/// concurrent caller can win the open->half-open CAS and probe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SUPPORT_CIRCUITBREAKER_H
+#define SEER_SUPPORT_CIRCUITBREAKER_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace seer {
+
+class CircuitBreaker {
+public:
+  enum class State : int { Closed = 0, Open = 1, HalfOpen = 2 };
+
+  /// \p Threshold consecutive failures open the breaker; \p Cooldown
+  /// denied requests later, one probe is let through. Threshold 0
+  /// disables the breaker (allow() is always true).
+  explicit CircuitBreaker(uint32_t Threshold = 0, uint32_t Cooldown = 16)
+      : Threshold(Threshold), Cooldown(Cooldown ? Cooldown : 1) {}
+
+  /// May the protected operation run? A denial means the caller should
+  /// take its degraded path immediately, without touching the dependency.
+  bool allow() {
+    if (Threshold == 0)
+      return true;
+    const State S = state();
+    if (S == State::Closed)
+      return true;
+    if (S == State::HalfOpen)
+      return false; // a probe is already in flight
+    // Open: count this denial; once the cooldown is spent, exactly one
+    // caller wins the transition to HalfOpen and probes.
+    if (Denied.fetch_add(1, std::memory_order_acq_rel) + 1 >= Cooldown) {
+      int Expected = static_cast<int>(State::Open);
+      if (Current.compare_exchange_strong(Expected,
+                                          static_cast<int>(State::HalfOpen),
+                                          std::memory_order_acq_rel))
+        return true;
+    }
+    return false;
+  }
+
+  /// The protected operation succeeded: reset the failure streak; a
+  /// successful probe closes the breaker.
+  void recordSuccess() {
+    if (Threshold == 0)
+      return;
+    Failures.store(0, std::memory_order_relaxed);
+    int Expected = static_cast<int>(State::HalfOpen);
+    if (Current.compare_exchange_strong(Expected,
+                                        static_cast<int>(State::Closed),
+                                        std::memory_order_acq_rel))
+      Denied.store(0, std::memory_order_relaxed);
+  }
+
+  /// The protected operation failed: a failed probe re-opens immediately;
+  /// in the closed state, Threshold consecutive failures open.
+  void recordFailure() {
+    if (Threshold == 0)
+      return;
+    int Expected = static_cast<int>(State::HalfOpen);
+    if (Current.compare_exchange_strong(Expected,
+                                        static_cast<int>(State::Open),
+                                        std::memory_order_acq_rel)) {
+      Denied.store(0, std::memory_order_relaxed);
+      Opens.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (Failures.fetch_add(1, std::memory_order_acq_rel) + 1 >= Threshold) {
+      Expected = static_cast<int>(State::Closed);
+      if (Current.compare_exchange_strong(Expected,
+                                          static_cast<int>(State::Open),
+                                          std::memory_order_acq_rel)) {
+        Failures.store(0, std::memory_order_relaxed);
+        Denied.store(0, std::memory_order_relaxed);
+        Opens.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  State state() const {
+    return static_cast<State>(Current.load(std::memory_order_acquire));
+  }
+
+  /// Times the breaker transitioned into Open (telemetry).
+  uint64_t opens() const { return Opens.load(std::memory_order_relaxed); }
+
+private:
+  const uint32_t Threshold;
+  const uint32_t Cooldown;
+  std::atomic<int> Current{static_cast<int>(State::Closed)};
+  std::atomic<uint32_t> Failures{0};
+  std::atomic<uint32_t> Denied{0};
+  std::atomic<uint64_t> Opens{0};
+};
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_CIRCUITBREAKER_H

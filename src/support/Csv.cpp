@@ -6,6 +6,7 @@
 
 #include "support/Csv.h"
 
+#include "support/AtomicFile.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -174,20 +175,14 @@ std::string CsvTable::toString() const {
 
 bool CsvTable::writeFile(const std::string &Path,
                          std::string *ErrorMessage) const {
-  std::ofstream Stream(Path);
-  if (!Stream) {
-    if (ErrorMessage)
-      *ErrorMessage = "cannot open '" + Path + "' for writing";
-    return false;
-  }
-  Stream << toString();
-  Stream.flush();
-  if (!Stream) {
-    if (ErrorMessage)
-      *ErrorMessage = "write to '" + Path + "' failed";
-    return false;
-  }
-  return true;
+  // Temp-file + rename so the benchmark-cache CSVs (and every other CSV
+  // artifact) can never be observed half-written after a crash.
+  const Status S = atomicWriteFile(Path, toString());
+  if (S.ok())
+    return true;
+  if (ErrorMessage)
+    *ErrorMessage = S.message();
+  return false;
 }
 
 std::optional<CsvTable> CsvTable::fromString(const std::string &Text,

@@ -1,0 +1,289 @@
+//===- support/FaultInjector.cpp -------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include "support/Fnv.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace seer;
+
+const std::vector<std::string> &seer::faultSiteNames() {
+  static const std::vector<std::string> Names = {
+      faultsite::ParseMm,       faultsite::MmWrite,
+      faultsite::BundleLoad,    faultsite::BundleStore,
+      faultsite::CacheInsert,   faultsite::KernelPrepare,
+      faultsite::PlanSelect,    faultsite::PlanRun,
+      faultsite::QueueAdmit,    faultsite::ServiceRegister,
+      faultsite::ServeOracle,   faultsite::BatchExecute,
+  };
+  return Names;
+}
+
+namespace {
+
+bool isKnownSite(const std::string &Site) {
+  for (const std::string &Name : faultSiteNames())
+    if (Name == Site)
+      return true;
+  return false;
+}
+
+/// Reverse of statusCodeName for the codes a plan may inject.
+bool parseStatusCode(const std::string &Name, StatusCode &Out) {
+  static const StatusCode Codes[] = {
+      StatusCode::InvalidArgument,    StatusCode::NotFound,
+      StatusCode::AlreadyExists,      StatusCode::FailedPrecondition,
+      StatusCode::ResourceExhausted,  StatusCode::Unavailable,
+      StatusCode::Internal,           StatusCode::DeadlineExceeded,
+  };
+  for (StatusCode Code : Codes)
+    if (Name == statusCodeName(Code)) {
+      Out = Code;
+      return true;
+    }
+  return false;
+}
+
+/// splitmix64 finalizer: decorrelates the seed/site hash into a phase.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+Expected<FaultRule> FaultPlan::parseRule(const std::string &Line) {
+  std::vector<std::string> Tokens;
+  for (const std::string &Word : splitString(trimString(Line), ' '))
+    if (!trimString(Word).empty())
+      Tokens.emplace_back(trimString(Word));
+  if (Tokens.size() < 3)
+    return Status::invalidArgument(
+        "fault rule needs SITE nth=N|every=K ACTION, got '" + Line + "'");
+
+  FaultRule Rule;
+  Rule.Site = Tokens[0];
+  if (!isKnownSite(Rule.Site))
+    return Status::invalidArgument("unknown fault site '" + Rule.Site +
+                                   "' (known: " +
+                                   joinStrings(faultSiteNames(), ", ") + ")");
+
+  const std::string &Sched = Tokens[1];
+  int64_t SchedValue = 0;
+  if (startsWith(Sched, "nth=") && parseInt(Sched.substr(4), SchedValue) &&
+      SchedValue >= 1)
+    Rule.Nth = static_cast<uint64_t>(SchedValue);
+  else if (startsWith(Sched, "every=") &&
+           parseInt(Sched.substr(6), SchedValue) && SchedValue >= 1)
+    Rule.Every = static_cast<uint64_t>(SchedValue);
+  else
+    return Status::invalidArgument("bad fault schedule '" + Sched +
+                                   "' (want nth=N or every=K, N,K >= 1)");
+
+  const std::string &Action = Tokens[2];
+  if (startsWith(Action, "status=")) {
+    Rule.Act = FaultRule::Action::ErrorStatus;
+    if (!parseStatusCode(Action.substr(7), Rule.Code) ||
+        Rule.Code == StatusCode::Ok)
+      return Status::invalidArgument("bad injected status code in '" + Action +
+                                     "'");
+    // Everything after the action token is the injected message.
+    std::vector<std::string> Rest(Tokens.begin() + 3, Tokens.end());
+    Rule.Message = joinStrings(Rest, " ");
+  } else if (startsWith(Action, "latency-ms=")) {
+    Rule.Act = FaultRule::Action::LatencyMs;
+    if (!parseDouble(Action.substr(11), Rule.DelayMs) || Rule.DelayMs < 0 ||
+        Tokens.size() != 3)
+      return Status::invalidArgument("bad injected latency in '" + Line + "'");
+  } else if (Action == "bad-alloc") {
+    Rule.Act = FaultRule::Action::BadAlloc;
+    if (Tokens.size() != 3)
+      return Status::invalidArgument("bad-alloc takes no arguments in '" +
+                                     Line + "'");
+  } else {
+    return Status::invalidArgument(
+        "unknown fault action '" + Action +
+        "' (want status=CODE, latency-ms=X or bad-alloc)");
+  }
+  return Rule;
+}
+
+Expected<FaultPlan> FaultPlan::parse(const std::string &Text) {
+  FaultPlan Plan;
+  std::istringstream Stream(Text);
+  std::string Line;
+  size_t LineNumber = 0;
+  while (std::getline(Stream, Line)) {
+    ++LineNumber;
+    const std::string_view Trimmed = trimString(Line);
+    if (Trimmed.empty() || Trimmed[0] == '#')
+      continue;
+    if (startsWith(Trimmed, "seed ") || startsWith(Trimmed, "seed\t")) {
+      int64_t Seed = 0;
+      if (!parseInt(trimString(Trimmed.substr(5)), Seed) || Seed < 0)
+        return Status::invalidArgument("line " + std::to_string(LineNumber) +
+                                       ": bad seed");
+      Plan.Seed = static_cast<uint64_t>(Seed);
+      continue;
+    }
+    Expected<FaultRule> Rule = parseRule(std::string(Trimmed));
+    if (!Rule)
+      return Status::invalidArgument("line " + std::to_string(LineNumber) +
+                                     ": " + Rule.status().message());
+    Plan.Rules.push_back(std::move(*Rule));
+  }
+  return Plan;
+}
+
+Expected<FaultPlan> FaultPlan::load(const std::string &Path) {
+  std::ifstream Stream(Path);
+  if (!Stream)
+    return Status::notFound("cannot open fault plan '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  return parse(Buffer.str());
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Injector;
+  return Injector;
+}
+
+FaultInjector::FaultInjector() {
+  // CI hook: an environment plan arms unmodified binaries.
+  if (const char *Path = std::getenv("SEER_FAULT_PLAN");
+      Path && Path[0] != '\0') {
+    Expected<FaultPlan> Plan = FaultPlan::load(Path);
+    Status Armed = Plan ? arm(*Plan) : Plan.status();
+    if (!Armed.ok())
+      std::fprintf(stderr, "seer: ignoring SEER_FAULT_PLAN=%s: %s\n", Path,
+                   Armed.toString().c_str());
+  }
+}
+
+void FaultInjector::reindexLocked() {
+  Sites.clear();
+  Phases.assign(Rules.size(), 0);
+  for (size_t I = 0; I < Rules.size(); ++I) {
+    Sites[Rules[I].Site].RuleIndex.push_back(I);
+    if (Rules[I].Every > 1 && Seed != 0) {
+      // Deterministic per-(seed, site, rule) phase so a seeded plan fires
+      // on a shifted-but-fixed subsequence of hits.
+      Fnv1a Hash;
+      Hash.add(Seed);
+      for (char C : Rules[I].Site)
+        Hash.add(static_cast<uint64_t>(C));
+      Hash.add(static_cast<uint64_t>(I));
+      Phases[I] = mix64(Hash.value()) % Rules[I].Every;
+    }
+  }
+}
+
+Status FaultInjector::arm(const FaultPlan &Plan) {
+  for (const FaultRule &Rule : Plan.Rules) {
+    if (!isKnownSite(Rule.Site))
+      return Status::invalidArgument("unknown fault site '" + Rule.Site + "'");
+    if ((Rule.Nth == 0) == (Rule.Every == 0))
+      return Status::invalidArgument("fault rule for '" + Rule.Site +
+                                     "' needs exactly one of nth=/every=");
+  }
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Seed = Plan.Seed;
+  Rules = Plan.Rules;
+  reindexLocked();
+  Armed.store(!Rules.empty(), std::memory_order_relaxed);
+  return Status::okStatus();
+}
+
+Status FaultInjector::addRule(const FaultRule &Rule) {
+  if (!isKnownSite(Rule.Site))
+    return Status::invalidArgument("unknown fault site '" + Rule.Site + "'");
+  if ((Rule.Nth == 0) == (Rule.Every == 0))
+    return Status::invalidArgument("fault rule for '" + Rule.Site +
+                                   "' needs exactly one of nth=/every=");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Preserve existing hit counters: reindex rebuilds rule indices only,
+  // and SiteState entries for already-hit sites are re-created with their
+  // counters carried over.
+  std::unordered_map<std::string, uint64_t> Hits;
+  for (const auto &[Site, State] : Sites)
+    Hits[Site] = State.Hits;
+  Rules.push_back(Rule);
+  reindexLocked();
+  for (auto &[Site, State] : Sites)
+    if (const auto It = Hits.find(Site); It != Hits.end())
+      State.Hits = It->second;
+  Armed.store(true, std::memory_order_relaxed);
+  return Status::okStatus();
+}
+
+void FaultInjector::reseed(uint64_t NewSeed) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Seed = NewSeed;
+  // Phases derive from (seed, site, rule); hit counters are schedule
+  // state, not phase state, and carry over untouched.
+  std::unordered_map<std::string, uint64_t> Hits;
+  for (const auto &[Site, State] : Sites)
+    Hits[Site] = State.Hits;
+  reindexLocked();
+  for (auto &[Site, State] : Sites)
+    if (const auto It = Hits.find(Site); It != Hits.end())
+      State.Hits = It->second;
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Armed.store(false, std::memory_order_relaxed);
+  Seed = 0;
+  Rules.clear();
+  Phases.clear();
+  Sites.clear();
+}
+
+Status FaultInjector::checkSlow(const char *Site) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  const auto It = Sites.find(Site);
+  if (It == Sites.end())
+    return Status();
+  SiteState &State = It->second;
+  const uint64_t Hit = ++State.Hits;
+  for (size_t Index : State.RuleIndex) {
+    const FaultRule &Rule = Rules[Index];
+    const bool Fire = Rule.Nth ? Hit == Rule.Nth
+                               : (Hit + Phases[Index]) % Rule.Every == 0;
+    if (!Fire)
+      continue;
+    Injected.fetch_add(1, std::memory_order_relaxed);
+    switch (Rule.Act) {
+    case FaultRule::Action::ErrorStatus:
+      return Status(Rule.Code, Rule.Message.empty()
+                                   ? "injected fault at " + std::string(Site)
+                                   : Rule.Message);
+    case FaultRule::Action::LatencyMs: {
+      // Sleep outside the registry lock: concurrent checks on other sites
+      // must not serialize behind an injected delay.
+      const double DelayMs = Rule.DelayMs;
+      Lock.unlock();
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          DelayMs));
+      return Status();
+    }
+    case FaultRule::Action::BadAlloc:
+      throw std::bad_alloc();
+    }
+  }
+  return Status();
+}

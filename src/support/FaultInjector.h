@@ -1,0 +1,228 @@
+//===- support/FaultInjector.h - Deterministic fault injection ------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named fault *sites* driven by a parsed
+/// `FaultPlan`. Production code marks its failure-capable operations with
+/// a site check:
+///
+///   if (Status F = FaultInjector::instance().check(faultsite::CacheInsert);
+///       !F.ok())
+///     ... handle exactly like a real insert failure ...
+///
+/// and a test, a chaos bench run, or `seer-serve --fault-plan FILE` arms a
+/// plan that makes chosen sites fail on a chosen schedule. The sites are
+/// threaded through the sparse/core/serve/api layers (parsing, bundle I/O,
+/// cache insertion, kernel preparation, plan execution, admission,
+/// registration, oracle sweeps, batching), so every failure-handling path
+/// the serving stack promises — typed errors, retries, degraded fallbacks,
+/// circuit breakers — is exercisable by construction.
+///
+/// ## Plan grammar
+///
+/// One directive per line; `#` starts a comment; blank lines are ignored:
+///
+///   seed N                      phase-shifts every-K schedules (optional,
+///                               one per plan; the last one wins)
+///   SITE nth=N ACTION           fire exactly on the site's Nth hit
+///   SITE every=K ACTION         fire on every Kth hit
+///
+/// with ACTION one of
+///
+///   status=CODE [message...]    the check returns a typed Status (CODE is
+///                               an upper-case StatusCode name, e.g.
+///                               UNAVAILABLE or INTERNAL)
+///   latency-ms=X                the check sleeps X ms, then succeeds
+///   bad-alloc                   the check throws std::bad_alloc
+///
+/// ## Determinism
+///
+/// Firing decisions are counter-based only — the Nth hit of a site fires
+/// no matter when or on which thread it lands; no wall clock, no RNG at
+/// check time. The optional seed deterministically phase-shifts every-K
+/// schedules (hash of seed and site) so two plans with the same rules can
+/// fire on disjoint hits. Under a serial request stream the full
+/// response/error sequence is reproducible; under a concurrent one the
+/// per-site fire *counts* still are (the interleaving chooses which
+/// request absorbs a fault, never how many fire).
+///
+/// ## Cost when disabled
+///
+/// One relaxed atomic load per site check (the inline fast path below).
+/// The slow path — counter increment and schedule evaluation under a
+/// mutex — runs only while a plan is armed.
+///
+/// Setting the environment variable `SEER_FAULT_PLAN` to a plan file path
+/// arms it at first use (how the CI chaos job drives unmodified test
+/// binaries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_SUPPORT_FAULTINJECTOR_H
+#define SEER_SUPPORT_FAULTINJECTOR_H
+
+#include "api/Status.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace seer {
+
+/// The named fault sites threaded through the stack. Site checks pass
+/// these constants; plans name them in rule lines. parseRule rejects
+/// unknown names so a typo in a plan fails loudly instead of never firing.
+namespace faultsite {
+inline constexpr const char *ParseMm = "parse.mm";
+inline constexpr const char *MmWrite = "mm.write";
+inline constexpr const char *BundleLoad = "bundle.load";
+inline constexpr const char *BundleStore = "bundle.store";
+inline constexpr const char *CacheInsert = "cache.insert";
+inline constexpr const char *KernelPrepare = "kernel.prepare";
+inline constexpr const char *PlanSelect = "plan.select";
+inline constexpr const char *PlanRun = "plan.run";
+inline constexpr const char *QueueAdmit = "queue.admit";
+inline constexpr const char *ServiceRegister = "service.register";
+inline constexpr const char *ServeOracle = "serve.oracle";
+inline constexpr const char *BatchExecute = "batch.execute";
+} // namespace faultsite
+
+/// All known site names, for diagnostics and plan validation.
+const std::vector<std::string> &faultSiteNames();
+
+/// One parsed plan rule: a site, a schedule (exactly one of Nth/Every is
+/// nonzero), and the action taken when the schedule fires.
+struct FaultRule {
+  std::string Site;
+  /// Fire exactly on the site's Nth hit (1-based), once.
+  uint64_t Nth = 0;
+  /// Fire on every Kth hit.
+  uint64_t Every = 0;
+  enum class Action { ErrorStatus, LatencyMs, BadAlloc };
+  Action Act = Action::ErrorStatus;
+  /// ErrorStatus: the injected failure class and message.
+  StatusCode Code = StatusCode::Unavailable;
+  std::string Message;
+  /// LatencyMs: the injected delay.
+  double DelayMs = 0.0;
+};
+
+/// A parsed fault plan: a seed plus rules, in file order.
+struct FaultPlan {
+  uint64_t Seed = 0;
+  std::vector<FaultRule> Rules;
+
+  /// Parses one `SITE nth=N|every=K ACTION` rule line (no seed/comment
+  /// handling). INVALID_ARGUMENT names the defect.
+  static Expected<FaultRule> parseRule(const std::string &Line);
+
+  /// Parses a whole plan (comments, seed directives, rule lines).
+  /// INVALID_ARGUMENT carries a 1-based line number.
+  static Expected<FaultPlan> parse(const std::string &Text);
+
+  /// Reads and parses a plan file (NOT_FOUND / INVALID_ARGUMENT).
+  static Expected<FaultPlan> load(const std::string &Path);
+};
+
+/// The Status-carrying exception used where a fault must propagate through
+/// an interface that cannot return Status (the Planner's void prepare()
+/// stage, its SpmvRun-returning run() stage). The serving layer catches it
+/// at the request boundary and converts it back into a typed response.
+class InjectedFaultError : public std::runtime_error {
+public:
+  explicit InjectedFaultError(Status S)
+      : std::runtime_error(S.toString()), Failure(std::move(S)) {}
+  const Status &status() const { return Failure; }
+
+private:
+  Status Failure;
+};
+
+/// The process-wide injector. See the file comment for semantics.
+class FaultInjector {
+public:
+  /// The one process-wide instance (sites are compiled into library code,
+  /// so there is exactly one namespace of them).
+  static FaultInjector &instance();
+
+  /// Arms \p Plan: replaces any current rules and resets all hit
+  /// counters. INVALID_ARGUMENT (and no state change) if a rule is
+  /// malformed (unknown site, no schedule).
+  Status arm(const FaultPlan &Plan);
+
+  /// Merges one rule into the armed plan without resetting other sites'
+  /// counters (the trace-v2 `fault` command). Arms the injector if it was
+  /// disarmed.
+  Status addRule(const FaultRule &Rule);
+
+  /// Disarms and forgets everything: rules, counters, seed. The injected
+  /// counter survives (it is cumulative telemetry).
+  void disarm();
+
+  /// Replaces the seed and recomputes every-K phases; rules and hit
+  /// counters are untouched (the trace-v2 `fault seed N` directive).
+  void reseed(uint64_t NewSeed);
+
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Cumulative faults fired since process start (all actions, including
+  /// injected latency). Never reset — ServerStats snapshots it.
+  uint64_t injectedCount() const {
+    return Injected.load(std::memory_order_relaxed);
+  }
+
+  /// The site check: OK and near-free when disarmed; when armed, counts
+  /// the hit and applies the first matching rule — returning the typed
+  /// Status, sleeping the injected latency, or throwing std::bad_alloc.
+  Status check(const char *Site) {
+    if (!Armed.load(std::memory_order_relaxed))
+      return Status();
+    return checkSlow(Site);
+  }
+
+  /// check() for interfaces that cannot return Status: a fired
+  /// status-action becomes an InjectedFaultError.
+  void checkOrThrow(const char *Site) {
+    if (!Armed.load(std::memory_order_relaxed))
+      return;
+    if (Status F = checkSlow(Site); !F.ok())
+      throw InjectedFaultError(std::move(F));
+  }
+
+private:
+  FaultInjector();
+
+  Status checkSlow(const char *Site);
+
+  /// Rebuilds the per-site index and every-K phases from Rules/Seed.
+  /// Caller holds Mutex.
+  void reindexLocked();
+
+  /// The disarmed fast path reads only this flag.
+  std::atomic<bool> Armed{false};
+  std::atomic<uint64_t> Injected{0};
+
+  mutable std::mutex Mutex;
+  uint64_t Seed = 0;
+  std::vector<FaultRule> Rules;
+  /// Per-rule phase shift for every-K schedules (0 for nth rules).
+  std::vector<uint64_t> Phases;
+  struct SiteState {
+    uint64_t Hits = 0;
+    /// Indices into Rules, in plan order; the first firing rule wins.
+    std::vector<size_t> RuleIndex;
+  };
+  std::unordered_map<std::string, SiteState> Sites;
+};
+
+} // namespace seer
+
+#endif // SEER_SUPPORT_FAULTINJECTOR_H

@@ -513,7 +513,7 @@ TEST(SeerServiceTest, AsyncSubmissionsMatchSynchronousServing) {
   }
 
   // The same stream submitted asynchronously.
-  std::vector<std::future<ServeResponse>> Futures;
+  std::vector<std::future<Expected<ServeResponse>>> Futures;
   for (size_t I = 0; I < 24; ++I) {
     Request R;
     R.Handle = Handles[I % Handles.size()];
@@ -524,7 +524,9 @@ TEST(SeerServiceTest, AsyncSubmissionsMatchSynchronousServing) {
     Futures.push_back(std::move(*Future));
   }
   for (size_t I = 0; I < Futures.size(); ++I) {
-    const ServeResponse Response = Futures[I].get();
+    Expected<ServeResponse> Got = Futures[I].get();
+    ASSERT_TRUE(Got) << Got.status().toString();
+    const ServeResponse Response = *Got;
     EXPECT_EQ(Response.Selection.KernelIndex,
               Direct[I].Selection.KernelIndex);
     EXPECT_EQ(Response.Selection.UsedGatheredModel,
@@ -553,8 +555,9 @@ TEST(SeerServiceTest, AsyncReleaseAfterSubmitStillCompletes) {
   auto Future = Service.submit(std::move(R));
   ASSERT_TRUE(Future);
   EXPECT_TRUE(Service.release(*Handle).ok());
-  const ServeResponse Response = Future->get();
-  EXPECT_EQ(Response.Selection.KernelIndex, Expected->Selection.KernelIndex);
+  const auto Got = Future->get();
+  ASSERT_TRUE(Got) << Got.status().toString();
+  EXPECT_EQ(Got->Selection.KernelIndex, Expected->Selection.KernelIndex);
   Service.drain();
   EXPECT_EQ(Service.stats().PinnedMatrices, 0u);
 }

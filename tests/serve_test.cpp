@@ -500,14 +500,14 @@ TEST(SeerServerTest, BatchExecutionBitIdenticalToSingleRequests) {
     Options.Iterations = 5;
     Options.Execute = true;
     Options.Operand = &X;
-    Singles.push_back(Single.handleRegistered(RegSingle, Options));
+    Singles.push_back(*Single.handleRegistered(RegSingle, Options));
   }
   Single.releaseMatrix(RegSingle);
 
   // One plan, one batch.
   SeerServer Batched(tinyModels());
   const RegisteredMatrix Reg = registerAliased(Batched, M);
-  const BatchResponse B = Batched.executeBatchRegistered(Reg, 5, Operands);
+  const BatchResponse B = *Batched.executeBatchRegistered(Reg, 5, Operands);
 
   ASSERT_EQ(B.operands(), Operands.size());
   EXPECT_EQ(B.Selection.KernelIndex, Singles[0].Selection.KernelIndex);
@@ -542,7 +542,7 @@ TEST(SeerServerTest, BatchExecutionBitIdenticalToSingleRequests) {
 
   // The same plan served a second time is reused and amortized,
   // bit-identically.
-  const BatchResponse Again = Batched.executeBatchRegistered(Reg, 5, Operands);
+  const BatchResponse Again = *Batched.executeBatchRegistered(Reg, 5, Operands);
   EXPECT_TRUE(Again.PreprocessAmortized);
   EXPECT_EQ(Again.PreprocessMs, 0.0);
   EXPECT_EQ(Again.Y, B.Y);
@@ -697,11 +697,11 @@ TEST(CacheBudgetTest, PlanReuseAcrossEvictionRebuildsBitIdentically) {
   SeerServer Server(tinyModels(), Config);
 
   const RegisteredMatrix First = registerAliased(Server, A);
-  const BatchResponse Built = Server.executeBatchRegistered(First, 19,
-                                                            Operands);
-  EXPECT_FALSE(Built.PreprocessAmortized);
-  const BatchResponse Reused = Server.executeBatchRegistered(First, 19,
+  const BatchResponse Built = *Server.executeBatchRegistered(First, 19,
                                                              Operands);
+  EXPECT_FALSE(Built.PreprocessAmortized);
+  const BatchResponse Reused = *Server.executeBatchRegistered(First, 19,
+                                                              Operands);
   EXPECT_TRUE(Reused.PreprocessAmortized);
   EXPECT_EQ(Reused.Y, Built.Y);
   Server.releaseMatrix(First);
@@ -718,8 +718,8 @@ TEST(CacheBudgetTest, PlanReuseAcrossEvictionRebuildsBitIdentically) {
   // rebuilt and re-charged, identical bits.
   const RegisteredMatrix Second = registerAliased(Server, A);
   EXPECT_FALSE(Second.AnalysisReused);
-  const BatchResponse Rebuilt = Server.executeBatchRegistered(Second, 19,
-                                                              Operands);
+  const BatchResponse Rebuilt = *Server.executeBatchRegistered(Second, 19,
+                                                               Operands);
   EXPECT_FALSE(Rebuilt.PreprocessAmortized);
   EXPECT_EQ(Rebuilt.PreprocessMs, Built.PreprocessMs);
   EXPECT_EQ(Rebuilt.Selection.KernelIndex, Built.Selection.KernelIndex);
@@ -1067,7 +1067,7 @@ TEST(RequestTraceTest, BatchResponseLinesCarryPerBatchCharges) {
   SeerServer Server(tinyModels());
   const CsrMatrix &M = requestPool()[0];
   const RegisteredMatrix Reg = registerAliased(Server, M);
-  const BatchResponse B = Server.executeBatchRegistered(
+  const BatchResponse B = *Server.executeBatchRegistered(
       Reg, 5, buildBatchOperands(3, M.numCols()));
   const std::string Line = formatBatchResponseLine("web", B,
                                                    Server.registry());

@@ -37,7 +37,9 @@
 #include "api/SeerService.h"
 #include "core/ModelBundle.h"
 #include "serve/RequestTrace.h"
+#include "support/FaultInjector.h"
 
+#include <atomic>
 #include <chrono>
 #include <iostream>
 #include <thread>
@@ -68,13 +70,23 @@ constexpr const char *Usage =
     "                      unbounded); under pressure the server evicts\n"
     "                      oracle data and unpaid kernel states first,\n"
     "                      then whole entries — entries pinned by open\n"
-    "                      handles always survive (see 'stats' counters)\n";
+    "                      handles always survive (see 'stats' counters)\n"
+    "  --fault-plan FILE   arm the deterministic fault injector with FILE\n"
+    "                      (support/FaultInjector.h grammar) before serving;\n"
+    "                      v2 traces and stdin sessions can also drive it\n"
+    "                      with the 'fault' command\n"
+    "  --strict            exit nonzero if the replay answered any request\n"
+    "                      with an 'error CODE ...' line (chaos-gate mode;\n"
+    "                      degraded responses are not errors)\n";
 
 /// One client's replay of a v2 trace: registers its own handles for the
 /// trace's matrices and walks the operation sequence. Response/error
-/// lines are printed only when \p Print (single-client mode).
-void replayV2(SeerService &Service, const TraceScript &Script, unsigned Repeat,
-              bool Print) {
+/// lines are printed only when \p Print (single-client mode). \returns
+/// the number of operations answered with an error line — counted even
+/// when nothing is printed, so --strict works at any client count.
+uint64_t replayV2(SeerService &Service, const TraceScript &Script,
+                  unsigned Repeat, bool Print) {
+  uint64_t Errors = 0;
   // Zero-copy registration: the parsed script outlives the service (and
   // every registration is released before this function returns), so
   // each client shares the parser's matrix instead of copying it.
@@ -88,6 +100,7 @@ void replayV2(SeerService &Service, const TraceScript &Script, unsigned Repeat,
   for (size_t I = 0; I < Script.Matrices.size(); ++I) {
     auto Handle = Register(I);
     if (!Handle) { // cannot happen for a parsed trace; surface anyway
+      ++Errors;
       if (Print)
         std::printf("%s\n", formatErrorLine(Handle.status()).c_str());
       continue;
@@ -95,35 +108,49 @@ void replayV2(SeerService &Service, const TraceScript &Script, unsigned Repeat,
     Handles[I] = *Handle;
   }
 
+  const auto Fail = [&](const Status &S) {
+    ++Errors;
+    if (Print)
+      std::printf("%s\n", formatErrorLine(S).c_str());
+  };
+
   for (unsigned K = 0; K < Repeat; ++K)
     for (const TraceScript::Op &Op : Script.Ops) {
+      if (Op.Command == TraceScript::Op::Kind::Fault) {
+        // Fault directives mutate process-wide state; a chaos trace is
+        // expected to run with one client so they land deterministically
+        // between requests.
+        if (const Status S = applyFaultSpec(Op.FaultSpec); !S.ok())
+          Fail(S);
+        else if (Print)
+          std::printf("ok fault %s\n", Op.FaultSpec.c_str());
+        continue;
+      }
       const std::string &Name = Script.Matrices[Op.MatrixIndex].first;
       switch (Op.Command) {
+      case TraceScript::Op::Kind::Fault:
+        break; // handled above
       case TraceScript::Op::Kind::Open: {
         if (Handles[Op.MatrixIndex].valid())
           break; // already open; idempotent in replay
         auto Handle = Register(Op.MatrixIndex);
         if (Handle)
           Handles[Op.MatrixIndex] = *Handle;
-        else if (Print)
-          std::printf("%s\n", formatErrorLine(Handle.status()).c_str());
+        else
+          Fail(Handle.status());
         break;
       }
       case TraceScript::Op::Kind::Close: {
         const Status S = Service.release(Handles[Op.MatrixIndex]);
         Handles[Op.MatrixIndex] = MatrixHandle();
-        if (!S.ok() && Print)
-          std::printf("%s\n", formatErrorLine(S).c_str());
+        if (!S.ok())
+          Fail(S);
         break;
       }
       case TraceScript::Op::Kind::Batch: {
         if (!Handles[Op.MatrixIndex].valid()) {
-          if (Print)
-            std::printf("%s\n",
-                        formatErrorLine(Status::failedPrecondition(
-                                            "matrix '" + Name +
-                                            "' is closed (open it first)"))
-                            .c_str());
+          Fail(Status::failedPrecondition("matrix '" + Name +
+                                          "' is closed (open it first)"));
           break;
         }
         const auto Operands = buildBatchOperands(
@@ -131,24 +158,20 @@ void replayV2(SeerService &Service, const TraceScript &Script, unsigned Repeat,
             Script.Matrices[Op.MatrixIndex].second.numCols());
         const auto Response = Service.executeBatch(Handles[Op.MatrixIndex],
                                                    Operands, Op.Iterations);
-        if (Print)
+        if (!Response)
+          Fail(Response.status());
+        else if (Print)
           std::printf("%s\n",
-                      Response
-                          ? formatBatchResponseLine(Name, *Response,
-                                                    Service.registry())
-                                .c_str()
-                          : formatErrorLine(Response.status()).c_str());
+                      formatBatchResponseLine(Name, *Response,
+                                              Service.registry())
+                          .c_str());
         break;
       }
       case TraceScript::Op::Kind::Select:
       case TraceScript::Op::Kind::Execute: {
         if (!Handles[Op.MatrixIndex].valid()) {
-          if (Print)
-            std::printf("%s\n",
-                        formatErrorLine(Status::failedPrecondition(
-                                            "matrix '" + Name +
-                                            "' is closed (open it first)"))
-                            .c_str());
+          Fail(Status::failedPrecondition("matrix '" + Name +
+                                          "' is closed (open it first)"));
           break;
         }
         Request R;
@@ -157,13 +180,13 @@ void replayV2(SeerService &Service, const TraceScript &Script, unsigned Repeat,
         R.Execute = Op.Command == TraceScript::Op::Kind::Execute;
         R.VerifyOracle = Op.Verify;
         const auto Response = Service.serve(R);
-        if (Print)
+        if (!Response)
+          Fail(Response.status());
+        else if (Print)
           std::printf("%s\n",
-                      Response
-                          ? formatResponseLine(Name, *Response,
-                                               Service.registry())
-                                .c_str()
-                          : formatErrorLine(Response.status()).c_str());
+                      formatResponseLine(Name, *Response,
+                                         Service.registry())
+                          .c_str());
         break;
       }
       }
@@ -172,12 +195,15 @@ void replayV2(SeerService &Service, const TraceScript &Script, unsigned Repeat,
   for (MatrixHandle Handle : Handles)
     if (Handle.valid())
       Service.release(Handle);
+  return Errors;
 }
 
 /// One client's replay of a headerless (v1) trace through the deprecated
-/// pointer-based server path, exactly as PR 2 served it.
-void replayV1(SeerServer &Server, const TraceScript &Script, unsigned Repeat,
-              bool Print, const KernelRegistry &Registry) {
+/// pointer-based server path, exactly as PR 2 served it. \returns 0: the
+/// v1 path degrades instead of erroring, and v1 traces cannot carry
+/// fault/open/close ops.
+uint64_t replayV1(SeerServer &Server, const TraceScript &Script,
+                  unsigned Repeat, bool Print, const KernelRegistry &Registry) {
   for (unsigned K = 0; K < Repeat; ++K)
     for (const TraceScript::Op &Op : Script.Ops) {
       ServeRequest Request;
@@ -192,16 +218,23 @@ void replayV1(SeerServer &Server, const TraceScript &Script, unsigned Repeat,
                                        Response, Registry)
                         .c_str());
     }
+  return 0;
 }
 
-void runTrace(SeerService &Service, const TraceScript &Script,
-              unsigned Clients, unsigned Repeat) {
+/// Replays the trace with \p Clients concurrent clients and prints the
+/// telemetry snapshot plus a throughput summary. \returns the total
+/// number of error-line outcomes across all clients (the --strict gate).
+uint64_t runTrace(SeerService &Service, const TraceScript &Script,
+                  unsigned Clients, unsigned Repeat) {
   const auto Start = std::chrono::steady_clock::now();
+  std::atomic<uint64_t> Errors{0};
   const auto RunClient = [&](bool Print) {
-    if (Script.Version >= 2)
-      replayV2(Service, Script, Repeat, Print);
-    else
-      replayV1(Service.server(), Script, Repeat, Print, Service.registry());
+    const uint64_t ClientErrors =
+        Script.Version >= 2
+            ? replayV2(Service, Script, Repeat, Print)
+            : replayV1(Service.server(), Script, Repeat, Print,
+                       Service.registry());
+    Errors.fetch_add(ClientErrors, std::memory_order_relaxed);
   };
   if (Clients <= 1) {
     RunClient(/*Print=*/true);
@@ -220,11 +253,13 @@ void runTrace(SeerService &Service, const TraceScript &Script,
   const ServerStats Stats = Service.stats();
   std::printf("%s", formatStatsLines(Stats).c_str());
   std::printf("replayed %zu ops x %u clients x %u in %.3fs "
-              "(%.0f req/s)\n",
+              "(%.0f req/s, %llu errors)\n",
               Script.Ops.size(), Clients, Repeat, WallSeconds,
               WallSeconds > 0 ? static_cast<double>(Stats.Requests) /
                                     WallSeconds
-                              : 0.0);
+                              : 0.0,
+              static_cast<unsigned long long>(Errors.load()));
+  return Errors.load();
 }
 
 int runStdin(SeerService &Service) {
@@ -279,6 +314,13 @@ int runStdin(SeerService &Service) {
     case TraceCommand::Kind::Stats:
       std::printf("%s", formatStatsLines(Service.stats()).c_str());
       break;
+    case TraceCommand::Kind::Fault: {
+      if (const Status S = applyFaultSpec(Command.FaultSpec); !S.ok())
+        PrintError(S);
+      else
+        std::printf("ok fault %s\n", Command.FaultSpec.c_str());
+      break;
+    }
     case TraceCommand::Kind::Load:
     case TraceCommand::Kind::Gen: {
       if (Find(Command.Name)) {
@@ -391,14 +433,23 @@ int runStdin(SeerService &Service) {
 
 int main(int Argc, char **Argv) {
   FlagSpec Spec;
-  Spec.Value = {"models", "trace"};
+  Spec.Value = {"models", "trace", "fault-plan"};
   Spec.Int = {"clients", "repeat", "cache-budget"};
+  Spec.Bool = {"strict"};
   const CommandLine Cmd(Argc, Argv, Usage, Spec);
   if (const auto Early = Cmd.earlyExit())
     return *Early;
   const std::string ModelDir = Cmd.flag("models");
   if (ModelDir.empty())
     Cmd.exitWithUsage(1);
+
+  if (const std::string PlanPath = Cmd.flag("fault-plan"); !PlanPath.empty()) {
+    const auto Plan = FaultPlan::load(PlanPath);
+    if (!Plan)
+      fatal(Plan.status());
+    if (const Status S = FaultInjector::instance().arm(*Plan); !S.ok())
+      fatal(S);
+  }
 
   const KernelRegistry Registry;
   auto Models = loadModelBundle(ModelDir, Registry.names());
@@ -425,6 +476,11 @@ int main(int Argc, char **Argv) {
     fatal("--clients must be in [1, 4096] and --repeat in [1, 1000000]");
   const unsigned Clients = static_cast<unsigned>(ClientsArg);
   const unsigned Repeat = static_cast<unsigned>(RepeatArg);
-  runTrace(Service, *Script, Clients, Repeat);
+  const uint64_t Errors = runTrace(Service, *Script, Clients, Repeat);
+  if (Cmd.boolFlag("strict") && Errors > 0) {
+    std::fprintf(stderr, "seer-serve: --strict: %llu request(s) failed\n",
+                 static_cast<unsigned long long>(Errors));
+    return 1;
+  }
   return 0;
 }
