@@ -41,6 +41,7 @@
 #include "serve/SeerServer.h"
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
+#include "support/Tracing.h"
 
 #include "../tools/ToolSupport.h"
 #include "BenchCommon.h"
@@ -586,6 +587,96 @@ int main(int Argc, char **Argv) {
                  Record.BatchFaster ? "" : " BATCH-NOT-CHEAPER");
   }
 
+  // Tracing-overhead run: the identical single-client execute stream
+  // replayed through fresh services with the span recorder disarmed and
+  // armed. The gate compares the *charged modeled cost* per operand —
+  // instrumentation must observe the pipeline, never change what it
+  // charges or answers — plus bit-identity of every response and that
+  // the armed run actually recorded spans. Host CPU time per operand is
+  // reported for both runs (informational: the ~ns-scale relaxed-load
+  // and clock-read overhead cannot be gated on a busy shared host).
+  bool ObsOverheadOk = true;
+  double ObsDisarmedChargedMsPerOp = 0.0, ObsArmedChargedMsPerOp = 0.0;
+  double ObsDisarmedCpuUsPerOp = 0.0, ObsArmedCpuUsPerOp = 0.0;
+  uint64_t ObsSpansRecorded = 0;
+  {
+    const double Ratio = HitRatios.back();
+    const size_t Unique = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(Requests) * (1.0 - Ratio)));
+    const size_t PerMatrix = std::max<size_t>(1, Requests / Unique);
+    const uint32_t ObsIterations = 5;
+    for (size_t I = 0; I < Unique; ++I)
+      ExpectedFor(I, ObsIterations, true);
+
+    const auto CpuSeconds = [] {
+      return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+    };
+    struct ObsRun {
+      double ChargedMs = 0.0;
+      double CpuSeconds = 0.0;
+      bool Identical = true;
+    };
+    const auto Replay = [&](bool Armed) {
+      if (Armed)
+        SpanRecorder::instance().arm();
+      else
+        SpanRecorder::instance().disarm();
+      ObsRun Run;
+      constexpr int Reps = 3;
+      for (int Rep = 0; Rep < Reps; ++Rep) {
+        SeerService Service(Models);
+        std::vector<MatrixHandle> Handles;
+        RegisterPool(Service, Unique, Handles);
+        double ChargedMs = 0.0;
+        const double CpuStart = CpuSeconds();
+        for (size_t K = 0; K < PerMatrix; ++K)
+          for (size_t I = 0; I < Unique; ++I) {
+            Request R;
+            R.Handle = Handles[I];
+            R.Iterations = ObsIterations;
+            R.Execute = true;
+            const auto Response = Service.serve(R);
+            const ExpectedAnswer &E = ExpectedFor(I, ObsIterations, true);
+            if (!Response ||
+                Response->Selection.KernelIndex != E.Selection.KernelIndex ||
+                Response->Y != E.Y)
+              Run.Identical = false;
+            else
+              ChargedMs += Response->totalMs();
+          }
+        const double Cpu = CpuSeconds() - CpuStart;
+        Run.CpuSeconds = Rep == 0 ? Cpu : std::min(Run.CpuSeconds, Cpu);
+        Run.ChargedMs = ChargedMs; // deterministic: identical every rep
+      }
+      return Run;
+    };
+
+    const ObsRun Disarmed = Replay(/*Armed=*/false);
+    const ObsRun Armed = Replay(/*Armed=*/true);
+    const std::vector<TraceSpan> Spans = SpanRecorder::instance().drain();
+    SpanRecorder::instance().disarm();
+
+    const double TotalOperands =
+        static_cast<double>(Unique) * static_cast<double>(PerMatrix);
+    ObsDisarmedChargedMsPerOp = Disarmed.ChargedMs / TotalOperands;
+    ObsArmedChargedMsPerOp = Armed.ChargedMs / TotalOperands;
+    ObsDisarmedCpuUsPerOp = Disarmed.CpuSeconds * 1e6 / TotalOperands;
+    ObsArmedCpuUsPerOp = Armed.CpuSeconds * 1e6 / TotalOperands;
+    ObsSpansRecorded = Spans.size() + SpanRecorder::instance().dropped();
+    const bool ChargedWithinTolerance =
+        std::abs(ObsArmedChargedMsPerOp - ObsDisarmedChargedMsPerOp) <=
+        0.05 * ObsDisarmedChargedMsPerOp;
+    ObsOverheadOk = Disarmed.Identical && Armed.Identical &&
+                    ChargedWithinTolerance && ObsSpansRecorded > 0;
+    std::fprintf(stderr,
+                 "  obs-overhead     charged %.6f -> %.6f ms/op  cpu %.2f -> "
+                 "%.2f us/op  spans=%llu  %s\n",
+                 ObsDisarmedChargedMsPerOp, ObsArmedChargedMsPerOp,
+                 ObsDisarmedCpuUsPerOp, ObsArmedCpuUsPerOp,
+                 static_cast<unsigned long long>(ObsSpansRecorded),
+                 ObsOverheadOk ? "ok" : "OBS-OVERHEAD-FAIL");
+  }
+
   // Churn scenario: a working set several times the cache budget cycles
   // through the server for multiple passes. The unbounded working-set
   // size is measured first so the budget scales with the request pool
@@ -956,6 +1047,18 @@ int main(int Argc, char **Argv) {
   std::fprintf(Out, "  \"batch_faster\": %s,\n",
                AllBatchFaster ? "true" : "false");
   std::fprintf(Out, "  \"chaos_ok\": %s,\n", ChaosOk ? "true" : "false");
+  std::fprintf(Out, "  \"obs_overhead_ok\": %s,\n",
+               ObsOverheadOk ? "true" : "false");
+  std::fprintf(Out, "  \"obs_spans_recorded\": %llu,\n",
+               static_cast<unsigned long long>(ObsSpansRecorded));
+  std::fprintf(Out, "  \"execute_charged_ms_per_op_disarmed\": %.6f,\n",
+               ObsDisarmedChargedMsPerOp);
+  std::fprintf(Out, "  \"execute_charged_ms_per_op_armed\": %.6f,\n",
+               ObsArmedChargedMsPerOp);
+  std::fprintf(Out, "  \"execute_cpu_us_per_op_disarmed\": %.3f,\n",
+               ObsDisarmedCpuUsPerOp);
+  std::fprintf(Out, "  \"execute_cpu_us_per_op_armed\": %.3f,\n",
+               ObsArmedCpuUsPerOp);
   std::fprintf(Out, "  \"chaos_faults_injected\": %llu,\n",
                static_cast<unsigned long long>(ChaosFaults));
   std::fprintf(Out, "  \"chaos_retries\": %llu,\n",
@@ -1049,10 +1152,14 @@ int main(int Argc, char **Argv) {
   std::fclose(Out);
 
   std::printf("wrote %s (%zu runs, bit_identical=%s, budget_respected=%s, "
-              "batch_faster=%s, chaos_ok=%s)\n",
+              "batch_faster=%s, chaos_ok=%s, obs_overhead_ok=%s)\n",
               OutPath.c_str(), Records.size(),
               AllIdentical ? "true" : "false",
               AllWithinBudget ? "true" : "false",
-              AllBatchFaster ? "true" : "false", ChaosOk ? "true" : "false");
-  return AllIdentical && AllWithinBudget && AllBatchFaster && ChaosOk ? 0 : 1;
+              AllBatchFaster ? "true" : "false", ChaosOk ? "true" : "false",
+              ObsOverheadOk ? "true" : "false");
+  return AllIdentical && AllWithinBudget && AllBatchFaster && ChaosOk &&
+                 ObsOverheadOk
+             ? 0
+             : 1;
 }

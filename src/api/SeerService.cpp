@@ -8,6 +8,7 @@
 
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
+#include "support/Tracing.h"
 
 #include <chrono>
 #include <thread>
@@ -136,12 +137,18 @@ SeerService::serveWithRetry(const RegisteredMatrix &Registered,
     if (Options.hasDeadline() &&
         std::chrono::steady_clock::now() >= Options.Deadline)
       break;
-    backoffSleep(Retry.backoffMs(Attempt));
-    Retries.fetch_add(1, std::memory_order_relaxed);
+    // The retry span covers the backoff *and* the reattempt: that is the
+    // extra latency the fault cost the caller.
+    ScopedSpan RetrySpan(spanname::ServeRetry);
+    RetrySpan.tag("attempt", static_cast<double>(Attempt));
+    const double BackoffMs = Retry.backoffMs(Attempt);
+    backoffSleep(BackoffMs);
+    RetryBackoffMs.record(BackoffMs);
+    Retries.add();
     Result = Server.handleRegistered(Registered, Options);
   }
   if (!Result && Result.status().isRetryable())
-    RetriesExhausted.fetch_add(1, std::memory_order_relaxed);
+    RetriesExhausted.add();
   return Result;
 }
 
@@ -231,17 +238,21 @@ Expected<std::future<Expected<ServeResponse>>> SeerService::submit(Request R) {
     if (Deadline != std::chrono::steady_clock::time_point::min() &&
         std::chrono::steady_clock::now() >= Deadline)
       break;
-    backoffSleep(Retry.backoffMs(Attempt));
-    Retries.fetch_add(1, std::memory_order_relaxed);
+    ScopedSpan RetrySpan(spanname::ServeRetry);
+    RetrySpan.tag("attempt", static_cast<double>(Attempt));
+    const double BackoffMs = Retry.backoffMs(Attempt);
+    backoffSleep(BackoffMs);
+    RetryBackoffMs.record(BackoffMs);
+    Retries.add();
     Admission = tryAdmit();
   }
   if (!Admission.ok()) {
     if (Admission.isRetryable())
-      RetriesExhausted.fetch_add(1, std::memory_order_relaxed);
-    AsyncRejected.fetch_add(1, std::memory_order_relaxed);
+      RetriesExhausted.add();
+    AsyncRejected.add();
     return Admission;
   }
-  AsyncAccepted.fetch_add(1, std::memory_order_relaxed);
+  AsyncAccepted.add();
 
   // The task owns everything it needs: the registration (so a release()
   // between admission and execution is harmless) and the request with
@@ -250,9 +261,22 @@ Expected<std::future<Expected<ServeResponse>>> SeerService::submit(Request R) {
   // DEADLINE_EXCEEDED / a retry-exhausted transient error.
   auto Promise = std::make_shared<std::promise<Expected<ServeResponse>>>();
   std::future<Expected<ServeResponse>> Future = Promise->get_future();
+  // Queue-wait accounting is armed-only (one clock read each side);
+  // disarmed submissions pay nothing, matching the server's stage timers.
+  const uint64_t EnqueueNs =
+      SpanRecorder::instance().armed() ? SpanRecorder::nowNs() : 0;
   ThreadPool::shared().submit(
-      [this, Promise, Deadline, Reg = std::move(*Reg),
+      [this, Promise, Deadline, EnqueueNs, Reg = std::move(*Reg),
        R = std::move(R)]() mutable {
+        if (EnqueueNs != 0) {
+          const uint64_t WaitNs = SpanRecorder::nowNs() - EnqueueNs;
+          QueueWaitUs.record(static_cast<double>(WaitNs) / 1000.0);
+          // The wait has no scope to wrap, so record the span directly:
+          // it starts at admission and ends when the pool picks us up.
+          SpanRecorder::instance().record(spanname::QueueWait, EnqueueNs,
+                                          WaitNs,
+                                          SpanRecorder::currentRequestId());
+        }
         ServeOptions Options;
         Options.Iterations = R.Iterations;
         Options.Execute = R.Execute;
@@ -290,11 +314,21 @@ Expected<HandleInfo> SeerService::describe(MatrixHandle Handle) const {
 
 ServerStats SeerService::stats() const {
   ServerStats S = Server.stats();
-  S.AsyncAccepted = AsyncAccepted.load(std::memory_order_relaxed);
-  S.AsyncRejected = AsyncRejected.load(std::memory_order_relaxed);
-  S.Retries = Retries.load(std::memory_order_relaxed);
-  S.RetriesExhausted = RetriesExhausted.load(std::memory_order_relaxed);
+  S.AsyncAccepted = AsyncAccepted.value();
+  S.AsyncRejected = AsyncRejected.value();
+  S.Retries = Retries.value();
+  S.RetriesExhausted = RetriesExhausted.value();
   return S;
 }
 
 void SeerService::resetStats() { Server.resetStats(); }
+
+std::string SeerService::metricsPrometheus() {
+  (void)stats(); // refresh the derived gauges
+  return Server.metrics().prometheusText();
+}
+
+std::string SeerService::metricsJson() {
+  (void)stats();
+  return Server.metrics().jsonSnapshot();
+}

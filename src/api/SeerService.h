@@ -218,6 +218,21 @@ public:
   /// gauges). See SeerServer::resetStats().
   void resetStats();
 
+  /// The unified metrics registry behind stats(): the server's own, with
+  /// the session-layer counters (async admission, retries) and the
+  /// queue-wait/backoff histograms registered into it — one registry,
+  /// one export, for the whole serving stack.
+  MetricsRegistry &metrics() { return Server.metrics(); }
+
+  /// Prometheus text exposition of the full registry. Refreshes the
+  /// derived gauges first (via stats()), so the export is a consistent
+  /// snapshot of this moment.
+  std::string metricsPrometheus();
+
+  /// JSONL snapshot of the full registry, gauge-refreshed like
+  /// metricsPrometheus().
+  std::string metricsJson();
+
   const KernelRegistry &registry() const { return Server.registry(); }
 
   /// The wrapped server. Exposed for the deprecated pointer-based path
@@ -270,10 +285,21 @@ private:
   mutable std::mutex AsyncMutex;
   std::condition_variable AsyncIdle;
   size_t InFlight = 0;
-  std::atomic<uint64_t> AsyncAccepted{0};
-  std::atomic<uint64_t> AsyncRejected{0};
-  std::atomic<uint64_t> Retries{0};
-  std::atomic<uint64_t> RetriesExhausted{0};
+
+  /// Session-layer telemetry, registered in the server's registry so one
+  /// export covers the stack (declaration order is load-bearing: Server
+  /// above is constructed first). NOT reset by resetStats() — these
+  /// describe the session, not a request wave.
+  Counter &AsyncAccepted = Server.metrics().counter("seer_async_accepted_total");
+  Counter &AsyncRejected = Server.metrics().counter("seer_async_rejected_total");
+  Counter &Retries = Server.metrics().counter("seer_retries_total");
+  Counter &RetriesExhausted =
+      Server.metrics().counter("seer_retries_exhausted_total");
+  /// Async admission-to-execution wait (armed-only, like the server's
+  /// stage timers) and the deterministic retry backoff actually slept.
+  Histogram &QueueWaitUs = Server.metrics().histogram("seer_queue_wait_us");
+  Histogram &RetryBackoffMs =
+      Server.metrics().histogram("seer_retry_backoff_ms");
 };
 
 } // namespace seer

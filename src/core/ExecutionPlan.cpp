@@ -10,6 +10,7 @@
 #include "core/SeerTrainer.h"
 #include "support/FaultInjector.h"
 #include "support/Fnv.h"
+#include "support/Tracing.h"
 
 #include <utility>
 
@@ -96,6 +97,8 @@ SelectionResult selectImpl(const SeerModels &Models,
 
 AnalyzedMatrix Planner::analyze(const CsrMatrix &M,
                                 bool WithFingerprint) const {
+  ScopedSpan Span(spanname::PlanAnalyze);
+  Span.tag("nnz", static_cast<double>(M.nnz()));
   AnalyzedMatrix A;
   A.Matrix = &M;
   A.Stats = computeMatrixStats(M);
@@ -116,6 +119,7 @@ AnalyzedMatrix Planner::adopt(const CsrMatrix &M, const MatrixStats &Stats,
 RouteDecision Planner::route(const KnownFeatures &Known,
                              uint32_t Iterations) const {
   assert(Models && "route() needs a trained model triple");
+  ScopedSpan Span(spanname::PlanRoute);
   RouteDecision R;
   R.InferenceMs = InferenceOverheadUs * 1e-3;
   R.UseGathered =
@@ -125,27 +129,37 @@ RouteDecision Planner::route(const KnownFeatures &Known,
 }
 
 FeatureCollectionResult Planner::collect(const AnalyzedMatrix &A) const {
-  return collectGatheredFeatures(A.matrix(), Sim, A.Stats.Gathered);
+  ScopedSpan Span(spanname::PlanCollect);
+  FeatureCollectionResult Collection =
+      collectGatheredFeatures(A.matrix(), Sim, A.Stats.Gathered);
+  Span.tag("modeled_ms", Collection.CollectionMs);
+  return Collection;
 }
 
 ExecutionPlan Planner::plan(const AnalyzedMatrix &A, uint32_t Iterations,
                             CollectionCharging Charging) const {
   assert(Models && "plan() needs a trained model triple");
+  ScopedSpan Span(spanname::PlanSelect);
   ExecutionPlan Plan;
   Plan.Iterations = Iterations;
   Plan.Selection = selectImpl(*Models, Registry, A.Stats.Known, Iterations,
                               [&] { return collect(A); },
                               Charging == CollectionCharging::Charged,
                               &Plan.ModeledCollectionMs);
+  Span.tag("modeled_ms", Plan.Selection.overheadMs());
   return Plan;
 }
 
 SelectionResult Planner::select(const CsrMatrix &M,
                                 uint32_t Iterations) const {
   assert(Models && "select() needs a trained model triple");
-  return selectImpl(*Models, Registry, knownOf(M), Iterations,
-                    [&] { return collectGatheredFeatures(M, Sim); },
-                    /*Charge=*/true, /*ModeledOut=*/nullptr);
+  ScopedSpan Span(spanname::PlanSelect);
+  SelectionResult Result =
+      selectImpl(*Models, Registry, knownOf(M), Iterations,
+                 [&] { return collectGatheredFeatures(M, Sim); },
+                 /*Charge=*/true, /*ModeledOut=*/nullptr);
+  Span.tag("modeled_ms", Result.overheadMs());
+  return Result;
 }
 
 SelectionResult
@@ -153,14 +167,18 @@ Planner::selectPrecollected(const KnownFeatures &Known,
                             const GatheredFeatures &Gathered,
                             uint32_t Iterations) const {
   assert(Models && "selectPrecollected() needs a trained model triple");
-  return selectImpl(*Models, Registry, Known, Iterations,
-                    [&] {
-                      FeatureCollectionResult Collection;
-                      Collection.Features = Gathered;
-                      Collection.CollectionMs = 0.0; // paid earlier
-                      return Collection;
-                    },
-                    /*Charge=*/false, /*ModeledOut=*/nullptr);
+  ScopedSpan Span(spanname::PlanSelect);
+  SelectionResult Result =
+      selectImpl(*Models, Registry, Known, Iterations,
+                 [&] {
+                   FeatureCollectionResult Collection;
+                   Collection.Features = Gathered;
+                   Collection.CollectionMs = 0.0; // paid earlier
+                   return Collection;
+                 },
+                 /*Charge=*/false, /*ModeledOut=*/nullptr);
+  Span.tag("modeled_ms", Result.overheadMs());
+  return Result;
 }
 
 ExecutionPlan Planner::planForKernel(const AnalyzedMatrix &A,
@@ -177,8 +195,10 @@ void Planner::prepare(ExecutionPlan &Plan, const AnalyzedMatrix &A) const {
   // value-returning stages), so an injected fault propagates as an
   // InjectedFaultError the serving layer catches at its request boundary.
   FaultInjector::instance().checkOrThrow(faultsite::KernelPrepare);
+  ScopedSpan Span(spanname::PlanPrepare);
   const SpmvKernel &Kernel = Registry.kernel(Plan.kernelIndex());
   PreprocessResult Prep = Kernel.preprocess(A.matrix(), A.Stats, Sim);
+  Span.tag("modeled_ms", Prep.TimeMs);
   Plan.State = std::move(Prep.State);
   Plan.Prepared = true;
   Plan.PreprocessAmortized = false;
@@ -209,6 +229,9 @@ SpmvRun Planner::run(const ExecutionPlan &Plan, const AnalyzedMatrix &A,
                      const std::vector<double> &X) const {
   assert(Plan.Prepared && "running an unprepared plan");
   FaultInjector::instance().checkOrThrow(faultsite::PlanRun);
-  return Registry.kernel(Plan.kernelIndex())
-      .run(A.matrix(), A.Stats, Plan.State.get(), X, Sim);
+  ScopedSpan Span(spanname::PlanRun);
+  SpmvRun Run = Registry.kernel(Plan.kernelIndex())
+                    .run(A.matrix(), A.Stats, Plan.State.get(), X, Sim);
+  Span.tag("modeled_ms", Run.Timing.TotalMs);
+  return Run;
 }

@@ -7,6 +7,7 @@
 #include "serve/FingerprintCache.h"
 
 #include "support/FaultInjector.h"
+#include "support/Tracing.h"
 
 #include <cassert>
 
@@ -208,6 +209,13 @@ void FingerprintCache::touch(Shard &S, std::list<Node>::iterator It) {
 void FingerprintCache::enforceBudget(Shard &S, Entry *AlreadyLocked) {
   if (!ShardBudget || S.UsedBytes <= ShardBudget)
     return;
+
+  // The whole eviction walk (partial sheds + whole-entry drops) is one
+  // span: the over-budget check above keeps the common in-budget call
+  // free of any observability cost.
+  ScopedSpan EvictSpan(spanname::CacheEvict);
+  EvictSpan.tag("over_bytes",
+                static_cast<double>(S.UsedBytes - ShardBudget));
 
   // Stage 1: shed recomputable bytes (oracle sweeps, unpaid kernel
   // states) from every resident entry, coldest first, before any whole

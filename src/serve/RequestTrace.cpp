@@ -101,11 +101,23 @@ Status seer::parseTraceLine(const std::string &Line, TraceCommand &Out) {
     return Status::okStatus();
   }
 
-  if (Verb == "stats" || Verb == "quit") {
+  if (Verb == "stats" || Verb == "quit" || Verb == "metrics") {
     if (Tokens.size() != 1)
       return Fail("'" + Verb + "' takes no arguments");
     Out.Command = Verb == "stats" ? TraceCommand::Kind::Stats
-                                  : TraceCommand::Kind::Quit;
+                 : Verb == "quit" ? TraceCommand::Kind::Quit
+                                  : TraceCommand::Kind::Metrics;
+    return Status::okStatus();
+  }
+
+  if (Verb == "spans") {
+    if (Tokens.size() != 2)
+      return Fail("usage: spans N");
+    int64_t Count = 0;
+    if (!parseInt(Tokens[1], Count) || Count < 1)
+      return Fail("bad span count '" + Tokens[1] + "'");
+    Out.Command = TraceCommand::Kind::Spans;
+    Out.SpanCount = static_cast<uint32_t>(Count);
     return Status::okStatus();
   }
 
@@ -246,6 +258,19 @@ Expected<TraceScript> seer::parseTrace(const std::string &Text) {
       TraceScript::Op Op;
       Op.Command = TraceScript::Op::Kind::Fault;
       Op.FaultSpec = Command.FaultSpec;
+      Script.Ops.push_back(Op);
+      break;
+    }
+    case TraceCommand::Kind::Metrics:
+    case TraceCommand::Kind::Spans: {
+      const bool IsMetrics = Command.Command == TraceCommand::Kind::Metrics;
+      if (Script.Version < 2)
+        return Fail(LineNo, std::string("'") + (IsMetrics ? "metrics" : "spans") +
+                                "' requires a 'seer-trace v2' header");
+      TraceScript::Op Op;
+      Op.Command = IsMetrics ? TraceScript::Op::Kind::Metrics
+                             : TraceScript::Op::Kind::Spans;
+      Op.SpanCount = Command.SpanCount;
       Script.Ops.push_back(Op);
       break;
     }
@@ -509,6 +534,38 @@ std::string seer::formatStatsLines(const ServerStats &Stats) {
       Stats.FaultsInjected, Stats.BreakerOpens, Stats.LatencySamples,
       Stats.MeanLatencyUs, Stats.P50LatencyUs, Stats.P99LatencyUs);
   return std::string(Buffer, Written > 0 ? static_cast<size_t>(Written) : 0);
+}
+
+std::string seer::formatSpanLines(const std::vector<TraceSpan> &Spans,
+                                  size_t MaxCount) {
+  const size_t Count = std::min(MaxCount, Spans.size());
+  std::string Out;
+  // Newest spans are the most interesting ones: print the tail of the
+  // start-time-sorted drain, oldest of the window first.
+  for (size_t I = Spans.size() - Count; I < Spans.size(); ++I) {
+    const TraceSpan &S = Spans[I];
+    char Buffer[256];
+    int Written = std::snprintf(Buffer, sizeof(Buffer),
+                                "span %s start_ns=%" PRIu64 " dur_ns=%" PRIu64
+                                " request_id=%" PRIu64 " tid=%" PRIu64,
+                                S.Name, S.StartNs, S.DurNs, S.RequestId,
+                                S.ThreadId);
+    size_t Length =
+        Written > 0 ? std::min(static_cast<size_t>(Written), sizeof(Buffer) - 1)
+                    : 0;
+    Out.append(Buffer, Length);
+    if (S.TagKey) {
+      Written = std::snprintf(Buffer, sizeof(Buffer), " %s=%g", S.TagKey,
+                              S.TagValue);
+      Length = Written > 0
+                   ? std::min(static_cast<size_t>(Written), sizeof(Buffer) - 1)
+                   : 0;
+      Out.append(Buffer, Length);
+    }
+    Out += '\n';
+  }
+  Out += "ok spans " + std::to_string(Count) + "\n";
+  return Out;
 }
 
 std::string seer::formatErrorLine(const Status &Error) {

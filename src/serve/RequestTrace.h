@@ -59,6 +59,16 @@
 ///   fault seed N                     reseed the injector's every-K phases
 ///   fault clear                      disarm all fault rules
 ///
+/// Observability commands (v2 traces and interactive mode):
+///   metrics                          print the Prometheus exposition of
+///                                    the unified metrics registry
+///   spans N                          drain the span recorder and print
+///                                    the most recent N spans as
+///                                    `span NAME start_ns=... dur_ns=...`
+///                                    lines (requires --trace-out or an
+///                                    armed recorder; prints `ok spans 0`
+///                                    when disarmed)
+///
 /// Control commands (interactive mode only):
 ///   stats                            print the telemetry snapshot
 ///   quit                             exit
@@ -80,6 +90,7 @@
 #include "api/Status.h"
 #include "serve/ServeTypes.h"
 #include "sparse/CsrMatrix.h"
+#include "support/Tracing.h"
 
 #include <optional>
 #include <string>
@@ -102,6 +113,8 @@ struct TraceCommand {
     Execute,
     Batch,
     Fault,
+    Metrics,
+    Spans,
     Stats,
     Quit
   };
@@ -120,6 +133,8 @@ struct TraceCommand {
   bool Verify = false;
   /// Operand count (Batch).
   uint32_t BatchCount = 0;
+  /// Span count to print (Spans).
+  uint32_t SpanCount = 0;
   /// Everything after the `fault` verb (Fault): a FaultPlan rule,
   /// `seed N`, or `clear`. Validated at parse time.
   std::string FaultSpec;
@@ -137,17 +152,28 @@ Expected<CsrMatrix> buildTraceMatrix(const TraceCommand &Command);
 /// matrices (in definition order) and the operation sequence.
 struct TraceScript {
   /// One replayable operation. v1 traces only contain Select/Execute;
-  /// Open/Close/Batch/Fault appear in v2 traces.
+  /// Open/Close/Batch/Fault/Metrics/Spans appear in v2 traces.
   struct Op {
-    enum class Kind { Open, Close, Select, Execute, Batch, Fault };
+    enum class Kind {
+      Open,
+      Close,
+      Select,
+      Execute,
+      Batch,
+      Fault,
+      Metrics,
+      Spans
+    };
     Kind Command = Kind::Select;
-    /// Index into Matrices (not used by Fault).
+    /// Index into Matrices (not used by Fault/Metrics/Spans).
     size_t MatrixIndex = 0;
     /// Request parameters (Select/Execute/Batch).
     uint32_t Iterations = 1;
     bool Verify = false;
     /// Operand count (Batch).
     uint32_t BatchCount = 0;
+    /// Span count to print (Spans).
+    uint32_t SpanCount = 0;
     /// Fault directive (Fault): a FaultPlan rule, `seed N`, or `clear`.
     std::string FaultSpec;
   };
@@ -199,6 +225,13 @@ Status applyFaultSpec(const std::string &Spec);
 
 /// Formats a stats snapshot as `stat NAME VALUE` lines.
 std::string formatStatsLines(const ServerStats &Stats);
+
+/// Formats the newest \p MaxCount entries of \p Spans (already sorted by
+/// start time, as SpanRecorder::drain() returns them) as protocol lines:
+///   `span plan.select start_ns=... dur_ns=... request_id=3 tid=1 ...`
+/// followed by a `ok spans N` trailer giving the printed count.
+std::string formatSpanLines(const std::vector<TraceSpan> &Spans,
+                            size_t MaxCount);
 
 /// Formats a failure as a protocol error line: `error CODE message`.
 /// \p Error must not be OK.

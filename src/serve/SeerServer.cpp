@@ -8,6 +8,7 @@
 
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
+#include "support/Tracing.h"
 
 #include <cassert>
 #include <chrono>
@@ -40,6 +41,34 @@ double microsSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
+/// Armed-only stage timer: no clock read when observability is off, so
+/// the disarmed request path keeps its pre-instrumentation cost.
+struct StageClock {
+  explicit StageClock(bool Armed)
+      : Armed(Armed), StartNs(Armed ? SpanRecorder::nowNs() : 0) {}
+  /// Elapsed wall time, microseconds (0 when disarmed).
+  double elapsedUs() const {
+    return Armed
+               ? static_cast<double>(SpanRecorder::nowNs() - StartNs) / 1000.0
+               : 0.0;
+  }
+  bool Armed;
+  uint64_t StartNs;
+};
+
+/// Records a stage's wall time and, when the stage ran with a non-zero
+/// modeled cost, the wall/modeled ratio into the cost-model-error
+/// histogram.
+void recordStage(const StageClock &Clock, Histogram &WallUs,
+                 Histogram *CostError, double ModeledMs) {
+  if (!Clock.Armed)
+    return;
+  double Us = Clock.elapsedUs();
+  WallUs.record(Us);
+  if (CostError && ModeledMs > 0.0)
+    CostError->record(Us * 1e-3 / ModeledMs);
+}
+
 } // namespace
 
 RegisteredMatrix SeerServer::registerMatrix(
@@ -47,19 +76,23 @@ RegisteredMatrix SeerServer::registerMatrix(
   assert(Matrix && "registration without a matrix");
   RegisteredMatrix R;
   R.Fingerprint = matrixFingerprint(*Matrix);
+  const StageClock Probe(SpanRecorder::instance().armed());
+  ScopedSpan ProbeSpan(spanname::CacheProbe);
   auto [Entry, Hit] = Cache.lookupOrAnalyze(R.Fingerprint, *Matrix,
                                             Registry.size(), /*Pin=*/true);
+  ProbeSpan.tag("hit", Hit ? 1.0 : 0.0);
+  recordStage(Probe, CacheProbeUs, nullptr, 0.0);
   R.Matrix = std::move(Matrix);
   R.Entry = std::move(Entry);
   R.AnalysisReused = Hit;
-  Registrations.fetch_add(1, std::memory_order_relaxed);
+  Registrations.add();
   return R;
 }
 
 void SeerServer::releaseMatrix(const RegisteredMatrix &Registered) {
   assert(Registered.valid() && "releasing an empty registration");
   Cache.unpin(Registered.Entry);
-  Releases.fetch_add(1, std::memory_order_relaxed);
+  Releases.add();
 }
 
 Expected<ServeResponse>
@@ -86,7 +119,11 @@ ServeResponse SeerServer::handle(const ServeRequest &Request) {
   const uint64_t Fingerprint = matrixFingerprint(M);
   std::pair<std::shared_ptr<FingerprintCache::Entry>, bool> Looked;
   try {
+    const StageClock Probe(SpanRecorder::instance().armed());
+    ScopedSpan ProbeSpan(spanname::CacheProbe);
     Looked = Cache.lookupOrAnalyze(Fingerprint, M, Registry.size());
+    ProbeSpan.tag("hit", Looked.second ? 1.0 : 0.0);
+    recordStage(Probe, CacheProbeUs, nullptr, 0.0);
   } catch (const std::bad_alloc &) {
     // Allocation failure (injected or real) during analysis: this path
     // has no error channel, so serve the baseline selection off a
@@ -107,11 +144,11 @@ ServeResponse SeerServer::handle(const ServeRequest &Request) {
       R.Executed = true;
       R.IterationMs = Run.Timing.TotalMs;
       R.Y = std::move(Run.Y);
-      Executions.fetch_add(1, std::memory_order_relaxed);
+      Executions.add();
     }
     R.ServiceMicros = microsSince(Start);
-    Requests.fetch_add(1, std::memory_order_relaxed);
-    DegradedServes.fetch_add(1, std::memory_order_relaxed);
+    Requests.add();
+    DegradedServes.add();
     Latency.record(R.ServiceMicros);
     return R;
   }
@@ -145,6 +182,7 @@ bool SeerServer::preparePlan(
   // and let the first finisher publish. Charge-once-per-residency:
   // eviction resets the fragments along with the entry.
   {
+    ScopedSpan LedgerSpan(spanname::CacheLedger);
     std::lock_guard<std::mutex> Lock(Entry->Mutex);
     FingerprintCache::KernelSlot &Slot = Entry->Kernels[Plan.kernelIndex()];
     if (Slot.Paid) {
@@ -165,6 +203,7 @@ bool SeerServer::preparePlan(
   bool Grew = false;
   bool Reused = false;
   {
+    ScopedSpan LedgerSpan(spanname::CacheLedger);
     std::lock_guard<std::mutex> Lock(Entry->Mutex);
     FingerprintCache::KernelSlot &Slot = Entry->Kernels[Plan.kernelIndex()];
     if (!Slot.Paid) {
@@ -193,7 +232,7 @@ Status SeerServer::finishError(Status Error,
                                std::chrono::steady_clock::time_point Start) {
   assert(!Error.ok() && "finishError on success");
   if (Error.code() == StatusCode::DeadlineExceeded)
-    DeadlineExceededCount.fetch_add(1, std::memory_order_relaxed);
+    DeadlineExceededCount.add();
   // Failed requests cost service time too; Requests and its derived
   // invariants (hits + misses, known + gathered) count only answered
   // requests, so errors move the latency histogram and their own
@@ -211,6 +250,16 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
   const Planner &Pipeline = Runtime.planner();
   const AnalyzedMatrix A = Planner::adopt(M, Entry->Stats, Fingerprint);
   FaultInjector &Faults = FaultInjector::instance();
+
+  // Observability: when the SpanRecorder is armed, mint a request id
+  // (inherited by every nested span, including the Planner-internal
+  // ones) and time each stage into its histogram. Disarmed, all of this
+  // is one relaxed load plus two thread-local stores.
+  const bool Obs = SpanRecorder::instance().armed();
+  const uint64_t RequestId =
+      Obs ? NextRequestId.fetch_add(1, std::memory_order_relaxed) + 1 : 0;
+  ScopedRequestId IdScope(RequestId);
+  ScopedSpan RequestSpan(spanname::Serve, RequestId);
 
   // Deadline checkpoint 1 — admission: queue wait (async submission) and
   // dequeue happen before this point, so an expired request is rejected
@@ -234,6 +283,7 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
   if (!SelectBreaker.allow()) {
     Degraded = true;
   } else {
+    const StageClock Select(Obs);
     try {
       if (Status F = Faults.check(faultsite::PlanSelect); !F.ok())
         throw InjectedFaultError(std::move(F));
@@ -241,6 +291,8 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
                            CacheHit ? CollectionCharging::Precollected
                                     : CollectionCharging::Charged);
       SelectBreaker.recordSuccess();
+      recordStage(Select, StageSelectUs, &CostErrorSelect,
+                  Plan.Selection.overheadMs());
     } catch (const InjectedFaultError &E) {
       SelectBreaker.recordFailure();
       if (!DegradeOnError && E.status().isRetryable())
@@ -259,8 +311,7 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
       // Telemetry: the modeled collection cost this hit skipped (the
       // plan's collect stage evaluated only the cost formula — no matrix
       // walk happens on the precollected path).
-      SavedCollectionNs.fetch_add(msToNanos(Plan.ModeledCollectionMs),
-                                  std::memory_order_relaxed);
+      SavedCollectionNs.add(msToNanos(Plan.ModeledCollectionMs));
     }
   }
 
@@ -286,9 +337,18 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
     if (!PrepareBreaker.allow()) {
       Degraded = true;
     } else {
+      const StageClock Prepare(Obs);
       try {
         PlanReused = preparePlan(Plan, A, Entry);
         PrepareBreaker.recordSuccess();
+        // Cost-model error only when this request actually ran the
+        // preprocess kernel — a ledger reuse's wall time measures a map
+        // lookup, not the modeled preprocessing.
+        recordStage(Prepare, StagePrepareUs,
+                    (!PlanReused && !Plan.PreprocessAmortized)
+                        ? &CostErrorPrepare
+                        : nullptr,
+                    Plan.ModeledPreprocessMs);
       } catch (const InjectedFaultError &E) {
         PrepareBreaker.recordFailure();
         if (!DegradeOnError && E.status().isRetryable())
@@ -305,18 +365,19 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
       R.PreprocessMs = Plan.PreprocessMs;
       R.ModeledPreprocessMs = Plan.ModeledPreprocessMs;
       if (Plan.PreprocessAmortized)
-        SavedPreprocessNs.fetch_add(msToNanos(Plan.ModeledPreprocessMs),
-                                    std::memory_order_relaxed);
+        SavedPreprocessNs.add(msToNanos(Plan.ModeledPreprocessMs));
 
       // Stage: run.
       if (!RunBreaker.allow()) {
         Degraded = true;
       } else {
+        const StageClock RunClock(Obs);
         try {
           SpmvRun Run = Pipeline.run(Plan, A, X);
           R.IterationMs = Run.Timing.TotalMs;
           R.Y = std::move(Run.Y);
           RunBreaker.recordSuccess();
+          recordStage(RunClock, StageRunUs, &CostErrorRun, R.IterationMs);
         } catch (const InjectedFaultError &E) {
           RunBreaker.recordFailure();
           if (!DegradeOnError && E.status().isRetryable())
@@ -335,6 +396,8 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
       // fault here (the serve.oracle site, or kernel.prepare/plan.run
       // firing inside the probe sweep) skips verification and serves the
       // response unverified rather than failing or degrading it.
+      const StageClock Oracle(Obs);
+      ScopedSpan OracleSpan(spanname::ServeOracle);
       try {
         if (Status F = Faults.check(faultsite::ServeOracle); !F.ok())
           throw InjectedFaultError(std::move(F));
@@ -392,6 +455,7 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
         // Verification skipped; the response itself is unaffected.
       } catch (const std::bad_alloc &) {
       }
+      recordStage(Oracle, StageOracleUs, nullptr, 0.0);
     }
   }
 
@@ -411,6 +475,7 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
     R.IterationMs = 0.0;
     R.Y.clear();
     R.OracleChecked = false;
+    ScopedSpan DegradedSpan(spanname::ServeDegraded, RequestId);
     if (Request.Execute) {
       assert(X.size() == M.numCols() && "operand length mismatch");
       SpmvRun Run = runBaseline(M, Entry->Stats, X);
@@ -424,28 +489,26 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
 
   // Commit telemetry before returning so stats() is consistent once the
   // caller has its response.
-  Requests.fetch_add(1, std::memory_order_relaxed);
+  Requests.add();
   if (R.CacheHit)
-    CacheHits.fetch_add(1, std::memory_order_relaxed);
+    CacheHits.add();
   if (R.Selection.UsedGatheredModel)
-    GatheredRoutes.fetch_add(1, std::memory_order_relaxed);
+    GatheredRoutes.add();
   if (R.Executed)
-    Executions.fetch_add(1, std::memory_order_relaxed);
+    Executions.add();
   if (R.Executed && !R.Degraded) {
     // The degraded path charges no preprocessing and builds no plan, so
     // it moves neither the amortization nor the plan-cache counters.
-    (R.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses)
-        .fetch_add(1, std::memory_order_relaxed);
-    (PlanReused ? PlansReused : PlansBuilt)
-        .fetch_add(1, std::memory_order_relaxed);
+    (R.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses).add();
+    (PlanReused ? PlansReused : PlansBuilt).add();
   }
   if (R.OracleChecked) {
-    OracleChecks.fetch_add(1, std::memory_order_relaxed);
+    OracleChecks.add();
     if (R.Mispredicted)
-      Mispredictions.fetch_add(1, std::memory_order_relaxed);
+      Mispredictions.add();
   }
   if (R.Degraded)
-    DegradedServes.fetch_add(1, std::memory_order_relaxed);
+    DegradedServes.add();
   Latency.record(R.ServiceMicros);
   return R;
 }
@@ -462,6 +525,15 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
   const AnalyzedMatrix A = Planner::adopt(M, Registered.Entry->Stats,
                                           Registered.Fingerprint);
   FaultInjector &Faults = FaultInjector::instance();
+
+  // Observability (see serveEntry): one request id for the batch, one
+  // serve.batch span enclosing every stage span it spawns.
+  const bool Obs = SpanRecorder::instance().armed();
+  const uint64_t RequestId =
+      Obs ? NextRequestId.fetch_add(1, std::memory_order_relaxed) + 1 : 0;
+  ScopedRequestId IdScope(RequestId);
+  ScopedSpan BatchSpan(spanname::ServeBatch, RequestId);
+  BatchSpan.tag("operands", static_cast<double>(Operands.size()));
 
   if (deadlineExpired(Deadline))
     return finishError(
@@ -494,11 +566,14 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
     if (!SelectBreaker.allow()) {
       Degraded = true;
     } else {
+      const StageClock Select(Obs);
       try {
         if (Status F = Faults.check(faultsite::PlanSelect); !F.ok())
           throw InjectedFaultError(std::move(F));
         Plan = Pipeline.plan(A, B.Iterations, CollectionCharging::Precollected);
         SelectBreaker.recordSuccess();
+        recordStage(Select, StageSelectUs, &CostErrorSelect,
+                    Plan.Selection.overheadMs());
       } catch (const InjectedFaultError &E) {
         SelectBreaker.recordFailure();
         if (E.status().isRetryable())
@@ -515,8 +590,7 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
     B.Selection = Plan.Selection;
     B.ModeledCollectionMs = Plan.ModeledCollectionMs;
     if (Plan.Selection.UsedGatheredModel)
-      SavedCollectionNs.fetch_add(msToNanos(Plan.ModeledCollectionMs),
-                                  std::memory_order_relaxed);
+      SavedCollectionNs.add(msToNanos(Plan.ModeledCollectionMs));
   }
 
   if (deadlineExpired(Deadline))
@@ -529,9 +603,15 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
     if (!PrepareBreaker.allow()) {
       Degraded = true;
     } else {
+      const StageClock Prepare(Obs);
       try {
         PlanReused = preparePlan(Plan, A, Registered.Entry);
         PrepareBreaker.recordSuccess();
+        recordStage(Prepare, StagePrepareUs,
+                    (!PlanReused && !Plan.PreprocessAmortized)
+                        ? &CostErrorPrepare
+                        : nullptr,
+                    Plan.ModeledPreprocessMs);
       } catch (const InjectedFaultError &E) {
         PrepareBreaker.recordFailure();
         if (E.status().isRetryable())
@@ -549,13 +629,13 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
     B.PreprocessMs = Plan.PreprocessMs;
     B.ModeledPreprocessMs = Plan.ModeledPreprocessMs;
     if (Plan.PreprocessAmortized)
-      SavedPreprocessNs.fetch_add(msToNanos(Plan.ModeledPreprocessMs),
-                                  std::memory_order_relaxed);
+      SavedPreprocessNs.add(msToNanos(Plan.ModeledPreprocessMs));
 
     B.Y.reserve(Operands.size());
     if (!RunBreaker.allow()) {
       Degraded = true;
     } else {
+      const StageClock RunClock(Obs);
       try {
         for (const std::vector<double> &X : Operands) {
           // The per-operand deadline checkpoint: an expired batch stops
@@ -575,6 +655,10 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
           B.Y.push_back(std::move(Run.Y));
         }
         RunBreaker.recordSuccess();
+        // One wall sample for the whole operand loop; the modeled cost
+        // is the per-operand run scaled by the batch size.
+        recordStage(RunClock, StageRunUs, &CostErrorRun,
+                    B.IterationMs * static_cast<double>(Operands.size()));
       } catch (const InjectedFaultError &E) {
         RunBreaker.recordFailure();
         if (E.status().isRetryable())
@@ -600,6 +684,7 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
     B.ModeledPreprocessMs = 0.0;
     B.Y.clear();
     B.Y.reserve(Operands.size());
+    ScopedSpan DegradedSpan(spanname::ServeDegraded, RequestId);
     for (const std::vector<double> &X : Operands) {
       if (deadlineExpired(Deadline))
         return finishError(
@@ -616,21 +701,19 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
 
   // Telemetry: a batch is one request (one hit, one route, one
   // preprocessing charge, one plan) executing N operands.
-  Requests.fetch_add(1, std::memory_order_relaxed);
-  CacheHits.fetch_add(1, std::memory_order_relaxed);
+  Requests.add();
+  CacheHits.add();
   if (B.Selection.UsedGatheredModel)
-    GatheredRoutes.fetch_add(1, std::memory_order_relaxed);
-  Executions.fetch_add(Operands.size(), std::memory_order_relaxed);
+    GatheredRoutes.add();
+  Executions.add(Operands.size());
   if (!B.Degraded) {
-    (B.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses)
-        .fetch_add(1, std::memory_order_relaxed);
-    (PlanReused ? PlansReused : PlansBuilt)
-        .fetch_add(1, std::memory_order_relaxed);
+    (B.PreprocessAmortized ? AmortizedPreprocesses : PaidPreprocesses).add();
+    (PlanReused ? PlansReused : PlansBuilt).add();
   } else {
-    DegradedServes.fetch_add(1, std::memory_order_relaxed);
+    DegradedServes.add();
   }
-  BatchRequests.fetch_add(1, std::memory_order_relaxed);
-  BatchedOperands.fetch_add(Operands.size(), std::memory_order_relaxed);
+  BatchRequests.add();
+  BatchedOperands.add(Operands.size());
   Latency.record(B.ServiceMicros);
   return B;
 }
@@ -646,29 +729,24 @@ SeerServer::handleBatch(const std::vector<ServeRequest> &Batch,
 
 ServerStats SeerServer::stats() const {
   ServerStats S;
-  S.Requests = Requests.load(std::memory_order_relaxed);
-  S.CacheHits = CacheHits.load(std::memory_order_relaxed);
+  S.Requests = Requests.value();
+  S.CacheHits = CacheHits.value();
   S.CacheMisses = S.Requests - S.CacheHits;
-  S.GatheredRoutes = GatheredRoutes.load(std::memory_order_relaxed);
+  S.GatheredRoutes = GatheredRoutes.value();
   S.KnownRoutes = S.Requests - S.GatheredRoutes;
-  S.Executions = Executions.load(std::memory_order_relaxed);
-  S.PaidPreprocesses = PaidPreprocesses.load(std::memory_order_relaxed);
-  S.AmortizedPreprocesses =
-      AmortizedPreprocesses.load(std::memory_order_relaxed);
-  S.PlansBuilt = PlansBuilt.load(std::memory_order_relaxed);
-  S.PlansReused = PlansReused.load(std::memory_order_relaxed);
-  S.BatchRequests = BatchRequests.load(std::memory_order_relaxed);
-  S.BatchedOperands = BatchedOperands.load(std::memory_order_relaxed);
-  S.OracleChecks = OracleChecks.load(std::memory_order_relaxed);
-  S.Mispredictions = Mispredictions.load(std::memory_order_relaxed);
-  S.SavedCollectionMs =
-      static_cast<double>(SavedCollectionNs.load(std::memory_order_relaxed)) /
-      1e6;
-  S.SavedPreprocessMs =
-      static_cast<double>(SavedPreprocessNs.load(std::memory_order_relaxed)) /
-      1e6;
-  S.DeadlineExceeded = DeadlineExceededCount.load(std::memory_order_relaxed);
-  S.DegradedServes = DegradedServes.load(std::memory_order_relaxed);
+  S.Executions = Executions.value();
+  S.PaidPreprocesses = PaidPreprocesses.value();
+  S.AmortizedPreprocesses = AmortizedPreprocesses.value();
+  S.PlansBuilt = PlansBuilt.value();
+  S.PlansReused = PlansReused.value();
+  S.BatchRequests = BatchRequests.value();
+  S.BatchedOperands = BatchedOperands.value();
+  S.OracleChecks = OracleChecks.value();
+  S.Mispredictions = Mispredictions.value();
+  S.SavedCollectionMs = static_cast<double>(SavedCollectionNs.value()) / 1e6;
+  S.SavedPreprocessMs = static_cast<double>(SavedPreprocessNs.value()) / 1e6;
+  S.DeadlineExceeded = DeadlineExceededCount.value();
+  S.DegradedServes = DegradedServes.value();
   S.BreakerOpens =
       SelectBreaker.opens() + PrepareBreaker.opens() + RunBreaker.opens();
   // Process-wide cumulative snapshot (the injector predates and outlives
@@ -688,36 +766,57 @@ ServerStats SeerServer::stats() const {
   // Releases past the Registrations snapshot and wrap the unsigned
   // subtraction (every release is preceded by its registration); the
   // clamp below covers reordering of the relaxed loads themselves.
-  const uint64_t Released = Releases.load(std::memory_order_relaxed);
-  S.Registrations = Registrations.load(std::memory_order_relaxed);
+  const uint64_t Released = Releases.value();
+  S.Registrations = Registrations.value();
   S.ActiveHandles =
       S.Registrations >= Released ? S.Registrations - Released : 0;
   S.LatencySamples = Latency.samples();
-  S.MeanLatencyUs = Latency.meanMicros();
-  S.P50LatencyUs = Latency.percentileMicros(0.50);
-  S.P99LatencyUs = Latency.percentileMicros(0.99);
+  S.MeanLatencyUs = Latency.mean();
+  S.P50LatencyUs = Latency.percentile(0.50);
+  S.P99LatencyUs = Latency.percentile(0.99);
+
+  // Publish the snapshot's derived ratios and externally-owned levels
+  // (cache residency, breakers, fault injector) into the registry's
+  // gauges, so a Prometheus/JSONL export taken after stats() carries the
+  // complete ServerStats picture from the one source of truth.
+  CacheMissesGauge.set(static_cast<double>(S.CacheMisses));
+  KnownRoutesGauge.set(static_cast<double>(S.KnownRoutes));
+  HitRateGauge.set(S.hitRate());
+  MispredictRateGauge.set(S.mispredictRate());
+  CachedMatricesGauge.set(static_cast<double>(S.CachedMatrices));
+  CacheBudgetBytesGauge.set(static_cast<double>(S.CacheBudgetBytes));
+  BytesCachedGauge.set(static_cast<double>(S.BytesCached));
+  BytesEvictedGauge.set(static_cast<double>(S.BytesEvicted));
+  EvictionsGauge.set(static_cast<double>(S.Evictions));
+  PartialEvictionsGauge.set(static_cast<double>(S.PartialEvictions));
+  ReanalysesGauge.set(static_cast<double>(S.Reanalyses));
+  PinnedMatricesGauge.set(static_cast<double>(S.PinnedMatrices));
+  ActiveHandlesGauge.set(static_cast<double>(S.ActiveHandles));
+  FaultsInjectedGauge.set(static_cast<double>(S.FaultsInjected));
+  BreakerOpensGauge.set(static_cast<double>(S.BreakerOpens));
   return S;
 }
 
 void SeerServer::resetStats() {
-  Requests.store(0, std::memory_order_relaxed);
-  CacheHits.store(0, std::memory_order_relaxed);
-  GatheredRoutes.store(0, std::memory_order_relaxed);
-  Executions.store(0, std::memory_order_relaxed);
-  PaidPreprocesses.store(0, std::memory_order_relaxed);
-  AmortizedPreprocesses.store(0, std::memory_order_relaxed);
-  PlansBuilt.store(0, std::memory_order_relaxed);
-  PlansReused.store(0, std::memory_order_relaxed);
-  BatchRequests.store(0, std::memory_order_relaxed);
-  BatchedOperands.store(0, std::memory_order_relaxed);
-  OracleChecks.store(0, std::memory_order_relaxed);
-  Mispredictions.store(0, std::memory_order_relaxed);
-  DeadlineExceededCount.store(0, std::memory_order_relaxed);
-  DegradedServes.store(0, std::memory_order_relaxed);
-  SavedCollectionNs.store(0, std::memory_order_relaxed);
-  SavedPreprocessNs.store(0, std::memory_order_relaxed);
+  Requests.reset();
+  CacheHits.reset();
+  GatheredRoutes.reset();
+  Executions.reset();
+  PaidPreprocesses.reset();
+  AmortizedPreprocesses.reset();
+  PlansBuilt.reset();
+  PlansReused.reset();
+  BatchRequests.reset();
+  BatchedOperands.reset();
+  OracleChecks.reset();
+  Mispredictions.reset();
+  DeadlineExceededCount.reset();
+  DegradedServes.reset();
+  SavedCollectionNs.reset();
+  SavedPreprocessNs.reset();
   // Breaker opens and the process-wide injected-fault counter are
   // cumulative by design and survive the reset, like the cache residency
-  // counters.
+  // counters. The stage and cost-model histograms are diagnostic rather
+  // than request-wave telemetry and survive too.
   Latency.reset();
 }

@@ -51,6 +51,7 @@
 #include "serve/ServeTypes.h"
 #include "sim/GpuSimulator.h"
 #include "support/CircuitBreaker.h"
+#include "support/Metrics.h"
 
 #include <atomic>
 #include <chrono>
@@ -167,10 +168,21 @@ public:
   std::vector<ServeResponse> handleBatch(const std::vector<ServeRequest> &Batch,
                                          unsigned Parallelism);
 
-  /// Telemetry snapshot. The counters are mutually consistent once all
-  /// in-flight requests have drained (each request commits its counters
-  /// before returning).
+  /// Telemetry snapshot, assembled from the metrics registry (which is
+  /// the single source of truth — ServerStats is a *view*). The counters
+  /// are mutually consistent once all in-flight requests have drained
+  /// (each request commits its counters before returning). Snapshotting
+  /// also refreshes the registry's derived and residency gauges, so an
+  /// export taken after stats() reflects the same moment.
   ServerStats stats() const;
+
+  /// This server's metrics registry: every ServerStats field lives here
+  /// (see tools/metrics_lint.py for the field↔metric map), alongside the
+  /// per-stage wall-time and cost-model-error histograms that have no
+  /// ServerStats slot. The session layer (api/SeerService.h) registers
+  /// its counters here too, so one export covers the whole stack.
+  MetricsRegistry &metrics() { return MetricsReg; }
+  const MetricsRegistry &metrics() const { return MetricsReg; }
 
   /// Zeroes all telemetry (not the cache). The residency counters
   /// (bytesCached, evictions, ...) describe the cache itself and survive
@@ -236,29 +248,87 @@ private:
   CircuitBreaker PrepareBreaker;
   CircuitBreaker RunBreaker;
 
-  // Telemetry. Plain counters are relaxed atomics; each request's
-  // increments are committed before handle() returns.
-  std::atomic<uint64_t> Requests{0};
-  std::atomic<uint64_t> Registrations{0};
-  std::atomic<uint64_t> Releases{0};
-  std::atomic<uint64_t> CacheHits{0};
-  std::atomic<uint64_t> GatheredRoutes{0};
-  std::atomic<uint64_t> Executions{0};
-  std::atomic<uint64_t> PaidPreprocesses{0};
-  std::atomic<uint64_t> AmortizedPreprocesses{0};
-  std::atomic<uint64_t> PlansBuilt{0};
-  std::atomic<uint64_t> PlansReused{0};
-  std::atomic<uint64_t> BatchRequests{0};
-  std::atomic<uint64_t> BatchedOperands{0};
-  std::atomic<uint64_t> OracleChecks{0};
-  std::atomic<uint64_t> Mispredictions{0};
-  std::atomic<uint64_t> DeadlineExceededCount{0};
-  std::atomic<uint64_t> DegradedServes{0};
+  /// Request-id allocator for span attribution; ids are only minted when
+  /// the SpanRecorder is armed (0 = unattributed). Not telemetry — never
+  /// exported, never reset.
+  std::atomic<uint64_t> NextRequestId{0};
+
+  // Telemetry. The registry owns every counter and histogram; the
+  // references below are bound once at construction (declaration order
+  // is load-bearing: MetricsReg first), and incrementing one is the same
+  // relaxed fetch_add the former std::atomic members cost. stats()
+  // assembles the ServerStats view from these and refreshes the derived
+  // gauges; each request's increments are committed before its entry
+  // point returns.
+  MetricsRegistry MetricsReg;
+  Counter &Requests = MetricsReg.counter("seer_requests_total");
+  Counter &Registrations = MetricsReg.counter("seer_registrations_total");
+  Counter &Releases = MetricsReg.counter("seer_releases_total");
+  Counter &CacheHits = MetricsReg.counter("seer_cache_hits_total");
+  Counter &GatheredRoutes = MetricsReg.counter("seer_gathered_routes_total");
+  Counter &Executions = MetricsReg.counter("seer_executions_total");
+  Counter &PaidPreprocesses =
+      MetricsReg.counter("seer_paid_preprocesses_total");
+  Counter &AmortizedPreprocesses =
+      MetricsReg.counter("seer_amortized_preprocesses_total");
+  Counter &PlansBuilt = MetricsReg.counter("seer_plans_built_total");
+  Counter &PlansReused = MetricsReg.counter("seer_plans_reused_total");
+  Counter &BatchRequests = MetricsReg.counter("seer_batch_requests_total");
+  Counter &BatchedOperands =
+      MetricsReg.counter("seer_batched_operands_total");
+  Counter &OracleChecks = MetricsReg.counter("seer_oracle_checks_total");
+  Counter &Mispredictions = MetricsReg.counter("seer_mispredictions_total");
+  Counter &DeadlineExceededCount =
+      MetricsReg.counter("seer_deadline_exceeded_total");
+  Counter &DegradedServes = MetricsReg.counter("seer_degraded_serves_total");
   /// Saved modeled milliseconds, accumulated as integer nanoseconds so the
   /// additions stay atomic without a mutex.
-  std::atomic<uint64_t> SavedCollectionNs{0};
-  std::atomic<uint64_t> SavedPreprocessNs{0};
-  LatencyHistogram Latency;
+  Counter &SavedCollectionNs =
+      MetricsReg.counter("seer_saved_collection_ns_total");
+  Counter &SavedPreprocessNs =
+      MetricsReg.counter("seer_saved_preprocess_ns_total");
+  /// End-to-end service latency (the ServerStats summary derives from
+  /// this one histogram).
+  Histogram &Latency = MetricsReg.histogram("seer_latency_us");
+
+  // Per-stage wall time, microseconds. Recorded only while the
+  // SpanRecorder is armed: the clock reads that feed them would
+  // otherwise tax the ~0.1us disarmed select path.
+  Histogram &StageSelectUs = MetricsReg.histogram("seer_stage_select_us");
+  Histogram &StagePrepareUs = MetricsReg.histogram("seer_stage_prepare_us");
+  Histogram &StageRunUs = MetricsReg.histogram("seer_stage_run_us");
+  Histogram &StageOracleUs = MetricsReg.histogram("seer_stage_oracle_us");
+  Histogram &CacheProbeUs = MetricsReg.histogram("seer_cache_probe_us");
+
+  // Cost-model error per stage: actual wall time over modeled cost
+  // (dimensionless; 1.0 = the model nailed it). Armed-only, like the
+  // stage timers, and recorded only when the stage really ran with a
+  // non-zero modeled cost — ROADMAP item 4 (retrain from serving
+  // telemetry) reads its evidence from exactly these.
+  Histogram &CostErrorSelect =
+      MetricsReg.histogram("seer_cost_model_error_select");
+  Histogram &CostErrorPrepare =
+      MetricsReg.histogram("seer_cost_model_error_prepare");
+  Histogram &CostErrorRun = MetricsReg.histogram("seer_cost_model_error_run");
+
+  // Derived ratios and residency levels, published by stats() so exports
+  // carry the full ServerStats picture (sources: the cache's own
+  // counters, the breakers, the process-wide fault injector).
+  Gauge &CacheMissesGauge = MetricsReg.gauge("seer_cache_misses");
+  Gauge &KnownRoutesGauge = MetricsReg.gauge("seer_known_routes");
+  Gauge &HitRateGauge = MetricsReg.gauge("seer_hit_rate");
+  Gauge &MispredictRateGauge = MetricsReg.gauge("seer_mispredict_rate");
+  Gauge &CachedMatricesGauge = MetricsReg.gauge("seer_cached_matrices");
+  Gauge &CacheBudgetBytesGauge = MetricsReg.gauge("seer_cache_budget_bytes");
+  Gauge &BytesCachedGauge = MetricsReg.gauge("seer_bytes_cached");
+  Gauge &BytesEvictedGauge = MetricsReg.gauge("seer_bytes_evicted");
+  Gauge &EvictionsGauge = MetricsReg.gauge("seer_evictions");
+  Gauge &PartialEvictionsGauge = MetricsReg.gauge("seer_partial_evictions");
+  Gauge &ReanalysesGauge = MetricsReg.gauge("seer_reanalyses");
+  Gauge &PinnedMatricesGauge = MetricsReg.gauge("seer_pinned_matrices");
+  Gauge &ActiveHandlesGauge = MetricsReg.gauge("seer_active_handles");
+  Gauge &FaultsInjectedGauge = MetricsReg.gauge("seer_faults_injected");
+  Gauge &BreakerOpensGauge = MetricsReg.gauge("seer_breaker_opens");
 };
 
 } // namespace seer

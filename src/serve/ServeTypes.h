@@ -26,9 +26,8 @@
 
 #include "core/SeerRuntime.h"
 #include "sparse/CsrMatrix.h"
+#include "support/Metrics.h"
 
-#include <array>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -197,46 +196,21 @@ struct BatchResponse {
   }
 };
 
-/// Bounded, lock-free latency recorder: 128 geometric buckets spanning
-/// 0.01 us .. ~1e8 us, ~19.7% bucket width (so percentile queries have
-/// <10% relative error — plenty for telemetry). All operations are atomic;
-/// record() never allocates, so the hot path stays wait-free.
-class LatencyHistogram {
+/// Bounded, lock-free latency recorder: the generic geometric
+/// `Histogram` from support/Metrics.h under its historical
+/// microsecond-flavored interface (0.01 us .. ~1e8 us range). Kept as a
+/// distinct type so serving code reads in latency vocabulary; all
+/// mechanics — bucket layout, rejection of non-finite samples, the
+/// interpolated percentile estimate — live in the one Histogram
+/// implementation the MetricsRegistry exports.
+class LatencyHistogram : public Histogram {
 public:
-  static constexpr size_t NumBuckets = 128;
-
-  /// Records one service latency in microseconds. Non-finite or negative
-  /// samples are rejected (counted in rejected(), not in any bucket):
-  /// filing them into bucket 0 would silently drag the percentiles down
-  /// and desynchronize meanMicros from the bucket counts.
-  void record(double Micros);
-
-  /// Number of recorded samples.
-  uint64_t samples() const { return Count.load(std::memory_order_relaxed); }
-
-  /// Number of rejected (NaN/infinite/negative) samples.
-  uint64_t rejected() const {
-    return Rejected.load(std::memory_order_relaxed);
-  }
-
   /// Mean recorded latency, microseconds (0 with no samples).
-  double meanMicros() const;
+  double meanMicros() const { return mean(); }
 
-  /// Approximate \p P-quantile (0 < P < 1) in microseconds: the geometric
-  /// midpoint of the bucket where the cumulative count crosses P. Returns
-  /// 0 with no samples.
-  double percentileMicros(double P) const;
-
-  /// Zeroes all buckets. Not linearizable against concurrent record();
-  /// call it only between request waves.
-  void reset();
-
-private:
-  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
-  std::atomic<uint64_t> Count{0};
-  std::atomic<uint64_t> Rejected{0};
-  /// Total latency in nanoseconds (integer so fetch_add works pre-C++20).
-  std::atomic<uint64_t> TotalNanos{0};
+  /// Approximate \p P-quantile (0 < P < 1) in microseconds (see
+  /// Histogram::percentile). Returns 0 with no samples.
+  double percentileMicros(double P) const { return percentile(P); }
 };
 
 /// Monotone telemetry snapshot of a SeerServer.

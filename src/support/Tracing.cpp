@@ -1,0 +1,209 @@
+//===- support/Tracing.cpp - Per-stage span recording ---------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Tracing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace seer {
+
+namespace {
+thread_local uint64_t TlsRequestId = 0;
+} // namespace
+
+/// One thread's bounded span buffer. Guarded by its own mutex: the
+/// owning thread appends, a draining thread empties — contention exists
+/// only while a drain is in flight. Rings are shared_ptrs registered in
+/// the recorder's list so a drain can reach rings of threads that have
+/// since exited.
+struct SpanRecorder::Ring {
+  std::mutex M;
+  std::vector<TraceSpan> Buf; ///< circular once Buf.size() == RingCapacity
+  size_t RingCapacity = 0;
+  size_t Next = 0;       ///< overwrite cursor (oldest slot when full)
+  uint64_t Dropped = 0;  ///< overwritten spans this epoch
+  uint64_t Epoch = 0;    ///< last recorder epoch this ring synced to
+  uint64_t ThreadId = 0; ///< dense 1-based id for trace display
+};
+
+SpanRecorder &SpanRecorder::instance() {
+  static SpanRecorder Instance;
+  return Instance;
+}
+
+void SpanRecorder::arm(size_t CapacityPerThread) {
+  Capacity.store(std::max<size_t>(1, CapacityPerThread),
+                 std::memory_order_relaxed);
+  DroppedBase.store(0, std::memory_order_relaxed);
+  // Release pairs with the acquire in record()/drain(): a ring that
+  // observes the new epoch also observes the new capacity.
+  Epoch.fetch_add(1, std::memory_order_release);
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void SpanRecorder::disarm() { Armed.store(false, std::memory_order_relaxed); }
+
+SpanRecorder::Ring *SpanRecorder::threadRing() {
+  thread_local std::shared_ptr<Ring> TlsRing;
+  if (!TlsRing) {
+    auto R = std::make_shared<Ring>();
+    std::lock_guard<std::mutex> Lock(RingsMutex);
+    R->ThreadId = Rings.size() + 1;
+    Rings.push_back(R);
+    TlsRing = std::move(R);
+  }
+  return TlsRing.get();
+}
+
+void SpanRecorder::record(const char *Name, uint64_t StartNs, uint64_t DurNs,
+                          uint64_t RequestId, const char *TagKey,
+                          double TagValue) {
+  if (!armed())
+    return;
+  Ring *R = threadRing();
+  uint64_t E = Epoch.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> Lock(R->M);
+  if (R->Epoch != E) {
+    // First record since (re-)arming: adopt the new capacity and start
+    // empty. reserve() here is the only allocation an armed ring ever
+    // makes, so steady-state recording stays allocation-free.
+    R->Epoch = E;
+    R->RingCapacity = Capacity.load(std::memory_order_relaxed);
+    R->Buf.clear();
+    R->Buf.reserve(R->RingCapacity);
+    R->Next = 0;
+    R->Dropped = 0;
+  }
+  TraceSpan S;
+  S.Name = Name;
+  S.StartNs = StartNs;
+  S.DurNs = DurNs;
+  S.RequestId = RequestId;
+  S.TagKey = TagKey;
+  S.TagValue = TagValue;
+  S.ThreadId = R->ThreadId;
+  S.Seq = NextSeq.fetch_add(1, std::memory_order_relaxed);
+  if (R->Buf.size() < R->RingCapacity) {
+    R->Buf.push_back(S);
+    R->Next = R->Buf.size() % R->RingCapacity;
+  } else {
+    R->Buf[R->Next] = S;
+    R->Next = (R->Next + 1) % R->RingCapacity;
+    ++R->Dropped;
+  }
+}
+
+std::vector<TraceSpan> SpanRecorder::drain() {
+  std::vector<TraceSpan> Out;
+  uint64_t E = Epoch.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> RingsLock(RingsMutex);
+  for (auto &R : Rings) {
+    std::lock_guard<std::mutex> Lock(R->M);
+    if (R->Epoch != E)
+      continue; // stale epoch: contents predate the current arm()
+    if (R->Buf.size() == R->RingCapacity && R->Next != 0) {
+      // Full circular buffer: oldest span sits at the cursor.
+      Out.insert(Out.end(), R->Buf.begin() + R->Next, R->Buf.end());
+      Out.insert(Out.end(), R->Buf.begin(), R->Buf.begin() + R->Next);
+    } else {
+      Out.insert(Out.end(), R->Buf.begin(), R->Buf.end());
+    }
+    R->Buf.clear();
+    R->Next = 0;
+    // Fold per-epoch drops into the recorder-wide base so dropped()
+    // survives the ring being reused.
+    DroppedBase.fetch_add(R->Dropped, std::memory_order_relaxed);
+    R->Dropped = 0;
+  }
+  std::sort(Out.begin(), Out.end(), [](const TraceSpan &A, const TraceSpan &B) {
+    if (A.StartNs != B.StartNs)
+      return A.StartNs < B.StartNs;
+    return A.Seq < B.Seq;
+  });
+  return Out;
+}
+
+uint64_t SpanRecorder::dropped() const {
+  uint64_t Total = DroppedBase.load(std::memory_order_relaxed);
+  uint64_t E = Epoch.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> RingsLock(RingsMutex);
+  for (const auto &R : Rings) {
+    std::lock_guard<std::mutex> Lock(R->M);
+    if (R->Epoch == E)
+      Total += R->Dropped;
+  }
+  return Total;
+}
+
+uint64_t SpanRecorder::nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t SpanRecorder::currentRequestId() { return TlsRequestId; }
+
+std::string SpanRecorder::chromeTraceJson(const std::vector<TraceSpan> &Spans) {
+  // Rebase timestamps to the earliest span so the trace opens at t=0
+  // instead of hours into steady_clock.
+  uint64_t Base = 0;
+  bool HaveBase = false;
+  for (const TraceSpan &S : Spans)
+    if (!HaveBase || S.StartNs < Base) {
+      Base = S.StartNs;
+      HaveBase = true;
+    }
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char Buf[256];
+  bool First = true;
+  for (const TraceSpan &S : Spans) {
+    if (!First)
+      Out += ',';
+    First = false;
+    double TsUs = static_cast<double>(S.StartNs - Base) / 1000.0;
+    double DurUs = static_cast<double>(S.DurNs) / 1000.0;
+    std::snprintf(Buf, sizeof Buf,
+                  "\n{\"name\":\"%s\",\"cat\":\"seer\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%llu,\"ts\":%.3f,\"dur\":%.3f",
+                  S.Name ? S.Name : "(null)",
+                  static_cast<unsigned long long>(S.ThreadId), TsUs, DurUs);
+    Out += Buf;
+    Out += ",\"args\":{\"request_id\":" + std::to_string(S.RequestId);
+    if (S.TagKey) {
+      std::snprintf(Buf, sizeof Buf, ",\"%s\":%.9g", S.TagKey, S.TagValue);
+      Out += Buf;
+    }
+    Out += "}}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+ScopedRequestId::ScopedRequestId(uint64_t Id) : Saved(TlsRequestId) {
+  TlsRequestId = Id;
+}
+
+ScopedRequestId::~ScopedRequestId() { TlsRequestId = Saved; }
+
+void ScopedSpan::begin(const char *SpanName, uint64_t Request) {
+  Active = true;
+  Name = SpanName;
+  RequestId = Request;
+  StartNs = SpanRecorder::nowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!Active)
+    return;
+  uint64_t End = SpanRecorder::nowNs();
+  SpanRecorder::instance().record(Name, StartNs, End - StartNs, RequestId,
+                                  TagKey, TagValue);
+}
+
+} // namespace seer

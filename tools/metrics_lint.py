@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Lints a Prometheus text exposition produced by the Seer metrics layer.
+
+Two checks:
+
+ 1. Grammar: every line of the exposition file is either a `# TYPE name
+    counter|gauge|histogram` comment or a sample line belonging to the
+    most recent TYPE; histogram buckets must be cumulative, carry a
+    parseable `le` boundary in increasing order, end with the mandatory
+    `+Inf` bucket, and agree with `_count`; counters must be integral;
+    names must follow the `seer_<noun>[_<unit>][_total]` scheme.
+
+ 2. Coverage: every field of `ServerStats` (parsed from
+    src/serve/ServeTypes.h, so the check cannot drift from the code) has
+    a registry twin in the exposition, per the field -> metric map below.
+
+Usage: tools/metrics_lint.py METRICS_FILE [--serve-types PATH]
+Exit status 0 when clean; 1 with one `metrics_lint: ...` line per
+violation otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+from pathlib import Path
+
+# Every ServerStats field and its metric twin. Derived fields (rates,
+# latency summary statistics) map onto the metric they are computed from.
+FIELD_TO_METRIC = {
+    "Requests": "seer_requests_total",
+    "CacheHits": "seer_cache_hits_total",
+    "CacheMisses": "seer_cache_misses",
+    "KnownRoutes": "seer_known_routes",
+    "GatheredRoutes": "seer_gathered_routes_total",
+    "Executions": "seer_executions_total",
+    "PaidPreprocesses": "seer_paid_preprocesses_total",
+    "AmortizedPreprocesses": "seer_amortized_preprocesses_total",
+    "PlansBuilt": "seer_plans_built_total",
+    "PlansReused": "seer_plans_reused_total",
+    "BatchRequests": "seer_batch_requests_total",
+    "BatchedOperands": "seer_batched_operands_total",
+    "OracleChecks": "seer_oracle_checks_total",
+    "Mispredictions": "seer_mispredictions_total",
+    "SavedCollectionMs": "seer_saved_collection_ns_total",
+    "SavedPreprocessMs": "seer_saved_preprocess_ns_total",
+    "CachedMatrices": "seer_cached_matrices",
+    "CacheBudgetBytes": "seer_cache_budget_bytes",
+    "BytesCached": "seer_bytes_cached",
+    "BytesEvicted": "seer_bytes_evicted",
+    "Evictions": "seer_evictions",
+    "PartialEvictions": "seer_partial_evictions",
+    "Reanalyses": "seer_reanalyses",
+    "PinnedMatrices": "seer_pinned_matrices",
+    "Registrations": "seer_registrations_total",
+    "ActiveHandles": "seer_active_handles",
+    "AsyncAccepted": "seer_async_accepted_total",
+    "AsyncRejected": "seer_async_rejected_total",
+    "DeadlineExceeded": "seer_deadline_exceeded_total",
+    "Retries": "seer_retries_total",
+    "RetriesExhausted": "seer_retries_exhausted_total",
+    "DegradedServes": "seer_degraded_serves_total",
+    "FaultsInjected": "seer_faults_injected",
+    "BreakerOpens": "seer_breaker_opens",
+    "LatencySamples": "seer_latency_us",
+    "MeanLatencyUs": "seer_latency_us",
+    "P50LatencyUs": "seer_latency_us",
+    "P99LatencyUs": "seer_latency_us",
+}
+
+NAME_RE = re.compile(r"^seer(_[a-z0-9]+)+$")
+TYPE_RE = re.compile(r"^# TYPE ([A-Za-z_:][A-Za-z0-9_:]*) (counter|gauge|histogram)$")
+SAMPLE_RE = re.compile(
+    r"^([A-Za-z_:][A-Za-z0-9_:]*)"       # metric name (with any suffix)
+    r'(?:\{le="([^"]*)"\})?'             # optional histogram le label
+    r" (\S+)$"                           # value
+)
+
+
+class Lint:
+    def __init__(self):
+        self.errors = []
+
+    def error(self, line_no, message):
+        self.errors.append(f"metrics_lint: line {line_no}: {message}")
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def lint_exposition(lines, lint):
+    """Checks the grammar; returns the set of base metric names seen."""
+    seen = set()
+    current = None        # (name, type)
+    hist = None           # histogram accumulation state
+
+    def close_histogram(line_no):
+        if hist is None:
+            return
+        name = hist["name"]
+        if not hist["inf"]:
+            lint.error(line_no, f"histogram '{name}' has no +Inf bucket")
+        if hist["count"] is None:
+            lint.error(line_no, f"histogram '{name}' has no _count sample")
+        if hist["sum"] is None:
+            lint.error(line_no, f"histogram '{name}' has no _sum sample")
+        if (
+            hist["count"] is not None
+            and hist["last_cumulative"] is not None
+            and hist["count"] != hist["last_cumulative"]
+        ):
+            lint.error(
+                line_no,
+                f"histogram '{name}': +Inf bucket {hist['last_cumulative']} "
+                f"!= _count {hist['count']}",
+            )
+
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+
+        m = TYPE_RE.match(line)
+        if m:
+            close_histogram(line_no)
+            hist = None
+            name, kind = m.groups()
+            if not NAME_RE.match(name):
+                lint.error(
+                    line_no,
+                    f"metric name '{name}' violates the "
+                    "seer_<noun>[_<unit>][_total] scheme",
+                )
+            if kind == "counter" and not name.endswith("_total"):
+                lint.error(line_no, f"counter '{name}' must end in _total")
+            if kind != "counter" and name.endswith("_total"):
+                lint.error(line_no, f"{kind} '{name}' must not end in _total")
+            if name in seen:
+                lint.error(line_no, f"duplicate TYPE for metric '{name}'")
+            seen.add(name)
+            current = (name, kind)
+            if kind == "histogram":
+                hist = {
+                    "name": name,
+                    "prev_le": None,
+                    "prev_cumulative": None,
+                    "last_cumulative": None,
+                    "inf": False,
+                    "count": None,
+                    "sum": None,
+                }
+            continue
+
+        if line.startswith("#"):
+            lint.error(line_no, f"unexpected comment '{line}' (only # TYPE)")
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            lint.error(line_no, f"unparseable sample line '{line}'")
+            continue
+        sample_name, le, value_text = m.groups()
+        value = parse_value(value_text)
+        if value is None or (math.isinf(value) and value_text != "+Inf"):
+            lint.error(line_no, f"unparseable value '{value_text}'")
+            continue
+
+        if current is None:
+            lint.error(line_no, f"sample '{sample_name}' before any # TYPE")
+            continue
+        name, kind = current
+
+        if kind in ("counter", "gauge"):
+            if sample_name != name or le is not None:
+                lint.error(
+                    line_no,
+                    f"sample '{line}' does not match preceding "
+                    f"# TYPE {name} {kind}",
+                )
+                continue
+            if kind == "counter" and value != int(value):
+                lint.error(line_no, f"counter '{name}' value {value_text} "
+                                    "is not integral")
+            if value < 0:
+                lint.error(line_no, f"negative {kind} sample '{line}'")
+            continue
+
+        # Histogram samples: _bucket{le=...}, _sum, _count.
+        if sample_name == name + "_bucket":
+            if le is None:
+                lint.error(line_no, f"bucket sample without le label: '{line}'")
+                continue
+            bound = parse_value(le)
+            if bound is None:
+                lint.error(line_no, f"unparseable le boundary '{le}'")
+                continue
+            if value != int(value) or value < 0:
+                lint.error(line_no, f"bucket count '{value_text}' must be a "
+                                    "non-negative integer")
+                continue
+            if hist["inf"]:
+                lint.error(line_no, f"bucket after +Inf in '{name}'")
+            if hist["prev_le"] is not None and bound <= hist["prev_le"]:
+                lint.error(line_no, f"le boundaries not increasing in '{name}'")
+            if (
+                hist["prev_cumulative"] is not None
+                and value < hist["prev_cumulative"]
+            ):
+                lint.error(line_no, f"bucket counts not cumulative in '{name}'")
+            hist["prev_le"] = bound
+            hist["prev_cumulative"] = value
+            hist["last_cumulative"] = int(value)
+            if math.isinf(bound):
+                hist["inf"] = True
+        elif sample_name == name + "_sum":
+            hist["sum"] = value
+        elif sample_name == name + "_count":
+            if value != int(value):
+                lint.error(line_no, f"_count '{value_text}' is not integral")
+            hist["count"] = int(value)
+        else:
+            lint.error(
+                line_no,
+                f"sample '{sample_name}' does not match preceding "
+                f"# TYPE {name} histogram",
+            )
+
+    close_histogram(len(lines))
+    return seen
+
+
+def server_stats_fields(serve_types_path, lint):
+    """The data-member names of struct ServerStats, parsed from the header."""
+    text = Path(serve_types_path).read_text()
+    m = re.search(r"struct ServerStats \{(.*?)\n\};", text, re.DOTALL)
+    if not m:
+        lint.errors.append(
+            f"metrics_lint: cannot find 'struct ServerStats' in "
+            f"{serve_types_path}"
+        )
+        return []
+    fields = []
+    for line in m.group(1).splitlines():
+        line = line.strip()
+        fm = re.match(r"(?:uint64_t|double|size_t)\s+(\w+)\s*=", line)
+        if fm:
+            fields.append(fm.group(1))
+    return fields
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics_file", help="Prometheus exposition to lint")
+    parser.add_argument(
+        "--serve-types",
+        default=str(Path(__file__).resolve().parent.parent / "src" / "serve"
+                    / "ServeTypes.h"),
+        help="ServeTypes.h to parse ServerStats fields from",
+    )
+    args = parser.parse_args()
+
+    lint = Lint()
+    lines = Path(args.metrics_file).read_text().splitlines()
+    if not lines:
+        lint.errors.append("metrics_lint: exposition file is empty")
+    seen = lint_exposition(lines, lint)
+
+    fields = server_stats_fields(args.serve_types, lint)
+    if fields:
+        for field in fields:
+            metric = FIELD_TO_METRIC.get(field)
+            if metric is None:
+                lint.errors.append(
+                    f"metrics_lint: ServerStats field '{field}' has no entry "
+                    "in FIELD_TO_METRIC — add its registry twin"
+                )
+            elif metric not in seen:
+                lint.errors.append(
+                    f"metrics_lint: ServerStats field '{field}' maps to "
+                    f"'{metric}' which is missing from the exposition"
+                )
+        for field in FIELD_TO_METRIC:
+            if field not in fields:
+                lint.errors.append(
+                    f"metrics_lint: FIELD_TO_METRIC names '{field}' which is "
+                    "no longer a ServerStats field — prune the map"
+                )
+
+    for error in lint.errors:
+        print(error, file=sys.stderr)
+    if lint.errors:
+        return 1
+    print(
+        f"metrics_lint: OK ({len(seen)} metrics, "
+        f"{len(fields)} ServerStats fields covered)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

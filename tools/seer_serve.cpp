@@ -38,10 +38,14 @@
 #include "core/ModelBundle.h"
 #include "serve/RequestTrace.h"
 #include "support/FaultInjector.h"
+#include "support/Tracing.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <thread>
 
 using namespace seer;
@@ -75,9 +79,59 @@ constexpr const char *Usage =
     "                      (support/FaultInjector.h grammar) before serving;\n"
     "                      v2 traces and stdin sessions can also drive it\n"
     "                      with the 'fault' command\n"
+    "  --metrics-out FILE  write the unified metrics registry at exit:\n"
+    "                      Prometheus text exposition, or one JSON object\n"
+    "                      per metric if FILE ends in .jsonl\n"
+    "  --trace-out FILE    arm the span recorder and write the recorded\n"
+    "                      spans at exit as Chrome trace-event JSON (load\n"
+    "                      in chrome://tracing or Perfetto)\n"
     "  --strict            exit nonzero if the replay answered any request\n"
-    "                      with an 'error CODE ...' line (chaos-gate mode;\n"
-    "                      degraded responses are not errors)\n";
+    "                      with an 'error CODE ...' line, exhausted a retry\n"
+    "                      budget, or opened a circuit breaker (chaos-gate\n"
+    "                      mode; degraded responses are not errors); the\n"
+    "                      final metrics snapshot goes to stderr on failure\n"
+    "\n"
+    "Either output flag arms the span recorder, which also enables the\n"
+    "armed-only per-stage histograms (seer_stage_*_us, seer_cost_model_*)\n"
+    "and the 'metrics' / 'spans N' protocol commands.\n";
+
+/// Accumulates drained spans across the session so the `spans` command
+/// (which empties the recorder's rings) and the exit-time --trace-out
+/// export see one coherent timeline. Mutex-guarded: trace replays drain
+/// from client threads.
+struct SpanSink {
+  std::mutex M;
+  std::vector<TraceSpan> Spans;
+
+  /// Moves everything currently in the recorder into the sink, keeping
+  /// the global (StartNs, Seq) order.
+  void drain() {
+    std::vector<TraceSpan> Fresh = SpanRecorder::instance().drain();
+    std::lock_guard<std::mutex> Lock(M);
+    Spans.insert(Spans.end(), Fresh.begin(), Fresh.end());
+    std::sort(Spans.begin(), Spans.end(),
+              [](const TraceSpan &A, const TraceSpan &B) {
+                return A.StartNs != B.StartNs ? A.StartNs < B.StartNs
+                                              : A.Seq < B.Seq;
+              });
+  }
+
+  /// The `spans N` response: the newest \p Count spans seen so far.
+  std::string spanLines(uint32_t Count) {
+    drain();
+    std::lock_guard<std::mutex> Lock(M);
+    return formatSpanLines(Spans, Count);
+  }
+
+  /// The --trace-out payload.
+  std::string chromeJson() {
+    drain();
+    std::lock_guard<std::mutex> Lock(M);
+    return SpanRecorder::chromeTraceJson(Spans);
+  }
+};
+
+SpanSink Sink;
 
 /// One client's replay of a v2 trace: registers its own handles for the
 /// trace's matrices and walks the operation sequence. Response/error
@@ -126,9 +180,25 @@ uint64_t replayV2(SeerService &Service, const TraceScript &Script,
           std::printf("ok fault %s\n", Op.FaultSpec.c_str());
         continue;
       }
+      if (Op.Command == TraceScript::Op::Kind::Metrics) {
+        // The exposition is a point-in-time observation, not a response:
+        // only the printing client emits it.
+        if (Print)
+          std::printf("%s", Service.metricsPrometheus().c_str());
+        continue;
+      }
+      if (Op.Command == TraceScript::Op::Kind::Spans) {
+        if (Print)
+          std::printf("%s", Sink.spanLines(Op.SpanCount).c_str());
+        else
+          Sink.drain(); // keep the rings from overwriting under load
+        continue;
+      }
       const std::string &Name = Script.Matrices[Op.MatrixIndex].first;
       switch (Op.Command) {
       case TraceScript::Op::Kind::Fault:
+      case TraceScript::Op::Kind::Metrics:
+      case TraceScript::Op::Kind::Spans:
         break; // handled above
       case TraceScript::Op::Kind::Open: {
         if (Handles[Op.MatrixIndex].valid())
@@ -314,6 +384,12 @@ int runStdin(SeerService &Service) {
     case TraceCommand::Kind::Stats:
       std::printf("%s", formatStatsLines(Service.stats()).c_str());
       break;
+    case TraceCommand::Kind::Metrics:
+      std::printf("%s", Service.metricsPrometheus().c_str());
+      break;
+    case TraceCommand::Kind::Spans:
+      std::printf("%s", Sink.spanLines(Command.SpanCount).c_str());
+      break;
     case TraceCommand::Kind::Fault: {
       if (const Status S = applyFaultSpec(Command.FaultSpec); !S.ok())
         PrintError(S);
@@ -431,9 +507,28 @@ int runStdin(SeerService &Service) {
 
 } // namespace
 
+namespace {
+
+/// Writes \p Content to \p Path, dying on I/O failure: a missing
+/// metrics/trace file after a green exit would be a silent lie.
+void writeFileOrDie(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path);
+  Out << Content;
+  Out.flush();
+  if (!Out)
+    fatal("cannot write '" + Path + "'");
+}
+
+bool endsWith(const std::string &Text, const std::string &Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.compare(Text.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   FlagSpec Spec;
-  Spec.Value = {"models", "trace", "fault-plan"};
+  Spec.Value = {"models", "trace", "fault-plan", "metrics-out", "trace-out"};
   Spec.Int = {"clients", "repeat", "cache-budget"};
   Spec.Bool = {"strict"};
   const CommandLine Cmd(Argc, Argv, Usage, Spec);
@@ -462,25 +557,55 @@ int main(int Argc, char **Argv) {
   Config.Server.CacheBudgetBytes = static_cast<size_t>(BudgetArg);
   SeerService Service(std::move(*Models), Config);
 
-  const std::string TracePath = Cmd.flag("trace");
-  if (TracePath.empty())
-    return runStdin(Service);
+  // Either observability output arms the recorder, which also switches
+  // on the armed-only stage histograms the exports are meant to carry.
+  const std::string MetricsOut = Cmd.flag("metrics-out");
+  const std::string TraceOut = Cmd.flag("trace-out");
+  if (!MetricsOut.empty() || !TraceOut.empty())
+    SpanRecorder::instance().arm();
 
-  const auto Script = readTraceFile(TracePath);
-  if (!Script)
-    fatal(Script.status());
-  const int64_t ClientsArg = Cmd.intFlag("clients", 1);
-  const int64_t RepeatArg = Cmd.intFlag("repeat", 1);
-  if (ClientsArg < 1 || ClientsArg > 4096 || RepeatArg < 1 ||
-      RepeatArg > 1000000)
-    fatal("--clients must be in [1, 4096] and --repeat in [1, 1000000]");
-  const unsigned Clients = static_cast<unsigned>(ClientsArg);
-  const unsigned Repeat = static_cast<unsigned>(RepeatArg);
-  const uint64_t Errors = runTrace(Service, *Script, Clients, Repeat);
-  if (Cmd.boolFlag("strict") && Errors > 0) {
-    std::fprintf(stderr, "seer-serve: --strict: %llu request(s) failed\n",
-                 static_cast<unsigned long long>(Errors));
-    return 1;
+  const std::string TracePath = Cmd.flag("trace");
+  int ExitCode = 0;
+  uint64_t Errors = 0;
+  if (TracePath.empty()) {
+    ExitCode = runStdin(Service);
+  } else {
+    const auto Script = readTraceFile(TracePath);
+    if (!Script)
+      fatal(Script.status());
+    const int64_t ClientsArg = Cmd.intFlag("clients", 1);
+    const int64_t RepeatArg = Cmd.intFlag("repeat", 1);
+    if (ClientsArg < 1 || ClientsArg > 4096 || RepeatArg < 1 ||
+        RepeatArg > 1000000)
+      fatal("--clients must be in [1, 4096] and --repeat in [1, 1000000]");
+    const unsigned Clients = static_cast<unsigned>(ClientsArg);
+    const unsigned Repeat = static_cast<unsigned>(RepeatArg);
+    Errors = runTrace(Service, *Script, Clients, Repeat);
   }
-  return 0;
+
+  if (!MetricsOut.empty())
+    writeFileOrDie(MetricsOut, endsWith(MetricsOut, ".jsonl")
+                                   ? Service.metricsJson()
+                                   : Service.metricsPrometheus());
+  if (!TraceOut.empty())
+    writeFileOrDie(TraceOut, Sink.chromeJson());
+
+  if (!TracePath.empty() && Cmd.boolFlag("strict")) {
+    // Chaos-gate mode: error lines are failures, and so are the quieter
+    // bad signs — a retry budget that ran dry or a breaker that opened
+    // mean the fault plan overwhelmed the resilience layer even if every
+    // request eventually produced a line.
+    const ServerStats Stats = Service.stats();
+    if (Errors > 0 || Stats.RetriesExhausted > 0 || Stats.BreakerOpens > 0) {
+      std::fprintf(stderr,
+                   "seer-serve: --strict: %llu error line(s), %llu retry "
+                   "budget(s) exhausted, %llu breaker open(s)\n",
+                   static_cast<unsigned long long>(Errors),
+                   static_cast<unsigned long long>(Stats.RetriesExhausted),
+                   static_cast<unsigned long long>(Stats.BreakerOpens));
+      std::fprintf(stderr, "%s", Service.metricsPrometheus().c_str());
+      return 1;
+    }
+  }
+  return ExitCode;
 }
