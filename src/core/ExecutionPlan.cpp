@@ -66,6 +66,43 @@ SelectionResult selectImpl(const SeerModels &Models,
                            const CollectFn &Collect, bool Charge,
                            double *ModeledOut) {
   SelectionResult Result;
+  if (Models.compiled()) {
+    // Compiled path: branch-free flat trees over arena-backed feature
+    // scratch — zero heap allocation per selection, bit-identical
+    // decisions to the interpreted walk below (flat_tree_test fuzzes
+    // the equivalence; the serving bit-identity gates hold it end to
+    // end).
+    PlanArena &Arena = Planner::scratchArena();
+    PlanArena::Scope Scratch(Arena);
+    double *KnownVec = Arena.array<double>(features::KnownArity);
+    features::knownVectorInto(Known, Iterations, KnownVec);
+
+    const uint32_t Choice = Models.SelectorFlat.predict(KnownVec);
+    Result.InferenceMs = Planner::InferenceOverheadUs * 1e-3;
+
+    if (Choice == SeerModels::SelectGathered) {
+      const FeatureCollectionResult Collection = Collect();
+      Result.UsedGatheredModel = true;
+      if (ModeledOut)
+        *ModeledOut = Collection.CollectionMs;
+      Result.FeatureCollectionMs = Charge ? Collection.CollectionMs : 0.0;
+      Result.InferenceMs += Planner::InferenceOverheadUs * 1e-3;
+      double *GatheredVec = Arena.array<double>(features::GatheredArity);
+      features::gatheredVectorInto(Known, Collection.Features, Iterations,
+                                   GatheredVec);
+      Result.KernelIndex = Models.GatheredFlat.predict(GatheredVec);
+    } else {
+      Result.InferenceMs += Planner::InferenceOverheadUs * 1e-3;
+      Result.KernelIndex = Models.KnownFlat.predict(KnownVec);
+    }
+    assert(Result.KernelIndex < Registry.size() &&
+           "model predicted an out-of-range kernel");
+    (void)Registry;
+    return Result;
+  }
+
+  // Interpreted reference path: heap-walking DecisionTree::predict, kept
+  // as the oracle the compiled path is verified against.
   // Trivially known features are free: they ship with the input.
   const std::vector<double> KnownVec =
       features::knownVector(Known, Iterations);
@@ -122,10 +159,22 @@ RouteDecision Planner::route(const KnownFeatures &Known,
   ScopedSpan Span(spanname::PlanRoute);
   RouteDecision R;
   R.InferenceMs = InferenceOverheadUs * 1e-3;
-  R.UseGathered =
-      Models->Selector.predict(features::knownVector(Known, Iterations)) ==
-      SeerModels::SelectGathered;
+  if (Models->compiled()) {
+    double KnownVec[features::KnownArity];
+    features::knownVectorInto(Known, Iterations, KnownVec);
+    R.UseGathered = Models->SelectorFlat.predict(KnownVec) ==
+                    SeerModels::SelectGathered;
+  } else {
+    R.UseGathered =
+        Models->Selector.predict(features::knownVector(Known, Iterations)) ==
+        SeerModels::SelectGathered;
+  }
   return R;
+}
+
+PlanArena &Planner::scratchArena() {
+  static thread_local PlanArena Arena;
+  return Arena;
 }
 
 FeatureCollectionResult Planner::collect(const AnalyzedMatrix &A) const {
@@ -204,6 +253,7 @@ void Planner::prepare(ExecutionPlan &Plan, const AnalyzedMatrix &A) const {
   Plan.PreprocessAmortized = false;
   Plan.PreprocessMs = Prep.TimeMs;
   Plan.ModeledPreprocessMs = Prep.TimeMs;
+  Plan.Thunk = Registry.runThunk(Plan.kernelIndex());
 }
 
 void Planner::reusePrepared(ExecutionPlan &Plan,
@@ -214,6 +264,11 @@ void Planner::reusePrepared(ExecutionPlan &Plan,
   Plan.PreprocessAmortized = AlreadyPaid;
   Plan.PreprocessMs = AlreadyPaid ? 0.0 : Prepared.PreprocessMs;
   Plan.ModeledPreprocessMs = Prepared.PreprocessMs;
+  // Adopt the fragment's specialized entry point; a fragment stashed
+  // without one (oracle-sweep leftovers) is specialized here so the run
+  // stage stays devirtualized either way.
+  Plan.Thunk =
+      Prepared.Thunk ? Prepared.Thunk : Registry.runThunk(Plan.kernelIndex());
 }
 
 PreparedKernel Planner::exportPrepared(const ExecutionPlan &Plan) const {
@@ -222,6 +277,8 @@ PreparedKernel Planner::exportPrepared(const ExecutionPlan &Plan) const {
   Prepared.State = Plan.State;
   Prepared.PreprocessMs = Plan.ModeledPreprocessMs;
   Prepared.Paid = true;
+  Prepared.Thunk =
+      Plan.Thunk ? Plan.Thunk : Registry.runThunk(Plan.kernelIndex());
   return Prepared;
 }
 
@@ -230,8 +287,13 @@ SpmvRun Planner::run(const ExecutionPlan &Plan, const AnalyzedMatrix &A,
   assert(Plan.Prepared && "running an unprepared plan");
   FaultInjector::instance().checkOrThrow(faultsite::PlanRun);
   ScopedSpan Span(spanname::PlanRun);
-  SpmvRun Run = Registry.kernel(Plan.kernelIndex())
-                    .run(A.matrix(), A.Stats, Plan.State.get(), X, Sim);
+  // Cached/prepared plans carry a devirtualized thunk; dispatch through
+  // it (one indirect call to a direct-call body) instead of the vtable.
+  // The virtual fallback covers hand-built plans and is bit-identical.
+  SpmvRun Run =
+      Plan.Thunk ? Plan.Thunk(A.matrix(), A.Stats, Plan.State.get(), X, Sim)
+                 : Registry.kernel(Plan.kernelIndex())
+                       .run(A.matrix(), A.Stats, Plan.State.get(), X, Sim);
   Span.tag("modeled_ms", Run.Timing.TotalMs);
   return Run;
 }

@@ -55,6 +55,7 @@
 #ifndef SEER_CORE_EXECUTIONPLAN_H
 #define SEER_CORE_EXECUTIONPLAN_H
 
+#include "core/PlanArena.h"
 #include "kernels/FeatureKernels.h"
 #include "kernels/KernelRegistry.h"
 #include "sparse/MatrixStats.h"
@@ -142,6 +143,12 @@ struct PreparedKernel {
   /// stashed state with Paid == false (e.g. left behind by an oracle
   /// sweep) is reusable but still owes its one-time cost.
   bool Paid = false;
+  /// The kernel's devirtualized run entry point, captured from the
+  /// registry when the fragment was prepared: the *specialized* half of
+  /// the cached plan. A cached-plan run() dispatches through this —
+  /// zero virtual calls on the repeat stream. Empty fragments (old
+  /// stashes) fall back to virtual dispatch with identical results.
+  RunThunk Thunk;
 };
 
 /// One planned (and possibly prepared) execution: the route decision and
@@ -170,6 +177,9 @@ struct ExecutionPlan {
   double PreprocessMs = 0.0;
   /// Intrinsic modeled preprocessing cost (charged or not).
   double ModeledPreprocessMs = 0.0;
+  /// Devirtualized run entry point of the chosen kernel (set by
+  /// prepare()/reusePrepared()); run() dispatches through it when set.
+  RunThunk Thunk;
 
   size_t kernelIndex() const { return Selection.KernelIndex; }
 
@@ -271,6 +281,12 @@ public:
   }
   const KernelRegistry &registry() const { return Registry; }
   const GpuSimulator &simulator() const { return Sim; }
+
+  /// The calling thread's plan-scratch arena (core/PlanArena.h). The
+  /// selection stages draw their feature scratch from it; the serving
+  /// layer resets it once per request entry. One arena per thread, so no
+  /// locking; allocations never escape the stage that made them.
+  static PlanArena &scratchArena();
 
 private:
   const SeerModels *Models = nullptr;

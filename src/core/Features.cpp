@@ -14,9 +14,17 @@ std::vector<std::string> features::knownNames() {
 
 std::vector<double> features::knownVector(const KnownFeatures &Known,
                                           double Iterations) {
-  return {static_cast<double>(Known.NumRows),
-          static_cast<double>(Known.NumCols),
-          static_cast<double>(Known.Nnz), Iterations};
+  std::vector<double> Out(KnownArity);
+  knownVectorInto(Known, Iterations, Out.data());
+  return Out;
+}
+
+void features::knownVectorInto(const KnownFeatures &Known, double Iterations,
+                               double *Out) {
+  Out[0] = static_cast<double>(Known.NumRows);
+  Out[1] = static_cast<double>(Known.NumCols);
+  Out[2] = static_cast<double>(Known.Nnz);
+  Out[3] = Iterations;
 }
 
 std::vector<std::string> features::gatheredNames() {
@@ -27,14 +35,19 @@ std::vector<std::string> features::gatheredNames() {
 std::vector<double> features::gatheredVector(const KnownFeatures &Known,
                                              const GatheredFeatures &Gathered,
                                              double Iterations) {
-  return {static_cast<double>(Known.NumRows),
-          static_cast<double>(Known.NumCols),
-          static_cast<double>(Known.Nnz),
-          Iterations,
-          Gathered.MaxRowDensity,
-          Gathered.MinRowDensity,
-          Gathered.MeanRowDensity,
-          Gathered.VarRowDensity};
+  std::vector<double> Out(GatheredArity);
+  gatheredVectorInto(Known, Gathered, Iterations, Out.data());
+  return Out;
+}
+
+void features::gatheredVectorInto(const KnownFeatures &Known,
+                                  const GatheredFeatures &Gathered,
+                                  double Iterations, double *Out) {
+  knownVectorInto(Known, Iterations, Out);
+  Out[KnownArity + 0] = Gathered.MaxRowDensity;
+  Out[KnownArity + 1] = Gathered.MinRowDensity;
+  Out[KnownArity + 2] = Gathered.MeanRowDensity;
+  Out[KnownArity + 3] = Gathered.VarRowDensity;
 }
 
 std::vector<std::string> features::featureCsvColumns() {

@@ -32,15 +32,33 @@
 namespace seer {
 namespace features {
 
+/// Fixed arities of the two layouts, so hot paths can use stack or arena
+/// scratch instead of a heap vector. knownNames().size() and
+/// gatheredNames().size() equal these by construction (feature_test
+/// asserts it).
+inline constexpr size_t KnownArity = 4;
+inline constexpr size_t GatheredArity = 8;
+
 /// Known layout: [rows, cols, nnz, iterations].
 std::vector<std::string> knownNames();
 std::vector<double> knownVector(const KnownFeatures &Known, double Iterations);
+
+/// Fills \p Out (>= KnownArity doubles) with the known layout without
+/// allocating — the compiled select path's feature scratch writer.
+void knownVectorInto(const KnownFeatures &Known, double Iterations,
+                     double *Out);
 
 /// Gathered layout: known + [max, min, mean, var row density].
 std::vector<std::string> gatheredNames();
 std::vector<double> gatheredVector(const KnownFeatures &Known,
                                    const GatheredFeatures &Gathered,
                                    double Iterations);
+
+/// Fills \p Out (>= GatheredArity doubles) with the gathered layout
+/// without allocating.
+void gatheredVectorInto(const KnownFeatures &Known,
+                        const GatheredFeatures &Gathered, double Iterations,
+                        double *Out);
 
 /// Columns of features.csv: "name", the gathered names minus the
 /// train-time-only "iterations", then "collection_ms".

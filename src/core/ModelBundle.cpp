@@ -6,6 +6,7 @@
 
 #include "core/ModelBundle.h"
 
+#include "core/Features.h"
 #include "support/AtomicFile.h"
 #include "support/FaultInjector.h"
 
@@ -13,6 +14,36 @@
 #include <sstream>
 
 using namespace seer;
+
+namespace {
+
+/// Validates one parsed tree against the schema the runtime will feed
+/// it: the exact feature layout (a stale bundle trained on a different
+/// schema would otherwise silently mispredict — the tree would read the
+/// wrong columns) and the label vocabulary (a prediction >= the registry
+/// size would index out of the kernel zoo).
+Status validateTree(const DecisionTree &Tree, const std::string &Path,
+                    const std::vector<std::string> &WantFeatures,
+                    size_t NumClasses, const char *ClassKind) {
+  if (Tree.featureNames() != WantFeatures) {
+    std::string Want, Got;
+    for (const std::string &Name : WantFeatures)
+      Want += (Want.empty() ? "" : ",") + Name;
+    for (const std::string &Name : Tree.featureNames())
+      Got += (Got.empty() ? "" : ",") + Name;
+    return Status::invalidArgument("model '" + Path +
+                                   "' was trained on features [" + Got +
+                                   "], runtime expects [" + Want + "]");
+  }
+  if (Tree.numClasses() > NumClasses)
+    return Status::invalidArgument(
+        "model '" + Path + "' predicts " + std::to_string(Tree.numClasses()) +
+        " classes, but only " + std::to_string(NumClasses) + " " + ClassKind +
+        " exist");
+  return Status::okStatus();
+}
+
+} // namespace
 
 std::vector<std::string> seer::modelBundleFileNames() {
   return {"seer_known.tree", "seer_gathered.tree", "seer_selector.tree"};
@@ -40,7 +71,27 @@ seer::loadModelBundle(const std::string &Directory,
       return Status::invalidArgument("malformed model '" + Path +
                                      "': " + ParseError);
   }
+  // Schema validation: a structurally well-formed .tree triple from a
+  // stale training run (different feature layout or a bigger kernel zoo)
+  // must be rejected typed, not silently mispredict.
+  const std::vector<std::string> KnownF = features::knownNames();
+  const std::vector<std::string> GatheredF = features::gatheredNames();
+  if (Status S = validateTree(Models.Known, Directory + "/" + Names[0],
+                              KnownF, KernelNames.size(), "kernels");
+      !S.ok())
+    return S;
+  if (Status S = validateTree(Models.Gathered, Directory + "/" + Names[1],
+                              GatheredF, KernelNames.size(), "kernels");
+      !S.ok())
+    return S;
+  if (Status S = validateTree(Models.Selector, Directory + "/" + Names[2],
+                              KnownF, /*NumClasses=*/2, "selector routes");
+      !S.ok())
+    return S;
   Models.KernelNames = std::move(KernelNames);
+  // Compile at load: everything downstream of a bundle load serves from
+  // the flat forms (ml/FlatTree.h).
+  Models.compile();
   return Models;
 }
 

@@ -124,7 +124,11 @@ double tierPathCost(const MultiStageModels &Models,
     CollectionMs = Bench.Base.FeatureCollectionMs;
     break;
   }
-  const uint32_t Pick = Models.TierModels[Tier].predict(Row);
+  // Route through the compiled form when available (bit-identical to
+  // the interpreted walk; see ml/FlatTree.h).
+  const uint32_t Pick = Models.compiled()
+                            ? Models.TierFlat[Tier].predict(Row.data())
+                            : Models.TierModels[Tier].predict(Row);
   assert(Pick < Bench.Base.PerKernel.size() && "tier model out of range");
   if (PickOut)
     *PickOut = Pick;
@@ -219,6 +223,7 @@ MultiStageModels seer::trainMultiStageModels(
                               FoldData.Costs.begin(), FoldData.Costs.end());
   }
   Models.Selector = DecisionTree::train(SelectorData, SelectorConfig);
+  Models.compile();
   return Models;
 }
 
@@ -227,8 +232,10 @@ seer::evaluateMultiStageCase(const MultiStageModels &Models,
                              const MultiStageBenchmark &Bench,
                              uint32_t Iterations) {
   MultiStageOutcome Outcome;
-  Outcome.Tier = Models.Selector.predict(
-      features::knownVector(Bench.Base.Known, Iterations));
+  const std::vector<double> KnownVec =
+      features::knownVector(Bench.Base.Known, Iterations);
+  Outcome.Tier = Models.compiled() ? Models.SelectorFlat.predict(KnownVec.data())
+                                   : Models.Selector.predict(KnownVec);
   assert(Outcome.Tier < MultiStageModels::NumTiers && "bad tier label");
   size_t Pick = 0;
   Outcome.TotalMs =

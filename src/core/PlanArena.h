@@ -1,0 +1,130 @@
+//===- core/PlanArena.h - Bump-allocated per-request plan scratch ---------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump allocator for the Planner's per-request scratch: feature
+/// vectors, and any other short-lived plan-assembly storage on the
+/// select->execute hot path. The point is the repeat-stream serving
+/// case: once a thread's arena block exists (first request warms it),
+/// every later request's scratch is a pointer bump — zero calls into the
+/// heap, which flat_tree_test asserts with the global operator-new
+/// counter idiom from obs_test.
+///
+/// Lifetime rules (documented in README "Compiled plans"):
+///  - An arena is single-threaded. The Planner hands each thread its own
+///    via Planner::scratchArena() (a thread_local), so no locking.
+///  - Allocations are only valid until the enclosing Scope ends or
+///    reset() runs, whichever comes first. The serving layer resets the
+///    arena once per request entry; Planner stages additionally bracket
+///    their own allocations in a Scope, so nested stages compose and
+///    callers that never reset() cannot grow the arena without bound.
+///  - Only trivially-destructible payloads (doubles, PODs): neither
+///    Scope exit nor reset() runs destructors.
+///  - Results that escape the request (response Y vectors, cached plan
+///    fragments) must NOT live in the arena; they stay heap-allocated
+///    and caller-owned.
+///
+/// Requests larger than the remaining block fall back to the heap (kept
+/// on an overflow list freed at Scope exit / reset), so correctness
+/// never depends on the capacity guess — only the zero-allocation
+/// property does, and the default capacity exceeds the hot path's worst
+/// case (GatheredArity doubles) by two orders of magnitude.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SEER_CORE_PLANARENA_H
+#define SEER_CORE_PLANARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace seer {
+
+/// A single-threaded bump allocator with scoped rewind.
+class PlanArena {
+public:
+  /// Default block size: plenty for every Planner stage's scratch while
+  /// staying a fraction of a thread's L1.
+  static constexpr size_t DefaultCapacity = 4096;
+
+  explicit PlanArena(size_t CapacityBytes = DefaultCapacity)
+      : Block(new unsigned char[CapacityBytes]), Capacity(CapacityBytes) {}
+
+  PlanArena(const PlanArena &) = delete;
+  PlanArena &operator=(const PlanArena &) = delete;
+
+  /// Allocates \p Bytes with \p Alignment (a power of two). Never fails:
+  /// a request the block cannot hold falls back to the heap.
+  void *allocate(size_t Bytes, size_t Alignment) {
+    assert((Alignment & (Alignment - 1)) == 0 && "alignment not a power of 2");
+    const size_t Aligned = (Offset + Alignment - 1) & ~(Alignment - 1);
+    if (Aligned + Bytes <= Capacity) {
+      Offset = Aligned + Bytes;
+      return Block.get() + Aligned;
+    }
+    Overflow.emplace_back(new unsigned char[Bytes ? Bytes : 1]);
+    return Overflow.back().get();
+  }
+
+  /// Typed array of \p Count elements. T must be trivially destructible
+  /// (the arena never runs destructors).
+  template <typename T> T *array(size_t Count) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "arena payloads must not need destruction");
+    return static_cast<T *>(allocate(Count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds the whole arena: per-entry reset, called once per request
+  /// by the serving layer. Frees any overflow blocks; keeps the bump
+  /// block warm.
+  void reset() {
+    Offset = 0;
+    Overflow.clear();
+  }
+
+  /// Bytes currently bumped off the block (overflow excluded).
+  size_t used() const { return Offset; }
+  size_t capacity() const { return Capacity; }
+  /// Heap-fallback allocations currently live (0 on the sized-right hot
+  /// path).
+  size_t overflowCount() const { return Overflow.size(); }
+
+  /// RAII rewind: everything allocated inside the scope is released (and
+  /// overflow blocks freed) when it ends. Scopes nest; they must unwind
+  /// in LIFO order, which C++ scoping guarantees.
+  class Scope {
+  public:
+    explicit Scope(PlanArena &Arena)
+        : Arena(Arena), SavedOffset(Arena.Offset),
+          SavedOverflow(Arena.Overflow.size()) {}
+    ~Scope() {
+      assert(Arena.Offset >= SavedOffset && "scopes unwound out of order");
+      Arena.Offset = SavedOffset;
+      Arena.Overflow.resize(SavedOverflow);
+    }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    PlanArena &Arena;
+    size_t SavedOffset;
+    size_t SavedOverflow;
+  };
+
+private:
+  std::unique_ptr<unsigned char[]> Block;
+  size_t Capacity;
+  size_t Offset = 0;
+  std::vector<std::unique_ptr<unsigned char[]>> Overflow;
+};
+
+} // namespace seer
+
+#endif // SEER_CORE_PLANARENA_H

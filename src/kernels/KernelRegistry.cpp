@@ -13,15 +13,15 @@
 using namespace seer;
 
 KernelRegistry::KernelRegistry() {
-  Kernels.push_back(std::make_unique<CsrAdaptive>());
-  Kernels.push_back(std::make_unique<CsrBlockMapped>());
-  Kernels.push_back(std::make_unique<CsrMergePath>());
-  Kernels.push_back(std::make_unique<CsrWarpMapped>());
-  Kernels.push_back(std::make_unique<CsrWorkOriented>());
-  Kernels.push_back(std::make_unique<CsrThreadMapped>());
-  Kernels.push_back(std::make_unique<CooWarpMapped>());
-  Kernels.push_back(std::make_unique<EllThreadMapped>());
-  Kernels.push_back(std::make_unique<RocSparseAdaptive>());
+  registerKernel<CsrAdaptive>();
+  registerKernel<CsrBlockMapped>();
+  registerKernel<CsrMergePath>();
+  registerKernel<CsrWarpMapped>();
+  registerKernel<CsrWorkOriented>();
+  registerKernel<CsrThreadMapped>();
+  registerKernel<CooWarpMapped>();
+  registerKernel<EllThreadMapped>();
+  registerKernel<RocSparseAdaptive>();
 }
 
 std::vector<std::string> KernelRegistry::names() const {

@@ -19,6 +19,7 @@
 
 #include "kernels/SpmvKernel.h"
 
+#include <cassert>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,8 +48,37 @@ public:
   static constexpr size_t npos = static_cast<size_t>(-1);
   size_t indexOf(const std::string &Name) const;
 
+  /// Devirtualized run entry point of the kernel at \p Index, captured at
+  /// registration time (see SpmvKernel.h RunThunk). Valid as long as the
+  /// registry.
+  const RunThunk &runThunk(size_t Index) const {
+    assert(Index < Thunks.size() && "kernel index out of range");
+    return Thunks[Index];
+  }
+
 private:
+  /// Registers \p KernelT and captures its non-virtual run thunk: the
+  /// concrete type is known here, so the qualified KernelT::run call in
+  /// the thunk body compiles to a direct call (inlinable), bypassing the
+  /// vtable on every cached-plan execution.
+  template <typename KernelT> void registerKernel() {
+    auto Kernel = std::make_unique<KernelT>();
+    RunThunk Thunk;
+    Thunk.Kernel = Kernel.get();
+    Thunk.Run = [](const SpmvKernel *Self, const CsrMatrix &M,
+                   const MatrixStats &Stats, const KernelState *State,
+                   const std::vector<double> &X,
+                   const GpuSimulator &Sim) -> SpmvRun {
+      return static_cast<const KernelT *>(Self)->KernelT::run(M, Stats, State,
+                                                              X, Sim);
+    };
+    Thunks.push_back(Thunk);
+    Kernels.push_back(std::move(Kernel));
+  }
+
   std::vector<std::unique_ptr<SpmvKernel>> Kernels;
+  /// One thunk per kernel, same index order as Kernels.
+  std::vector<RunThunk> Thunks;
 };
 
 } // namespace seer

@@ -88,6 +88,29 @@ public:
                       const GpuSimulator &Sim) const = 0;
 };
 
+/// A devirtualized run entry point: a plain function pointer that calls
+/// one concrete kernel's run() non-virtually, bound to that kernel
+/// instance. The KernelRegistry captures one per kernel at registration
+/// (it knows the concrete type there, so the qualified call inside the
+/// thunk is resolved at compile time); cached ExecutionPlans carry the
+/// thunk so a repeat-stream run() stage makes zero virtual calls.
+/// Trivially copyable; valid as long as the registry that captured it.
+struct RunThunk {
+  using Fn = SpmvRun (*)(const SpmvKernel *, const CsrMatrix &,
+                         const MatrixStats &, const KernelState *,
+                         const std::vector<double> &, const GpuSimulator &);
+  Fn Run = nullptr;
+  const SpmvKernel *Kernel = nullptr;
+
+  explicit operator bool() const { return Run != nullptr; }
+
+  SpmvRun operator()(const CsrMatrix &M, const MatrixStats &Stats,
+                     const KernelState *State, const std::vector<double> &X,
+                     const GpuSimulator &Sim) const {
+    return Run(Kernel, M, Stats, State, X, Sim);
+  }
+};
+
 /// Cost constants shared by the kernel implementations. One SpMV inner
 /// step is: load column index, load value, gather x[col], FMA — roughly
 /// four issue slots; the byte counts follow the CSR element layout.

@@ -41,6 +41,8 @@
 
 namespace seer {
 
+class FlatTree;
+
 /// Training hyperparameters (defaults follow the paper's "max depth cap,
 /// nothing else tuned" stance).
 struct TreeConfig {
@@ -86,7 +88,13 @@ public:
   static DecisionTree train(const Dataset &Data, const TreeConfig &Config);
 
   /// Predicts the class of \p Features (arity must match training data).
+  /// This interpreted walk is the reference oracle for the compiled form.
   uint32_t predict(const std::vector<double> &Features) const;
+
+  /// Compiles the tree into its flat branch-free form (ml/FlatTree.h).
+  /// Bit-identical predictions for every input; the hot paths route
+  /// through the compiled form while this tree stays the oracle.
+  FlatTree compile() const;
 
   /// Predicts every row of \p Data.
   std::vector<uint32_t> predictAll(const Dataset &Data) const;

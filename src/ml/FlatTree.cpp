@@ -1,0 +1,58 @@
+//===- ml/FlatTree.cpp -----------------------------------------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/FlatTree.h"
+
+#include "ml/DecisionTree.h"
+
+using namespace seer;
+
+FlatTree FlatTree::compile(const DecisionTree &Tree) {
+  FlatTree Flat;
+  const std::vector<TreeNode> &Nodes = Tree.nodes();
+  if (Nodes.empty())
+    return Flat;
+
+  Flat.Arity = static_cast<uint32_t>(Tree.featureNames().size());
+  Flat.NumClasses = Tree.numClasses();
+
+  // Breadth-first renumbering: a node's flat index is its visit order, so
+  // each level is contiguous and the children of one level form the next.
+  // A child's flat index is assigned at push time (it is the worklist
+  // tail), so the SoA rows can be emitted in one forward pass. Nodes a
+  // parse()d tree shares between parents are duplicated, which keeps
+  // predict semantics identical; trained trees are proper trees and
+  // compile to exactly nodes().size() rows.
+  struct WorkItem {
+    int32_t Src;
+    uint32_t Depth;
+  };
+  std::vector<WorkItem> Order = {{0, 0}};
+  Order.reserve(Nodes.size());
+  for (size_t I = 0; I < Order.size(); ++I) {
+    const auto [Src, Depth] = Order[I];
+    const TreeNode &Node = Nodes[Src];
+    Flat.Depth = Depth > Flat.Depth ? Depth : Flat.Depth;
+    Flat.Threshold.push_back(Node.Threshold);
+    Flat.LeafClass.push_back(Node.Prediction);
+    if (Node.isLeaf()) {
+      // Self-loop: the branch-free walk parks here for its remaining
+      // trips. Feature 0 keeps the (ignored) compare in bounds.
+      Flat.Feature.push_back(0);
+      Flat.Left.push_back(static_cast<uint32_t>(I));
+      Flat.Right.push_back(static_cast<uint32_t>(I));
+    } else {
+      Flat.Feature.push_back(Node.FeatureIndex);
+      Flat.Left.push_back(static_cast<uint32_t>(Order.size()));
+      Order.push_back({Node.Left, Depth + 1});
+      Flat.Right.push_back(static_cast<uint32_t>(Order.size()));
+      Order.push_back({Node.Right, Depth + 1});
+    }
+  }
+  return Flat;
+}
+
+FlatTree DecisionTree::compile() const { return FlatTree::compile(*this); }

@@ -251,6 +251,12 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
   const AnalyzedMatrix A = Planner::adopt(M, Entry->Stats, Fingerprint);
   FaultInjector &Faults = FaultInjector::instance();
 
+  // Per-entry reset of this thread's plan-scratch arena: every stage
+  // below draws its feature scratch from it, so on the repeat stream the
+  // whole select->execute path allocates nothing (flat_tree_test holds
+  // this with the operator-new counter).
+  Planner::scratchArena().reset();
+
   // Observability: when the SpanRecorder is armed, mint a request id
   // (inherited by every nested span, including the Planner-internal
   // ones) and time each stage into its histogram. Disarmed, all of this
@@ -279,30 +285,42 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
   // propagates typed (the session layer's RetryPolicy re-issues); a
   // terminal failure or an open breaker degrades to the baseline kernel.
   bool Degraded = false;
-  ExecutionPlan Plan;
-  if (!SelectBreaker.allow()) {
-    Degraded = true;
-  } else {
+  Status SelectFailure = Status::okStatus();
+  // Direct-initialized from the lambda so the hot path constructs the
+  // plan in place (guaranteed elision) instead of default-constructing
+  // and move-assigning — the select stage is on the sub-microsecond
+  // budget the select-micro bench gate holds.
+  ExecutionPlan Plan = [&]() -> ExecutionPlan {
+    if (!SelectBreaker.allow()) {
+      Degraded = true;
+      return {};
+    }
     const StageClock Select(Obs);
     try {
       if (Status F = Faults.check(faultsite::PlanSelect); !F.ok())
         throw InjectedFaultError(std::move(F));
-      Plan = Pipeline.plan(A, R.Iterations,
-                           CacheHit ? CollectionCharging::Precollected
-                                    : CollectionCharging::Charged);
+      ExecutionPlan P = Pipeline.plan(A, R.Iterations,
+                                      CacheHit ? CollectionCharging::Precollected
+                                               : CollectionCharging::Charged);
       SelectBreaker.recordSuccess();
       recordStage(Select, StageSelectUs, &CostErrorSelect,
-                  Plan.Selection.overheadMs());
+                  P.Selection.overheadMs());
+      return P;
     } catch (const InjectedFaultError &E) {
       SelectBreaker.recordFailure();
       if (!DegradeOnError && E.status().isRetryable())
-        return finishError(E.status(), Start);
-      Degraded = true;
+        SelectFailure = E.status();
+      else
+        Degraded = true;
+      return {};
     } catch (const std::bad_alloc &) {
       SelectBreaker.recordFailure();
       Degraded = true;
+      return {};
     }
-  }
+  }();
+  if (!SelectFailure.ok())
+    return finishError(std::move(SelectFailure), Start);
 
   if (!Degraded) {
     R.Selection = Plan.Selection;
@@ -434,6 +452,7 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
               if (!Slot.State && !Slot.Paid && Probes[K].State) {
                 Slot.State = std::move(Probes[K].State);
                 Slot.PreprocessMs = Probes[K].ModeledPreprocessMs;
+                Slot.Thunk = Probes[K].Thunk;
                 Grew = true;
               }
             }
@@ -525,6 +544,9 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
   const AnalyzedMatrix A = Planner::adopt(M, Registered.Entry->Stats,
                                           Registered.Fingerprint);
   FaultInjector &Faults = FaultInjector::instance();
+
+  // Per-entry arena reset, as in serveEntry.
+  Planner::scratchArena().reset();
 
   // Observability (see serveEntry): one request id for the batch, one
   // serve.batch span enclosing every stage span it spawns.
@@ -718,6 +740,10 @@ Expected<BatchResponse> SeerServer::executeBatchRegistered(
   return B;
 }
 
+// The deprecated batch shim is defined in terms of the deprecated
+// single-request shim on purpose; silence the self-referential warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 std::vector<ServeResponse>
 SeerServer::handleBatch(const std::vector<ServeRequest> &Batch,
                         unsigned Parallelism) {
@@ -726,6 +752,7 @@ SeerServer::handleBatch(const std::vector<ServeRequest> &Batch,
               [&](size_t I) { Responses[I] = handle(Batch[I]); });
   return Responses;
 }
+#pragma GCC diagnostic pop
 
 ServerStats SeerServer::stats() const {
   ServerStats S;

@@ -159,14 +159,17 @@ public:
   /// alive for the duration of handle(). Kept as a shim so the
   /// bit-identity gates can compare this path against handleRegistered()
   /// on the same trace; new code should use api/SeerService.h.
-  ServeResponse handle(const ServeRequest &Request);
+  [[deprecated("use registerMatrix()/handleRegistered() or the session API "
+               "in api/SeerService.h")]] ServeResponse
+  handle(const ServeRequest &Request);
 
   /// \deprecated Serves a batch of pointer-based requests, fanning out
   /// over the process-wide pool with the pipeline's parallelism
   /// convention (0 = hardware threads, 1 = serial). Responses are in
   /// request order. Same migration note as handle().
-  std::vector<ServeResponse> handleBatch(const std::vector<ServeRequest> &Batch,
-                                         unsigned Parallelism);
+  [[deprecated("use registerMatrix()/executeBatchRegistered() or the "
+               "session API in api/SeerService.h")]] std::vector<ServeResponse>
+  handleBatch(const std::vector<ServeRequest> &Batch, unsigned Parallelism);
 
   /// Telemetry snapshot, assembled from the metrics registry (which is
   /// the single source of truth — ServerStats is a *view*). The counters

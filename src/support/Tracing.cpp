@@ -12,10 +12,6 @@
 
 namespace seer {
 
-namespace {
-thread_local uint64_t TlsRequestId = 0;
-} // namespace
-
 /// One thread's bounded span buffer. Guarded by its own mutex: the
 /// owning thread appends, a draining thread empties — contention exists
 /// only while a drain is in flight. Rings are shared_ptrs registered in
@@ -43,10 +39,12 @@ void SpanRecorder::arm(size_t CapacityPerThread) {
   // Release pairs with the acquire in record()/drain(): a ring that
   // observes the new epoch also observes the new capacity.
   Epoch.fetch_add(1, std::memory_order_release);
-  Armed.store(true, std::memory_order_relaxed);
+  tracing_detail::Armed.store(true, std::memory_order_relaxed);
 }
 
-void SpanRecorder::disarm() { Armed.store(false, std::memory_order_relaxed); }
+void SpanRecorder::disarm() {
+  tracing_detail::Armed.store(false, std::memory_order_relaxed);
+}
 
 SpanRecorder::Ring *SpanRecorder::threadRing() {
   thread_local std::shared_ptr<Ring> TlsRing;
@@ -147,8 +145,6 @@ uint64_t SpanRecorder::nowNs() {
           .count());
 }
 
-uint64_t SpanRecorder::currentRequestId() { return TlsRequestId; }
-
 std::string SpanRecorder::chromeTraceJson(const std::vector<TraceSpan> &Spans) {
   // Rebase timestamps to the earliest span so the trace opens at t=0
   // instead of hours into steady_clock.
@@ -185,12 +181,6 @@ std::string SpanRecorder::chromeTraceJson(const std::vector<TraceSpan> &Spans) {
   return Out;
 }
 
-ScopedRequestId::ScopedRequestId(uint64_t Id) : Saved(TlsRequestId) {
-  TlsRequestId = Id;
-}
-
-ScopedRequestId::~ScopedRequestId() { TlsRequestId = Saved; }
-
 void ScopedSpan::begin(const char *SpanName, uint64_t Request) {
   Active = true;
   Name = SpanName;
@@ -198,9 +188,7 @@ void ScopedSpan::begin(const char *SpanName, uint64_t Request) {
   StartNs = SpanRecorder::nowNs();
 }
 
-ScopedSpan::~ScopedSpan() {
-  if (!Active)
-    return;
+void ScopedSpan::finish() {
   uint64_t End = SpanRecorder::nowNs();
   SpanRecorder::instance().record(Name, StartNs, End - StartNs, RequestId,
                                   TagKey, TagValue);

@@ -62,6 +62,17 @@ inline constexpr const char *ServeRetry = "serve.retry";
 inline constexpr const char *QueueWait = "queue.wait";
 } // namespace spanname
 
+/// Hot-path state mirrored at namespace scope so the disarmed checks
+/// compile to a single inline relaxed load / TLS access with no
+/// out-of-line call. Owned by SpanRecorder (arm()/disarm() and
+/// ScopedRequestId are the only writers); not part of the public API.
+namespace tracing_detail {
+/// The recorder's armed flag. `inline` (C++17) — one flag per process.
+inline std::atomic<bool> Armed{false};
+/// The calling thread's current request id; 0 outside any request.
+inline thread_local uint64_t RequestId = 0;
+} // namespace tracing_detail
+
 /// One recorded interval. Name/TagKey point at string literals (the
 /// `spanname::` constants or call-site literals with static storage
 /// duration) — spans never own memory, which is what keeps recording
@@ -93,7 +104,9 @@ public:
   /// Disarms recording; rings keep their contents for a later drain().
   void disarm();
 
-  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+  bool armed() const {
+    return tracing_detail::Armed.load(std::memory_order_relaxed);
+  }
 
   /// Records a finished interval (the manual form; prefer ScopedSpan).
   /// No-op when disarmed.
@@ -118,7 +131,7 @@ public:
 
   /// The calling thread's current request id (see ScopedRequestId);
   /// 0 outside any request.
-  static uint64_t currentRequestId();
+  static uint64_t currentRequestId() { return tracing_detail::RequestId; }
 
   /// Renders spans as a Chrome trace-event JSON document (complete "X"
   /// events, microsecond timestamps rebased to the earliest span). Open
@@ -131,7 +144,6 @@ private:
   SpanRecorder() = default;
   Ring *threadRing();
 
-  std::atomic<bool> Armed{false};
   std::atomic<size_t> Capacity{DefaultCapacityPerThread};
   /// Bumped by arm(); rings lazily reset when they notice a new epoch,
   /// so arm() never has to visit (or race) other threads' rings.
@@ -148,8 +160,10 @@ private:
 /// thread meanwhile inherit the id.
 class ScopedRequestId {
 public:
-  explicit ScopedRequestId(uint64_t Id);
-  ~ScopedRequestId();
+  explicit ScopedRequestId(uint64_t Id) : Saved(tracing_detail::RequestId) {
+    tracing_detail::RequestId = Id;
+  }
+  ~ScopedRequestId() { tracing_detail::RequestId = Saved; }
   ScopedRequestId(const ScopedRequestId &) = delete;
   ScopedRequestId &operator=(const ScopedRequestId &) = delete;
 
@@ -165,14 +179,17 @@ private:
 class ScopedSpan {
 public:
   explicit ScopedSpan(const char *Name) {
-    if (SpanRecorder::instance().armed())
+    if (tracing_detail::Armed.load(std::memory_order_relaxed))
       begin(Name, SpanRecorder::currentRequestId());
   }
   ScopedSpan(const char *Name, uint64_t RequestId) {
-    if (SpanRecorder::instance().armed())
+    if (tracing_detail::Armed.load(std::memory_order_relaxed))
       begin(Name, RequestId);
   }
-  ~ScopedSpan();
+  ~ScopedSpan() {
+    if (Active)
+      finish();
+  }
   ScopedSpan(const ScopedSpan &) = delete;
   ScopedSpan &operator=(const ScopedSpan &) = delete;
 
@@ -190,6 +207,7 @@ public:
 
 private:
   void begin(const char *Name, uint64_t RequestId);
+  void finish();
 
   bool Active = false;
   const char *Name = nullptr;

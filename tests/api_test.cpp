@@ -30,6 +30,11 @@
 #include <mutex>
 #include <thread>
 
+// A few tests drive the deprecated pointer-based v1 entry points
+// deliberately (shared-state checks across both APIs); silence their
+// deprecation warnings.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 using namespace seer;
 
 namespace {

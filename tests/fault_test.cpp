@@ -36,6 +36,10 @@
 #include <fstream>
 #include <thread>
 
+// One test covers the deprecated v1 path's degrade-on-error contract;
+// its deprecation warning is silenced on purpose.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 using namespace seer;
 
 namespace {

@@ -26,6 +26,11 @@
 #include <limits>
 #include <thread>
 
+// The deprecated pointer-based v1 entry points are part of what this file
+// tests (the v1-vs-v2 bit-identity contract depends on them), so their
+// deprecation warnings are silenced here on purpose.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 using namespace seer;
 
 namespace {

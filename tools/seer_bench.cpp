@@ -9,7 +9,7 @@
 // either Matrix Market files given on the command line or the built-in
 // synthetic collection.
 //
-//   seer-bench --out DIR [--variants N] [--max-rows N] [--seed S] \
+//   seer-bench --out DIR [--variants N] [--max-rows N] [--seed S]
 //              [--small-gpu] [file.mtx ...]
 //
 //===----------------------------------------------------------------------===//

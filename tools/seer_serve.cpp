@@ -25,7 +25,8 @@
 // throughput summary are printed. With a single client the per-request
 // response lines are printed too (in order), so a trace doubles as a
 // readable demo. Traces without a `seer-trace v2` header replay through
-// the deprecated pointer-based path, exactly as PR 2 served them.
+// the server's handle API (each matrix registered once up front), with
+// the same selections PR 2's pointer-based path produced.
 //
 // The protocol grammar is documented in serve/RequestTrace.h and the
 // README's "Serving" section.
@@ -63,7 +64,7 @@ constexpr const char *Usage =
     "'seer-trace v2' header replay through session handles (open/close\n"
     "scriptable, 'batch NAME COUNT [ITERATIONS]' runs one execution plan\n"
     "over COUNT deterministic operands); headerless traces replay through\n"
-    "the deprecated pointer-based path.\n"
+    "the server handle API with every matrix registered up front.\n"
     "\n"
     "options:\n"
     "  --models DIR        directory with seer_{known,gathered,selector}.tree\n"
@@ -268,27 +269,50 @@ uint64_t replayV2(SeerService &Service, const TraceScript &Script,
   return Errors;
 }
 
-/// One client's replay of a headerless (v1) trace through the deprecated
-/// pointer-based server path, exactly as PR 2 served it. \returns 0: the
-/// v1 path degrades instead of erroring, and v1 traces cannot carry
-/// fault/open/close ops.
+/// One client's replay of a headerless (v1) trace through the handle
+/// API: every trace matrix is registered once up front (fingerprint and
+/// analysis paid there, as registration defines), then each op serves
+/// against its registration. Selections and Y vectors are bit-identical
+/// to the deprecated pointer-based shim this replaced; the differences
+/// are the ones registration is *for* — responses report CacheHit
+/// uniformly (the analysis is always amortized) and failures surface as
+/// typed error lines instead of silent degradation. \returns the number
+/// of error-line outcomes (v1 traces carry no fault ops, so this is 0
+/// unless a fault plan was armed from outside the trace).
 uint64_t replayV1(SeerServer &Server, const TraceScript &Script,
                   unsigned Repeat, bool Print, const KernelRegistry &Registry) {
+  // Zero-copy registration, as in replayV2: the parsed script outlives
+  // this replay, so the registrations alias its matrices.
+  std::vector<RegisteredMatrix> Handles;
+  Handles.reserve(Script.Matrices.size());
+  for (const auto &Named : Script.Matrices)
+    Handles.push_back(Server.registerMatrix(std::shared_ptr<const CsrMatrix>(
+        std::shared_ptr<void>(), &Named.second)));
+
+  uint64_t Errors = 0;
   for (unsigned K = 0; K < Repeat; ++K)
     for (const TraceScript::Op &Op : Script.Ops) {
-      ServeRequest Request;
-      Request.Matrix = &Script.Matrices[Op.MatrixIndex].second;
-      Request.Iterations = Op.Iterations;
-      Request.Execute = Op.Command == TraceScript::Op::Kind::Execute;
-      Request.VerifyOracle = Op.Verify;
-      const ServeResponse Response = Server.handle(Request);
-      if (Print)
+      ServeOptions Options;
+      Options.Iterations = Op.Iterations;
+      Options.Execute = Op.Command == TraceScript::Op::Kind::Execute;
+      Options.VerifyOracle = Op.Verify;
+      const Expected<ServeResponse> Response =
+          Server.handleRegistered(Handles[Op.MatrixIndex], Options);
+      if (!Response) {
+        ++Errors;
+        if (Print)
+          std::printf("%s\n", formatErrorLine(Response.status()).c_str());
+      } else if (Print) {
         std::printf("%s\n",
                     formatResponseLine(Script.Matrices[Op.MatrixIndex].first,
-                                       Response, Registry)
+                                       *Response, Registry)
                         .c_str());
+      }
     }
-  return 0;
+
+  for (const RegisteredMatrix &Handle : Handles)
+    Server.releaseMatrix(Handle);
+  return Errors;
 }
 
 /// Replays the trace with \p Clients concurrent clients and prints the
