@@ -76,7 +76,7 @@ Expected<MatrixHandle> SeerService::registerMatrix(MatrixInput Input) {
 
   MatrixHandle Handle;
   {
-    std::lock_guard<std::mutex> Lock(HandlesMutex);
+    MutexLock Lock(HandlesMutex);
     Handle.Id = NextHandleId++;
     Handles.emplace(Handle.Id, std::move(NewReg));
   }
@@ -86,7 +86,7 @@ Expected<MatrixHandle> SeerService::registerMatrix(MatrixInput Input) {
 Status SeerService::release(MatrixHandle Handle) {
   std::shared_ptr<Registration> Dropped;
   {
-    std::lock_guard<std::mutex> Lock(HandlesMutex);
+    MutexLock Lock(HandlesMutex);
     const auto It = Handles.find(Handle.Id);
     if (It == Handles.end())
       return Status::notFound("unknown or already released matrix handle " +
@@ -106,7 +106,7 @@ SeerService::resolve(MatrixHandle Handle, const Request &R) const {
     return Status::invalidArgument("null matrix handle");
   std::shared_ptr<Registration> Reg;
   {
-    std::lock_guard<std::mutex> Lock(HandlesMutex);
+    MutexLock Lock(HandlesMutex);
     const auto It = Handles.find(Handle.Id);
     if (It == Handles.end())
       return Status::notFound("unknown or released matrix handle " +
@@ -213,7 +213,7 @@ Status SeerService::tryAdmit() {
     return F;
   // Admission control: bounded in-flight count, rejected (not blocked)
   // when full so a client-side burst cannot wedge its own threads.
-  std::lock_guard<std::mutex> Lock(AsyncMutex);
+  MutexLock Lock(AsyncMutex);
   if (InFlight >= AsyncCapacity)
     return Status::resourceExhausted(
         "async queue full (" + std::to_string(AsyncCapacity) +
@@ -285,7 +285,7 @@ Expected<std::future<Expected<ServeResponse>>> SeerService::submit(Request R) {
         Options.Deadline = Deadline;
         Promise->set_value(serveWithRetry(Reg->R, Options));
         Reg.reset(); // return the pin before signaling idle
-        std::lock_guard<std::mutex> Lock(AsyncMutex);
+        MutexLock Lock(AsyncMutex);
         if (--InFlight == 0)
           AsyncIdle.notify_all();
       });
@@ -293,8 +293,10 @@ Expected<std::future<Expected<ServeResponse>>> SeerService::submit(Request R) {
 }
 
 void SeerService::drain() {
-  std::unique_lock<std::mutex> Lock(AsyncMutex);
-  AsyncIdle.wait(Lock, [&] { return InFlight == 0; });
+  MutexLock Lock(AsyncMutex);
+  // While-loop form keeps the guarded condition inside the analyzed scope.
+  while (InFlight != 0)
+    AsyncIdle.wait(Lock);
 }
 
 Expected<HandleInfo> SeerService::describe(MatrixHandle Handle) const {

@@ -44,12 +44,11 @@
 #include "api/MatrixInput.h"
 #include "api/Status.h"
 #include "serve/SeerServer.h"
+#include "support/ThreadAnnotations.h"
 
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -274,17 +273,18 @@ private:
   /// destructors unpin — and the destructor drains async work first.
   SeerServer Server;
 
-  mutable std::mutex HandlesMutex;
-  std::unordered_map<uint64_t, std::shared_ptr<Registration>> Handles;
-  uint64_t NextHandleId = 1;
+  mutable seer::Mutex HandlesMutex;
+  std::unordered_map<uint64_t, std::shared_ptr<Registration>> Handles
+      SEER_GUARDED_BY(HandlesMutex);
+  uint64_t NextHandleId SEER_GUARDED_BY(HandlesMutex) = 1;
 
   /// Async admission accounting. InFlight is guarded by AsyncMutex so
   /// drain() can wait on it without missed wakeups.
   const size_t AsyncCapacity;
   const RetryPolicy Retry;
-  mutable std::mutex AsyncMutex;
-  std::condition_variable AsyncIdle;
-  size_t InFlight = 0;
+  mutable seer::Mutex AsyncMutex;
+  CondVar AsyncIdle;
+  size_t InFlight SEER_GUARDED_BY(AsyncMutex) = 0;
 
   /// Session-layer telemetry, registered in the server's registry so one
   /// export covers the stack (declaration order is load-bearing: Server

@@ -19,6 +19,10 @@ std::vector<double> features::knownVector(const KnownFeatures &Known,
   return Out;
 }
 
+// seer-hot-begin(features-vector-into): tools/seer_lint.py forbids heap
+// allocation and unordered-container iteration inside this region — the
+// *Into forms exist precisely so the serve hot path can fill arena or
+// stack scratch without touching the heap.
 void features::knownVectorInto(const KnownFeatures &Known, double Iterations,
                                double *Out) {
   Out[0] = static_cast<double>(Known.NumRows);
@@ -26,6 +30,7 @@ void features::knownVectorInto(const KnownFeatures &Known, double Iterations,
   Out[2] = static_cast<double>(Known.Nnz);
   Out[3] = Iterations;
 }
+// seer-hot-end(features-vector-into)
 
 std::vector<std::string> features::gatheredNames() {
   return {"rows",        "cols",        "nnz",          "iterations",
@@ -40,6 +45,8 @@ std::vector<double> features::gatheredVector(const KnownFeatures &Known,
   return Out;
 }
 
+// seer-hot-begin(features-gathered-into): same zero-allocation contract as
+// features-vector-into above.
 void features::gatheredVectorInto(const KnownFeatures &Known,
                                   const GatheredFeatures &Gathered,
                                   double Iterations, double *Out) {
@@ -49,6 +56,7 @@ void features::gatheredVectorInto(const KnownFeatures &Known,
   Out[KnownArity + 2] = Gathered.MeanRowDensity;
   Out[KnownArity + 3] = Gathered.VarRowDensity;
 }
+// seer-hot-end(features-gathered-into)
 
 std::vector<std::string> features::featureCsvColumns() {
   std::vector<std::string> Columns = {"name"};

@@ -62,6 +62,8 @@ public:
 
   /// Allocates \p Bytes with \p Alignment (a power of two). Never fails:
   /// a request the block cannot hold falls back to the heap.
+  // seer-hot-begin(plan-arena-allocate): the bump path must stay
+  // heap-free; only the documented overflow fallback below may allocate.
   void *allocate(size_t Bytes, size_t Alignment) {
     assert((Alignment & (Alignment - 1)) == 0 && "alignment not a power of 2");
     const size_t Aligned = (Offset + Alignment - 1) & ~(Alignment - 1);
@@ -69,9 +71,12 @@ public:
       Offset = Aligned + Bytes;
       return Block.get() + Aligned;
     }
+    // seer-lint: allow(hot-path-alloc) documented capacity-overflow
+    // fallback; correctness never depends on the capacity guess.
     Overflow.emplace_back(new unsigned char[Bytes ? Bytes : 1]);
     return Overflow.back().get();
   }
+  // seer-hot-end(plan-arena-allocate)
 
   /// Typed array of \p Count elements. T must be trivially destructible
   /// (the arena never runs destructors).

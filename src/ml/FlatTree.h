@@ -56,6 +56,8 @@ public:
   /// have at least arity() elements. Bit-identical to the interpreted
   /// DecisionTree::predict on the source tree for every input, including
   /// NaN and infinities.
+  // seer-hot-begin(flat-tree-predict): tools/seer_lint.py forbids heap
+  // allocation and unordered-container iteration inside this region.
   uint32_t predict(const double *Features) const {
     assert(!empty() && "predict on an empty FlatTree");
     uint32_t Node = 0;
@@ -69,6 +71,7 @@ public:
     }
     return LeafClass[Node];
   }
+  // seer-hot-end(flat-tree-predict)
 
   /// True for a default-constructed / compiled-from-empty tree.
   bool empty() const { return LeafClass.empty(); }

@@ -59,7 +59,11 @@
 /// Lock order is entry -> shard; the eviction path, which holds a shard
 /// lock, only try_locks entry mutexes and falls back to whole-entry
 /// removal (which needs no entry lock) when one is busy, so the two
-/// orders cannot deadlock.
+/// orders cannot deadlock. The discipline is annotated with the
+/// capability macros from support/ThreadAnnotations.h — guarded members,
+/// SEER_REQUIRES on lock-held helpers, SEER_EXCLUDES(E->Mutex) on
+/// noteMutation() — and checked at compile time by Clang's
+/// -Wthread-safety analysis under -DSEER_THREAD_SAFETY=ON.
 ///
 /// Fingerprints are 64-bit content hashes: a collision between two
 /// distinct matrices is vanishingly unlikely (~2^-64 per pair) and would
@@ -74,11 +78,11 @@
 #include "core/ExecutionPlan.h"
 #include "kernels/SpmvKernel.h"
 #include "sparse/MatrixStats.h"
+#include "support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -103,13 +107,12 @@ public:
     /// Single-pass analysis (known + gathered features and the simulator
     /// inputs). Immutable after construction.
     MatrixStats Stats;
-    /// Amortization ledger, indexed by kernel-registry order. Guarded by
-    /// Mutex.
-    std::vector<KernelSlot> Kernels;
+    /// Amortization ledger, indexed by kernel-registry order.
+    std::vector<KernelSlot> Kernels SEER_GUARDED_BY(Mutex);
     /// Lazily filled noise-free per-kernel measurements (the oracle);
-    /// empty until the first VerifyOracle request. Guarded by Mutex.
-    std::vector<KernelMeasurement> Oracle;
-    std::mutex Mutex;
+    /// empty until the first VerifyOracle request.
+    std::vector<KernelMeasurement> Oracle SEER_GUARDED_BY(Mutex);
+    seer::Mutex Mutex;
     /// Live registration handles pinning this entry (see pin()/unpin()).
     /// While nonzero, whole-entry eviction skips the entry; shedding its
     /// recomputable bytes remains allowed. Mutated only under the owning
@@ -172,8 +175,9 @@ public:
   /// Re-accounts \p E after the caller grew or shrank it (filled a ledger
   /// slot, stashed oracle data) and evicts if the shard is over budget.
   /// Must be called WITHOUT E->Mutex held (lock order is entry -> shard,
-  /// and this takes both). No-op when E is no longer resident.
-  void noteMutation(const std::shared_ptr<Entry> &E);
+  /// and this takes both — statically enforced by the SEER_EXCLUDES
+  /// negative capability below). No-op when E is no longer resident.
+  void noteMutation(const std::shared_ptr<Entry> &E) SEER_EXCLUDES(E->Mutex);
 
   /// Configured budget (0 = unbounded).
   size_t budgetBytes() const { return BudgetBytes; }
@@ -193,11 +197,12 @@ private:
   };
 
   struct Shard {
-    mutable std::mutex Mutex;
+    mutable seer::Mutex Mutex;
     /// Segment lists, most recently used at the front.
-    std::list<Node> Probation;
-    std::list<Node> Protected;
-    std::unordered_map<uint64_t, std::list<Node>::iterator> Index;
+    std::list<Node> Probation SEER_GUARDED_BY(Mutex);
+    std::list<Node> Protected SEER_GUARDED_BY(Mutex);
+    std::unordered_map<uint64_t, std::list<Node>::iterator> Index
+        SEER_GUARDED_BY(Mutex);
     /// Recently evicted fingerprints, for re-analysis counting: a
     /// fixed-size direct-mapped table (slot = hash of fp), written on
     /// whole-entry eviction and probed on miss. Storing the full
@@ -205,16 +210,16 @@ private:
     /// positives); a collision overwrites and can only *under*count. The
     /// table is bounded by construction — an unbounded exact set would
     /// reintroduce the very leak this cache exists to fix.
-    std::vector<uint64_t> EvictedFingerprints;
-    size_t UsedBytes = 0;
-    size_t ProtectedBytes = 0;
-    uint64_t Evictions = 0;
-    uint64_t PartialEvictions = 0;
-    uint64_t BytesEvicted = 0;
-    uint64_t Reanalyses = 0;
+    std::vector<uint64_t> EvictedFingerprints SEER_GUARDED_BY(Mutex);
+    size_t UsedBytes SEER_GUARDED_BY(Mutex) = 0;
+    size_t ProtectedBytes SEER_GUARDED_BY(Mutex) = 0;
+    uint64_t Evictions SEER_GUARDED_BY(Mutex) = 0;
+    uint64_t PartialEvictions SEER_GUARDED_BY(Mutex) = 0;
+    uint64_t BytesEvicted SEER_GUARDED_BY(Mutex) = 0;
+    uint64_t Reanalyses SEER_GUARDED_BY(Mutex) = 0;
     /// Resident entries with Pins > 0, maintained on the 0 <-> 1 pin
     /// transitions so stats() stays O(1) per shard.
-    size_t PinnedCount = 0;
+    size_t PinnedCount SEER_GUARDED_BY(Mutex) = 0;
   };
 
   Shard &shardFor(uint64_t Fingerprint) {
@@ -223,15 +228,23 @@ private:
 
   /// Promotes a just-hit node (probation -> protected, or to the front of
   /// protected) and demotes the protected tail while it exceeds its cap.
-  /// Caller holds S.Mutex.
-  void touch(Shard &S, std::list<Node>::iterator It);
+  void touch(Shard &S, std::list<Node>::iterator It) SEER_REQUIRES(S.Mutex);
+
+  /// Sheds \p N's recomputable bytes (the first eviction stage) and
+  /// re-accounts the shard. Holds the entry's own mutex only via
+  /// try_lock — the eviction path runs under the shard lock, opposite the
+  /// entry -> shard order, so it must never block on an entry mutex —
+  /// unless the entry is \p AlreadyLocked, whose lock the caller already
+  /// holds on our behalf.
+  void shedNode(Shard &S, Node &N, Entry *AlreadyLocked)
+      SEER_REQUIRES(S.Mutex) SEER_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Evicts from \p S until UsedBytes <= ShardBudget (no-op when
-  /// unbounded). Caller holds S.Mutex; when it also holds one resident
-  /// entry's mutex it passes that entry as \p AlreadyLocked so the shed
-  /// stage can mutate it directly instead of try_locking it (which would
-  /// always fail and needlessly escalate to whole-entry eviction).
-  void enforceBudget(Shard &S, Entry *AlreadyLocked);
+  /// unbounded). When the caller also holds one resident entry's mutex it
+  /// passes that entry as \p AlreadyLocked so the shed stage can mutate it
+  /// directly instead of try_locking it (which would always fail and
+  /// needlessly escalate to whole-entry eviction).
+  void enforceBudget(Shard &S, Entry *AlreadyLocked) SEER_REQUIRES(S.Mutex);
 
   std::vector<Shard> Shards;
   /// Global budget and the equal slice each shard enforces (0 = off).

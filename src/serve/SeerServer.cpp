@@ -183,7 +183,7 @@ bool SeerServer::preparePlan(
   // eviction resets the fragments along with the entry.
   {
     ScopedSpan LedgerSpan(spanname::CacheLedger);
-    std::lock_guard<std::mutex> Lock(Entry->Mutex);
+    MutexLock Lock(Entry->Mutex);
     FingerprintCache::KernelSlot &Slot = Entry->Kernels[Plan.kernelIndex()];
     if (Slot.Paid) {
       Pipeline.reusePrepared(Plan, Slot, /*AlreadyPaid=*/true);
@@ -204,7 +204,7 @@ bool SeerServer::preparePlan(
   bool Reused = false;
   {
     ScopedSpan LedgerSpan(spanname::CacheLedger);
-    std::lock_guard<std::mutex> Lock(Entry->Mutex);
+    MutexLock Lock(Entry->Mutex);
     FingerprintCache::KernelSlot &Slot = Entry->Kernels[Plan.kernelIndex()];
     if (!Slot.Paid) {
       Slot = Pipeline.exportPrepared(Plan);
@@ -421,7 +421,7 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
           throw InjectedFaultError(std::move(F));
         std::vector<KernelMeasurement> Oracle;
         {
-          std::lock_guard<std::mutex> Lock(Entry->Mutex);
+          MutexLock Lock(Entry->Mutex);
           Oracle = Entry->Oracle;
         }
         if (Oracle.empty()) {
@@ -438,7 +438,7 @@ SeerServer::serveEntry(const CsrMatrix &M, uint64_t Fingerprint,
           }
           bool Grew = false;
           {
-            std::lock_guard<std::mutex> Lock(Entry->Mutex);
+            MutexLock Lock(Entry->Mutex);
             if (Entry->Oracle.empty()) {
               Entry->Oracle = Oracle;
               Grew = true;

@@ -36,7 +36,13 @@
 ///
 /// Thread safety: every request entry point may be called concurrently
 /// from any number of threads. All shared state is behind the sharded
-/// cache's locks or atomics; model inference itself is read-only.
+/// cache's locks or atomics; model inference itself is read-only. The
+/// server owns no mutex of its own, so the capability annotations
+/// (support/ThreadAnnotations.h) live in the structures it borrows: the
+/// cache's per-entry mutex guards the amortization ledger and oracle this
+/// file mutates (see the MutexLock sections in SeerServer.cpp), and the
+/// counters/gauges here are lock-free atomics checked by TSan, not by
+/// capability analysis.
 /// handleBatch() fans a request vector out over the process-wide
 /// ThreadPool.
 ///
@@ -180,7 +186,7 @@ public:
   ServerStats stats() const;
 
   /// This server's metrics registry: every ServerStats field lives here
-  /// (see tools/metrics_lint.py for the field↔metric map), alongside the
+  /// (see tools/seer_lint.py for the field↔metric map), alongside the
   /// per-stage wall-time and cost-model-error histograms that have no
   /// ServerStats slot. The session layer (api/SeerService.h) registers
   /// its counters here too, so one export covers the whole stack.

@@ -18,7 +18,10 @@
 ///             breaker, its failure re-opens (and restarts the cooldown).
 ///
 /// Thread safety: all transitions are lock-free atomics; exactly one
-/// concurrent caller can win the open->half-open CAS and probe.
+/// concurrent caller can win the open->half-open CAS and probe. There is
+/// no mutex here, so Clang's capability analysis (see
+/// support/ThreadAnnotations.h) has nothing to annotate: correctness
+/// rests on the CAS transitions below, checked by the TSan CI job.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -164,6 +164,8 @@ FaultInjector &FaultInjector::instance() {
 
 FaultInjector::FaultInjector() {
   // CI hook: an environment plan arms unmodified binaries.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once while constructing the
+  // magic-static singleton, before any thread can race on the environment.
   if (const char *Path = std::getenv("SEER_FAULT_PLAN");
       Path && Path[0] != '\0') {
     Expected<FaultPlan> Plan = FaultPlan::load(Path);
@@ -200,7 +202,7 @@ Status FaultInjector::arm(const FaultPlan &Plan) {
       return Status::invalidArgument("fault rule for '" + Rule.Site +
                                      "' needs exactly one of nth=/every=");
   }
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   Seed = Plan.Seed;
   Rules = Plan.Rules;
   reindexLocked();
@@ -214,7 +216,7 @@ Status FaultInjector::addRule(const FaultRule &Rule) {
   if ((Rule.Nth == 0) == (Rule.Every == 0))
     return Status::invalidArgument("fault rule for '" + Rule.Site +
                                    "' needs exactly one of nth=/every=");
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   // Preserve existing hit counters: reindex rebuilds rule indices only,
   // and SiteState entries for already-hit sites are re-created with their
   // counters carried over.
@@ -231,7 +233,7 @@ Status FaultInjector::addRule(const FaultRule &Rule) {
 }
 
 void FaultInjector::reseed(uint64_t NewSeed) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   Seed = NewSeed;
   // Phases derive from (seed, site, rule); hit counters are schedule
   // state, not phase state, and carry over untouched.
@@ -245,7 +247,7 @@ void FaultInjector::reseed(uint64_t NewSeed) {
 }
 
 void FaultInjector::disarm() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   Armed.store(false, std::memory_order_relaxed);
   Seed = 0;
   Rules.clear();
@@ -254,7 +256,7 @@ void FaultInjector::disarm() {
 }
 
 Status FaultInjector::checkSlow(const char *Site) {
-  std::unique_lock<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   const auto It = Sites.find(Site);
   if (It == Sites.end())
     return Status();

@@ -65,10 +65,10 @@
 #define SEER_SUPPORT_FAULTINJECTOR_H
 
 #include "api/Status.h"
+#include "support/ThreadAnnotations.h"
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <new>
 #include <stdexcept>
 #include <string>
@@ -203,24 +203,23 @@ private:
   Status checkSlow(const char *Site);
 
   /// Rebuilds the per-site index and every-K phases from Rules/Seed.
-  /// Caller holds Mutex.
-  void reindexLocked();
+  void reindexLocked() SEER_REQUIRES(Mutex);
 
   /// The disarmed fast path reads only this flag.
   std::atomic<bool> Armed{false};
   std::atomic<uint64_t> Injected{0};
 
-  mutable std::mutex Mutex;
-  uint64_t Seed = 0;
-  std::vector<FaultRule> Rules;
+  mutable seer::Mutex Mutex;
+  uint64_t Seed SEER_GUARDED_BY(Mutex) = 0;
+  std::vector<FaultRule> Rules SEER_GUARDED_BY(Mutex);
   /// Per-rule phase shift for every-K schedules (0 for nth rules).
-  std::vector<uint64_t> Phases;
+  std::vector<uint64_t> Phases SEER_GUARDED_BY(Mutex);
   struct SiteState {
     uint64_t Hits = 0;
     /// Indices into Rules, in plan order; the first firing rule wins.
     std::vector<size_t> RuleIndex;
   };
-  std::unordered_map<std::string, SiteState> Sites;
+  std::unordered_map<std::string, SiteState> Sites SEER_GUARDED_BY(Mutex);
 };
 
 } // namespace seer

@@ -134,7 +134,7 @@ void Histogram::reset() {
 }
 
 Counter &MetricsRegistry::counter(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   assert(Gauges.find(Name) == Gauges.end() &&
          Histograms.find(Name) == Histograms.end() &&
          "metric name already registered as a different kind");
@@ -145,7 +145,7 @@ Counter &MetricsRegistry::counter(const std::string &Name) {
 }
 
 Gauge &MetricsRegistry::gauge(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   assert(Counters.find(Name) == Counters.end() &&
          Histograms.find(Name) == Histograms.end() &&
          "metric name already registered as a different kind");
@@ -156,7 +156,7 @@ Gauge &MetricsRegistry::gauge(const std::string &Name) {
 }
 
 Histogram &MetricsRegistry::histogram(const std::string &Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   assert(Counters.find(Name) == Counters.end() &&
          Gauges.find(Name) == Gauges.end() &&
          "metric name already registered as a different kind");
@@ -167,7 +167,7 @@ Histogram &MetricsRegistry::histogram(const std::string &Name) {
 }
 
 std::string MetricsRegistry::prometheusText() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   std::string Out;
   // std::map iteration is name-ordered, so the exposition is
   // deterministic; kinds are interleaved by merging the three ordered
@@ -218,7 +218,7 @@ std::string MetricsRegistry::prometheusText() const {
 }
 
 std::string MetricsRegistry::jsonSnapshot() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mutex);
   std::string Out;
   auto EmitScalar = [&Out](const char *Kind, const std::string &Name,
                            const std::string &Value) {

@@ -19,7 +19,7 @@
 /// process) cannot bleed counters into each other. `process()` offers a
 /// process-wide instance for tools that have no server.
 ///
-/// Metric naming scheme (enforced by tools/metrics_lint.py):
+/// Metric naming scheme (enforced by tools/seer_lint.py):
 ///
 ///   seer_<noun>[_<unit>][_total]
 ///
@@ -43,12 +43,13 @@
 #ifndef SEER_SUPPORT_METRICS_H
 #define SEER_SUPPORT_METRICS_H
 
+#include "support/ThreadAnnotations.h"
+
 #include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 namespace seer {
@@ -172,13 +173,15 @@ public:
   static MetricsRegistry &process();
 
 private:
-  mutable std::mutex Mutex;
+  mutable seer::Mutex Mutex;
   /// Ordered maps: exporters walk them in name order, so exports are
   /// deterministic. unique_ptr keeps metric addresses stable across
   /// rehashing-free but node-moving operations either way.
-  std::map<std::string, std::unique_ptr<Counter>> Counters;
-  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
-  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+  std::map<std::string, std::unique_ptr<Counter>> Counters
+      SEER_GUARDED_BY(Mutex);
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges SEER_GUARDED_BY(Mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms
+      SEER_GUARDED_BY(Mutex);
 };
 
 } // namespace seer

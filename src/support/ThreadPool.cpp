@@ -37,7 +37,7 @@ ThreadPool::ThreadPool(unsigned Workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mutex);
     ShuttingDown = true;
   }
   WakeWorkers.notify_all();
@@ -47,7 +47,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> Task) {
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mutex);
     assert(!ShuttingDown && "submit after shutdown");
     Tasks.push_back(std::move(Task));
   }
@@ -66,8 +66,11 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      WakeWorkers.wait(Lock, [this] { return ShuttingDown || !Tasks.empty(); });
+      MutexLock Lock(Mutex);
+      // Spelled as a while-loop (not the predicate overload) so the
+      // guarded condition stays inside this function's analyzed scope.
+      while (!ShuttingDown && Tasks.empty())
+        WakeWorkers.wait(Lock);
       if (Tasks.empty())
         return; // shutting down and drained
       Task = std::move(Tasks.front());
@@ -96,10 +99,14 @@ void seer::parallelFor(unsigned Parallelism, size_t Count,
 
   const size_t Blocks = std::min<size_t>(Resolved, Count);
   struct Completion {
-    std::mutex Mutex;
-    std::condition_variable Done;
-    size_t Remaining;
-  } State{{}, {}, Blocks - 1};
+    seer::Mutex Mutex;
+    CondVar Done;
+    size_t Remaining SEER_GUARDED_BY(Mutex) = 0;
+  } State;
+  {
+    MutexLock Lock(State.Mutex);
+    State.Remaining = Blocks - 1;
+  }
 
   // Fixed partition: block B covers [B*Count/Blocks, (B+1)*Count/Blocks).
   const auto RunBlock = [&](size_t Block) {
@@ -113,7 +120,7 @@ void seer::parallelFor(unsigned Parallelism, size_t Count,
   for (size_t Block = 1; Block < Blocks; ++Block)
     Pool.submit([&State, &RunBlock, Block] {
       RunBlock(Block);
-      std::lock_guard<std::mutex> Lock(State.Mutex);
+      MutexLock Lock(State.Mutex);
       if (--State.Remaining == 0)
         State.Done.notify_one();
     });
@@ -125,6 +132,7 @@ void seer::parallelFor(unsigned Parallelism, size_t Count,
     InsideWorkerScope Scope;
     RunBlock(0);
   }
-  std::unique_lock<std::mutex> Lock(State.Mutex);
-  State.Done.wait(Lock, [&State] { return State.Remaining == 0; });
+  MutexLock Lock(State.Mutex);
+  while (State.Remaining != 0)
+    State.Done.wait(Lock);
 }

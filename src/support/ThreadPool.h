@@ -30,11 +30,11 @@
 #ifndef SEER_SUPPORT_THREADPOOL_H
 #define SEER_SUPPORT_THREADPOOL_H
 
-#include <condition_variable>
+#include "support/ThreadAnnotations.h"
+
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -68,10 +68,10 @@ private:
   void workerLoop();
 
   std::vector<std::thread> Workers;
-  std::deque<std::function<void()>> Tasks;
-  std::mutex Mutex;
-  std::condition_variable WakeWorkers;
-  bool ShuttingDown = false;
+  std::deque<std::function<void()>> Tasks SEER_GUARDED_BY(Mutex);
+  seer::Mutex Mutex;
+  CondVar WakeWorkers;
+  bool ShuttingDown SEER_GUARDED_BY(Mutex) = false;
 };
 
 /// Resolves the pipeline-wide parallelism convention: 0 means one worker

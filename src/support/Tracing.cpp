@@ -18,13 +18,17 @@ namespace seer {
 /// the recorder's list so a drain can reach rings of threads that have
 /// since exited.
 struct SpanRecorder::Ring {
-  std::mutex M;
-  std::vector<TraceSpan> Buf; ///< circular once Buf.size() == RingCapacity
-  size_t RingCapacity = 0;
-  size_t Next = 0;       ///< overwrite cursor (oldest slot when full)
-  uint64_t Dropped = 0;  ///< overwritten spans this epoch
-  uint64_t Epoch = 0;    ///< last recorder epoch this ring synced to
-  uint64_t ThreadId = 0; ///< dense 1-based id for trace display
+  Mutex M;
+  /// Circular once Buf.size() == RingCapacity.
+  std::vector<TraceSpan> Buf SEER_GUARDED_BY(M);
+  size_t RingCapacity SEER_GUARDED_BY(M) = 0;
+  /// Overwrite cursor (oldest slot when full).
+  size_t Next SEER_GUARDED_BY(M) = 0;
+  /// Overwritten spans this epoch.
+  uint64_t Dropped SEER_GUARDED_BY(M) = 0;
+  /// Last recorder epoch this ring synced to.
+  uint64_t Epoch SEER_GUARDED_BY(M) = 0;
+  uint64_t ThreadId = 0; ///< dense 1-based id, fixed at registration
 };
 
 SpanRecorder &SpanRecorder::instance() {
@@ -50,7 +54,7 @@ SpanRecorder::Ring *SpanRecorder::threadRing() {
   thread_local std::shared_ptr<Ring> TlsRing;
   if (!TlsRing) {
     auto R = std::make_shared<Ring>();
-    std::lock_guard<std::mutex> Lock(RingsMutex);
+    MutexLock Lock(RingsMutex);
     R->ThreadId = Rings.size() + 1;
     Rings.push_back(R);
     TlsRing = std::move(R);
@@ -65,7 +69,7 @@ void SpanRecorder::record(const char *Name, uint64_t StartNs, uint64_t DurNs,
     return;
   Ring *R = threadRing();
   uint64_t E = Epoch.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> Lock(R->M);
+  MutexLock Lock(R->M);
   if (R->Epoch != E) {
     // First record since (re-)arming: adopt the new capacity and start
     // empty. reserve() here is the only allocation an armed ring ever
@@ -99,9 +103,11 @@ void SpanRecorder::record(const char *Name, uint64_t StartNs, uint64_t DurNs,
 std::vector<TraceSpan> SpanRecorder::drain() {
   std::vector<TraceSpan> Out;
   uint64_t E = Epoch.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> RingsLock(RingsMutex);
+  // Lock order RingsMutex -> Ring::M (record() takes only the ring's own
+  // M, so the orders cannot conflict).
+  MutexLock RingsLock(RingsMutex);
   for (auto &R : Rings) {
-    std::lock_guard<std::mutex> Lock(R->M);
+    MutexLock Lock(R->M);
     if (R->Epoch != E)
       continue; // stale epoch: contents predate the current arm()
     if (R->Buf.size() == R->RingCapacity && R->Next != 0) {
@@ -129,9 +135,9 @@ std::vector<TraceSpan> SpanRecorder::drain() {
 uint64_t SpanRecorder::dropped() const {
   uint64_t Total = DroppedBase.load(std::memory_order_relaxed);
   uint64_t E = Epoch.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> RingsLock(RingsMutex);
+  MutexLock RingsLock(RingsMutex);
   for (const auto &R : Rings) {
-    std::lock_guard<std::mutex> Lock(R->M);
+    MutexLock Lock(R->M);
     if (R->Epoch == E)
       Total += R->Dropped;
   }

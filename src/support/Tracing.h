@@ -33,10 +33,11 @@
 #ifndef SEER_SUPPORT_TRACING_H
 #define SEER_SUPPORT_TRACING_H
 
+#include "support/ThreadAnnotations.h"
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -151,8 +152,8 @@ private:
   std::atomic<uint64_t> NextSeq{0};
   std::atomic<uint64_t> DroppedBase{0}; ///< drops from epochs already folded
 
-  mutable std::mutex RingsMutex;
-  std::vector<std::shared_ptr<Ring>> Rings;
+  mutable seer::Mutex RingsMutex;
+  std::vector<std::shared_ptr<Ring>> Rings SEER_GUARDED_BY(RingsMutex);
 };
 
 /// Stamps the current thread with a request id for the object's
@@ -176,6 +177,10 @@ private:
 /// object is inert — no clock read, no allocation, nothing recorded
 /// even if the recorder is armed mid-scope (a half-timed span would
 /// only mislead).
+// seer-hot-begin(scoped-span-inline): tools/seer_lint.py forbids heap
+// allocation and unordered-container iteration in this region — the
+// disarmed fast path must stay one relaxed load (PR 8's header-inline
+// compile of the hot path).
 class ScopedSpan {
 public:
   explicit ScopedSpan(const char *Name) {
@@ -216,6 +221,7 @@ private:
   const char *TagKey = nullptr;
   double TagValue = 0.0;
 };
+// seer-hot-end(scoped-span-inline)
 
 } // namespace seer
 

@@ -30,11 +30,6 @@
 #include <mutex>
 #include <thread>
 
-// A few tests drive the deprecated pointer-based v1 entry points
-// deliberately (shared-state checks across both APIs); silence their
-// deprecation warnings.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 using namespace seer;
 
 namespace {
@@ -428,6 +423,13 @@ TEST(SeerServiceTest, ConcurrentUseAfterReleaseIsTypedNeverACrash) {
   EXPECT_EQ(Service.stats().ActiveHandles, 0u);
 }
 
+// This test drives the deprecated pointer-based v1 entry points
+// deliberately: the eviction-pressure churn must flow through the same
+// cache the session handles use, and the pointer path is the only way
+// to insert unregistered entries. Scoped suppression, not file-wide, so
+// any other deprecated call in this file still fails -Werror builds.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(SeerServiceTest, PinnedEntriesSurviveEvictionPressure) {
   const CsrMatrix &Pinned = requestPool()[1];
 
@@ -490,6 +492,7 @@ TEST(SeerServiceTest, PinnedEntriesSurviveEvictionPressure) {
   EXPECT_FALSE(After.CacheHit);
   EXPECT_GE(Service.stats().Reanalyses, 1u);
 }
+#pragma GCC diagnostic pop
 
 //===----------------------------------------------------------------------===//
 // Async submission

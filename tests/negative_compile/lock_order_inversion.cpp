@@ -1,0 +1,23 @@
+//===- tests/negative_compile/lock_order_inversion.cpp -------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+// MUST NOT COMPILE under Clang with -Wthread-safety promoted to error:
+// calls FingerprintCache::noteMutation while holding the entry's mutex.
+// noteMutation itself acquires entry -> shard, so entering it with the
+// entry lock already held would self-deadlock on the non-recursive entry
+// mutex — the inversion of the cache's documented lock order. The
+// SEER_EXCLUDES(E->Mutex) negative capability on noteMutation turns that
+// runtime deadlock into this compile error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/FingerprintCache.h"
+#include "support/ThreadAnnotations.h"
+
+void seerNegativeCompileLockOrderInversion(
+    seer::FingerprintCache &Cache,
+    const std::shared_ptr<seer::FingerprintCache::Entry> &E) {
+  seer::MutexLock EntryLock(E->Mutex); // entry lock held...
+  Cache.noteMutation(E); // ...seeded violation: noteMutation excludes it
+}

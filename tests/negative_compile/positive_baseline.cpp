@@ -1,0 +1,47 @@
+//===- tests/negative_compile/positive_baseline.cpp ----------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+// Baseline for the negative-compile checks: the same structures the
+// negative snippets misuse, used *correctly*. Must compile under every
+// supported compiler, including Clang with -Wthread-safety promoted to
+// error — proving that when a negative snippet is rejected, it is
+// rejected for the seeded violation and not for an unrelated defect in
+// the shared scaffolding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/FingerprintCache.h"
+#include "support/ThreadAnnotations.h"
+
+namespace {
+
+struct Guarded {
+  seer::Mutex M;
+  int Value SEER_GUARDED_BY(M) = 0;
+};
+
+int readWithLock(Guarded &G) {
+  seer::MutexLock Lock(G.M);
+  return G.Value;
+}
+
+void wellOrderedMutation(
+    seer::FingerprintCache &Cache,
+    const std::shared_ptr<seer::FingerprintCache::Entry> &E) {
+  {
+    seer::MutexLock EntryLock(E->Mutex);
+    E->Oracle.clear();
+  } // entry lock released...
+  Cache.noteMutation(E); // ...before noteMutation takes entry -> shard.
+}
+
+} // namespace
+
+int seerNegativeCompileBaseline(seer::FingerprintCache &Cache,
+                                const std::shared_ptr<
+                                    seer::FingerprintCache::Entry> &E) {
+  Guarded G;
+  wellOrderedMutation(Cache, E);
+  return readWithLock(G);
+}

@@ -1,0 +1,52 @@
+#===------------------------------------------------------------------------===
+# ctest harness for the thread-annotation compile checks.
+#
+# Runs the configured C++ compiler in -fsyntax-only mode over one snippet
+# and asserts the outcome:
+#   EXPECT_FAIL=0  (positive baseline) the snippet must compile
+#   EXPECT_FAIL=1  (negative snippet)  the compiler must reject it
+#
+# Invoked by the negative_compile_* ctest entries registered in the
+# top-level CMakeLists.txt:
+#   cmake -DCOMPILER=... -DSNIPPET=... -DINCLUDE_DIR=... -DFLAGS=...
+#         -DEXPECT_FAIL=0|1 -P run_compile_check.cmake
+#
+# -fsyntax-only keeps the check hermetic: no object files, no build-dir
+# writes, so ctest -j can run these concurrently with everything else.
+#===------------------------------------------------------------------------===
+
+foreach(VAR COMPILER SNIPPET INCLUDE_DIR EXPECT_FAIL)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "run_compile_check.cmake: missing -D${VAR}=")
+  endif()
+endforeach()
+
+separate_arguments(FLAG_LIST UNIX_COMMAND "${FLAGS}")
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++17 -fsyntax-only -I${INCLUDE_DIR}
+          ${FLAG_LIST} ${SNIPPET}
+  RESULT_VARIABLE COMPILE_RESULT
+  OUTPUT_VARIABLE COMPILE_OUTPUT
+  ERROR_VARIABLE COMPILE_OUTPUT)
+
+if(EXPECT_FAIL)
+  if(COMPILE_RESULT EQUAL 0)
+    message(FATAL_ERROR
+            "${SNIPPET} compiled, but carries a seeded thread-safety "
+            "violation the annotations were expected to reject")
+  endif()
+  # Reject for the right reason: the seeded violation, not a stray error.
+  if(NOT COMPILE_OUTPUT MATCHES "thread-safety|requires holding|excludes")
+    message(FATAL_ERROR
+            "${SNIPPET} failed to compile, but not with a thread-safety "
+            "diagnostic:\n${COMPILE_OUTPUT}")
+  endif()
+  message(STATUS "rejected as expected: ${SNIPPET}")
+else()
+  if(NOT COMPILE_RESULT EQUAL 0)
+    message(FATAL_ERROR
+            "${SNIPPET} must compile cleanly but failed:\n${COMPILE_OUTPUT}")
+  endif()
+  message(STATUS "compiled as expected: ${SNIPPET}")
+endif()

@@ -1,0 +1,25 @@
+//===- tests/negative_compile/unguarded_access.cpp -----------------------===//
+//
+// Part of the Seer reproduction (CGO 2024).
+//
+// MUST NOT COMPILE under Clang with -Wthread-safety promoted to error:
+// reads a SEER_GUARDED_BY member without holding its mutex. The ctest
+// harness (negative_compile_* tests registered in CMakeLists.txt) builds
+// this with -fsyntax-only and asserts the compiler rejects it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadAnnotations.h"
+
+namespace {
+
+struct Guarded {
+  seer::Mutex M;
+  int Value SEER_GUARDED_BY(M) = 0;
+};
+
+} // namespace
+
+int seerNegativeCompileUnguardedRead(Guarded &G) {
+  return G.Value; // seeded violation: no MutexLock on G.M
+}

@@ -277,8 +277,9 @@ TEST(SpanRecorderTest, ConcurrentRecordingHasExactCounts) {
   // Sorted by start time; every span attributed to its thread's request.
   std::array<int, Threads + 1> PerRequest{};
   for (size_t I = 0; I < Spans.size(); ++I) {
-    if (I > 0)
+    if (I > 0) {
       EXPECT_LE(Spans[I - 1].StartNs, Spans[I].StartNs);
+    }
     ASSERT_GE(Spans[I].RequestId, 1u);
     ASSERT_LE(Spans[I].RequestId, static_cast<uint64_t>(Threads));
     ++PerRequest[Spans[I].RequestId];

@@ -228,9 +228,10 @@ TEST_P(KernelTimingProperty, RuntimeMonotoneInSize) {
       const PreprocessResult Prep = Kernel.preprocess(M, Stats, Sim);
       const double Ms =
           Kernel.run(M, Stats, Prep.State.get(), X, Sim).Timing.TotalMs;
-      if (!First)
+      if (!First) {
         EXPECT_GE(Ms, Previous[K] * 0.95) // allow small efficiency wiggle
             << Kernel.name() << " at " << Rows << " rows";
+      }
       Previous[K] = Ms;
     }
     First = false;
@@ -269,8 +270,9 @@ TEST_P(KernelTimingProperty, AmortizationIsMonotone) {
   for (uint32_t Iterations = 1; Iterations <= 256; Iterations *= 2) {
     const bool AAhead = Bench.PerKernel[A].totalMs(Iterations) <
                         Bench.PerKernel[Mp].totalMs(Iterations);
-    if (AWasAhead)
+    if (AWasAhead) {
       EXPECT_TRUE(AAhead) << "lead lost at " << Iterations << " iterations";
+    }
     AWasAhead = AAhead;
   }
 }

@@ -1191,8 +1191,9 @@ TEST(RequestTraceTest, GenArgumentsAreRangeChecked) {
     ASSERT_TRUE(parseTraceLine(Line, Command).ok() ||
                 Command.Command == TraceCommand::Kind::Blank)
         << Line; // "nan" fails at parse time; the rest parse fine
-    if (Command.Command == TraceCommand::Kind::Gen)
+    if (Command.Command == TraceCommand::Kind::Gen) {
       EXPECT_FALSE(buildTraceMatrix(Command)) << Line;
+    }
   }
   // Half-band 0 stays legal (a pure diagonal band).
   ASSERT_TRUE(parseTraceLine("gen a banded 64 0 0.9 7", Command).ok());

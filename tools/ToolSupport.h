@@ -158,6 +158,8 @@ public:
   /// missing required flag. Never called by the parser itself.
   [[noreturn]] void exitWithUsage(int Code) const {
     std::fprintf(Code == 0 ? stdout : stderr, "%s", Usage);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): main()-thread flag handling
+    // before any worker exists; terminating the process is the point.
     std::exit(Code);
   }
 
@@ -173,6 +175,8 @@ private:
 /// library reports Status values instead.
 [[noreturn]] inline void fatal(const std::string &Message) {
   std::fprintf(stderr, "error: %s\n", Message.c_str());
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): fatal is main()-level policy;
+  // tools call it before spawning workers or after joining them.
   std::exit(1);
 }
 
