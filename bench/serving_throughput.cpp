@@ -37,7 +37,10 @@
 
 #include "api/SeerService.h"
 #include "core/ExecutionPlan.h"
+#include "core/ModelBundle.h"
 #include "core/Seer.h"
+#include "net/NetClient.h"
+#include "net/Socket.h"
 #include "serve/SeerServer.h"
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
@@ -49,11 +52,16 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 // The v1 grid exists to compare the deprecated pointer-based path
 // against the handle API bit-for-bit; its uses of handle()/handleBatch()
@@ -1149,6 +1157,323 @@ int main(int Argc, char **Argv) {
     ChaosOk = ChaosOk && ChaosDegraded > 0 && ChaosFaults > 0;
   }
 
+  // Networked serving: a spawned shard fleet behind the consistent-hash
+  // balancer, driven through the binary wire protocol. Three gates:
+  //   net_bit_identical      every networked answer (kernel choice and Y
+  //                          bits) equals the one-shot runtime's,
+  //   shard_budget_respected no shard's accounted bytes ever exceed its
+  //                          configured budget,
+  //   shard_hit_ratio_improved at a FIXED per-process budget, N shards'
+  //                          disjoint fingerprint slices re-analyze
+  //                          strictly less under churn than one shard
+  //                          holding the whole working set — the linear
+  //                          cache-capacity claim.
+  bool NetBitIdentical = true;
+  bool ShardBudgetRespected = true;
+  bool ShardHitImproved = true;
+  double NetSelectRps = 0.0, NetExecuteRps = 0.0;
+  uint64_t NetFullSetBytes = 0, NetShardBudgetBytes = 0;
+  struct NetChurnRecord {
+    size_t Shards = 0;
+    size_t Requests = 0;
+    double WallSeconds = 0.0;
+    uint64_t Reanalyses = 0;
+    uint64_t MaxBytesCached = 0;
+    bool BitIdentical = true;
+    bool BudgetRespected = true;
+  };
+  std::vector<NetChurnRecord> NetRuns;
+  {
+    namespace fs = std::filesystem;
+    // The tool binaries land next to this bench in the build tree.
+    char ExeBuf[4096];
+    const ssize_t ExeLen =
+        ::readlink("/proc/self/exe", ExeBuf, sizeof(ExeBuf) - 1);
+    if (ExeLen <= 0)
+      fatal("cannot resolve /proc/self/exe");
+    ExeBuf[ExeLen] = '\0';
+    const fs::path BinDir = fs::path(ExeBuf).parent_path();
+    const std::string ServeBin = (BinDir / "seer-serve").string();
+    const std::string LbBin = (BinDir / "seer-lb").string();
+    if (!fs::exists(ServeBin) || !fs::exists(LbBin))
+      fatal("seer-serve / seer-lb not found next to the bench binary");
+
+    // The shard processes load the same models this process trained.
+    const std::string BundleDir =
+        (fs::path(bench::cacheDirectory()) / "net_models").string();
+    std::error_code DirEc;
+    fs::create_directories(BundleDir, DirEc);
+    if (const Status S = storeModelBundle(Models, BundleDir); !S.ok())
+      fatal(S);
+
+    struct ShardProc {
+      pid_t Pid = -1;
+      uint16_t Port = 0;
+    };
+    const auto Spawn = [&](const std::string &Bin,
+                           std::vector<std::string> Args,
+                           const std::string &PortFile) {
+      std::error_code Ec;
+      fs::remove(PortFile, Ec);
+      Args.insert(Args.begin(), Bin);
+      Args.push_back("--port-file");
+      Args.push_back(PortFile);
+      std::vector<char *> Argv;
+      Argv.reserve(Args.size() + 1);
+      for (std::string &A : Args)
+        Argv.push_back(A.data());
+      Argv.push_back(nullptr);
+      const pid_t Pid = ::fork();
+      if (Pid < 0)
+        fatal("fork failed");
+      if (Pid == 0) {
+        ::execv(Bin.c_str(), Argv.data());
+        _exit(127);
+      }
+      // The child binds port 0 and publishes the kernel-assigned port.
+      uint16_t Port = 0;
+      for (int Tries = 0; Tries < 2000 && Port == 0; ++Tries) {
+        std::ifstream In(PortFile);
+        unsigned Value = 0;
+        if (In >> Value && Value != 0 && Value <= 65535)
+          Port = static_cast<uint16_t>(Value);
+        else
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (Port == 0)
+        fatal("'" + Bin + "' did not publish a port");
+      return ShardProc{Pid, Port};
+    };
+
+    struct Fleet {
+      std::vector<ShardProc> Shards;
+      ShardProc Lb;
+    };
+    const auto StartFleet = [&](size_t N, uint64_t Budget) {
+      Fleet F;
+      std::string ShardList;
+      for (size_t I = 0; I < N; ++I) {
+        const std::string PortFile =
+            (fs::path(bench::cacheDirectory()) /
+             ("net_port_shard" + std::to_string(I) + ".txt"))
+                .string();
+        // One cache lock shard: the byte budget splits evenly across lock
+        // shards, and the churn budgets below are small enough that a
+        // split slice could not hold even one whole entry.
+        F.Shards.push_back(
+            Spawn(ServeBin,
+                  {"--models", BundleDir, "--listen", "127.0.0.1:0",
+                   "--cache-budget", std::to_string(Budget),
+                   "--cache-shards", "1"},
+                  PortFile));
+        if (!ShardList.empty())
+          ShardList += ",";
+        ShardList += "127.0.0.1:" + std::to_string(F.Shards.back().Port);
+      }
+      const std::string LbPortFile =
+          (fs::path(bench::cacheDirectory()) / "net_port_lb.txt").string();
+      F.Lb = Spawn(LbBin, {"--shards", ShardList, "--listen", "127.0.0.1:0"},
+                   LbPortFile);
+      return F;
+    };
+    const auto StopFleet = [&](Fleet &F) {
+      // The lb's wire Shutdown stops only the lb; stop each shard
+      // directly, then reap everything.
+      for (ShardProc &S : F.Shards)
+        if (auto Client = net::NetClient::connect("127.0.0.1", S.Port))
+          (void)Client->shutdownServer();
+      if (auto Client = net::NetClient::connect("127.0.0.1", F.Lb.Port))
+        (void)Client->shutdownServer();
+      for (ShardProc &S : F.Shards)
+        ::waitpid(S.Pid, nullptr, 0);
+      ::waitpid(F.Lb.Pid, nullptr, 0);
+    };
+    const auto StatOf = [](const std::string &Text, const std::string &Name) {
+      const std::string Needle = "stat " + Name + " ";
+      uint64_t Value = 0;
+      const size_t At = Text.find(Needle);
+      if (At != std::string::npos &&
+          (At == 0 || Text[At - 1] == '\n')) {
+        int64_t Parsed = 0;
+        const size_t Eol = Text.find('\n', At);
+        if (parseInt(std::string(Text, At + Needle.size(),
+                                 (Eol == std::string::npos ? Text.size()
+                                                           : Eol) -
+                                     At - Needle.size()),
+                     Parsed) &&
+            Parsed >= 0)
+          Value = static_cast<uint64_t>(Parsed);
+      }
+      return Value;
+    };
+    const auto ShardStat = [&](const ShardProc &S, const std::string &Name) {
+      auto Client = net::NetClient::connect("127.0.0.1", S.Port);
+      if (!Client.ok())
+        fatal(Client.status());
+      const auto Text = Client->statsText();
+      if (!Text)
+        fatal(Text.status());
+      return StatOf(*Text, Name);
+    };
+
+    const size_t NetSet = std::min<size_t>(24, Pool.size());
+
+    // Phase A: one unbounded shard behind the balancer. Measures wire
+    // throughput for select and execute streams, gates bit-identity of
+    // every reply, and calibrates the full working-set footprint that
+    // sizes the churn budget below.
+    {
+      Fleet F = StartFleet(1, /*Budget=*/0);
+      auto ClientOr = net::NetClient::connect("127.0.0.1", F.Lb.Port);
+      if (!ClientOr.ok())
+        fatal(ClientOr.status());
+      net::NetClient &Client = *ClientOr;
+
+      std::vector<uint64_t> Handles(NetSet, 0);
+      for (size_t I = 0; I < NetSet; ++I) {
+        const auto Open = Client.open("net" + std::to_string(I), Pool[I]);
+        if (!Open)
+          fatal(Open.status());
+        Handles[I] = Open->Handle;
+      }
+      // Warm the one-shot reference memo outside the timed windows.
+      for (size_t I = 0; I < NetSet; ++I)
+        for (const uint32_t Iters : IterationPattern)
+          ExpectedFor(I, Iters, true);
+
+      const size_t SelectRequests = NetSet * 8;
+      auto Start = std::chrono::steady_clock::now();
+      for (size_t I = 0; I < SelectRequests; ++I) {
+        const size_t M = I % NetSet;
+        const uint32_t Iters = IterationPattern[I % 3];
+        const auto R = Client.select(Handles[M], Iters);
+        if (!R)
+          fatal(R.status());
+        const ExpectedAnswer &E = ExpectedFor(M, Iters, false);
+        NetBitIdentical =
+            NetBitIdentical &&
+            R->Selection.KernelIndex == E.Selection.KernelIndex &&
+            R->Selection.UsedGatheredModel == E.Selection.UsedGatheredModel;
+      }
+      double Wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+      NetSelectRps = static_cast<double>(SelectRequests) / Wall;
+
+      // The churn ladder below is select-only, so its budget must be
+      // sized from the select-only footprint — sampled now, before the
+      // execute stream adds preprocessed bytes the churn never touches.
+      NetFullSetBytes = ShardStat(F.Shards[0], "bytes_cached");
+
+      const size_t ExecuteRequests = NetSet * 4;
+      Start = std::chrono::steady_clock::now();
+      for (size_t I = 0; I < ExecuteRequests; ++I) {
+        const size_t M = I % NetSet;
+        const uint32_t Iters = IterationPattern[I % 3];
+        // Empty operand = the all-ones vector, matching the reference.
+        const auto R = Client.execute(Handles[M], Iters, /*Verify=*/false,
+                                      /*Operand=*/{});
+        if (!R)
+          fatal(R.status());
+        const ExpectedAnswer &E = ExpectedFor(M, Iters, true);
+        NetBitIdentical =
+            NetBitIdentical &&
+            R->Selection.KernelIndex == E.Selection.KernelIndex && R->Y == E.Y;
+      }
+      Wall = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           Start)
+                 .count();
+      NetExecuteRps = static_cast<double>(ExecuteRequests) / Wall;
+
+      for (size_t I = 0; I < NetSet; ++I)
+        (void)Client.close(Handles[I]);
+      StopFleet(F);
+      std::fprintf(stderr,
+                   "  net-select       shards=1  %7.0f req/s  %s\n"
+                   "  net-execute      shards=1  %7.0f req/s  %s\n",
+                   NetSelectRps, NetBitIdentical ? "ok" : "MISMATCH",
+                   NetExecuteRps, NetBitIdentical ? "ok" : "MISMATCH");
+    }
+    if (NetFullSetBytes == 0)
+      fatal("networked calibration run cached no bytes");
+
+    // Phase B: churn ladder at a FIXED per-process budget of 60% of the
+    // full working set. One shard must evict and re-analyze on every
+    // cyclic pass; N shards each see only their hash slice (~1/N of the
+    // set), which fits, so aggregate re-analyses drop — the scale-out
+    // payoff the balancer exists for.
+    NetShardBudgetBytes = std::max<uint64_t>(1, NetFullSetBytes * 3 / 5);
+    const size_t NetPasses = 4;
+    for (const size_t N : {size_t(1), size_t(2), size_t(4)}) {
+      Fleet F = StartFleet(N, NetShardBudgetBytes);
+      auto ClientOr = net::NetClient::connect("127.0.0.1", F.Lb.Port);
+      if (!ClientOr.ok())
+        fatal(ClientOr.status());
+      net::NetClient &Client = *ClientOr;
+
+      NetChurnRecord Rec;
+      Rec.Shards = N;
+      const auto Start = std::chrono::steady_clock::now();
+      for (size_t Pass = 0; Pass < NetPasses; ++Pass) {
+        for (size_t I = 0; I < NetSet; ++I) {
+          // open -> select -> close: the close unpins the entry, so the
+          // shard's budget (not the handle table) decides what survives
+          // to the next pass.
+          const auto Open = Client.open("net" + std::to_string(I), Pool[I]);
+          if (!Open)
+            fatal(Open.status());
+          const uint32_t Iters = IterationPattern[I % 3];
+          const auto R = Client.select(Open->Handle, Iters);
+          if (!R)
+            fatal(R.status());
+          const ExpectedAnswer &E = ExpectedFor(I, Iters, false);
+          Rec.BitIdentical =
+              Rec.BitIdentical &&
+              R->Selection.KernelIndex == E.Selection.KernelIndex &&
+              R->Selection.UsedGatheredModel == E.Selection.UsedGatheredModel;
+          if (const Status S = Client.close(Open->Handle); !S.ok())
+            fatal(S);
+          ++Rec.Requests;
+        }
+        // Sample every shard's accounting between passes; the budget must
+        // hold at each observation point.
+        for (const ShardProc &S : F.Shards)
+          Rec.MaxBytesCached = std::max(Rec.MaxBytesCached,
+                                        ShardStat(S, "bytes_cached"));
+      }
+      Rec.WallSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - Start)
+                            .count();
+      for (const ShardProc &S : F.Shards)
+        Rec.Reanalyses += ShardStat(S, "reanalyses");
+      StopFleet(F);
+
+      Rec.BudgetRespected = Rec.MaxBytesCached <= NetShardBudgetBytes;
+      NetBitIdentical = NetBitIdentical && Rec.BitIdentical;
+      ShardBudgetRespected = ShardBudgetRespected && Rec.BudgetRespected;
+      std::fprintf(stderr,
+                   "  sharded-churn    shards=%zu  budget=%llu  "
+                   "max_bytes=%llu  reanalyses=%llu  %s%s\n",
+                   N, static_cast<unsigned long long>(NetShardBudgetBytes),
+                   static_cast<unsigned long long>(Rec.MaxBytesCached),
+                   static_cast<unsigned long long>(Rec.Reanalyses),
+                   Rec.BitIdentical ? "ok" : "MISMATCH",
+                   Rec.BudgetRespected ? "" : " OVER-BUDGET");
+      NetRuns.push_back(Rec);
+    }
+    // The single-shard baseline must actually churn, and every N-shard
+    // fleet must re-analyze strictly less than it.
+    uint64_t OneShardReanalyses = 0;
+    for (const NetChurnRecord &R : NetRuns)
+      if (R.Shards == 1)
+        OneShardReanalyses = R.Reanalyses;
+    ShardHitImproved = OneShardReanalyses > 0;
+    for (const NetChurnRecord &R : NetRuns)
+      if (R.Shards > 1)
+        ShardHitImproved =
+            ShardHitImproved && R.Reanalyses < OneShardReanalyses;
+  }
+
   bool AllIdentical = true;
   bool AllWithinBudget = true;
   bool AllBatchFaster = true;
@@ -1172,6 +1497,34 @@ int main(int Argc, char **Argv) {
                AllWithinBudget ? "true" : "false");
   std::fprintf(Out, "  \"batch_faster\": %s,\n",
                AllBatchFaster ? "true" : "false");
+  std::fprintf(Out, "  \"net_bit_identical\": %s,\n",
+               NetBitIdentical ? "true" : "false");
+  std::fprintf(Out, "  \"shard_budget_respected\": %s,\n",
+               ShardBudgetRespected ? "true" : "false");
+  std::fprintf(Out, "  \"shard_hit_ratio_improved\": %s,\n",
+               ShardHitImproved ? "true" : "false");
+  std::fprintf(Out, "  \"net_select_rps\": %.1f,\n", NetSelectRps);
+  std::fprintf(Out, "  \"net_execute_rps\": %.1f,\n", NetExecuteRps);
+  std::fprintf(Out, "  \"net_full_set_bytes\": %llu,\n",
+               static_cast<unsigned long long>(NetFullSetBytes));
+  std::fprintf(Out, "  \"net_shard_budget_bytes\": %llu,\n",
+               static_cast<unsigned long long>(NetShardBudgetBytes));
+  std::fprintf(Out, "  \"net_runs\": [\n");
+  for (size_t I = 0; I < NetRuns.size(); ++I) {
+    const NetChurnRecord &R = NetRuns[I];
+    std::fprintf(Out,
+                 "    {\"shards\": %zu, \"requests\": %zu, "
+                 "\"wall_s\": %.6f, \"reanalyses\": %llu, "
+                 "\"max_bytes_cached\": %llu, \"budget_respected\": %s, "
+                 "\"bit_identical\": %s}%s\n",
+                 R.Shards, R.Requests, R.WallSeconds,
+                 static_cast<unsigned long long>(R.Reanalyses),
+                 static_cast<unsigned long long>(R.MaxBytesCached),
+                 R.BudgetRespected ? "true" : "false",
+                 R.BitIdentical ? "true" : "false",
+                 I + 1 < NetRuns.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
   std::fprintf(Out, "  \"chaos_ok\": %s,\n", ChaosOk ? "true" : "false");
   std::fprintf(Out, "  \"obs_overhead_ok\": %s,\n",
                ObsOverheadOk ? "true" : "false");
@@ -1292,15 +1645,20 @@ int main(int Argc, char **Argv) {
 
   std::printf("wrote %s (%zu runs, bit_identical=%s, budget_respected=%s, "
               "batch_faster=%s, chaos_ok=%s, obs_overhead_ok=%s, "
-              "select_micro_ok=%s)\n",
+              "select_micro_ok=%s, net_bit_identical=%s, "
+              "shard_budget_respected=%s, shard_hit_ratio_improved=%s)\n",
               OutPath.c_str(), Records.size(),
               AllIdentical ? "true" : "false",
               AllWithinBudget ? "true" : "false",
               AllBatchFaster ? "true" : "false", ChaosOk ? "true" : "false",
               ObsOverheadOk ? "true" : "false",
-              SelectMicroOk ? "true" : "false");
+              SelectMicroOk ? "true" : "false",
+              NetBitIdentical ? "true" : "false",
+              ShardBudgetRespected ? "true" : "false",
+              ShardHitImproved ? "true" : "false");
   return AllIdentical && AllWithinBudget && AllBatchFaster && ChaosOk &&
-                 ObsOverheadOk && SelectMicroOk
+                 ObsOverheadOk && SelectMicroOk && NetBitIdentical &&
+                 ShardBudgetRespected && ShardHitImproved
              ? 0
              : 1;
 }

@@ -801,6 +801,9 @@ ServerStats SeerServer::stats() const {
   S.MeanLatencyUs = Latency.mean();
   S.P50LatencyUs = Latency.percentile(0.50);
   S.P99LatencyUs = Latency.percentile(0.99);
+  S.NetConnections = NetConnections.value();
+  S.NetRequests = NetRequests.value();
+  S.NetProtocolErrors = NetProtocolErrors.value();
 
   // Publish the snapshot's derived ratios and externally-owned levels
   // (cache residency, breakers, fault injector) into the registry's
@@ -841,6 +844,9 @@ void SeerServer::resetStats() {
   DegradedServes.reset();
   SavedCollectionNs.reset();
   SavedPreprocessNs.reset();
+  NetConnections.reset();
+  NetRequests.reset();
+  NetProtocolErrors.reset();
   // Breaker opens and the process-wide injected-fault counter are
   // cumulative by design and survive the reset, like the cache residency
   // counters. The stage and cost-model histograms are diagnostic rather

@@ -290,6 +290,14 @@ private:
   Counter &DeadlineExceededCount =
       MetricsReg.counter("seer_deadline_exceeded_total");
   Counter &DegradedServes = MetricsReg.counter("seer_degraded_serves_total");
+  /// Networked serving (src/net). Registered here — not only in
+  /// NetServer — so every exposition carries them and the stats
+  /// snapshot can read them; a NetServer given this registry increments
+  /// these same cells by name.
+  Counter &NetConnections = MetricsReg.counter("seer_net_connections_total");
+  Counter &NetRequests = MetricsReg.counter("seer_net_requests_total");
+  Counter &NetProtocolErrors =
+      MetricsReg.counter("seer_net_protocol_errors_total");
   /// Saved modeled milliseconds, accumulated as integer nanoseconds so the
   /// additions stay atomic without a mutex.
   Counter &SavedCollectionNs =

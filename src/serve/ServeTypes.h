@@ -290,6 +290,12 @@ struct ServerStats {
   double MeanLatencyUs = 0.0;
   double P50LatencyUs = 0.0;
   double P99LatencyUs = 0.0;
+  /// Networked serving (src/net): connections accepted, frames served,
+  /// and framing/decoding violations. Zero unless this process hosts a
+  /// NetServer over the service's registry.
+  uint64_t NetConnections = 0;
+  uint64_t NetRequests = 0;
+  uint64_t NetProtocolErrors = 0;
 
   /// Misprediction rate over oracle-checked requests (0 when none).
   double mispredictRate() const {

@@ -26,6 +26,8 @@ const std::vector<std::string> &seer::faultSiteNames() {
       faultsite::PlanSelect,    faultsite::PlanRun,
       faultsite::QueueAdmit,    faultsite::ServiceRegister,
       faultsite::ServeOracle,   faultsite::BatchExecute,
+      faultsite::NetAccept,     faultsite::NetRead,
+      faultsite::NetWrite,      faultsite::NetFrame,
   };
   return Names;
 }

@@ -93,6 +93,12 @@ inline constexpr const char *QueueAdmit = "queue.admit";
 inline constexpr const char *ServiceRegister = "service.register";
 inline constexpr const char *ServeOracle = "serve.oracle";
 inline constexpr const char *BatchExecute = "batch.execute";
+/// Wire-transport sites (src/net): accepting a connection, the blocking
+/// read/write loops, and frame-header validation (short/oversized frames).
+inline constexpr const char *NetAccept = "net.accept";
+inline constexpr const char *NetRead = "net.read";
+inline constexpr const char *NetWrite = "net.write";
+inline constexpr const char *NetFrame = "net.frame";
 } // namespace faultsite
 
 /// All known site names, for diagnostics and plan validation.

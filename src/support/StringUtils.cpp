@@ -64,9 +64,28 @@ bool seer::parseDouble(std::string_view Text, double &Out) {
   const std::string_view Trimmed = trimString(Text);
   if (Trimmed.empty())
     return false;
-  // std::from_chars<double> is unreliable across libstdc++ versions for
-  // hex/inf spellings; strtod on a NUL-terminated copy is simplest and the
-  // CSV fields are short.
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  // Fast path: std::from_chars needs no NUL-terminated copy and no
+  // locale machinery — this is the per-line hot parse of trace and CSV
+  // replay. Only a full-consume success is taken; anything it does not
+  // accept falls through to strtod below, which keeps the accepted and
+  // rejected input sets (hex floats, "inf"/"nan" spellings, the lot)
+  // byte-identical to the strtod-only implementation: from_chars'
+  // general-format grammar is a value-exact subset of strtod's.
+  {
+    double Value = 0.0;
+    const auto [Ptr, Ec] =
+        std::from_chars(Trimmed.data(), Trimmed.data() + Trimmed.size(),
+                        Value);
+    if (Ec == std::errc() && Ptr == Trimmed.data() + Trimmed.size()) {
+      Out = Value;
+      return true;
+    }
+  }
+#endif
+  // Fallback: strtod on a NUL-terminated copy handles every spelling
+  // from_chars' default format declines (and every toolchain without
+  // floating-point from_chars).
   const std::string Buffer(Trimmed);
   char *End = nullptr;
   const double Value = std::strtod(Buffer.c_str(), &End);

@@ -61,6 +61,7 @@ inline constexpr const char *ServeDegraded = "serve.degraded";
 inline constexpr const char *ServeBatch = "serve.batch";
 inline constexpr const char *ServeRetry = "serve.retry";
 inline constexpr const char *QueueWait = "queue.wait";
+inline constexpr const char *NetRequest = "net.request";
 } // namespace spanname
 
 /// Hot-path state mirrored at namespace scope so the disarmed checks

@@ -146,6 +146,9 @@ FIELD_TO_METRIC = {
     "MeanLatencyUs": "seer_latency_us",
     "P50LatencyUs": "seer_latency_us",
     "P99LatencyUs": "seer_latency_us",
+    "NetConnections": "seer_net_connections_total",
+    "NetRequests": "seer_net_requests_total",
+    "NetProtocolErrors": "seer_net_protocol_errors_total",
 }
 
 NAME_RE = re.compile(r"^seer(_[a-z0-9]+)+$")

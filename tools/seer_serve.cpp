@@ -37,6 +37,8 @@
 
 #include "api/SeerService.h"
 #include "core/ModelBundle.h"
+#include "net/NetServer.h"
+#include "net/Socket.h"
 #include "serve/RequestTrace.h"
 #include "support/FaultInjector.h"
 #include "support/Tracing.h"
@@ -44,6 +46,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -76,6 +79,10 @@ constexpr const char *Usage =
     "                      oracle data and unpaid kernel states first,\n"
     "                      then whole entries — entries pinned by open\n"
     "                      handles always survive (see 'stats' counters)\n"
+    "  --cache-shards N    fingerprint-cache lock shards (default 16); the\n"
+    "                      byte budget splits evenly across shards, so a\n"
+    "                      small budget needs a small shard count for the\n"
+    "                      per-shard slice to hold whole entries\n"
     "  --fault-plan FILE   arm the deterministic fault injector with FILE\n"
     "                      (support/FaultInjector.h grammar) before serving;\n"
     "                      v2 traces and stdin sessions can also drive it\n"
@@ -91,6 +98,14 @@ constexpr const char *Usage =
     "                      budget, or opened a circuit breaker (chaos-gate\n"
     "                      mode; degraded responses are not errors); the\n"
     "                      final metrics snapshot goes to stderr on failure\n"
+    "  --listen HOST:PORT  serve the binary wire protocol (net/Wire.h) on a\n"
+    "                      TCP listener instead of stdin/trace replay; port\n"
+    "                      0 binds an ephemeral port. Stops on SIGTERM /\n"
+    "                      SIGINT or the wire Shutdown op, draining in-\n"
+    "                      flight requests before exit\n"
+    "  --port-file FILE    with --listen: write the bound port to FILE once\n"
+    "                      serving (how spawners using port 0 find us)\n"
+    "  --net-mode MODE     with --listen: 'epoll' (default) or 'threads'\n"
     "\n"
     "Either output flag arms the span recorder, which also enables the\n"
     "armed-only per-stage histograms (seer_stage_*_us, seer_cost_model_*)\n"
@@ -548,12 +563,67 @@ bool endsWith(const std::string &Text, const std::string &Suffix) {
          Text.compare(Text.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
 }
 
+/// The server a stop signal should interrupt. NetServer::requestStop is
+/// async-signal-safe (atomic store + self-pipe write), so the handler
+/// may call it directly.
+std::atomic<seer::net::NetServer *> SignalTarget{nullptr};
+
+extern "C" void onStopSignal(int) {
+  if (seer::net::NetServer *Server =
+          SignalTarget.load(std::memory_order_acquire))
+    Server->requestStop();
+}
+
+/// Network serving: bind, publish the port, then block until SIGTERM /
+/// SIGINT or a wire Shutdown op, and drain before returning.
+int runListen(SeerService &Service, const std::string &ListenSpec,
+              const std::string &PortFile, const std::string &Mode) {
+  net::NetServerConfig Config;
+  if (const Status S =
+          net::parseHostPort(ListenSpec, Config.Host, Config.Port);
+      !S.ok())
+    fatal(S);
+  if (Mode == "threads")
+    Config.Mode = net::NetServerConfig::ServeMode::Threads;
+  else if (!Mode.empty() && Mode != "epoll")
+    fatal("--net-mode must be 'epoll' or 'threads'");
+  // Share the service's registry so seer_net_* counters land in the same
+  // exposition (and stats snapshot) as the serving metrics.
+  Config.Metrics = &Service.metrics();
+
+  net::ServiceFrameHandler Handler(Service);
+  auto ServerOr = net::NetServer::start(Handler, Config);
+  if (!ServerOr.ok())
+    fatal(ServerOr.status());
+  net::NetServer &Server = **ServerOr;
+
+  SignalTarget.store(&Server, std::memory_order_release);
+  std::signal(SIGTERM, onStopSignal);
+  std::signal(SIGINT, onStopSignal);
+
+  if (!PortFile.empty())
+    writeFileOrDie(PortFile, std::to_string(Server.port()) + "\n");
+  std::fprintf(stderr, "seer-serve: listening on %s:%u\n",
+               Config.Host.c_str(), unsigned(Server.port()));
+
+  Server.join(); // blocks until a signal or the wire Shutdown op
+
+  SignalTarget.store(nullptr, std::memory_order_release);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  // The listener is gone but admitted work may still be in the async
+  // queue; finish it before the service (and its cache) is torn down.
+  Service.drain();
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   FlagSpec Spec;
-  Spec.Value = {"models", "trace", "fault-plan", "metrics-out", "trace-out"};
-  Spec.Int = {"clients", "repeat", "cache-budget"};
+  Spec.Value = {"models",      "trace",     "fault-plan", "metrics-out",
+                "trace-out",   "listen",    "port-file",  "net-mode"};
+  Spec.Int = {"clients", "repeat", "cache-budget", "cache-shards"};
   Spec.Bool = {"strict"};
   const CommandLine Cmd(Argc, Argv, Usage, Spec);
   if (const auto Early = Cmd.earlyExit())
@@ -579,6 +649,11 @@ int main(int Argc, char **Argv) {
     fatal("--cache-budget must be >= 0 (0 = unbounded)");
   ServiceConfig Config;
   Config.Server.CacheBudgetBytes = static_cast<size_t>(BudgetArg);
+  const int64_t ShardsArg =
+      Cmd.intFlag("cache-shards", int64_t(Config.Server.CacheShards));
+  if (ShardsArg < 1 || ShardsArg > 4096)
+    fatal("--cache-shards must be in [1, 4096]");
+  Config.Server.CacheShards = static_cast<size_t>(ShardsArg);
   SeerService Service(std::move(*Models), Config);
 
   // Either observability output arms the recorder, which also switches
@@ -589,10 +664,21 @@ int main(int Argc, char **Argv) {
     SpanRecorder::instance().arm();
 
   const std::string TracePath = Cmd.flag("trace");
+  const std::string ListenSpec = Cmd.flag("listen");
   int ExitCode = 0;
   uint64_t Errors = 0;
-  if (TracePath.empty()) {
+  if (!ListenSpec.empty()) {
+    if (!TracePath.empty())
+      fatal("--listen and --trace are mutually exclusive");
+    ExitCode = runListen(Service, ListenSpec, Cmd.flag("port-file"),
+                         Cmd.flag("net-mode"));
+  } else if (TracePath.empty()) {
     ExitCode = runStdin(Service);
+    // EOF/quit ends the session, but work admitted through the async
+    // queue may still be in flight; finish it before the exit-time
+    // metrics snapshot below (and before the service is destroyed) so
+    // no submitted request is silently dropped.
+    Service.drain();
   } else {
     const auto Script = readTraceFile(TracePath);
     if (!Script)
